@@ -1,0 +1,45 @@
+// Ablation: MRAM sub-array geometry (NVSIM-style sweep around the
+// paper's 1024x512 operating point). Larger arrays amortize periphery
+// (better area efficiency) but slow down row access and coarsen the
+// allocation granularity; smaller arrays parallelize better per bit.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "device/scaling.h"
+#include "workloads/layer_inventory.h"
+
+int main() {
+  using namespace msh;
+
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  const ModelInventory inv = resnet50_repnet_inventory();
+  // Compressed 1:4 backbone storage requirement.
+  const f64 backbone_bits =
+      static_cast<f64>(inv.frozen_weights()) * 0.25 * (8 + 4);
+
+  std::printf("=== Ablation: MRAM sub-array geometry ===\n\n");
+  AsciiTable table({"geometry", "area/array (mm^2)", "array eff.",
+                    "row E (pJ)", "row lat (ns)", "arrays for backbone",
+                    "total area (mm^2)"});
+  for (const ArrayGeometry g :
+       {ArrayGeometry{256, 128}, ArrayGeometry{512, 256},
+        ArrayGeometry{1024, 512}, ArrayGeometry{2048, 1024},
+        ArrayGeometry{4096, 2048}}) {
+    const f64 arrays = std::ceil(backbone_bits / static_cast<f64>(g.bits()));
+    table.add_row(
+        {std::to_string(g.rows) + "x" + std::to_string(g.cols),
+         AsciiTable::num(model.total_area(g).as_mm2(), 4),
+         AsciiTable::percent(model.array_efficiency(g)),
+         AsciiTable::num(model.row_access_energy(g).as_pj(), 2),
+         AsciiTable::num(model.row_access_latency(g).as_ns(), 2),
+         AsciiTable::num(arrays, 0),
+         AsciiTable::num(arrays * model.total_area(g).as_mm2(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: area efficiency rises with array size while "
+              "row latency grows; the paper's 1024x512 point balances "
+              "efficiency (~%.0f%%) against ~1 ns access.\n",
+              model.array_efficiency({1024, 512}) * 100.0);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: adder-tree subtree segmentation (the compute time-sharing of
+// §2.1.1). Sweeps the minimum segment height and measures functional PE
+// cycle counts on short compressed columns — without segmentation, a 1:8
+// layer wastes most of the 128-row window and sparse compute time stops
+// tracking the compressed size.
+#include <cstdio>
+
+#include "common/table.h"
+#include "mapping/csc_mapper.h"
+#include "pim/sram_pe.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix make_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  std::printf("=== Ablation: column-group segmentation ===\n\n");
+  AsciiTable table({"N:M", "min seg rows", "tiles", "slot util",
+                    "total PE cycles", "cycles / nonzero"});
+
+  const i64 k = 128, c = 64;
+  for (const NmConfig cfg : {NmConfig{1, 4}, NmConfig{1, 8}}) {
+    const QuantizedNmMatrix w = make_matrix(k, c, cfg, 99);
+    const i64 nonzeros = w.packed_rows() * w.cols();
+    for (const i64 min_seg : {128L, 64L, 32L, 16L}) {
+      SramMappingOptions options;
+      options.min_segment_rows = min_seg;
+      const auto tiles = map_to_sram_pes(w, options);
+      const MappingStats stats = sram_mapping_stats(tiles);
+
+      Rng rng(1);
+      std::vector<i8> act(static_cast<size_t>(k));
+      for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+      i64 cycles = 0;
+      for (const auto& tile : tiles) {
+        SramSparsePe pe;
+        pe.load(tile);
+        const i64 before = pe.events().cycles;
+        pe.matvec(act);
+        cycles += pe.events().cycles - before;
+      }
+      table.add_row({std::to_string(cfg.n) + ":" + std::to_string(cfg.m),
+                     std::to_string(min_seg), std::to_string(stats.tiles),
+                     AsciiTable::percent(stats.utilization()),
+                     std::to_string(cycles),
+                     AsciiTable::num(static_cast<f64>(cycles) /
+                                         static_cast<f64>(nonzeros),
+                                     3)});
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: finer segments raise slot utilization and cut "
+              "total cycles for short compressed columns; at full-height "
+              "segments the 1:8 config pays 2x the cycles of 1:4 for half "
+              "the work.\n");
+  return 0;
+}

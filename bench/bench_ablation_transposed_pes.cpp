@@ -1,0 +1,63 @@
+// Ablation for the paper's §4 discussion: "the number of transposed SRAM
+// PEs should be optimized depending on the system parallelism requirement
+// and upper bounded by the maximum size of learned parameters for each
+// layer." Sweeps the SRAM PE pool (forward + transposed) and reports the
+// training-step delay/energy/EDP and leakage tradeoff.
+#include <cstdio>
+
+#include "common/table.h"
+#include "mapping/transpose_buffer.h"
+#include "sim/hybrid_model.h"
+#include "workloads/layer_inventory.h"
+
+int main() {
+  using namespace msh;
+
+  const ModelInventory inv = resnet50_repnet_inventory();
+
+  std::printf("=== Ablation: transposed/forward SRAM PE pool size ===\n\n");
+
+  // Upper bound from the paper's rule: PEs to hold the largest learnable
+  // layer's compressed slots in one shot.
+  i64 max_slots_1of4 = 0;
+  for (const auto& layer : inv.layers) {
+    if (!layer.learnable || layer.k % 4 != 0) continue;
+    max_slots_1of4 = std::max(max_slots_1of4, layer.k / 4 * layer.c);
+  }
+  const i64 upper_bound =
+      TransposedPeBuffer::required_for_layer(max_slots_1of4);
+  std::printf("upper bound (largest learnable layer at 1:4): %lld PEs\n\n",
+              static_cast<long long>(upper_bound));
+
+  AsciiTable table({"pool PEs", "area (mm^2)", "leak (mW)", "train D (us)",
+                    "train E (uJ)", "EDP (norm best)"});
+  f64 best_edp = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  for (const i64 pool : {2L, 4L, 8L, 16L, 32L, 64L, 128L}) {
+    HybridModelOptions options;
+    options.nm = kSparse1of4;
+    options.sram_pe_pool = pool;
+    const HybridDesignModel model(options);
+    const TrainingCost cost = model.training_step(inv, TrainingScenario{});
+    const PowerBreakdown power =
+        model.inference_power(inv, InferenceScenario{});
+    if (best_edp == 0.0 || cost.edp_pj_ns() < best_edp)
+      best_edp = cost.edp_pj_ns();
+    rows.push_back({std::to_string(pool),
+                    AsciiTable::num(model.area(inv).as_mm2(), 1),
+                    AsciiTable::num(power.leakage.as_mw(), 1),
+                    AsciiTable::num(cost.delay.as_us(), 1),
+                    AsciiTable::num(cost.energy.as_uj(), 1),
+                    AsciiTable::num(cost.edp_pj_ns(), 3)});
+  }
+  for (auto& row : rows) {
+    const f64 edp = std::stod(row.back());
+    row.back() = AsciiTable::num(edp / best_edp, 2);
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: delay falls with pool size while leakage (and "
+              "area) grow — EDP bottoms out at a mid-size pool, the "
+              "'optimized depending on parallelism' point of SS4.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Extension study: input-bit sparsity (cf. the input-sparsity-aware
+// STT-MRAM macro of [7]). The bit-serial SRAM PE only forms partial
+// products where the streamed input bit is 1, so post-ReLU activations —
+// half exact zeros, small magnitudes — switch far less logic than
+// worst-case inputs. This harness measures the data-dependent event
+// counts on the functional PE across activation statistics.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "mapping/csc_mapper.h"
+#include "pim/sram_pe.h"
+#include "sim/energy_model.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix make_matrix(u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{512, 8}, rng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, kSparse1of4));
+}
+
+std::vector<i8> activations(const char* kind, Rng& rng) {
+  std::vector<i8> act(512);
+  for (auto& v : act) {
+    if (std::string(kind) == "worst-case 0x7F") {
+      v = 127;
+    } else if (std::string(kind) == "uniform INT8") {
+      v = static_cast<i8>(rng.uniform_int(-127, 127));
+    } else {  // post-ReLU: ~50% zeros, exponential-ish small magnitudes
+      if (rng.bernoulli(0.5)) {
+        v = 0;
+      } else {
+        v = static_cast<i8>(
+            std::min<i64>(127, static_cast<i64>(-24.0 * std::log(
+                                   std::max(rng.uniform(), 1e-9)))));
+      }
+    }
+  }
+  return act;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  const QuantizedNmMatrix w = make_matrix(3);
+  const auto tiles = map_to_sram_pes(w);
+  const EnergyModel pricing;
+
+  std::printf("=== Input-bit activity on the bit-serial SRAM PE ===\n\n");
+  AsciiTable table({"activation statistics", "set input bits / slot-phase",
+                    "partial products formed", "vs worst case"});
+
+  f64 worst_products = 0.0;
+  for (const char* kind :
+       {"worst-case 0x7F", "uniform INT8", "post-ReLU (realistic)"}) {
+    Rng rng(9);
+    const auto act = activations(kind, rng);
+    PeEventCounts events;
+    for (const auto& tile : tiles) {
+      SramSparsePe pe;
+      pe.load(tile);
+      pe.reset_events();
+      pe.matvec(act);
+      events += pe.events();
+    }
+    const f64 products = static_cast<f64>(events.buffer_bits_read);
+    if (worst_products == 0.0) worst_products = products;
+    // Slots x 8 bit planes is the ceiling on partial-product formation.
+    const f64 slot_phases = 128.0 * 8 * 8;
+    table.add_row({kind, AsciiTable::num(products / slot_phases, 3),
+                   AsciiTable::num(products, 0),
+                   AsciiTable::percent(products / worst_products)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: realistic post-ReLU activations form ~10-20%% "
+              "of the worst case's partial products — the headroom an "
+              "input-sparsity-aware energy model (cf. [7]) captures, and "
+              "why average-activity energy sits well below the Table 2 "
+              "operating point.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Row-stationary dataflow accounting (paper §3 cites Eyeriss [21]): the
+// core buffer fetches each unique activation row once and serves every PE
+// pass that needs it. This harness quantifies, per ResNet-50 layer class,
+// the buffer-level reuse factor and the bus traffic saved versus a
+// naive fetch-per-use dataflow.
+#include <cstdio>
+
+#include <map>
+
+#include "common/table.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+struct DataflowCost {
+  f64 unique_bytes;    ///< distinct activation bytes per inference
+  f64 use_bytes;       ///< activation bytes consumed by all MACs
+  f64 reuse() const { return use_bytes / unique_bytes; }
+};
+
+/// Conv layer: each input element feeds up to k*k output positions
+/// (ignoring borders), and every one of the layer's `cols` filters reads
+/// the same im2col column.
+DataflowCost conv_dataflow(const LayerShape& layer, i64 kernel) {
+  DataflowCost cost;
+  const f64 unique = static_cast<f64>(layer.k) / (kernel * kernel) *
+                     static_cast<f64>(layer.mac_batch);
+  cost.unique_bytes = unique;  // INT8: 1 byte per element
+  cost.use_bytes = static_cast<f64>(layer.macs());
+  return cost;
+}
+
+i64 kernel_of(const LayerShape& layer) {
+  if (layer.name.find("(7x7)") != std::string::npos) return 7;
+  if (layer.name.find("(3x3)") != std::string::npos) return 3;
+  return 1;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  const ModelInventory inv = resnet50_repnet_inventory();
+  std::printf("=== Row-stationary dataflow accounting (Eyeriss-style) ===\n\n");
+
+  AsciiTable table({"layer class", "unique act (MB)", "consumed (MB)",
+                    "reuse x", "bus saved vs naive"});
+  struct Bucket {
+    f64 unique = 0.0, used = 0.0;
+  };
+  std::map<std::string, Bucket> buckets;
+  for (const auto& layer : inv.layers) {
+    const DataflowCost cost = conv_dataflow(layer, kernel_of(layer));
+    std::string bucket = "1x1 convs";
+    if (kernel_of(layer) == 7) bucket = "stem 7x7";
+    else if (kernel_of(layer) == 3) bucket = "3x3 convs";
+    if (layer.name.rfind("repnet", 0) == 0) bucket = "rep path";
+    if (layer.name.rfind("fc", 0) == 0 || layer.name == "classifier")
+      bucket = "fc layers";
+    buckets[bucket].unique += cost.unique_bytes;
+    buckets[bucket].used += cost.use_bytes;
+  }
+  f64 total_unique = 0.0, total_used = 0.0;
+  for (const auto& [name, bucket] : buckets) {
+    total_unique += bucket.unique;
+    total_used += bucket.used;
+    table.add_row({name, AsciiTable::num(bucket.unique / 1e6, 2),
+                   AsciiTable::num(bucket.used / 1e6, 1),
+                   AsciiTable::num(bucket.used / bucket.unique, 0),
+                   AsciiTable::percent(1.0 - bucket.unique / bucket.used)});
+  }
+  table.add_rule();
+  table.add_row({"TOTAL", AsciiTable::num(total_unique / 1e6, 2),
+                 AsciiTable::num(total_used / 1e6, 1),
+                 AsciiTable::num(total_used / total_unique, 0),
+                 AsciiTable::percent(1.0 - total_unique / total_used)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: buffering each activation row once (row-"
+              "stationary) removes >99%% of naive bus traffic; 1x1-conv "
+              "reuse equals the filter count, 3x3 adds the 9x window "
+              "overlap.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Measured (not analytic) on-device learning cost: runs real training
+// steps through the PE functional simulators — hardware forward, eq. 1
+// error propagation on transposed PEs, weight write-back every step —
+// and prices the measured event counts with the Table 2 library. A
+// "mini Fig 8" where every number comes out of the simulator.
+#include <cstdio>
+
+#include "common/table.h"
+#include "deploy/pim_trainer.h"
+#include "sim/energy_model.h"
+
+namespace msh {
+namespace {
+
+struct Blob {
+  Tensor x;
+  std::vector<i32> y;
+};
+
+/// Train and test share the same class centers (no distribution shift).
+Blob sample_blob(const Tensor& centers, i64 n_per_class, Rng& rng) {
+  const i64 classes = centers.shape()[0], features = centers.shape()[1];
+  Blob blob;
+  blob.x = Tensor(Shape{n_per_class * classes, features});
+  i64 row = 0;
+  for (i64 c = 0; c < classes; ++c) {
+    for (i64 i = 0; i < n_per_class; ++i, ++row) {
+      blob.y.push_back(static_cast<i32>(c));
+      for (i64 f = 0; f < features; ++f) {
+        blob.x[row * features + f] =
+            centers[c * features + f] +
+            static_cast<f32>(rng.gaussian(0.0, 0.4));
+      }
+    }
+  }
+  return blob;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  const i64 features = 256, classes = 32, steps = 50;
+  Rng rng(77);
+  const Tensor centers =
+      Tensor::randn(Shape{classes, features}, rng, 0.0f, 1.0f);
+  const Blob train = sample_blob(centers, 4, rng);
+  const Blob test = sample_blob(centers, 2, rng);
+
+  std::printf("=== Measured on-device learning on the SRAM PEs ===\n");
+  std::printf("head: %lld features -> %lld classes, %lld steps, "
+              "write-back every step\n\n",
+              static_cast<long long>(features),
+              static_cast<long long>(classes),
+              static_cast<long long>(steps));
+
+  AsciiTable table({"Config", "final acc", "write bits/step",
+                    "write E/step", "compute E/step", "total E/step",
+                    "vs dense"});
+
+  const EnergyModel pricing;
+  f64 dense_total = 0.0;
+  struct Config {
+    const char* label;
+    std::optional<NmConfig> nm;
+  };
+  for (const Config cfg : {Config{"dense", std::nullopt},
+                           Config{"sparse 1:4", kSparse1of4},
+                           Config{"sparse 1:8", kSparse1of8}}) {
+    HybridCore core;
+    PimTrainerOptions options;
+    options.lr = 0.12f;
+    options.nm = cfg.nm;
+    options.seed = 5;
+    PimLinearTrainer trainer(core, features, classes, options);
+
+    // Skip deployment events: measure steady-state training only.
+    core.reset_events();
+    const i64 bits0 = 0;
+    for (i64 s = 0; s < steps; ++s) trainer.train_step(train.x, train.y);
+    const PeEventCounts events = core.pe_events();
+
+    const f64 write_bits =
+        static_cast<f64>(events.sram_weight_bits_written - bits0) / steps;
+    const Energy write_e =
+        pricing.sram_write_energy(events.sram_weight_bits_written) /
+        static_cast<f64>(steps);
+    PeEventCounts compute = events;
+    compute.sram_weight_bits_written = 0;
+    const Energy compute_e =
+        pricing.price(compute).total() / static_cast<f64>(steps);
+    const Energy total_e = write_e + compute_e;
+    if (!cfg.nm) dense_total = total_e.as_pj();
+
+    table.add_row({cfg.label,
+                   AsciiTable::percent(trainer.evaluate(test.x, test.y)),
+                   AsciiTable::num(write_bits, 0),
+                   to_string(write_e), to_string(compute_e),
+                   to_string(total_e),
+                   AsciiTable::num(total_e.as_pj() / dense_total, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: sparse configs cut the measured write volume by "
+              "~the density factor at matched accuracy; compute energy "
+              "moves less because the transposed (backward) deployment is "
+              "dense-packed — the uneven-sparsity cost the paper's SS4 "
+              "discussion anticipates.\n");
+  return 0;
+}

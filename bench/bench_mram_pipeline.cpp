@@ -1,0 +1,63 @@
+// Fig 5-5 support: the MRAM PE's 3-stage pipeline. Prints cycles and
+// steady-state throughput across reduction depths and sparsity levels —
+// throughput approaches one row (42 packed MACs) per cycle as the
+// pipeline amortizes its 2-cycle fill.
+#include <cstdio>
+
+#include "common/table.h"
+#include "mapping/csc_mapper.h"
+#include "device/table2.h"
+#include "pim/mram_pe.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix make_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  std::printf("=== MRAM PE 3-stage pipeline (Fig 5-5 support) ===\n\n");
+  AsciiTable table({"N:M", "K (dense)", "cols", "rows read", "cycles",
+                    "MACs/cycle", "util vs peak"});
+
+  const PeGeometry geom;
+  const f64 peak = static_cast<f64>(geom.mram_pairs_per_row());
+  for (const NmConfig cfg : {NmConfig{1, 4}, NmConfig{1, 8}, NmConfig{1, 16},
+                             NmConfig{2, 8}}) {
+    for (const i64 k : {1344, 10752, 43008}) {
+      if (k % cfg.m != 0) continue;
+      const i64 c = 4;
+      const QuantizedNmMatrix w =
+          make_matrix(k, c, cfg, static_cast<u64>(k + cfg.m));
+      MramSparsePe pe;
+      pe.program(map_to_mram_pes(w)[0]);
+      Rng rng(1);
+      std::vector<i8> act(static_cast<size_t>(k));
+      for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+      pe.matvec(act);
+      const MramPipelineStats& stats = pe.last_pipeline();
+      const f64 throughput = stats.throughput(geom.mram_pairs_per_row());
+      table.add_row({std::to_string(cfg.n) + ":" + std::to_string(cfg.m),
+                     std::to_string(k), std::to_string(c),
+                     std::to_string(stats.rows),
+                     std::to_string(stats.total_cycles()),
+                     AsciiTable::num(throughput, 2),
+                     AsciiTable::percent(throughput / peak)});
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: utilization -> 100%% as rows >> pipeline fill; "
+              "sparser configs read proportionally fewer rows.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmark (Fig 2 support): dense matmul vs explicit zero-skip vs
+// the packed N:M kernel, plus the PE functional simulators' throughput.
+#include <benchmark/benchmark.h>
+
+#include "mapping/csc_mapper.h"
+#include "pim/mram_pe.h"
+#include "pim/sram_pe.h"
+#include "sparse/sparse_ops.h"
+#include "tensor/ops.h"
+
+namespace msh {
+namespace {
+
+Tensor masked_weights(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return w;
+}
+
+void BM_DenseMatmul(benchmark::State& state) {
+  const i64 k = state.range(0), c = 64, b = 16;
+  Rng rng(1);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  Tensor x = Tensor::randn(Shape{b, k}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * b * k * c);
+}
+BENCHMARK(BM_DenseMatmul)->Arg(256)->Arg(1024);
+
+void BM_MaskedSkipMatmul(benchmark::State& state) {
+  const i64 k = state.range(0), c = 64, b = 16;
+  Rng rng(2);
+  Tensor w = masked_weights(k, c, kSparse1of4, 3);
+  Tensor x = Tensor::randn(Shape{b, k}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(masked_matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * b * k * c / 4);
+}
+BENCHMARK(BM_MaskedSkipMatmul)->Arg(256)->Arg(1024);
+
+void BM_PackedMatmul(benchmark::State& state) {
+  const i64 k = state.range(0), c = 64, b = 16;
+  Rng rng(4);
+  const NmPackedMatrix packed =
+      NmPackedMatrix::pack(masked_weights(k, c, kSparse1of4, 5), kSparse1of4);
+  Tensor x = Tensor::randn(Shape{b, k}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed.left_matmul(x));
+  }
+  state.SetItemsProcessed(state.iterations() * b * packed.packed_rows() * c);
+}
+BENCHMARK(BM_PackedMatmul)->Arg(256)->Arg(1024);
+
+void BM_SramPeMatvec(benchmark::State& state) {
+  const NmConfig cfg{1, static_cast<i32>(state.range(0))};
+  const i64 k = 512, c = 8;
+  const QuantizedNmMatrix w = QuantizedNmMatrix::from_packed(
+      NmPackedMatrix::pack(masked_weights(k, c, cfg, 6), cfg));
+  SramSparsePe pe;
+  pe.load(map_to_sram_pes(w)[0]);
+  Rng rng(7);
+  std::vector<i8> act(k);
+  for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.matvec(act));
+  }
+  state.SetItemsProcessed(state.iterations() * (k / cfg.m) * c);
+}
+BENCHMARK(BM_SramPeMatvec)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MramPeMatvec(benchmark::State& state) {
+  const NmConfig cfg{1, static_cast<i32>(state.range(0))};
+  const i64 k = 4096, c = 16;
+  const QuantizedNmMatrix w = QuantizedNmMatrix::from_packed(
+      NmPackedMatrix::pack(masked_weights(k, c, cfg, 8), cfg));
+  MramSparsePe pe;
+  pe.program(map_to_mram_pes(w)[0]);
+  Rng rng(9);
+  std::vector<i8> act(k);
+  for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.matvec(act));
+  }
+  state.SetItemsProcessed(state.iterations() * (k / cfg.m) * c);
+}
+BENCHMARK(BM_MramPeMatvec)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace msh
+
+BENCHMARK_MAIN();

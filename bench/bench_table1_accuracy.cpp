@@ -1,0 +1,169 @@
+// Reproduces Table 1 ("Accuracy Evaluation Result"): continual-learning
+// accuracy of Dense RepNet (FP32) vs Sparse RepNet (1:8, 1:4) x (FP32,
+// INT8) on the backbone task plus five downstream tasks.
+//
+// Substitution (see DESIGN.md): ImageNet/ResNet-50 are replaced by a
+// MicroResNet backbone pretrained on a synthetic base task, and the five
+// downstream datasets by the synthetic task suite. The paper's qualitative
+// shape is what this harness reproduces:
+//   * higher backbone sparsity -> larger backbone accuracy drop
+//     (1:4 mild, 1:8 pronounced — paper: ~1.5% vs >5%);
+//   * downstream accuracy stays close to the dense baseline even at 1:8
+//     because the Rep-Net path learns around the pruned backbone;
+//   * INT8 PTQ tracks FP32 closely everywhere.
+#include <cstdio>
+
+#include "common/table.h"
+#include "repnet/sparsify.h"
+#include "repnet/trainer.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+BackboneConfig bench_backbone() {
+  BackboneConfig cfg;
+  cfg.stem_channels = 16;
+  cfg.stage_channels = {16, 32, 64};
+  cfg.blocks_per_stage = {1, 1, 1};
+  cfg.stage_strides = {1, 2, 2};
+  return cfg;
+}
+
+RepNetConfig bench_repnet() {
+  // Bottleneck 8 keeps every Rep conv's reduction dim a multiple of 8 so
+  // both 1:4 and 1:8 apply to the whole learnable path.
+  return RepNetConfig{.bottleneck_divisor = 8, .min_bottleneck = 8};
+}
+
+SyntheticSpec scaled(SyntheticSpec spec) {
+  spec.image_size = 12;
+  spec.train_per_class = std::max(12, spec.train_per_class * 3 / 4);
+  return spec;
+}
+
+struct ConfigRow {
+  std::string label;
+  bool sparse;
+  NmConfig nm;
+  bool int8;
+};
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+
+  std::printf("=== Table 1: accuracy evaluation (reproduced) ===\n");
+  std::printf("backbone: MicroResNet (ImageNet/ResNet-50 stand-in); "
+              "tasks: synthetic suite (see DESIGN.md substitutions)\n\n");
+
+  Rng rng(2024);
+  RepNetModel model(bench_backbone(), bench_repnet(), 10, rng);
+
+  // --- Phase 1: backbone pretraining on the base (ImageNet-stand-in) task.
+  SyntheticSpec base_spec = scaled(base_task_spec());
+  base_spec.train_per_class = 64;
+  base_spec.noise = 0.5f;  // keep the base task non-trivial
+  base_spec.class_sep = 0.85f;
+  const TrainTestSplit base = make_synthetic_dataset(base_spec);
+  BackboneClassifier base_classifier(model.backbone(), base_spec.classes,
+                                     rng);
+  const f64 base_acc = pretrain_backbone(
+      base_classifier, base,
+      TrainOptions{.epochs = 8, .batch = 32, .lr = 0.06f, .lr_decay = 0.9f},
+      rng);
+  std::printf("backbone pretrained: %.2f%% test accuracy on %s\n\n",
+              base_acc * 100.0, base.test.name.c_str());
+
+  const auto backbone_params = model.backbone_params();
+  const auto pristine = snapshot_params(backbone_params);
+
+  const std::vector<ConfigRow> configs = {
+      {"Dense RepNet   FP32", false, kSparse1of4, false},
+      {"Sparse (1:8)   FP32", true, kSparse1of8, false},
+      {"Sparse (1:8)   INT8", true, kSparse1of8, true},
+      {"Sparse (1:4)   FP32", true, kSparse1of4, false},
+      {"Sparse (1:4)   INT8", true, kSparse1of4, true},
+  };
+
+  const auto task_specs = downstream_task_specs();
+  std::vector<std::string> header = {"Configure", "Backbone@base"};
+  for (const auto& spec : task_specs) header.push_back(spec.name);
+  AsciiTable table(header);
+
+  // Cache of results per (sparse, nm): FP32 and INT8 come from the same
+  // training run (the paper trains in FP32 and applies PTQ).
+  struct RunResult {
+    f64 backbone_fp32 = 0.0, backbone_int8 = 0.0;
+    std::vector<TaskOutcome> tasks;
+  };
+  std::vector<RunResult> runs;
+
+  auto run_config = [&](bool sparse, NmConfig nm) {
+    RunResult result;
+    // Restore the pristine pretrained backbone, then apply this config's
+    // post-training pruning (magnitude, no retrain — paper §5.1).
+    restore_params(backbone_params, pristine);
+    SparsityPlan backbone_plan;
+    if (sparse) {
+      backbone_plan.prune(backbone_params, nm,
+                          /*use_gradient_saliency=*/false);
+      // Standard post-training step: refresh BatchNorm statistics on
+      // calibration data (weights untouched).
+      recalibrate_batchnorm(base_classifier, base.train, 12, 32, rng);
+    }
+    result.backbone_fp32 = evaluate_backbone(base_classifier, base.test);
+    {
+      ScopedFakeQuant quant(backbone_params, 8);
+      result.backbone_int8 = evaluate_backbone(base_classifier, base.test);
+    }
+    for (const auto& spec : task_specs) {
+      const TrainTestSplit task = make_synthetic_dataset(scaled(spec));
+      ContinualOptions options;
+      options.finetune = {.epochs = 7,
+                          .batch = 24,
+                          .lr = 0.05f,
+                          .lr_decay = 0.88f};
+      options.sparse = sparse;
+      options.nm = nm;
+      result.tasks.push_back(learn_task(model, task, options, rng));
+      std::printf("  [%s nm=%d:%d] %-14s fp32=%.2f%% int8=%.2f%%\n",
+                  sparse ? "sparse" : "dense ", nm.n, nm.m,
+                  spec.name.c_str(),
+                  result.tasks.back().accuracy_fp32 * 100.0,
+                  result.tasks.back().accuracy_int8 * 100.0);
+    }
+    return result;
+  };
+
+  std::printf("dense run:\n");
+  runs.push_back(run_config(false, kSparse1of4));
+  std::printf("sparse 1:8 run:\n");
+  runs.push_back(run_config(true, kSparse1of8));
+  std::printf("sparse 1:4 run:\n");
+  runs.push_back(run_config(true, kSparse1of4));
+
+  auto row_for = [&](const ConfigRow& cfg) {
+    const RunResult& run =
+        !cfg.sparse ? runs[0] : (cfg.nm.m == 8 ? runs[1] : runs[2]);
+    std::vector<std::string> row{cfg.label};
+    row.push_back(AsciiTable::percent(
+        cfg.int8 ? run.backbone_int8 : run.backbone_fp32));
+    for (const auto& task : run.tasks) {
+      row.push_back(AsciiTable::percent(
+          cfg.int8 ? task.accuracy_int8 : task.accuracy_fp32));
+    }
+    return row;
+  };
+
+  std::printf("\n");
+  for (const auto& cfg : configs) table.add_row(row_for(cfg));
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper shape check: backbone drop grows with sparsity (1:8 >> 1:4); "
+      "downstream accuracy recovers via the learnable Rep path; INT8 "
+      "tracks FP32.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 2 ("Hardware Specs"): per-component area and power of
+// the SRAM and MRAM sparse PEs, straight from the calibrated device
+// library, plus the MTJ device corner values.
+#include <cstdio>
+
+#include "common/table.h"
+#include "device/mtj.h"
+#include "sim/figures.h"
+
+int main() {
+  using namespace msh;
+
+  std::printf("=== Table 2: Hardware Specs (reproduced) ===\n\n");
+
+  AsciiTable table({"PE", "Component", "Area (mm^2)", "Power (mW)"});
+  std::string last_pe;
+  for (const Table2Row& row : reproduce_table2()) {
+    if (!last_pe.empty() && row.pe != last_pe) table.add_rule();
+    last_pe = row.pe;
+    table.add_row({row.pe, row.component, AsciiTable::num(row.area_mm2, 5),
+                   row.power_mw > 0.0 ? AsciiTable::num(row.power_mw, 3)
+                                      : std::string("-")});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const MramPeSpec mram = table2_mram_pe();
+  const MtjDevice mtj{MtjParams{}};
+  std::printf("MTJ resistance (P/AP): %.0f / %.0f ohm (TMR %.1f%%)\n",
+              mram.r_parallel_ohm, mram.r_antiparallel_ohm,
+              mtj.tmr() * 100.0);
+  std::printf("Single-bit set/reset energy: %.3f pJ\n",
+              mram.set_reset_energy_per_bit.as_pj());
+
+  const SramPeSpec sram = table2_sram_pe();
+  std::printf("\nSRAM PE total: %s, %s (leakage %s)\n",
+              to_string(sram.total_area()).c_str(),
+              to_string(sram.total_power()).c_str(),
+              to_string(sram.total_leakage()).c_str());
+  std::printf("MRAM PE total: %s, %s (leakage %s)\n",
+              to_string(mram.total_area()).c_str(),
+              to_string(mram.total_power()).c_str(),
+              to_string(mram.total_leakage()).c_str());
+  return 0;
+}

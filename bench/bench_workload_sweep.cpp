@@ -1,0 +1,75 @@
+// Generality sweep: the Fig 7 / Fig 8 comparison repeated on a second
+// paper-scale workload (MobileNetV1 + Rep-Net). MobileNet's depthwise
+// layers (K = 9) cannot carry a 4-bit N:M pattern and fall back to dense
+// storage, so the hybrid's advantage shrinks but survives — a useful
+// robustness check on the architecture's claims.
+#include <cstdio>
+
+#include "baselines/dense_cim.h"
+#include "common/table.h"
+#include "sim/hybrid_model.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+void evaluate(const ModelInventory& inv, bool round_to_cores) {
+  std::printf("--- workload: %s (%.1f MB INT8, %.1f GMACs, learnable "
+              "%.1f%%) ---\n",
+              inv.name.c_str(),
+              static_cast<double>(inv.weight_bytes(8)) / 1e6,
+              static_cast<double>(inv.total_macs()) / 1e9,
+              inv.learnable_fraction() * 100.0);
+
+  AsciiTable table({"Design", "area (mm^2)", "area norm", "power (mW)",
+                    "power norm", "train EDP norm"});
+  std::vector<std::unique_ptr<AcceleratorModel>> models;
+  models.push_back(make_isscc21_sram());
+  models.push_back(make_iscas23_mram());
+  HybridModelOptions h4;
+  h4.nm = kSparse1of4;
+  h4.round_to_cores = round_to_cores;
+  models.push_back(std::make_unique<HybridDesignModel>(h4));
+  HybridModelOptions h8;
+  h8.nm = kSparse1of8;
+  h8.round_to_cores = round_to_cores;
+  models.push_back(std::make_unique<HybridDesignModel>(h8));
+
+  f64 area0 = 0.0, power0 = 0.0, edp_last = 0.0;
+  // Normalize EDP to the last (1:8) row, as in Fig 8.
+  edp_last = models.back()->training_step(inv, TrainingScenario{})
+                 .edp_pj_ns();
+  for (const auto& model : models) {
+    const f64 area = model->area(inv).as_mm2();
+    const f64 power =
+        model->inference_power(inv, InferenceScenario{}).total().as_mw();
+    const f64 edp = model->training_step(inv, TrainingScenario{}).edp_pj_ns();
+    if (area0 == 0.0) {
+      area0 = area;
+      power0 = power;
+    }
+    table.add_row({model->name(), AsciiTable::num(area, 1),
+                   AsciiTable::num(area / area0, 3),
+                   AsciiTable::num(power, 1),
+                   AsciiTable::num(power / power0, 4),
+                   AsciiTable::num(edp / edp_last, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace msh
+
+int main() {
+  using namespace msh;
+  std::printf("=== Workload generality: ResNet-50 vs MobileNetV1 ===\n\n");
+  evaluate(resnet50_repnet_inventory(), /*round_to_cores=*/true);
+  // MobileNet fits well under one 16 MB core: allocate MRAM at bank
+  // granularity so the fixed core footprint does not swamp a 5 MB model.
+  evaluate(mobilenet_repnet_inventory(), /*round_to_cores=*/false);
+  std::printf("shape check: the hybrid's area/power win survives MobileNet's "
+              "dense-fallback depthwise layers, but its EDP edge inverts on "
+              "the small workload (dense SRAM trains a 5 MB model cheaply) — the design's fixed SRAM pool and core "
+              "infrastructure are sized for multi-MB backbones.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// On-device continual learning demo (the paper's Fig 6 flow, miniature):
+//
+//   1. pretrain a MicroResNet backbone on the base task and freeze it
+//      (the MRAM-resident "fixed main branch");
+//   2. for each new downstream task: attach a fresh classifier, run the
+//      one-epoch gradient calibration, prune the Rep-Net path to 1:4,
+//      fine-tune only the Rep path + classifier (SRAM-resident);
+//   3. report FP32 and INT8-PTQ accuracy, plus the weight-update volume
+//      the SRAM PEs absorb.
+#include <cstdio>
+
+#include "repnet/task_bank.h"
+#include "repnet/trainer.h"
+#include "workloads/task_suite.h"
+
+int main() {
+  using namespace msh;
+
+  Rng rng(7);
+
+  BackboneConfig backbone_cfg;
+  backbone_cfg.stem_channels = 16;
+  backbone_cfg.stage_channels = {16, 32, 64};
+  backbone_cfg.blocks_per_stage = {1, 1, 1};
+  RepNetConfig rep_cfg{.bottleneck_divisor = 8, .min_bottleneck = 8};
+
+  SyntheticSpec base_spec = base_task_spec();
+  base_spec.image_size = 12;
+  base_spec.train_per_class = 64;
+  const TrainTestSplit base = make_synthetic_dataset(base_spec);
+
+  RepNetModel model(backbone_cfg, rep_cfg, base_spec.classes, rng);
+  const i64 backbone_size = param_count(model.backbone_params());
+  const i64 learnable_size = param_count(model.learnable_params());
+  std::printf("model: backbone %lld params (frozen, -> MRAM PEs), "
+              "Rep path + classifier %lld params (%.1f%%, -> SRAM PEs)\n",
+              static_cast<long long>(backbone_size),
+              static_cast<long long>(learnable_size),
+              100.0 * static_cast<double>(learnable_size) /
+                  static_cast<double>(backbone_size));
+
+  BackboneClassifier base_head(model.backbone(), base_spec.classes, rng);
+  std::printf("pretraining backbone on %s ...\n", base.train.name.c_str());
+  const f64 base_acc = pretrain_backbone(
+      base_head, base,
+      TrainOptions{.epochs = 8, .batch = 32, .lr = 0.06f}, rng);
+  std::printf("  backbone accuracy: %.2f%%\n\n", base_acc * 100.0);
+
+  TaskBank bank(model);
+  std::vector<TrainTestSplit> tasks;
+  std::vector<f64> first_accuracy;
+
+  for (SyntheticSpec spec : downstream_task_specs()) {
+    spec.image_size = 12;
+    spec.train_per_class = std::max(12, spec.train_per_class / 2);
+    tasks.push_back(make_synthetic_dataset(spec));
+    const TrainTestSplit& task = tasks.back();
+
+    ContinualOptions options;
+    options.finetune = {.epochs = 6, .batch = 24, .lr = 0.05f};
+    options.sparse = true;
+    options.nm = kSparse1of4;
+
+    std::printf("learning %s (%d classes) on-device ...\n",
+                spec.name.c_str(), spec.classes);
+    const TaskOutcome outcome = learn_task(model, task, options, rng);
+    std::printf("  accuracy: FP32 %.2f%%  INT8 %.2f%%\n",
+                outcome.accuracy_fp32 * 100.0,
+                outcome.accuracy_int8 * 100.0);
+    std::printf("  Rep path kept %.1f%% of weights; %lld weight updates "
+                "written to SRAM PEs\n",
+                outcome.rep_kept_fraction * 100.0,
+                static_cast<long long>(outcome.weights_updated));
+    first_accuracy.push_back(outcome.accuracy_fp32);
+    bank.save_task(spec.name);
+  }
+
+  // Multi-task switching: revisit every task via its banked parameters.
+  std::printf("\nrevisiting all %lld tasks from the task bank "
+              "(%lld params banked, %.1f KB at 1:4+INT8):\n",
+              static_cast<long long>(bank.num_tasks()),
+              static_cast<long long>(bank.total_param_count()),
+              static_cast<double>(bank.storage_bytes(8, kSparse1of4)) /
+                  1024.0);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    bank.activate_task(tasks[t].train.name.substr(
+                           0, tasks[t].train.name.find('/')),
+                       rng);
+    const f64 acc = evaluate_repnet(model, tasks[t].test);
+    std::printf("  %-16s %.2f%% (was %.2f%%) -> forgetting: %+0.2f pp\n",
+                tasks[t].test.name.c_str(), acc * 100.0,
+                first_accuracy[t] * 100.0,
+                (acc - first_accuracy[t]) * 100.0);
+  }
+  std::printf("\nbackbone untouched throughout: zero MRAM writes during "
+              "learning, zero catastrophic forgetting by construction.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Design-space exploration over the hybrid accelerator's main knobs:
+// N:M configuration, SRAM PE pool size, and MRAM power gating — the kind
+// of sweep the paper's in-house PIMA-SIM/NVSIM framework exists for.
+// Prints area / inference power / continual-learning EDP for each point
+// and flags the Pareto-optimal configurations.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/hybrid_model.h"
+#include "workloads/layer_inventory.h"
+
+int main() {
+  using namespace msh;
+
+  const ModelInventory inv = resnet50_repnet_inventory();
+  std::printf("=== Hybrid design-space exploration ===\n");
+  std::printf("workload: %s (%.1f MB INT8)\n\n", inv.name.c_str(),
+              static_cast<double>(inv.weight_bytes(8)) / 1e6);
+
+  struct Point {
+    NmConfig nm;
+    i64 pool;
+    f64 area, power, edp;
+  };
+  std::vector<Point> points;
+
+  for (const NmConfig nm : {NmConfig{1, 4}, NmConfig{1, 8}, NmConfig{2, 8},
+                            NmConfig{1, 16}}) {
+    for (const i64 pool : {8L, 16L, 32L}) {
+      HybridModelOptions options;
+      options.nm = nm;
+      options.sram_pe_pool = pool;
+      const HybridDesignModel model(options);
+      points.push_back(
+          {nm, pool, model.area(inv).as_mm2(),
+           model.inference_power(inv, InferenceScenario{}).total().as_mw(),
+           model.training_step(inv, TrainingScenario{}).edp_pj_ns()});
+    }
+  }
+
+  // Pareto check over (area, power, edp): a point is dominated if some
+  // other point is <= on all three axes and < on one.
+  auto dominated = [&](const Point& p) {
+    for (const Point& q : points) {
+      if (&q == &p) continue;
+      if (q.area <= p.area && q.power <= p.power && q.edp <= p.edp &&
+          (q.area < p.area || q.power < p.power || q.edp < p.edp)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  AsciiTable table({"N:M", "SRAM pool", "area (mm^2)", "power (mW)",
+                    "train EDP (uJ*us)", "Pareto"});
+  for (const Point& p : points) {
+    table.add_row({std::to_string(p.nm.n) + ":" + std::to_string(p.nm.m),
+                   std::to_string(p.pool), AsciiTable::num(p.area, 1),
+                   AsciiTable::num(p.power, 1),
+                   AsciiTable::num(p.edp / 1e12, 2),
+                   dominated(p) ? "" : "*"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("* = Pareto-optimal across (area, inference power, EDP).\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "arch/accelerator.h"
+
+namespace msh {
+
+HybridCore::HybridCore(Options options)
+    : options_(options),
+      bus_(options.bus_width_bits),
+      buffer_(options.buffer_bytes) {}
+
+i64 HybridCore::deploy_sram(const QuantizedNmMatrix& w) {
+  Deployment dep;
+  dep.is_sram = true;
+  dep.cols = w.cols();
+  dep.dense_rows = w.dense_rows();
+  for (auto& tile : map_to_sram_pes(w, options_.sram_map)) {
+    auto pe = std::make_unique<SramSparsePe>();
+    // Weight distribution rides the bus: one hop core -> PE.
+    bus_.transfer(tile.rows * tile.groups * (8 + tile.cfg.index_bits()));
+    pe->load(std::move(tile));
+    dep.sram_pes.push_back(std::move(pe));
+  }
+  deployments_.push_back(std::move(dep));
+  return static_cast<i64>(deployments_.size()) - 1;
+}
+
+i64 HybridCore::deploy_mram(const QuantizedNmMatrix& w) {
+  Deployment dep;
+  dep.is_sram = false;
+  dep.cols = w.cols();
+  dep.dense_rows = w.dense_rows();
+  for (auto& tile : map_to_mram_pes(w, options_.mram_map)) {
+    auto pe = std::make_unique<MramSparsePe>();
+    i64 bits = 0;
+    for (const auto& row : tile.rows)
+      bits += static_cast<i64>(row.entries.size()) *
+              (8 + tile.cfg.index_bits());
+    bus_.transfer(bits);
+    pe->program(std::move(tile));
+    dep.mram_pes.push_back(std::move(pe));
+  }
+  deployments_.push_back(std::move(dep));
+  return static_cast<i64>(deployments_.size()) - 1;
+}
+
+void HybridCore::redeploy_sram(i64 handle, const QuantizedNmMatrix& w) {
+  MSH_REQUIRE(handle >= 0 &&
+              handle < static_cast<i64>(deployments_.size()));
+  Deployment& dep = deployments_[static_cast<size_t>(handle)];
+  MSH_REQUIRE(dep.is_sram);
+  MSH_REQUIRE(dep.cols == w.cols() && dep.dense_rows == w.dense_rows());
+  auto tiles = map_to_sram_pes(w, options_.sram_map);
+  MSH_REQUIRE(tiles.size() == dep.sram_pes.size());
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    bus_.transfer(tiles[i].rows * tiles[i].groups *
+                  (8 + tiles[i].cfg.index_bits()));
+    dep.sram_pes[i]->load(std::move(tiles[i]));
+  }
+}
+
+std::vector<i32> HybridCore::matvec(i64 handle,
+                                    std::span<const i8> activations) {
+  MSH_REQUIRE(handle >= 0 &&
+              handle < static_cast<i64>(deployments_.size()));
+  Deployment& dep = deployments_[static_cast<size_t>(handle)];
+  MSH_REQUIRE(static_cast<i64>(activations.size()) == dep.dense_rows);
+
+  // Activations arrive over the bus into the core buffer once
+  // (row-stationary: every PE pass reuses the buffered copy).
+  bus_.transfer(static_cast<i64>(activations.size()) * 8);
+  MSH_REQUIRE(buffer_.load(activations));
+
+  std::vector<i64> acc(static_cast<size_t>(dep.cols), 0);
+  std::vector<u8> touched(static_cast<size_t>(dep.cols), 0);
+  std::vector<i64> tile_cycles;
+
+  auto merge = [&](const std::vector<i32>& ids,
+                   const std::vector<i64>& values) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const size_t c = static_cast<size_t>(ids[i]);
+      MSH_ENSURE(c < acc.size());
+      if (touched[c]) ++shared_acc_ops_;  // cross-PE partial-sum merge
+      acc[c] += values[i];
+      touched[c] = 1;
+    }
+  };
+
+  if (dep.is_sram) {
+    for (auto& pe : dep.sram_pes) {
+      const i64 before = pe->events().cycles;
+      const SramPeOutput out = pe->matvec(buffer_.contents());
+      tile_cycles.push_back(pe->events().cycles - before);
+      buffer_.record_read(pe->tile().rows);
+      merge(out.output_ids, out.values);
+    }
+  } else {
+    for (auto& pe : dep.mram_pes) {
+      const i64 before = pe->events().cycles;
+      const MramPeOutput out = pe->matvec(buffer_.contents());
+      tile_cycles.push_back(pe->events().cycles - before);
+      buffer_.record_read(static_cast<i64>(pe->tile().rows.size()));
+      merge(out.output_ids, out.values);
+    }
+  }
+
+  // SIMT schedule over the physical PE pool.
+  const i64 pool = dep.is_sram
+                       ? options_.sram_pe_pool
+                       : options_.topology.mram_pes_per_core();
+  const ScheduleResult sched = Scheduler(pool).schedule(tile_cycles);
+  last_makespan_ = sched.makespan;
+  last_utilization_ = sched.utilization();
+
+  // Results leave over the bus.
+  bus_.transfer(dep.cols * 32);
+
+  std::vector<i32> result(static_cast<size_t>(dep.cols));
+  for (size_t c = 0; c < result.size(); ++c)
+    result[c] = static_cast<i32>(acc[c]);
+  return result;
+}
+
+std::vector<i32> HybridCore::matmul(i64 handle,
+                                    std::span<const i8> activations,
+                                    i64 batch) {
+  MSH_REQUIRE(handle >= 0 &&
+              handle < static_cast<i64>(deployments_.size()));
+  const Deployment& dep = deployments_[static_cast<size_t>(handle)];
+  MSH_REQUIRE(static_cast<i64>(activations.size()) ==
+              batch * dep.dense_rows);
+  std::vector<i32> out;
+  out.reserve(static_cast<size_t>(batch * dep.cols));
+  i64 makespan = 0;
+  for (i64 b = 0; b < batch; ++b) {
+    const auto row = activations.subspan(
+        static_cast<size_t>(b * dep.dense_rows),
+        static_cast<size_t>(dep.dense_rows));
+    const auto y = matvec(handle, row);
+    makespan += last_makespan_;
+    out.insert(out.end(), y.begin(), y.end());
+  }
+  last_makespan_ = makespan;
+  return out;
+}
+
+PeEventCounts HybridCore::pe_events() const {
+  PeEventCounts total;
+  for (const auto& dep : deployments_) {
+    for (const auto& pe : dep.sram_pes) total += pe->events();
+    for (const auto& pe : dep.mram_pes) total += pe->events();
+  }
+  return total;
+}
+
+void HybridCore::reset_events() {
+  for (auto& dep : deployments_) {
+    for (auto& pe : dep.sram_pes) pe->reset_events();
+    for (auto& pe : dep.mram_pes) pe->reset_events();
+  }
+  shared_acc_ops_ = 0;
+}
+
+}  // namespace msh

@@ -1,0 +1,86 @@
+// Functional hybrid core: the executable composition of Fig 1 — mapper,
+// buffer, bus, scheduler, and both PE types. Deployed weight matrices run
+// real sparse matvecs through the PE functional models; results are merged
+// by the core's shared accumulators and verified bit-exact against the
+// quantized reference in tests.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "arch/buffer.h"
+#include "arch/bus.h"
+#include "arch/scheduler.h"
+#include "arch/topology.h"
+#include "mapping/csc_mapper.h"
+#include "pim/mram_pe.h"
+#include "pim/sram_pe.h"
+
+namespace msh {
+
+struct HybridCoreOptions {
+  CoreConfig topology = {};
+  i64 sram_pe_pool = 16;  ///< physical SRAM PEs (time-shared if fewer
+                          ///< than tiles)
+  i64 buffer_bytes = 1 << 16;
+  i64 bus_width_bits = 256;
+  SramMappingOptions sram_map = {};
+  MramMappingOptions mram_map = {};
+};
+
+class HybridCore {
+ public:
+  using Options = HybridCoreOptions;
+
+  explicit HybridCore(Options options = {});
+
+  /// Deploys a weight matrix onto SRAM sparse PEs (learnable path).
+  /// Returns a handle for execution.
+  i64 deploy_sram(const QuantizedNmMatrix& w);
+  /// Deploys onto MRAM sparse PEs (frozen backbone path).
+  i64 deploy_mram(const QuantizedNmMatrix& w);
+
+  /// Rewrites an existing SRAM deployment with updated weights (the
+  /// continual-learning write path). Shape and packing must match the
+  /// original deployment; write events accumulate on the PEs.
+  void redeploy_sram(i64 handle, const QuantizedNmMatrix& w);
+
+  /// y = x * W for INT8 x (length = dense_rows); INT32 accumulators out
+  /// (length = cols).
+  std::vector<i32> matvec(i64 handle, std::span<const i8> activations);
+
+  /// Batched version: x is row-major [batch x dense_rows].
+  std::vector<i32> matmul(i64 handle, std::span<const i8> activations,
+                          i64 batch);
+
+  /// Cycle makespan of the last matvec/matmul, from the SIMT schedule
+  /// over the physical PE pool.
+  i64 last_makespan() const { return last_makespan_; }
+  f64 last_utilization() const { return last_utilization_; }
+
+  /// Aggregated PE events since construction (or the last reset).
+  PeEventCounts pe_events() const;
+  const Bus& bus() const { return bus_; }
+  const ActivationBuffer& buffer() const { return buffer_; }
+  i64 shared_accumulator_ops() const { return shared_acc_ops_; }
+  void reset_events();
+
+ private:
+  struct Deployment {
+    bool is_sram = false;
+    i64 cols = 0;
+    i64 dense_rows = 0;
+    std::vector<std::unique_ptr<SramSparsePe>> sram_pes;
+    std::vector<std::unique_ptr<MramSparsePe>> mram_pes;
+  };
+
+  Options options_;
+  Bus bus_;
+  ActivationBuffer buffer_;
+  std::vector<Deployment> deployments_;
+  i64 last_makespan_ = 0;
+  f64 last_utilization_ = 0.0;
+  i64 shared_acc_ops_ = 0;
+};
+
+}  // namespace msh

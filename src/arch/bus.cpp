@@ -1,0 +1,18 @@
+#include "arch/bus.h"
+
+namespace msh {
+
+Bus::Bus(i64 width_bits) : width_bits_(width_bits) {
+  MSH_REQUIRE(width_bits_ > 0);
+}
+
+i64 Bus::transfer(i64 bits, i64 hops) {
+  MSH_REQUIRE(bits >= 0 && hops >= 1);
+  bits_moved_ += bits;
+  bit_hops_ += bits * hops;
+  const i64 cycles = (bits + width_bits_ - 1) / width_bits_ * hops;
+  busy_cycles_ += cycles;
+  return cycles;
+}
+
+}  // namespace msh

@@ -1,0 +1,31 @@
+// Shared bus interconnect between off-chip memory, cores, and PEs
+// (paper Fig 1). Transfers are accounted in bits x hops; latency follows
+// a fixed bus width per cycle.
+#pragma once
+
+#include "common/types.h"
+
+namespace msh {
+
+class Bus {
+ public:
+  /// `width_bits`: bits moved per cycle.
+  explicit Bus(i64 width_bits = 256);
+
+  i64 width_bits() const { return width_bits_; }
+
+  /// Records a transfer; returns the cycles it occupies the bus.
+  i64 transfer(i64 bits, i64 hops = 1);
+
+  i64 bits_moved() const { return bits_moved_; }
+  i64 bit_hops() const { return bit_hops_; }
+  i64 busy_cycles() const { return busy_cycles_; }
+
+ private:
+  i64 width_bits_;
+  i64 bits_moved_ = 0;
+  i64 bit_hops_ = 0;
+  i64 busy_cycles_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,69 @@
+#include "arch/chip.h"
+
+namespace msh {
+
+namespace {
+i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+}  // namespace
+
+ChipEvalResult evaluate_chip(const ModelInventory& model,
+                             const HybridPlanOptions& plan_options,
+                             i64 cores, const ChipEvalOptions& options) {
+  MSH_REQUIRE(cores >= 1);
+  const HybridPlan plan = plan_hybrid(model, plan_options);
+  // Every core brings its own bank structure (4x4 banks x 4x4 sub-arrays);
+  // adding cores adds arrays, so per-core array parallelism is fixed.
+  const i64 mram_pes_per_core = options.chip.core.mram_pes_per_core();
+
+  ChipEvalResult result;
+  i64 busy_core_cycles = 0;
+  Bus bus(options.bus_width_bits);
+
+  for (const LayerMapping& lm : plan.layers) {
+    ChipLayerCost cost;
+    cost.layer = lm.layer;
+
+    // Column-sliced partitioning: each core takes cols/cores outputs, so
+    // per-core work scales down ~linearly until granularity bites.
+    const f64 slice = 1.0 / static_cast<f64>(cores);
+    i64 per_core_cycles = 0;
+    if (lm.target == PeKind::kMram) {
+      const i64 core_rows = static_cast<i64>(
+          std::max(1.0, static_cast<f64>(lm.mram_row_reads) * slice));
+      per_core_cycles = ceil_div(core_rows, mram_pes_per_core);
+    } else {
+      const i64 core_cycles = static_cast<i64>(
+          std::max(1.0, static_cast<f64>(lm.sram_array_cycles) * slice));
+      per_core_cycles = ceil_div(core_cycles, options.sram_pool_per_core);
+    }
+    cost.compute_cycles = per_core_cycles;
+    busy_core_cycles += per_core_cycles * cores;
+
+    // Bus: broadcast the layer's input activations once (row-stationary
+    // buffering inside each core) and gather the INT8 outputs.
+    const i64 input_bits = lm.dense_k * 8;
+    const i64 output_bits = lm.cols * 8;
+    cost.bus_cycles = bus.transfer(input_bits, /*hops=*/1) +
+                      bus.transfer(output_bits, /*hops=*/1);
+
+    result.total_cycles += cost.cycles();
+    result.layers.push_back(std::move(cost));
+  }
+
+  result.bus_bits_moved = bus.bits_moved();
+  i64 compute_makespan = 0;
+  for (const auto& layer : result.layers)
+    compute_makespan += layer.compute_cycles;
+  // Utilization: busy core-cycles over (cores x per-core makespan). The
+  // column-sliced split keeps cores symmetric, so this stays ~1 until the
+  // per-layer minimum-work floor dominates.
+  result.compute_utilization =
+      compute_makespan == 0
+          ? 0.0
+          : static_cast<f64>(busy_core_cycles) /
+                (static_cast<f64>(cores) *
+                 static_cast<f64>(compute_makespan));
+  return result;
+}
+
+}  // namespace msh

@@ -1,0 +1,50 @@
+// Chip-level composition (paper Fig 1): a cluster of hybrid cores on a
+// shared bus fed by off-chip memory. Layers are partitioned across cores
+// by output columns; each core computes partial results for its slice and
+// the shared bus carries activations in (broadcast) and results out
+// (gather). This model answers the scaling question the single-core view
+// cannot: how latency, bus occupancy and energy move with core count.
+#pragma once
+
+#include "arch/bus.h"
+#include "arch/offchip.h"
+#include "arch/scheduler.h"
+#include "arch/topology.h"
+#include "mapping/model_mapper.h"
+
+namespace msh {
+
+struct ChipEvalOptions {
+  ChipConfig chip = {};
+  i64 sram_pool_per_core = 16;
+  i64 bus_width_bits = 256;
+  f64 offchip_bandwidth_bits_per_ns = 128.0;
+};
+
+/// Per-layer chip-level cost.
+struct ChipLayerCost {
+  std::string layer;
+  i64 compute_cycles = 0;   ///< makespan across cores
+  i64 bus_cycles = 0;       ///< broadcast + gather on the shared bus
+  i64 cycles() const { return compute_cycles + bus_cycles; }
+};
+
+struct ChipEvalResult {
+  std::vector<ChipLayerCost> layers;
+  i64 total_cycles = 0;
+  i64 bus_bits_moved = 0;
+  f64 compute_utilization = 0.0;  ///< busy core-cycles / (cores x makespan)
+
+  TimeNs latency(TimeNs cycle_time = TimeNs::ns(1.0)) const {
+    return static_cast<f64>(total_cycles) * cycle_time;
+  }
+};
+
+/// Evaluates one inference of `model` on a chip with `cores` cores under
+/// the given hybrid plan configuration. Layers run sequentially (data
+/// dependence); within a layer, output columns split evenly across cores.
+ChipEvalResult evaluate_chip(const ModelInventory& model,
+                             const HybridPlanOptions& plan_options,
+                             i64 cores, const ChipEvalOptions& options = {});
+
+}  // namespace msh

@@ -1,0 +1,86 @@
+#include "arch/controller.h"
+
+#include <algorithm>
+
+namespace msh {
+
+CoreController::CoreController(HybridCore& core) : core_(core) {}
+
+CoreController& CoreController::emit(Command command) {
+  program_.push_back(command);
+  return *this;
+}
+
+CoreController& CoreController::load_activations(i64 length) {
+  return emit({OpCode::kLoadActivations, length});
+}
+CoreController& CoreController::matvec(i64 handle) {
+  return emit({OpCode::kMatvec, handle});
+}
+CoreController& CoreController::relu_requant(i64 shift) {
+  return emit({OpCode::kReluRequant, shift});
+}
+CoreController& CoreController::write_back() {
+  return emit({OpCode::kWriteBack});
+}
+CoreController& CoreController::barrier() {
+  return emit({OpCode::kBarrier});
+}
+
+ProgramResult CoreController::run(std::span<const i8> input) {
+  ProgramResult result;
+  std::vector<i8> activations;   // current INT8 operand vector
+  std::vector<i32> accumulator;  // register file
+  i64 cycle = 0;
+
+  for (size_t pc = 0; pc < program_.size(); ++pc) {
+    const Command& cmd = program_[pc];
+    TraceEntry entry{pc, cmd.op, cycle, 0};
+    switch (cmd.op) {
+      case OpCode::kLoadActivations: {
+        MSH_REQUIRE(static_cast<i64>(input.size()) == cmd.arg0);
+        activations.assign(input.begin(), input.end());
+        // Streaming in over the bus, 256 bits per cycle.
+        entry.cycles = (cmd.arg0 * 8 + 255) / 256;
+        break;
+      }
+      case OpCode::kMatvec: {
+        MSH_REQUIRE(!activations.empty());
+        accumulator = core_.matvec(cmd.arg0, activations);
+        entry.cycles = core_.last_makespan();
+        break;
+      }
+      case OpCode::kReluRequant: {
+        MSH_REQUIRE(!accumulator.empty());
+        MSH_REQUIRE(cmd.arg0 >= 0 && cmd.arg0 < 32);
+        activations.resize(accumulator.size());
+        for (size_t i = 0; i < accumulator.size(); ++i) {
+          const i32 relu = std::max(accumulator[i], 0);
+          activations[i] = static_cast<i8>(
+              std::min<i32>(relu >> cmd.arg0, 127));
+        }
+        // Global ReLU processes one word per lane-cycle, 32 lanes.
+        entry.cycles =
+            (static_cast<i64>(accumulator.size()) + 31) / 32;
+        break;
+      }
+      case OpCode::kWriteBack: {
+        MSH_REQUIRE(!accumulator.empty());
+        result.output = accumulator;
+        entry.cycles =
+            (static_cast<i64>(accumulator.size()) * 32 + 255) / 256;
+        break;
+      }
+      case OpCode::kBarrier: {
+        entry.cycles = 1;
+        break;
+      }
+    }
+    cycle += entry.cycles;
+    result.trace.push_back(entry);
+  }
+  result.total_cycles = cycle;
+  return result;
+}
+
+}  // namespace msh

@@ -1,0 +1,66 @@
+// Core control unit (paper Fig 1, the per-core "Ctrl." block): a small
+// command-stream machine the SIMT scheduler programs. A program chains
+// deployed weight matrices into multi-layer flows entirely on the core:
+// load activations, run a deployment, apply digital ReLU + requantization
+// (the "Global ReLU" of Table 2), write back — with a cycle-stamped trace
+// of every command.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arch/accelerator.h"
+
+namespace msh {
+
+enum class OpCode : u8 {
+  kLoadActivations,  ///< arg0 = expected length; pulls the external input
+  kMatvec,           ///< arg0 = deployment handle; acc += PE result
+  kReluRequant,      ///< arg0 = right-shift; acc -> INT8 activations
+  kWriteBack,        ///< emit acc to the output buffer
+  kBarrier,          ///< scheduling fence (trace marker)
+};
+
+struct Command {
+  OpCode op;
+  i64 arg0 = 0;
+  i64 arg1 = 0;
+};
+
+struct TraceEntry {
+  size_t index;    ///< command position in the program
+  OpCode op;
+  i64 start_cycle;
+  i64 cycles;
+};
+
+struct ProgramResult {
+  std::vector<i32> output;
+  std::vector<TraceEntry> trace;
+  i64 total_cycles = 0;
+};
+
+class CoreController {
+ public:
+  explicit CoreController(HybridCore& core);
+
+  /// Appends a command; returns *this for chaining.
+  CoreController& emit(Command command);
+  CoreController& load_activations(i64 length);
+  CoreController& matvec(i64 handle);
+  CoreController& relu_requant(i64 shift);
+  CoreController& write_back();
+  CoreController& barrier();
+
+  size_t program_size() const { return program_.size(); }
+  void clear_program() { program_.clear(); }
+
+  /// Executes the program against one external input vector.
+  ProgramResult run(std::span<const i8> input);
+
+ private:
+  HybridCore& core_;
+  std::vector<Command> program_;
+};
+
+}  // namespace msh

@@ -1,0 +1,25 @@
+#include "arch/offchip.h"
+
+namespace msh {
+
+OffChipMemory::OffChipMemory(f64 bandwidth_bits_per_ns)
+    : bandwidth_bits_per_ns_(bandwidth_bits_per_ns) {
+  MSH_REQUIRE(bandwidth_bits_per_ns_ > 0.0);
+}
+
+void OffChipMemory::read(i64 bits) {
+  MSH_REQUIRE(bits >= 0);
+  bits_read_ += bits;
+}
+
+void OffChipMemory::write(i64 bits) {
+  MSH_REQUIRE(bits >= 0);
+  bits_written_ += bits;
+}
+
+TimeNs OffChipMemory::transfer_time() const {
+  return TimeNs::ns(static_cast<f64>(bits_read_ + bits_written_) /
+                    bandwidth_bits_per_ns_);
+}
+
+}  // namespace msh

@@ -1,0 +1,29 @@
+// Off-chip memory model (paper Fig 1, block 1): stores local data and
+// parameters. Accounted with a flat per-bit energy and a bandwidth-limited
+// latency — enough fidelity for the architecture-level comparisons, where
+// off-chip traffic is identical across the designs being compared.
+#pragma once
+
+#include "common/units.h"
+
+namespace msh {
+
+class OffChipMemory {
+ public:
+  /// `bandwidth_bits_per_ns`: e.g. 128 => 16 GB/s.
+  explicit OffChipMemory(f64 bandwidth_bits_per_ns = 128.0);
+
+  void read(i64 bits);
+  void write(i64 bits);
+
+  i64 bits_read() const { return bits_read_; }
+  i64 bits_written() const { return bits_written_; }
+  TimeNs transfer_time() const;
+
+ private:
+  f64 bandwidth_bits_per_ns_;
+  i64 bits_read_ = 0;
+  i64 bits_written_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,45 @@
+#include "arch/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace msh {
+
+Scheduler::Scheduler(i64 pe_count) : pe_count_(pe_count) {
+  MSH_REQUIRE(pe_count_ > 0);
+}
+
+ScheduleResult Scheduler::schedule(const std::vector<i64>& tile_cycles) const {
+  ScheduleResult result;
+  result.assignment.assign(tile_cycles.size(), -1);
+  result.pe_cycles.assign(static_cast<size_t>(pe_count_), 0);
+
+  std::vector<i64> order(tile_cycles.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](i64 a, i64 b) {
+    return tile_cycles[static_cast<size_t>(a)] >
+           tile_cycles[static_cast<size_t>(b)];
+  });
+
+  for (i64 tile : order) {
+    // Least-loaded PE; ties -> lowest index.
+    i64 best = 0;
+    for (i64 p = 1; p < pe_count_; ++p) {
+      if (result.pe_cycles[static_cast<size_t>(p)] <
+          result.pe_cycles[static_cast<size_t>(best)])
+        best = p;
+    }
+    result.assignment[static_cast<size_t>(tile)] = best;
+    result.pe_cycles[static_cast<size_t>(best)] +=
+        tile_cycles[static_cast<size_t>(tile)];
+  }
+  result.makespan = result.pe_cycles.empty()
+                        ? 0
+                        : *std::max_element(result.pe_cycles.begin(),
+                                            result.pe_cycles.end());
+  result.total_cycles =
+      std::accumulate(tile_cycles.begin(), tile_cycles.end(), i64{0});
+  return result;
+}
+
+}  // namespace msh

@@ -1,0 +1,46 @@
+// SIMT-style scheduler (paper Fig 1, block 2): distributes tile work
+// across the available PEs to maximize parallelism. All PEs in a wave run
+// the same operation on different data; the makespan of a layer is the
+// busiest PE's cycle count.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+struct ScheduleResult {
+  /// tile index -> PE index.
+  std::vector<i64> assignment;
+  /// Per-PE total cycles.
+  std::vector<i64> pe_cycles;
+  /// Busiest PE (the layer's critical path).
+  i64 makespan = 0;
+  /// Sum of all cycles (work volume).
+  i64 total_cycles = 0;
+
+  f64 utilization() const {
+    const i64 denom = makespan * static_cast<i64>(pe_cycles.size());
+    return denom == 0 ? 0.0
+                      : static_cast<f64>(total_cycles) /
+                            static_cast<f64>(denom);
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(i64 pe_count);
+
+  i64 pe_count() const { return pe_count_; }
+
+  /// Longest-processing-time greedy assignment of tiles (given their
+  /// per-tile cycle costs) onto PEs. Deterministic: ties broken by lower
+  /// tile index, lower PE index.
+  ScheduleResult schedule(const std::vector<i64>& tile_cycles) const;
+
+ private:
+  i64 pe_count_;
+};
+
+}  // namespace msh

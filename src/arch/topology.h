@@ -1,0 +1,47 @@
+// Chip topology (paper §3, Fig 1 and §5.2): a cluster of cores on a bus,
+// each core holding 4x4 banks of 4x4 MRAM sub-arrays (256 PEs -> 16 MB
+// per core at 1024x512 bits per sub-array) plus a proportionally small
+// pool of SRAM sparse PEs for the learnable path, a data buffer, control,
+// and shared accumulators.
+#pragma once
+
+#include "common/types.h"
+#include "device/table2.h"
+
+namespace msh {
+
+struct CoreConfig {
+  i64 banks_x = 4;
+  i64 banks_y = 4;
+  i64 pes_x = 4;
+  i64 pes_y = 4;
+
+  i64 banks() const { return banks_x * banks_y; }
+  i64 pes_per_bank() const { return pes_x * pes_y; }
+  i64 mram_pes_per_core() const { return banks() * pes_per_bank(); }
+
+  /// MRAM storage capacity of one core in bytes.
+  i64 mram_bytes_per_core(const PeGeometry& geom) const {
+    return mram_pes_per_core() * geom.mram_capacity_bits() / 8;
+  }
+};
+
+struct ChipConfig {
+  CoreConfig core;
+  i64 cores = 1;
+  PeGeometry geometry = {};
+
+  i64 total_mram_pes() const { return cores * core.mram_pes_per_core(); }
+  i64 total_mram_bytes() const {
+    return cores * core.mram_bytes_per_core(geometry);
+  }
+
+  /// Cores needed to hold `bytes` of (frozen) weight storage.
+  static i64 cores_for_capacity(i64 bytes, const CoreConfig& core,
+                                const PeGeometry& geom) {
+    const i64 per_core = core.mram_bytes_per_core(geom);
+    return (bytes + per_core - 1) / per_core;
+  }
+};
+
+}  // namespace msh

@@ -1,0 +1,122 @@
+#include "baselines/dense_cim.h"
+
+namespace msh {
+
+DenseCimModel::DenseCimModel(DenseCimParams params)
+    : params_(std::move(params)) {
+  MSH_REQUIRE(params_.area_um2_per_bit > 0.0);
+  MSH_REQUIRE(params_.read_pj_per_mac > 0.0);
+  MSH_REQUIRE(params_.write_parallel_rows > 0);
+}
+
+i64 DenseCimModel::stored_bits(const ModelInventory& model) const {
+  return model.total_weights() * 8;  // dense INT8, no compression
+}
+
+Area DenseCimModel::area(const ModelInventory& model) const {
+  return Area::um2(static_cast<f64>(stored_bits(model)) *
+                   params_.area_um2_per_bit);
+}
+
+PowerBreakdown DenseCimModel::inference_power(
+    const ModelInventory& model, const InferenceScenario& scenario) const {
+  PowerBreakdown power;
+  power.leakage =
+      Power::uw(static_cast<f64>(stored_bits(model)) *
+                params_.leak_nw_per_bit * 1e-3) +
+      params_.fixed_leak;
+  const f64 macs_per_s =
+      static_cast<f64>(model.total_macs()) * scenario.fps;
+  power.read = Power::w(macs_per_s * params_.read_pj_per_mac * 1e-12);
+  return power;
+}
+
+f64 DenseCimModel::step_macs(const ModelInventory& model,
+                             const TrainingScenario& scenario) const {
+  f64 learnable_macs = 0.0;
+  for (const auto& layer : model.layers) {
+    if (layer.learnable) learnable_macs += static_cast<f64>(layer.macs());
+  }
+  // Full forward pass plus transposed backward passes over the learnable
+  // set (error propagation + gradient, paper eq. 1-2).
+  return static_cast<f64>(model.total_macs()) +
+         scenario.backward_factor * learnable_macs;
+}
+
+TrainingCost DenseCimModel::training_step(
+    const ModelInventory& model, const TrainingScenario& scenario) const {
+  const f64 macs = step_macs(model, scenario);
+  const Energy compute_energy = Energy::pj(macs * params_.read_pj_per_mac);
+  const TimeNs compute_time = TimeNs::ns(macs / params_.macs_per_ns());
+
+  // Weight write-back: every learnable INT8 weight is rewritten once.
+  const i64 write_bits = model.learnable_weights() * 8;
+  const Energy write_energy =
+      Energy::pj(static_cast<f64>(write_bits) * params_.write_pj_per_bit);
+  const i64 rows =
+      (write_bits + params_.write_row_bits - 1) / params_.write_row_bits;
+  const i64 sequential =
+      (rows + params_.write_parallel_rows - 1) / params_.write_parallel_rows;
+  const TimeNs write_time =
+      static_cast<f64>(sequential) * params_.write_row_latency;
+
+  TrainingCost cost;
+  cost.delay = compute_time + write_time;
+  const Power leak =
+      Power::uw(static_cast<f64>(stored_bits(model)) *
+                params_.leak_nw_per_bit * 1e-3) +
+      params_.fixed_leak;
+  cost.energy = compute_energy + write_energy + leak * cost.delay;
+  return cost;
+}
+
+DenseCimParams isscc21_sram_params() {
+  DenseCimParams p;
+  p.name = "SRAM [ISSCC'21]";
+  // 22nm foundry dense CIM macro density, normalized to the 28nm flow.
+  p.area_um2_per_bit = 0.40;
+  // Table 2 basis: 1.2 mW x 70% leakage over 12288 compute cells.
+  p.leak_nw_per_bit = 68.0;
+  p.fixed_leak = Power::mw(5.0);
+  // Component basis: one dense 128x96 array pass = 8 bit-serial cycles of
+  // array + decoder + 12 column-group adder trees + shift accumulators
+  // for 1536 MACs => ~0.118 pJ/MAC.
+  p.read_pj_per_mac = 0.118;
+  p.compute_budget = Power::w(2.0);
+  p.write_pj_per_bit = 0.005;  // SRAM cell write, ~5 fJ/bit
+  p.write_row_bits = 256;
+  p.write_parallel_rows = 64;
+  p.write_row_latency = TimeNs::ns(1.0);
+  return p;
+}
+
+DenseCimParams iscas23_mram_params() {
+  DenseCimParams p;
+  p.name = "MRAM [ISCAS'23]";
+  // MRAM CIM macro: roughly half the SRAM baseline's area for the same
+  // capacity (the paper's Fig 7 shows ~48%).
+  p.area_um2_per_bit = 0.19;
+  // MTJ cells do not leak; only amortized periphery does.
+  p.leak_nw_per_bit = 0.3;
+  p.fixed_leak = Power::mw(5.0);
+  // Component basis: one 512-bit row read (drivers + SAs) + 64-input
+  // adder tree + shift-acc for 64 dense MACs => ~0.25 pJ/MAC.
+  p.read_pj_per_mac = 0.25;
+  p.compute_budget = Power::w(2.0);
+  p.write_pj_per_bit = 0.048;  // Table 2 MTJ set/reset energy
+  p.write_row_bits = 512;
+  // STT write current limits concurrent row writes.
+  p.write_parallel_rows = 1;
+  p.write_row_latency = TimeNs::ns(10.0);
+  return p;
+}
+
+std::unique_ptr<DenseCimModel> make_isscc21_sram() {
+  return std::make_unique<DenseCimModel>(isscc21_sram_params());
+}
+
+std::unique_ptr<DenseCimModel> make_iscas23_mram() {
+  return std::make_unique<DenseCimModel>(iscas23_mram_params());
+}
+
+}  // namespace msh

@@ -1,0 +1,19 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace msh {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (level < level_) return;
+  static const char* const names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[msh %s] %s\n", names[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace msh

@@ -1,0 +1,57 @@
+// Minimal leveled logger for simulator diagnostics. Quiet by default so
+// test and bench output stays clean; verbosity is raised explicitly by
+// examples and debugging sessions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace msh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  Logger::instance().log(LogLevel::kDebug,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  Logger::instance().log(LogLevel::kInfo,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  Logger::instance().log(LogLevel::kWarn,
+                         detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  Logger::instance().log(LogLevel::kError,
+                         detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace msh

@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace msh {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+f64 Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+f64 Rng::uniform(f64 lo, f64 hi) { return lo + (hi - lo) * uniform(); }
+
+u64 Rng::uniform_index(u64 n) {
+  MSH_REQUIRE(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const u64 limit = ~u64{0} - (~u64{0} % n);
+  u64 v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+i64 Rng::uniform_int(i64 lo, i64 hi) {
+  MSH_REQUIRE(lo <= hi);
+  return lo + static_cast<i64>(
+                  uniform_index(static_cast<u64>(hi - lo) + 1));
+}
+
+f64 Rng::gaussian() {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  f64 u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const f64 u2 = uniform();
+  const f64 r = std::sqrt(-2.0 * std::log(u1));
+  const f64 theta = 2.0 * std::numbers::pi * u2;
+  cached_gauss_ = r * std::sin(theta);
+  has_cached_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+f64 Rng::gaussian(f64 mean, f64 stddev) { return mean + stddev * gaussian(); }
+
+bool Rng::bernoulli(f64 p) { return uniform() < p; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace msh

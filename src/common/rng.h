@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (dataset synthesis, weight
+// init, pruning tie-breaks) draws from an explicitly seeded Rng so that
+// experiments are bit-reproducible run to run. The generator is
+// xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+class Rng {
+ public:
+  /// Seeds the state from a 64-bit seed via splitmix64.
+  explicit Rng(u64 seed = 0xC0FFEEull);
+
+  /// Next raw 64-bit value.
+  u64 next_u64();
+
+  /// Uniform in [0, 1).
+  f64 uniform();
+  /// Uniform in [lo, hi).
+  f64 uniform(f64 lo, f64 hi);
+  /// Uniform integer in [0, n). n must be > 0.
+  u64 uniform_index(u64 n);
+  /// Uniform integer in [lo, hi].
+  i64 uniform_int(i64 lo, i64 hi);
+  /// Standard normal via Box-Muller (cached pair).
+  f64 gaussian();
+  /// Normal with given mean / stddev.
+  f64 gaussian(f64 mean, f64 stddev);
+  /// Bernoulli trial.
+  bool bernoulli(f64 p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (u64 i = v.size(); i > 1; --i) {
+      const u64 j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-task streams).
+  Rng fork();
+
+ private:
+  std::array<u64, 4> s_{};
+  bool has_cached_gauss_ = false;
+  f64 cached_gauss_ = 0.0;
+};
+
+}  // namespace msh

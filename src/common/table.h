@@ -1,0 +1,32 @@
+// ASCII table formatter shared by the benchmark harnesses so that every
+// reproduced paper table/figure prints in a consistent, diff-friendly form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msh {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table with aligned columns.
+  std::string render() const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string percent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Rows; an empty row vector encodes a horizontal rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msh

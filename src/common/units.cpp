@@ -1,0 +1,33 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace msh {
+
+namespace {
+std::string fmt(f64 v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Area a) { return fmt(a.as_mm2(), "mm^2"); }
+std::string to_string(Power p) { return fmt(p.as_mw(), "mW"); }
+std::string to_string(TimeNs t) {
+  const f64 ns = t.as_ns();
+  if (std::fabs(ns) >= 1e9) return fmt(t.as_s(), "s");
+  if (std::fabs(ns) >= 1e6) return fmt(t.as_ms(), "ms");
+  if (std::fabs(ns) >= 1e3) return fmt(t.as_us(), "us");
+  return fmt(ns, "ns");
+}
+std::string to_string(Energy e) {
+  const f64 pj = e.as_pj();
+  if (std::fabs(pj) >= 1e9) return fmt(e.as_mj(), "mJ");
+  if (std::fabs(pj) >= 1e6) return fmt(e.as_uj(), "uJ");
+  if (std::fabs(pj) >= 1e3) return fmt(e.as_nj(), "nJ");
+  return fmt(pj, "pJ");
+}
+
+}  // namespace msh

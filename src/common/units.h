@@ -1,0 +1,147 @@
+// Strong types for physical quantities used by the hardware models.
+//
+// The evaluation framework rolls up component-level primitives (Table 2 of
+// the paper) into architecture-level results; using strong types prevents
+// the classic simulator bug of mixing mW with pJ or mm^2 with um^2.
+//
+// Canonical internal units:
+//   Area   -> mm^2
+//   Power  -> mW
+//   Energy -> pJ
+//   Time   -> ns
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// Silicon area in mm^2.
+class Area {
+ public:
+  constexpr Area() = default;
+  static constexpr Area mm2(f64 v) { return Area(v); }
+  static constexpr Area um2(f64 v) { return Area(v * 1e-6); }
+  constexpr f64 as_mm2() const { return mm2_; }
+  constexpr f64 as_um2() const { return mm2_ * 1e6; }
+
+  constexpr Area operator+(Area o) const { return Area(mm2_ + o.mm2_); }
+  constexpr Area operator-(Area o) const { return Area(mm2_ - o.mm2_); }
+  constexpr Area operator*(f64 s) const { return Area(mm2_ * s); }
+  constexpr f64 operator/(Area o) const { return mm2_ / o.mm2_; }
+  constexpr Area operator/(f64 s) const { return Area(mm2_ / s); }
+  Area& operator+=(Area o) { mm2_ += o.mm2_; return *this; }
+  auto operator<=>(const Area&) const = default;
+
+ private:
+  constexpr explicit Area(f64 v) : mm2_(v) {}
+  f64 mm2_ = 0.0;
+};
+constexpr Area operator*(f64 s, Area a) { return a * s; }
+
+/// Power in mW.
+class Power {
+ public:
+  constexpr Power() = default;
+  static constexpr Power mw(f64 v) { return Power(v); }
+  static constexpr Power uw(f64 v) { return Power(v * 1e-3); }
+  static constexpr Power w(f64 v) { return Power(v * 1e3); }
+  constexpr f64 as_mw() const { return mw_; }
+  constexpr f64 as_uw() const { return mw_ * 1e3; }
+  constexpr f64 as_w() const { return mw_ * 1e-3; }
+
+  constexpr Power operator+(Power o) const { return Power(mw_ + o.mw_); }
+  constexpr Power operator-(Power o) const { return Power(mw_ - o.mw_); }
+  constexpr Power operator*(f64 s) const { return Power(mw_ * s); }
+  constexpr f64 operator/(Power o) const { return mw_ / o.mw_; }
+  constexpr Power operator/(f64 s) const { return Power(mw_ / s); }
+  Power& operator+=(Power o) { mw_ += o.mw_; return *this; }
+  auto operator<=>(const Power&) const = default;
+
+ private:
+  constexpr explicit Power(f64 v) : mw_(v) {}
+  f64 mw_ = 0.0;
+};
+constexpr Power operator*(f64 s, Power p) { return p * s; }
+
+/// Time in ns.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  static constexpr TimeNs ns(f64 v) { return TimeNs(v); }
+  static constexpr TimeNs us(f64 v) { return TimeNs(v * 1e3); }
+  static constexpr TimeNs ms(f64 v) { return TimeNs(v * 1e6); }
+  static constexpr TimeNs s(f64 v) { return TimeNs(v * 1e9); }
+  constexpr f64 as_ns() const { return ns_; }
+  constexpr f64 as_us() const { return ns_ * 1e-3; }
+  constexpr f64 as_ms() const { return ns_ * 1e-6; }
+  constexpr f64 as_s() const { return ns_ * 1e-9; }
+
+  constexpr TimeNs operator+(TimeNs o) const { return TimeNs(ns_ + o.ns_); }
+  constexpr TimeNs operator-(TimeNs o) const { return TimeNs(ns_ - o.ns_); }
+  constexpr TimeNs operator*(f64 s) const { return TimeNs(ns_ * s); }
+  constexpr f64 operator/(TimeNs o) const { return ns_ / o.ns_; }
+  constexpr TimeNs operator/(f64 s) const { return TimeNs(ns_ / s); }
+  TimeNs& operator+=(TimeNs o) { ns_ += o.ns_; return *this; }
+  auto operator<=>(const TimeNs&) const = default;
+
+ private:
+  constexpr explicit TimeNs(f64 v) : ns_(v) {}
+  f64 ns_ = 0.0;
+};
+constexpr TimeNs operator*(f64 s, TimeNs t) { return t * s; }
+
+/// Energy in pJ.
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy pj(f64 v) { return Energy(v); }
+  static constexpr Energy fj(f64 v) { return Energy(v * 1e-3); }
+  static constexpr Energy nj(f64 v) { return Energy(v * 1e3); }
+  static constexpr Energy uj(f64 v) { return Energy(v * 1e6); }
+  static constexpr Energy mj(f64 v) { return Energy(v * 1e9); }
+  constexpr f64 as_pj() const { return pj_; }
+  constexpr f64 as_nj() const { return pj_ * 1e-3; }
+  constexpr f64 as_uj() const { return pj_ * 1e-6; }
+  constexpr f64 as_mj() const { return pj_ * 1e-9; }
+
+  constexpr Energy operator+(Energy o) const { return Energy(pj_ + o.pj_); }
+  constexpr Energy operator-(Energy o) const { return Energy(pj_ - o.pj_); }
+  constexpr Energy operator*(f64 s) const { return Energy(pj_ * s); }
+  constexpr f64 operator/(Energy o) const { return pj_ / o.pj_; }
+  constexpr Energy operator/(f64 s) const { return Energy(pj_ / s); }
+  Energy& operator+=(Energy o) { pj_ += o.pj_; return *this; }
+  auto operator<=>(const Energy&) const = default;
+
+ private:
+  constexpr explicit Energy(f64 v) : pj_(v) {}
+  f64 pj_ = 0.0;
+};
+constexpr Energy operator*(f64 s, Energy e) { return e * s; }
+
+/// Power integrated over time: mW * ns = pJ.
+constexpr Energy operator*(Power p, TimeNs t) {
+  return Energy::pj(p.as_mw() * t.as_ns());
+}
+constexpr Energy operator*(TimeNs t, Power p) { return p * t; }
+/// Energy over time: pJ / ns = mW.
+constexpr Power operator/(Energy e, TimeNs t) {
+  return Power::mw(e.as_pj() / t.as_ns());
+}
+
+/// Energy-delay product in pJ*ns; the paper's Fig 8 metric.
+struct Edp {
+  f64 pj_ns = 0.0;
+};
+constexpr Edp operator*(Energy e, TimeNs t) {
+  return Edp{e.as_pj() * t.as_ns()};
+}
+
+std::string to_string(Area a);
+std::string to_string(Power p);
+std::string to_string(TimeNs t);
+std::string to_string(Energy e);
+
+}  // namespace msh

@@ -1,0 +1,140 @@
+#include "deploy/image_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace msh {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'H', 'I'};
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw SimulationError("DeploymentImage: truncated file");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, std::span<const T> data) {
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is, size_t count) {
+  std::vector<T> data(count);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!is) throw SimulationError("DeploymentImage: truncated payload");
+  return data;
+}
+
+}  // namespace
+
+void DeploymentImage::add(const std::string& name, QuantizedNmMatrix matrix) {
+  MSH_REQUIRE(!name.empty());
+  entries_.insert_or_assign(name, std::move(matrix));
+}
+
+bool DeploymentImage::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const QuantizedNmMatrix& DeploymentImage::get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw ContractError("DeploymentImage: no entry '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> DeploymentImage::names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, matrix] : entries_) names.push_back(name);
+  return names;
+}
+
+i64 DeploymentImage::payload_bytes() const {
+  i64 bytes = 0;
+  for (const auto& [name, matrix] : entries_)
+    bytes += 3 * matrix.packed_rows() * matrix.cols();
+  return bytes;
+}
+
+void DeploymentImage::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw SimulationError("DeploymentImage: cannot open " + path);
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<u64>(entries_.size()));
+  for (const auto& [name, matrix] : entries_) {
+    write_pod(os, static_cast<u64>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<i32>(matrix.config().n));
+    write_pod(os, static_cast<i32>(matrix.config().m));
+    write_pod(os, matrix.dense_rows());
+    write_pod(os, matrix.cols());
+    write_pod(os, matrix.scale());
+    write_vec(os, matrix.raw_values());
+    write_vec(os, matrix.raw_indices());
+    write_vec(os, matrix.raw_valid());
+  }
+  if (!os) throw SimulationError("DeploymentImage: write failed: " + path);
+}
+
+DeploymentImage DeploymentImage::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SimulationError("DeploymentImage: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw SimulationError("DeploymentImage: bad magic in " + path);
+  const u32 version = read_pod<u32>(is);
+  if (version != kVersion)
+    throw SimulationError("DeploymentImage: unsupported version " +
+                          std::to_string(version));
+
+  DeploymentImage image;
+  const u64 count = read_pod<u64>(is);
+  for (u64 e = 0; e < count; ++e) {
+    const u64 name_len = read_pod<u64>(is);
+    if (name_len > 4096)
+      throw SimulationError("DeploymentImage: implausible name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) throw SimulationError("DeploymentImage: truncated name");
+
+    NmConfig cfg;
+    cfg.n = read_pod<i32>(is);
+    cfg.m = read_pod<i32>(is);
+    const i64 dense_rows = read_pod<i64>(is);
+    const i64 cols = read_pod<i64>(is);
+    const f32 scale = read_pod<f32>(is);
+    if (!cfg.valid() || dense_rows <= 0 || cols <= 0 ||
+        dense_rows % cfg.m != 0) {
+      throw SimulationError("DeploymentImage: corrupt entry header");
+    }
+    const size_t total =
+        static_cast<size_t>(dense_rows / cfg.m * cfg.n * cols);
+    auto values = read_vec<i8>(is, total);
+    auto indices = read_vec<u8>(is, total);
+    auto valid = read_vec<u8>(is, total);
+    image.add(name,
+              QuantizedNmMatrix::from_raw(cfg, dense_rows, cols, scale,
+                                          std::move(values),
+                                          std::move(indices),
+                                          std::move(valid)));
+  }
+  return image;
+}
+
+}  // namespace msh

@@ -1,0 +1,44 @@
+// Deployment image serialization: the compressed, quantized weight
+// matrices a device ships in flash and programs into its PE arrays at
+// boot. A simple, versioned little-endian binary container of named
+// QuantizedNmMatrix entries.
+//
+// Format:
+//   "MSHI" | u32 version | u64 entry_count |
+//   per entry: u64 name_len | name bytes |
+//              i32 n | i32 m | i64 dense_rows | i64 cols | f32 scale |
+//              values  (packed_rows * cols x i8)
+//              indices (packed_rows * cols x u8)
+//              valid   (packed_rows * cols x u8, 0/1)
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mapping/quantized_nm.h"
+
+namespace msh {
+
+class DeploymentImage {
+ public:
+  /// Adds (or replaces) a named matrix.
+  void add(const std::string& name, QuantizedNmMatrix matrix);
+
+  bool contains(const std::string& name) const;
+  const QuantizedNmMatrix& get(const std::string& name) const;
+  i64 size() const { return static_cast<i64>(entries_.size()); }
+  std::vector<std::string> names() const;
+
+  /// Total payload bytes the stored slots occupy (value+index+valid).
+  i64 payload_bytes() const;
+
+  /// Writes/reads the container. Throws SimulationError on I/O or format
+  /// problems (bad magic, unsupported version, truncation).
+  void save(const std::string& path) const;
+  static DeploymentImage load(const std::string& path);
+
+ private:
+  std::map<std::string, QuantizedNmMatrix> entries_;
+};
+
+}  // namespace msh

@@ -1,0 +1,199 @@
+#include "deploy/pim_executor.h"
+
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msh {
+
+namespace {
+
+Tensor relu_eval(Tensor x) {
+  for (i64 i = 0; i < x.numel(); ++i) x[i] = std::max(x[i], 0.0f);
+  return x;
+}
+
+}  // namespace
+
+PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
+                                     const Dataset& calibration,
+                                     PimExecutorOptions options)
+    : model_(model), options_(options), core_(options.core) {
+  calibrate(calibration);
+  deploy();
+}
+
+void PimRepNetExecutor::calibrate(const Dataset& calibration) {
+  MSH_REQUIRE(calibration.size() > 0);
+  const i64 batch = std::min(options_.calibration_batch, calibration.size());
+  for (i64 b = 0; b < options_.calibration_batches; ++b) {
+    const i64 begin = (b * batch) % std::max<i64>(1, calibration.size() - batch + 1);
+    walk(calibration.batch_images(begin, batch), Mode::kCalibrate);
+  }
+}
+
+f32 PimRepNetExecutor::scale_for(const void* layer) const {
+  const auto it = input_amax_.find(layer);
+  MSH_REQUIRE(it != input_amax_.end());
+  const f32 amax = std::max(it->second, 1e-6f);
+  return amax / 127.0f;
+}
+
+void PimRepNetExecutor::deploy() {
+  Backbone& backbone = model_.backbone();
+  auto deploy_conv = [&](Conv2d& conv, PeKind target) {
+    convs_.emplace(&conv, std::make_unique<PimConv>(
+                              core_, conv, options_.nm, target,
+                              scale_for(&conv)));
+  };
+
+  // Frozen backbone -> MRAM.
+  for (i64 i = 0; i < backbone.stem().size(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&backbone.stem().layer(i)))
+      deploy_conv(*conv, PeKind::kMram);
+  }
+  for (i64 s = 0; s < backbone.num_stages(); ++s) {
+    Sequential& stage = backbone.stage(s);
+    for (i64 b = 0; b < stage.size(); ++b) {
+      auto* block = dynamic_cast<ResidualBlock*>(&stage.layer(b));
+      MSH_ENSURE(block != nullptr);
+      deploy_conv(block->conv1(), PeKind::kMram);
+      deploy_conv(block->conv2(), PeKind::kMram);
+      if (block->has_projection())
+        deploy_conv(block->projection(), PeKind::kMram);
+    }
+  }
+  // Learnable path -> SRAM.
+  for (i64 m = 0; m < model_.num_rep_modules(); ++m) {
+    RepModule& rep = model_.rep_module(m);
+    deploy_conv(rep.reduce(), PeKind::kSram);
+    deploy_conv(rep.expand(), PeKind::kSram);
+  }
+  classifier_ = std::make_unique<PimLinear>(
+      core_, model_.classifier(), options_.nm, PeKind::kSram,
+      scale_for(&model_.classifier()));
+}
+
+Tensor PimRepNetExecutor::apply_conv(Conv2d& conv, const Tensor& x,
+                                     Mode mode) {
+  if (mode == Mode::kCalibrate) {
+    auto [it, inserted] = input_amax_.emplace(&conv, x.abs_max());
+    if (!inserted) it->second = std::max(it->second, x.abs_max());
+    return conv.forward(x, /*training=*/false);
+  }
+  const auto it = convs_.find(&conv);
+  MSH_ENSURE(it != convs_.end());
+  return it->second->forward(x);
+}
+
+Tensor PimRepNetExecutor::apply_sequential(Sequential& seq, const Tensor& x,
+                                           Mode mode) {
+  Tensor y = x;
+  for (i64 i = 0; i < seq.size(); ++i) {
+    Layer& layer = seq.layer(i);
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      y = apply_conv(*conv, y, mode);
+    } else {
+      y = layer.forward(y, /*training=*/false);
+    }
+  }
+  return y;
+}
+
+Tensor PimRepNetExecutor::apply_residual(ResidualBlock& block,
+                                         const Tensor& x, Mode mode) {
+  Tensor main = apply_conv(block.conv1(), x, mode);
+  main = block.bn1().forward(main, false);
+  main = relu_eval(std::move(main));
+  main = apply_conv(block.conv2(), main, mode);
+  main = block.bn2().forward(main, false);
+
+  Tensor shortcut =
+      block.has_projection()
+          ? block.projection_bn().forward(
+                apply_conv(block.projection(), x, mode), false)
+          : x;
+  main += shortcut;
+  return relu_eval(std::move(main));
+}
+
+Tensor PimRepNetExecutor::apply_rep(RepModule& rep, const Tensor& x,
+                                    Mode mode) {
+  Tensor y = rep.has_pool() ? rep.pool().forward(x, false) : x;
+  y = apply_conv(rep.reduce(), y, mode);
+  y = relu_eval(std::move(y));
+  return apply_conv(rep.expand(), y, mode);
+}
+
+Tensor PimRepNetExecutor::apply_classifier(const Tensor& x, Mode mode) {
+  if (mode == Mode::kCalibrate) {
+    auto [it, inserted] =
+        input_amax_.emplace(&model_.classifier(), x.abs_max());
+    if (!inserted) it->second = std::max(it->second, x.abs_max());
+    return model_.classifier().forward(x, /*training=*/false);
+  }
+  return classifier_->forward(x);
+}
+
+Tensor PimRepNetExecutor::walk(const Tensor& images, Mode mode) {
+  Backbone& backbone = model_.backbone();
+  Tensor a = apply_sequential(backbone.stem(), images, mode);
+  Tensor r;
+  for (i64 s = 0; s < backbone.num_stages(); ++s) {
+    Tensor u = a;
+    if (!r.empty()) u += r;  // activation connector
+    Sequential& stage = backbone.stage(s);
+    Tensor next = u;
+    for (i64 b = 0; b < stage.size(); ++b) {
+      auto* block = dynamic_cast<ResidualBlock*>(&stage.layer(b));
+      MSH_ENSURE(block != nullptr);
+      next = apply_residual(*block, next, mode);
+    }
+    a = std::move(next);
+    r = apply_rep(model_.rep_module(s), u, mode);
+  }
+  Tensor merged = a;
+  merged += r;
+
+  // Global average pool + flatten, digitally.
+  const i64 n = merged.shape()[0], c = merged.shape()[1],
+            spatial = merged.shape()[2] * merged.shape()[3];
+  Tensor features(Shape{n, c});
+  for (i64 i = 0; i < n * c; ++i) {
+    f64 acc = 0.0;
+    for (i64 s = 0; s < spatial; ++s) acc += merged[i * spatial + s];
+    features[i] = static_cast<f32>(acc / static_cast<f64>(spatial));
+  }
+  return apply_classifier(features, mode);
+}
+
+Tensor PimRepNetExecutor::forward(const Tensor& images) {
+  return walk(images, Mode::kHardware);
+}
+
+f64 PimRepNetExecutor::evaluate(const Dataset& test, i64 batch) {
+  MSH_REQUIRE(test.size() > 0);
+  f64 weighted = 0.0;
+  i64 counted = 0;
+  for (i64 begin = 0; begin < test.size(); begin += batch) {
+    const i64 count = std::min(batch, test.size() - begin);
+    const Tensor logits = forward(test.batch_images(begin, count));
+    const auto labels = test.batch_labels(begin, count);
+    weighted += accuracy(logits, std::span<const i32>(labels)) *
+                static_cast<f64>(count);
+    counted += count;
+  }
+  return weighted / static_cast<f64>(counted);
+}
+
+i64 PimRepNetExecutor::sparse_deployments() const {
+  i64 count = 0;
+  for (const auto& [conv, deployed] : convs_) {
+    count += deployed->matmul_layer().deployed_sparse();
+  }
+  if (classifier_ && classifier_->matmul_layer().deployed_sparse()) ++count;
+  return count;
+}
+
+}  // namespace msh

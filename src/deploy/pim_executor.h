@@ -1,0 +1,76 @@
+// Full-model deployment: every weight layer of a trained Rep-Net model
+// placed on the hybrid core (frozen backbone convs -> MRAM sparse PEs,
+// Rep-path convs + classifier -> SRAM sparse PEs, per the paper's Fig 6
+// mapping) and whole-image inference executed through the functional PE
+// simulators with INT8 weights AND INT8 activations.
+//
+// Non-matmul operators (BatchNorm in inference mode, ReLU, pooling,
+// residual adds, the activation connectors) run in the digital periphery
+// at full precision, as in the paper's fully-digital design.
+//
+// Activation scales come from a calibration pass: a software walk over
+// calibration data records each matmul layer's input range.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "deploy/pim_layer.h"
+#include "repnet/repnet_model.h"
+#include "workloads/dataset.h"
+
+namespace msh {
+
+struct PimExecutorOptions {
+  HybridCoreOptions core = {};
+  /// Packing attempted for every layer; layers whose trained weights do
+  /// not satisfy the pattern (e.g. an unpruned backbone) fall back to
+  /// dense M:M packing automatically.
+  NmConfig nm = kSparse1of4;
+  i64 calibration_batch = 16;
+  i64 calibration_batches = 2;
+};
+
+class PimRepNetExecutor {
+ public:
+  /// Deploys `model` (which must stay alive and unchanged) using
+  /// `calibration` data for activation ranges.
+  PimRepNetExecutor(RepNetModel& model, const Dataset& calibration,
+                    PimExecutorOptions options = {});
+
+  /// Hardware inference: [B, C, H, W] images -> [B, classes] logits.
+  Tensor forward(const Tensor& images);
+
+  /// Top-1 accuracy over a dataset, computed on the hardware.
+  f64 evaluate(const Dataset& test, i64 batch = 32);
+
+  const HybridCore& core() const { return core_; }
+  i64 deployed_convs() const { return static_cast<i64>(convs_.size()); }
+  /// Count of layers that deployed with the requested sparse packing.
+  i64 sparse_deployments() const;
+
+ private:
+  /// Shared forward-structure walk. In calibration mode convs run in
+  /// software while input ranges are recorded; in hardware mode they run
+  /// through the deployed PIM layers.
+  enum class Mode { kCalibrate, kHardware };
+  Tensor walk(const Tensor& images, Mode mode);
+  Tensor apply_conv(Conv2d& conv, const Tensor& x, Mode mode);
+  Tensor apply_sequential(Sequential& seq, const Tensor& x, Mode mode);
+  Tensor apply_residual(ResidualBlock& block, const Tensor& x, Mode mode);
+  Tensor apply_rep(RepModule& rep, const Tensor& x, Mode mode);
+  Tensor apply_classifier(const Tensor& x, Mode mode);
+
+  void calibrate(const Dataset& calibration);
+  void deploy();
+  f32 scale_for(const void* layer) const;
+
+  RepNetModel& model_;
+  PimExecutorOptions options_;
+  HybridCore core_;
+  std::unordered_map<const void*, f32> input_amax_;
+  std::unordered_map<const Conv2d*, std::unique_ptr<PimConv>> convs_;
+  std::unique_ptr<PimLinear> classifier_;
+};
+
+}  // namespace msh

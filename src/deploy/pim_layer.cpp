@@ -1,0 +1,159 @@
+#include "deploy/pim_layer.h"
+
+#include <cmath>
+
+namespace msh {
+
+bool satisfies_nm(const Tensor& matrix, NmConfig cfg) {
+  if (!cfg.valid() || matrix.shape().rank() != 2) return false;
+  const i64 rows = matrix.shape()[0], cols = matrix.shape()[1];
+  if (rows % cfg.m != 0) return false;
+  for (i64 c = 0; c < cols; ++c) {
+    for (i64 g = 0; g < rows / cfg.m; ++g) {
+      i32 nz = 0;
+      for (i64 i = 0; i < cfg.m; ++i) {
+        if (matrix[(g * cfg.m + i) * cols + c] != 0.0f) ++nz;
+      }
+      if (nz > cfg.n) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Pads a [K x out] matrix with zero rows to a multiple of `multiple`.
+Tensor pad_rows(const Tensor& matrix, i64 multiple) {
+  const i64 k = matrix.shape()[0], out = matrix.shape()[1];
+  const i64 padded = (k + multiple - 1) / multiple * multiple;
+  if (padded == k) return matrix;
+  Tensor result(Shape{padded, out});
+  for (i64 i = 0; i < k * out; ++i) result[i] = matrix[i];
+  return result;
+}
+
+}  // namespace
+
+PimMatmulLayer::PimMatmulLayer(HybridCore& core, const Tensor& weight,
+                               NmConfig cfg, PeKind target,
+                               f32 activation_scale)
+    : core_(core) {
+  MSH_REQUIRE(weight.shape().rank() == 2);
+  MSH_REQUIRE(activation_scale > 0.0f);
+  out_ = weight.shape()[0];
+  k_ = weight.shape()[1];
+
+  // PIM orientation: reduction dimension on the word lines.
+  Tensor mapped = weight.transposed();  // [K x out]
+
+  // Choose the packing: the requested N:M if the trained pattern holds,
+  // otherwise the dense M:M fallback (every slot stored, index = offset).
+  Tensor padded = pad_rows(mapped, cfg.m);
+  if (satisfies_nm(padded, cfg)) {
+    packed_cfg_ = cfg;
+    deployed_sparse_ = true;
+  } else {
+    packed_cfg_ = NmConfig{4, 4};
+    padded = pad_rows(mapped, packed_cfg_.m);
+    deployed_sparse_ = false;
+  }
+  padded_k_ = padded.shape()[0];
+
+  const NmPackedMatrix packed = NmPackedMatrix::pack(padded, packed_cfg_);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+  weight_scale_ = quantized.scale();
+  stored_slots_ = quantized.packed_rows() * quantized.cols();
+
+  act_params_.scale = activation_scale;
+  handle_ = target == PeKind::kSram ? core_.deploy_sram(quantized)
+                                    : core_.deploy_mram(quantized);
+}
+
+void PimMatmulLayer::update(const Tensor& weight) {
+  MSH_REQUIRE(weight.shape() == Shape({out_, k_}));
+  Tensor padded = pad_rows(weight.transposed(), packed_cfg_.m);
+  MSH_REQUIRE(satisfies_nm(padded, packed_cfg_));
+  const NmPackedMatrix packed = NmPackedMatrix::pack(padded, packed_cfg_);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+  weight_scale_ = quantized.scale();
+  core_.redeploy_sram(handle_, quantized);
+}
+
+void PimMatmulLayer::set_activation_scale(f32 scale) {
+  MSH_REQUIRE(scale > 0.0f);
+  act_params_.scale = scale;
+}
+
+Tensor PimMatmulLayer::matmul(const Tensor& x) {
+  MSH_REQUIRE(x.shape().rank() == 2);
+  MSH_REQUIRE(x.shape()[1] == k_);
+  const i64 batch = x.shape()[0];
+
+  // Quantize activations into the padded INT8 layout.
+  std::vector<i8> codes(static_cast<size_t>(batch * padded_k_), 0);
+  for (i64 b = 0; b < batch; ++b) {
+    for (i64 i = 0; i < k_; ++i) {
+      codes[static_cast<size_t>(b * padded_k_ + i)] =
+          static_cast<i8>(act_params_.quantize(x[b * k_ + i]));
+    }
+  }
+
+  const std::vector<i32> raw = core_.matmul(handle_, codes, batch);
+  Tensor y(Shape{batch, out_});
+  const f32 scale = act_params_.scale * weight_scale_;
+  for (i64 i = 0; i < batch * out_; ++i)
+    y[i] = scale * static_cast<f32>(raw[static_cast<size_t>(i)]);
+  return y;
+}
+
+PimConv::PimConv(HybridCore& core, Conv2d& conv, NmConfig cfg, PeKind target,
+                 f32 activation_scale)
+    : geom_(conv.geometry()),
+      matmul_(core, conv.weight().value, cfg, target, activation_scale) {
+  if (conv.has_bias()) bias_ = conv.bias().value;
+}
+
+Tensor PimConv::forward(const Tensor& x) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  const i64 n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
+  const i64 ho = geom_.out_dim(h), wo = geom_.out_dim(w);
+
+  // Lower to the matmul form: each output position's receptive field is
+  // one input row for the PE.
+  const Tensor cols = im2col(x, geom_);          // [K, positions]
+  const Tensor rows = cols.transposed();         // [positions, K]
+  Tensor flat = matmul_.matmul(rows);            // [positions, out]
+
+  const i64 out_ch = geom_.out_channels;
+  Tensor y(Shape{n, out_ch, ho, wo});
+  const i64 spatial = ho * wo;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 oc = 0; oc < out_ch; ++oc) {
+      const f32 b = bias_.empty() ? 0.0f : bias_[oc];
+      for (i64 s = 0; s < spatial; ++s) {
+        y[(img * out_ch + oc) * spatial + s] =
+            flat[(img * spatial + s) * out_ch + oc] + b;
+      }
+    }
+  }
+  return y;
+}
+
+PimLinear::PimLinear(HybridCore& core, Linear& linear, NmConfig cfg,
+                     PeKind target, f32 activation_scale)
+    : matmul_(core, linear.weight().value, cfg, target, activation_scale) {
+  bias_ = linear.bias().value;
+}
+
+Tensor PimLinear::forward(const Tensor& x) {
+  Tensor y = matmul_.matmul(x);
+  const i64 batch = y.shape()[0], out = y.shape()[1];
+  if (!bias_.empty()) {
+    for (i64 b = 0; b < batch; ++b) {
+      for (i64 j = 0; j < out; ++j) y[b * out + j] += bias_[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace msh

@@ -1,0 +1,94 @@
+// Single-layer deployment onto the hybrid core: wraps a trained conv or
+// linear layer as a quantized, N:M-packed matrix resident in SRAM or MRAM
+// sparse PEs, and executes it through the functional PE simulators with
+// INT8 activations (symmetric, calibration-scaled).
+#pragma once
+
+#include "arch/accelerator.h"
+#include "mapping/model_mapper.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace msh {
+
+/// True if the matrix (groups of M down each column) satisfies <= N
+/// non-zeros per aligned group — i.e. it can pack under `cfg` directly.
+bool satisfies_nm(const Tensor& matrix, NmConfig cfg);
+
+/// A weight matrix deployed on the core. Handles the PIM orientation
+/// ([K x out], reduction on the word lines), zero-padding K to the group
+/// size, dense fallback packing (M:M) for layers without an N:M pattern,
+/// INT8 activation quantization and INT32->FP32 dequantization.
+class PimMatmulLayer {
+ public:
+  /// `weight` is the layer's [out x K] matrix; `activation_scale` the
+  /// calibrated symmetric scale of this layer's inputs.
+  PimMatmulLayer(HybridCore& core, const Tensor& weight, NmConfig cfg,
+                 PeKind target, f32 activation_scale);
+
+  /// y[B x out] = dequant( PE( quant(x[B x K]) ) ).
+  Tensor matmul(const Tensor& x);
+
+  /// Rewrites the deployment with updated weights (same shape; the N:M
+  /// pattern must still hold if the layer deployed sparse). SRAM
+  /// deployments only — the continual-learning write path.
+  void update(const Tensor& weight);
+
+  /// Replaces the activation scale (e.g. dynamic per-batch calibration
+  /// for error tensors during backprop).
+  void set_activation_scale(f32 scale);
+
+  f32 activation_scale() const { return act_params_.scale; }
+  f32 weight_scale() const { return weight_scale_; }
+  NmConfig packed_config() const { return packed_cfg_; }
+  bool deployed_sparse() const { return deployed_sparse_; }
+  i64 stored_slots() const { return stored_slots_; }
+
+ private:
+  HybridCore& core_;
+  i64 handle_ = -1;
+  i64 k_ = 0;         ///< logical reduction length
+  i64 padded_k_ = 0;  ///< padded to a multiple of the group size
+  i64 out_ = 0;
+  NmConfig packed_cfg_;
+  bool deployed_sparse_ = false;
+  QuantParams act_params_;
+  f32 weight_scale_ = 1.0f;
+  i64 stored_slots_ = 0;
+};
+
+/// A conv layer on the hardware: im2col lowering around a PimMatmulLayer,
+/// bias added digitally.
+class PimConv {
+ public:
+  PimConv(HybridCore& core, Conv2d& conv, NmConfig cfg, PeKind target,
+          f32 activation_scale);
+
+  /// x: [B, C, H, W] float activations -> [B, out, Ho, Wo].
+  Tensor forward(const Tensor& x);
+
+  const PimMatmulLayer& matmul_layer() const { return matmul_; }
+
+ private:
+  Conv2dGeometry geom_;
+  PimMatmulLayer matmul_;
+  Tensor bias_;  ///< [out] or empty
+};
+
+/// A fully-connected layer on the hardware.
+class PimLinear {
+ public:
+  PimLinear(HybridCore& core, Linear& linear, NmConfig cfg, PeKind target,
+            f32 activation_scale);
+
+  /// x: [B, in] -> [B, out].
+  Tensor forward(const Tensor& x);
+
+  const PimMatmulLayer& matmul_layer() const { return matmul_; }
+
+ private:
+  PimMatmulLayer matmul_;
+  Tensor bias_;
+};
+
+}  // namespace msh

@@ -1,0 +1,105 @@
+#include "deploy/pim_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace msh {
+
+namespace {
+f32 dynamic_scale(const Tensor& t) {
+  return std::max(t.abs_max(), 1e-6f) / 127.0f;
+}
+}  // namespace
+
+PimLinearTrainer::PimLinearTrainer(HybridCore& core, i64 features,
+                                   i64 classes, PimTrainerOptions options)
+    : core_(core),
+      options_(options),
+      features_(features),
+      classes_(classes),
+      bias_(Shape{classes}) {
+  MSH_REQUIRE(features_ > 0 && classes_ > 0);
+  Rng rng(options_.seed);
+  weight_ = kaiming_normal(Shape{classes_, features_}, features_, rng);
+
+  NmConfig cfg{4, 4};  // dense packing unless a pattern is requested
+  if (options_.nm) {
+    MSH_REQUIRE(options_.nm->valid());
+    MSH_REQUIRE(features_ % options_.nm->m == 0);
+    mask_ = select_nm_mask(saliency_scores(weight_, Tensor{}), *options_.nm,
+                           GroupAxis::kCols);
+    apply_mask(weight_, *mask_);
+    cfg = *options_.nm;
+  }
+
+  forward_pe_ = std::make_unique<PimMatmulLayer>(
+      core_, weight_, cfg, PeKind::kSram, 1.0f);
+  // Transposed deployment (Fig 6-2): effective matrix W, reduction over
+  // classes, so e[B x classes] -> e_x[B x features].
+  transposed_pe_ = std::make_unique<PimMatmulLayer>(
+      core_, weight_.transposed(), NmConfig{4, 4}, PeKind::kSram, 1.0f);
+}
+
+Tensor PimLinearTrainer::forward(const Tensor& x) {
+  MSH_REQUIRE(x.shape().rank() == 2 && x.shape()[1] == features_);
+  forward_pe_->set_activation_scale(dynamic_scale(x));
+  Tensor y = forward_pe_->matmul(x);
+  const i64 b = y.shape()[0];
+  for (i64 i = 0; i < b; ++i) {
+    for (i64 j = 0; j < classes_; ++j) y[i * classes_ + j] += bias_[j];
+  }
+  return y;
+}
+
+Tensor PimLinearTrainer::propagate_error(const Tensor& error) {
+  MSH_REQUIRE(error.shape().rank() == 2 && error.shape()[1] == classes_);
+  transposed_pe_->set_activation_scale(dynamic_scale(error));
+  return transposed_pe_->matmul(error);
+}
+
+f64 PimLinearTrainer::train_step(const Tensor& x,
+                                 std::span<const i32> labels) {
+  const Tensor logits = forward(x);  // hardware forward
+  LossResult loss = softmax_cross_entropy(logits, labels);
+
+  // eq. 1: error propagation through the transposed PE (the upstream
+  // error is what a deeper network would consume).
+  propagate_error(loss.grad_logits);
+
+  // eq. 2: gradient = error^T x, digital.
+  const Tensor dw = matmul_ta(loss.grad_logits, x);
+  // eq. 3: update, honoring the mask.
+  for (i64 i = 0; i < weight_.numel(); ++i) {
+    if (mask_ && !mask_->kept(i)) continue;
+    weight_[i] -= options_.lr * dw[i];
+  }
+  const i64 b = x.shape()[0];
+  for (i64 j = 0; j < classes_; ++j) {
+    f64 acc = 0.0;
+    for (i64 i = 0; i < b; ++i) acc += loss.grad_logits[i * classes_ + j];
+    bias_[j] -= options_.lr * static_cast<f32>(acc);
+  }
+
+  redeploy();
+  ++steps_;
+  return loss.loss;
+}
+
+void PimLinearTrainer::redeploy() {
+  forward_pe_->update(weight_);
+  transposed_pe_->update(weight_.transposed());
+}
+
+f64 PimLinearTrainer::evaluate(const Tensor& x,
+                               std::span<const i32> labels) {
+  return accuracy(forward(x), labels);
+}
+
+i64 PimLinearTrainer::slots_rewritten_per_step() const {
+  return forward_pe_->stored_slots() + transposed_pe_->stored_slots();
+}
+
+}  // namespace msh

@@ -1,0 +1,70 @@
+// Hardware-in-the-loop on-device learning (paper §4, Fig 6-2), on a
+// linear classification head:
+//
+//   forward        logits = x W^T        -> SRAM sparse PE
+//   error prop     e_x    = e W          -> transposed SRAM PE (eq. 1)
+//   gradient       dW     = e^T x        -> digital periphery (eq. 2)
+//   update         W     -= lr dW        -> digital, then written back
+//                                           to BOTH PEs (eq. 3)
+//
+// Every step rewrites the forward and transposed deployments, so the PE
+// event counters measure the real weight-write volume of continual
+// learning — the quantity Fig 8's EDP comparison turns on. With an N:M
+// mask attached, updates preserve the pattern and the write volume drops
+// by the density factor.
+#pragma once
+
+#include <optional>
+
+#include "deploy/pim_layer.h"
+#include "nn/loss.h"
+
+namespace msh {
+
+struct PimTrainerOptions {
+  f32 lr = 0.05f;
+  /// Optional N:M pattern for the trained weights (mask selected from the
+  /// initial magnitudes; updates keep pruned positions at zero).
+  std::optional<NmConfig> nm;
+  u64 seed = 1;
+};
+
+class PimLinearTrainer {
+ public:
+  /// `features` x `classes` head trained from random init on the core.
+  PimLinearTrainer(HybridCore& core, i64 features, i64 classes,
+                   PimTrainerOptions options = {});
+
+  /// One SGD step on a batch; returns the mean cross-entropy loss.
+  /// x: [B, features] float inputs; labels: B class ids.
+  f64 train_step(const Tensor& x, std::span<const i32> labels);
+
+  /// Hardware forward pass (for evaluation).
+  Tensor forward(const Tensor& x);
+  f64 evaluate(const Tensor& x, std::span<const i32> labels);
+
+  /// Propagates an error batch through the transposed PE (eq. 1); used
+  /// when this head sits on top of further learnable layers.
+  Tensor propagate_error(const Tensor& error);
+
+  const Tensor& weights() const { return weight_; }
+  i64 steps() const { return steps_; }
+  /// Compressed weight slots rewritten per step (both deployments).
+  i64 slots_rewritten_per_step() const;
+
+ private:
+  void redeploy();
+
+  HybridCore& core_;
+  PimTrainerOptions options_;
+  i64 features_;
+  i64 classes_;
+  Tensor weight_;  ///< [classes, features]
+  Tensor bias_;    ///< [classes], digital
+  std::optional<NmMask> mask_;
+  std::unique_ptr<PimMatmulLayer> forward_pe_;
+  std::unique_ptr<PimMatmulLayer> transposed_pe_;
+  i64 steps_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,49 @@
+#include "device/energy_library.h"
+
+namespace msh {
+
+EnergyLibrary EnergyLibrary::from_table2(const SramPeSpec& sram,
+                                         const MramPeSpec& mram,
+                                         const TechParams& tech,
+                                         const SramCellParams& cell,
+                                         const MtjParams& mtj) {
+  EnergyLibrary lib;
+  const TimeNs cycle = tech.cycle;
+
+  // SRAM PE. Dynamic powers convert to per-cycle energies; the adder /
+  // comparator entries cover 8 parallel column groups, so one group's op
+  // costs 1/8 of the macro figure.
+  lib.sram_row_cycle = sram.bit_cell.dynamic() * cycle;
+  lib.sram_decoder_cycle = sram.decoder.dynamic() * cycle;
+  lib.sram_adder_tree_op = (sram.adder.dynamic() * cycle) / 8.0;
+  lib.sram_shift_acc_op = sram.shift_acc.dynamic() * cycle;
+  lib.sram_index_compare = (sram.index_decoder.dynamic() * cycle) / 8.0;
+  lib.sram_buffer_bit = sram.buffer_energy_per_bit;
+  lib.sram_relu_op = sram.global_relu.dynamic() * cycle;
+  lib.sram_write_bit = cell.write_energy_per_bit;
+  lib.sram_write_row_latency = cell.write_latency;
+
+  // MRAM PE. A row read activates the row driver + 512 sense amps; we
+  // charge the row/col decoder-driver dynamic power for one cycle plus a
+  // small per-bit sensing term folded into the same figure.
+  lib.mram_row_read =
+      (mram.row_decoder_driver.dynamic() + mram.col_decoder_driver.dynamic()) *
+      cycle;
+  lib.mram_shift_acc_op = mram.parallel_shift_acc.dynamic() * cycle;
+  lib.mram_adder_tree_op = mram.adder_tree.dynamic() * cycle;
+  lib.mram_decoder_cycle = mram.row_decoder_driver.dynamic() * cycle;
+  lib.mram_write_bit = mram.set_reset_energy_per_bit;
+  lib.mram_write_row_latency = mtj.write_pulse;
+
+  lib.bus_bit = tech.bus_energy_per_bit;
+  lib.dram_bit = tech.dram_energy_per_bit;
+  lib.cycle = cycle;
+  return lib;
+}
+
+EnergyLibrary EnergyLibrary::standard() {
+  return from_table2(table2_sram_pe(), table2_mram_pe(), default_tech(),
+                     default_sram_cell(), MtjParams{});
+}
+
+}  // namespace msh

@@ -1,0 +1,52 @@
+// Per-event energy costs derived from the Table 2 component powers at the
+// nominal 1 GHz operating point. The PIM functional simulators count
+// events; this library is the single place events become joules.
+//
+// Derivation rule: a component consuming P mW of dynamic power while
+// performing one operation per 1 ns cycle costs P pJ per operation
+// (mW x ns = pJ). Where a component serves several parallel units (e.g.
+// 8 adder trees in one SRAM PE), the per-unit cost divides accordingly.
+#pragma once
+
+#include "device/mtj.h"
+#include "device/sram_cell.h"
+#include "device/table2.h"
+#include "device/tech.h"
+
+namespace msh {
+
+struct EnergyLibrary {
+  // --- SRAM sparse PE events ---
+  Energy sram_row_cycle;        ///< bit-cell array active for one cycle
+  Energy sram_decoder_cycle;
+  Energy sram_adder_tree_op;    ///< one 128-input tree reduction
+  Energy sram_shift_acc_op;     ///< one shift-accumulate step (all groups)
+  Energy sram_index_compare;    ///< one column group's 128 comparators
+  Energy sram_buffer_bit;       ///< global buffer access per bit
+  Energy sram_relu_op;
+  Energy sram_write_bit;        ///< weight write into the array
+  TimeNs sram_write_row_latency;
+
+  // --- MRAM sparse PE events ---
+  Energy mram_row_read;         ///< sense one 512-bit row (SAs + drivers)
+  Energy mram_shift_acc_op;     ///< parallel shift-and-accumulate, one row
+  Energy mram_adder_tree_op;
+  Energy mram_decoder_cycle;
+  Energy mram_write_bit;        ///< one MTJ set/reset (Table 2: 0.048 pJ)
+  TimeNs mram_write_row_latency;
+
+  // --- system level ---
+  Energy bus_bit;
+  Energy dram_bit;
+  TimeNs cycle;
+
+  /// Builds the library from the published Table 2 specs.
+  static EnergyLibrary from_table2(const SramPeSpec& sram,
+                                   const MramPeSpec& mram,
+                                   const TechParams& tech,
+                                   const SramCellParams& cell,
+                                   const MtjParams& mtj);
+  static EnergyLibrary standard();
+};
+
+}  // namespace msh

@@ -1,0 +1,24 @@
+#include "device/faults.h"
+
+namespace msh {
+
+FaultStats inject_bit_errors(std::span<i8> codes, f64 ber, Rng& rng) {
+  MSH_REQUIRE(ber >= 0.0 && ber <= 1.0);
+  FaultStats stats;
+  for (i8& code : codes) {
+    for (i32 bit = 0; bit < 8; ++bit) {
+      ++stats.bits_examined;
+      if (rng.bernoulli(ber)) {
+        code = static_cast<i8>(static_cast<u8>(code) ^ (1u << bit));
+        ++stats.bits_flipped;
+      }
+    }
+  }
+  return stats;
+}
+
+FaultStats inject_bit_errors(QuantizedTensor& weights, f64 ber, Rng& rng) {
+  return inject_bit_errors(std::span<i8>(weights.data), ber, rng);
+}
+
+}  // namespace msh

@@ -1,0 +1,33 @@
+// Fault injection into deployed INT8 weights.
+//
+// NVM cells fail: stochastic write errors (MTJ switching failures),
+// retention drift, stuck-at cells past endurance. These utilities flip
+// bits of quantized weights at a configurable bit-error rate so the test
+// suite and the fault-tolerance bench can measure the accuracy impact of
+// storing the frozen backbone in imperfect non-volatile memory.
+#pragma once
+
+#include "common/rng.h"
+#include "quant/quant.h"
+
+namespace msh {
+
+struct FaultStats {
+  i64 bits_examined = 0;
+  i64 bits_flipped = 0;
+
+  f64 measured_ber() const {
+    return bits_examined == 0
+               ? 0.0
+               : static_cast<f64>(bits_flipped) /
+                     static_cast<f64>(bits_examined);
+  }
+};
+
+/// Flips each stored bit independently with probability `ber`.
+FaultStats inject_bit_errors(QuantizedTensor& weights, f64 ber, Rng& rng);
+
+/// Flips bits of an INT8 code vector in place (the PE-resident form).
+FaultStats inject_bit_errors(std::span<i8> codes, f64 ber, Rng& rng);
+
+}  // namespace msh

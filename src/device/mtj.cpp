@@ -1,0 +1,40 @@
+#include "device/mtj.h"
+
+namespace msh {
+
+MtjDevice::MtjDevice(MtjParams params, MtjState initial)
+    : params_(params), state_(initial) {
+  MSH_REQUIRE(params_.r_parallel_ohm > 0.0);
+  MSH_REQUIRE(params_.r_antiparallel_ohm > params_.r_parallel_ohm);
+  MSH_REQUIRE(params_.write_error_rate >= 0.0 &&
+              params_.write_error_rate < 1.0);
+}
+
+f64 MtjDevice::resistance_ohm() const {
+  return state_ == MtjState::kParallel ? params_.r_parallel_ohm
+                                       : params_.r_antiparallel_ohm;
+}
+
+f64 MtjDevice::tmr() const {
+  return (params_.r_antiparallel_ohm - params_.r_parallel_ohm) /
+         params_.r_parallel_ohm;
+}
+
+f64 MtjDevice::read_current_a() const {
+  return params_.read_voltage / resistance_ohm();
+}
+
+bool MtjDevice::write(bool bit, Rng& rng) {
+  const MtjState target = bit ? MtjState::kAntiParallel : MtjState::kParallel;
+  if (target == state_) return true;  // read-before-write: skip redundant set
+  ++write_count_;
+  write_energy_spent_ += params_.write_energy_per_bit;
+  if (params_.write_error_rate > 0.0 &&
+      rng.bernoulli(params_.write_error_rate)) {
+    return false;  // switching failed; free layer kept its polarity
+  }
+  state_ = target;
+  return true;
+}
+
+}  // namespace msh

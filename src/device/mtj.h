@@ -1,0 +1,66 @@
+// Behavioral STT-MRAM Magnetic Tunnel Junction model (paper §2.1.2).
+//
+// An MTJ stores one bit in the relative magnetization of its free layer:
+// Parallel (P, low resistance) vs Anti-Parallel (AP, high resistance).
+// Reads sense the resistance; writes pass a spin-polarized current whose
+// polarity switches the free layer. The model captures what the
+// architecture simulator needs: resistance states and read margin, write
+// energy/latency (the paper's training bottleneck), and a stochastic
+// write-error/endurance view for failure-injection tests.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace msh {
+
+enum class MtjState : u8 {
+  kParallel = 0,      ///< low resistance, logic 0
+  kAntiParallel = 1,  ///< high resistance, logic 1
+};
+
+struct MtjParams {
+  f64 r_parallel_ohm = 4408.0;      ///< Table 2
+  f64 r_antiparallel_ohm = 8759.0;  ///< Table 2
+  Energy write_energy_per_bit = Energy::pj(0.048);  ///< Table 2 set/reset
+  TimeNs write_pulse = TimeNs::ns(10.0);  ///< STT switching pulse width
+  TimeNs read_latency = TimeNs::ns(1.0);
+  f64 read_voltage = 0.1;           ///< V, small to avoid read disturb
+  f64 write_error_rate = 0.0;       ///< per-attempt switching failure
+  u64 endurance_writes = 1'000'000'000'000ull;  ///< ~1e12 for STT-MRAM
+};
+
+class MtjDevice {
+ public:
+  explicit MtjDevice(MtjParams params = {}, MtjState initial = MtjState::kParallel);
+
+  const MtjParams& params() const { return params_; }
+  MtjState state() const { return state_; }
+  bool stored_bit() const { return state_ == MtjState::kAntiParallel; }
+
+  /// Resistance in the current state.
+  f64 resistance_ohm() const;
+  /// Tunnel magnetoresistance ratio (R_AP - R_P) / R_P.
+  f64 tmr() const;
+  /// Read current at the configured read voltage (amperes).
+  f64 read_current_a() const;
+
+  /// Attempts to write a bit. Returns false on a (stochastic) write
+  /// failure — the bit retains its previous state. Counts writes toward
+  /// endurance; writing the already-stored value is a no-op that costs
+  /// nothing (read-before-write policy).
+  bool write(bool bit, Rng& rng);
+
+  /// Energy actually spent on writes so far.
+  Energy write_energy_spent() const { return write_energy_spent_; }
+  u64 write_count() const { return write_count_; }
+  bool worn_out() const { return write_count_ >= params_.endurance_writes; }
+
+ private:
+  MtjParams params_;
+  MtjState state_;
+  Energy write_energy_spent_;
+  u64 write_count_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,43 @@
+#include "device/rram.h"
+
+#include <cmath>
+
+namespace msh {
+
+RramDevice::RramDevice(RramParams params, bool initial_bit)
+    : params_(params), bit_(initial_bit) {
+  MSH_REQUIRE(params_.r_low_ohm > 0.0);
+  MSH_REQUIRE(params_.r_high_ohm > params_.r_low_ohm);
+  MSH_REQUIRE(params_.variation_sigma >= 0.0);
+}
+
+f64 RramDevice::resistance_ohm() const {
+  return bit_ ? params_.r_low_ohm : params_.r_high_ohm;
+}
+
+f64 RramDevice::resistance_with_variation_ohm(Rng& rng) const {
+  // Lognormal cycle-to-cycle variation around the nominal state.
+  return resistance_ohm() *
+         std::exp(rng.gaussian(0.0, params_.variation_sigma));
+}
+
+f64 RramDevice::on_off_ratio() const {
+  return params_.r_high_ohm / params_.r_low_ohm;
+}
+
+f64 RramDevice::read_current_a() const {
+  return params_.read_voltage / resistance_ohm();
+}
+
+bool RramDevice::write(bool bit, Rng& rng) {
+  (void)rng;
+  if (bit == bit_) return true;  // read-before-write
+  if (worn_out()) return false;  // filament stuck: cell frozen
+  ++write_count_;
+  write_energy_spent_ +=
+      bit ? params_.set_energy_per_bit : params_.reset_energy_per_bit;
+  bit_ = bit;
+  return true;
+}
+
+}  // namespace msh

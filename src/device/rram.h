@@ -1,0 +1,61 @@
+// Behavioral RRAM (resistive RAM) device model.
+//
+// The paper's architecture "could be adapted to different NVM
+// technologies, like MRAM or RRAM" (§3). This model supplies the RRAM
+// corner for that adaptation study (bench_ablation_nvm_tech): compared to
+// the STT-MRAM MTJ, a filamentary RRAM cell offers denser storage and can
+// hold multiple levels, but pays higher SET/RESET energy and — critically
+// for on-device learning — orders of magnitude lower write endurance
+// (~1e6-1e9 vs ~1e12), the concern §1 raises explicitly.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace msh {
+
+struct RramParams {
+  f64 r_low_ohm = 10e3;    ///< LRS (SET)
+  f64 r_high_ohm = 200e3;  ///< HRS (RESET)
+  Energy set_energy_per_bit = Energy::pj(1.5);
+  Energy reset_energy_per_bit = Energy::pj(2.0);
+  TimeNs write_pulse = TimeNs::ns(50.0);
+  TimeNs read_latency = TimeNs::ns(2.0);
+  f64 read_voltage = 0.2;
+  /// Cycle-to-cycle resistance variation (lognormal sigma).
+  f64 variation_sigma = 0.15;
+  u64 endurance_writes = 1'000'000ull;  ///< ~1e6 SET/RESET cycles
+};
+
+class RramDevice {
+ public:
+  explicit RramDevice(RramParams params = {}, bool initial_bit = false);
+
+  const RramParams& params() const { return params_; }
+  bool stored_bit() const { return bit_; }
+
+  /// Nominal resistance of the current state.
+  f64 resistance_ohm() const;
+  /// Resistance with cycle-to-cycle variation applied (sampled).
+  f64 resistance_with_variation_ohm(Rng& rng) const;
+  /// HRS/LRS window.
+  f64 on_off_ratio() const;
+  f64 read_current_a() const;
+
+  /// Writes a bit (SET for 1, RESET for 0). Redundant writes are skipped
+  /// (read-before-write). Returns false once the cell is worn out; worn
+  /// cells freeze in their last state.
+  bool write(bool bit, Rng& rng);
+
+  Energy write_energy_spent() const { return write_energy_spent_; }
+  u64 write_count() const { return write_count_; }
+  bool worn_out() const { return write_count_ >= params_.endurance_writes; }
+
+ private:
+  RramParams params_;
+  bool bit_;
+  Energy write_energy_spent_;
+  u64 write_count_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,71 @@
+#include "device/scaling.h"
+
+#include <cmath>
+
+#include "device/table2.h"
+
+namespace msh {
+
+namespace {
+f64 log2i(i64 v) { return std::log2(static_cast<f64>(v)); }
+}  // namespace
+
+ArrayScalingModel ArrayScalingModel::mram_reference() {
+  const MramPeSpec spec = table2_mram_pe();
+  ArrayScalingModel model;
+  model.reference = {1024, 512};
+  model.ref_cell_area = spec.memory_array.area;
+  model.ref_row_periphery = spec.row_decoder_driver.area;
+  model.ref_col_periphery = spec.col_decoder_driver.area;
+  // One row read at the reference point: both decoder/driver stacks
+  // active for one 1 ns cycle.
+  model.ref_row_access =
+      (spec.row_decoder_driver.dynamic() + spec.col_decoder_driver.dynamic()) *
+      TimeNs::ns(1.0);
+  model.ref_row_latency = TimeNs::ns(1.0);
+  return model;
+}
+
+Area ArrayScalingModel::cell_area(ArrayGeometry g) const {
+  MSH_REQUIRE(g.rows > 0 && g.cols > 0);
+  return ref_cell_area * (static_cast<f64>(g.bits()) /
+                          static_cast<f64>(reference.bits()));
+}
+
+Area ArrayScalingModel::row_periphery_area(ArrayGeometry g) const {
+  // Drivers scale with rows; decode tree adds a log factor.
+  const f64 scale = (static_cast<f64>(g.rows) / reference.rows) *
+                    (log2i(g.rows) / log2i(reference.rows));
+  return ref_row_periphery * scale;
+}
+
+Area ArrayScalingModel::col_periphery_area(ArrayGeometry g) const {
+  return ref_col_periphery *
+         (static_cast<f64>(g.cols) / static_cast<f64>(reference.cols));
+}
+
+Area ArrayScalingModel::total_area(ArrayGeometry g) const {
+  return cell_area(g) + row_periphery_area(g) + col_periphery_area(g);
+}
+
+Energy ArrayScalingModel::row_access_energy(ArrayGeometry g) const {
+  // Wordline + sensing energy scales with the sensed width; decode energy
+  // with log2(rows). Split the reference figure 70% width / 30% decode.
+  const f64 width_part =
+      0.7 * (static_cast<f64>(g.cols) / static_cast<f64>(reference.cols));
+  const f64 decode_part = 0.3 * (log2i(g.rows) / log2i(reference.rows));
+  return ref_row_access * (width_part + decode_part);
+}
+
+TimeNs ArrayScalingModel::row_access_latency(ArrayGeometry g) const {
+  const f64 decode = 0.5 * (log2i(g.rows) / log2i(reference.rows));
+  const f64 wire =
+      0.5 * std::sqrt(total_area(g) / total_area(reference));
+  return ref_row_latency * (decode + wire);
+}
+
+f64 ArrayScalingModel::array_efficiency(ArrayGeometry g) const {
+  return cell_area(g) / total_area(g);
+}
+
+}  // namespace msh

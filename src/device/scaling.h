@@ -1,0 +1,55 @@
+// NVSIM-style analytic scaling of memory sub-array geometry (paper §5.2:
+// "These tools offer flexibility in memory configuration, enabling the
+// organization of banks, mats, and subarrays").
+//
+// The Table 2 numbers characterize one operating point (1024x512 MRAM,
+// 128x96 SRAM). This model extrapolates area, access energy and latency
+// to other geometries with first-order rules:
+//   * cell array area       ~ rows x cols
+//   * row decoder + driver  ~ rows x log2(rows) (driver) with log depth
+//   * column periphery (SAs, col decoder, drivers) ~ cols
+//   * wordline/bitline energy ~ cols and rows respectively
+//   * access latency ~ log2(rows) decode + wire delay ~ sqrt(area)
+// calibrated so the reference geometry reproduces the Table 2 figures
+// exactly.
+#pragma once
+
+#include "common/units.h"
+
+namespace msh {
+
+struct ArrayGeometry {
+  i64 rows = 1024;
+  i64 cols = 512;
+
+  i64 bits() const { return rows * cols; }
+};
+
+/// Calibration anchor: the reference geometry and its known figures.
+struct ArrayScalingModel {
+  ArrayGeometry reference;
+  Area ref_cell_area;        ///< whole cell array at the reference point
+  Area ref_row_periphery;    ///< row decoder + driver
+  Area ref_col_periphery;    ///< col decoder + driver (+ SAs)
+  Energy ref_row_access;     ///< energy to activate + sense one row
+  TimeNs ref_row_latency;    ///< decode + sense latency
+
+  /// Builds the MRAM model anchored at Table 2's 1024x512 sub-array.
+  static ArrayScalingModel mram_reference();
+
+  Area cell_area(ArrayGeometry g) const;
+  Area row_periphery_area(ArrayGeometry g) const;
+  Area col_periphery_area(ArrayGeometry g) const;
+  Area total_area(ArrayGeometry g) const;
+
+  /// Energy of one row activation (drivers + sensing scale with cols;
+  /// decode scales with log2(rows)).
+  Energy row_access_energy(ArrayGeometry g) const;
+  /// Row access latency: log-depth decode plus wire delay ~ sqrt(area).
+  TimeNs row_access_latency(ArrayGeometry g) const;
+
+  /// Area efficiency: cell array share of the total.
+  f64 array_efficiency(ArrayGeometry g) const;
+};
+
+}  // namespace msh

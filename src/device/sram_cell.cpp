@@ -1,0 +1,8 @@
+#include "device/sram_cell.h"
+
+namespace msh {
+
+// Behavioral cell logic is header-inline; this TU anchors the library and
+// keeps a home for future Monte-Carlo variation models.
+
+}  // namespace msh

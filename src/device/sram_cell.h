@@ -1,0 +1,45 @@
+// Behavioral models of the SRAM PE's storage cells (paper §3.1, Fig 3-2):
+// the 8T compute bit-cell whose two pass transistors implement a static
+// AND between the stored weight bit and the shared input word line (IWL),
+// and the plain 6T cell holding index bits.
+#pragma once
+
+#include "common/units.h"
+
+namespace msh {
+
+struct SramCellParams {
+  // Derived from Table 2: the 128x96 bit-cell array occupies 0.0231 mm^2
+  // => ~1.88 um^2 per compute cell at 28nm (8T + compute pass gates).
+  Area cell_area_8t = Area::um2(1.88);
+  Area cell_area_6t = Area::um2(1.20);
+  /// Static leakage per cell: 1.2 mW * 70% leakage over 12288 cells.
+  Power leakage_per_cell = Power::uw(0.0684);
+  Energy write_energy_per_bit = Energy::fj(5.0);
+  TimeNs write_latency = TimeNs::ns(1.0);  ///< one row per cycle
+  Energy and_op_energy = Energy::fj(0.5);  ///< per 1-bit partial product
+};
+
+/// One 8T compute bit-cell: stores a weight bit; and_with() models the
+/// pass-gate AND against the input word line.
+class SramComputeCell {
+ public:
+  explicit SramComputeCell(bool bit = false) : bit_(bit) {}
+
+  bool stored_bit() const { return bit_; }
+  void write(bool bit) { bit_ = bit; }
+
+  /// Static AND of the stored weight bit with the input word line: the
+  /// 1-bit in-memory partial product.
+  bool and_with(bool input_word_line) const { return bit_ && input_word_line; }
+
+ private:
+  bool bit_;
+};
+
+inline const SramCellParams& default_sram_cell() {
+  static const SramCellParams params{};
+  return params;
+}
+
+}  // namespace msh

@@ -1,0 +1,28 @@
+// 28nm technology constants shared by the device models. The paper's
+// circuit numbers come from the TSMC 28nm PDK (Cadence Spectre /
+// Synopsys post-layout flows); we encode the published results plus the
+// handful of operating-point assumptions the architecture model needs.
+#pragma once
+
+#include "common/units.h"
+
+namespace msh {
+
+struct TechParams {
+  f64 node_nm = 28.0;
+  f64 vdd = 0.9;                       ///< V
+  f64 clock_ghz = 1.0;                 ///< digital periphery clock
+  TimeNs cycle = TimeNs::ns(1.0);      ///< one periphery clock cycle
+
+  /// Off-chip DRAM access energy (typical LPDDR4-class figure).
+  Energy dram_energy_per_bit = Energy::pj(20.0);
+  /// On-chip bus transfer energy per bit per hop.
+  Energy bus_energy_per_bit = Energy::pj(0.06);
+};
+
+inline const TechParams& default_tech() {
+  static const TechParams tech{};
+  return tech;
+}
+
+}  // namespace msh

@@ -1,0 +1,140 @@
+#include "mapping/csc_mapper.h"
+
+#include <map>
+#include <set>
+
+namespace msh {
+
+i64 choose_segment_rows(i64 packed_rows, i64 pe_rows, i64 min_segment) {
+  // Smallest power-of-two subtree tap that still holds the whole
+  // compressed column; full-height when the column spills vertically.
+  if (packed_rows >= pe_rows) return pe_rows;
+  i64 seg = pe_rows;
+  while (seg / 2 >= packed_rows && seg / 2 >= min_segment) seg /= 2;
+  return seg;
+}
+
+std::vector<SramPeTile> map_to_sram_pes(const QuantizedNmMatrix& w,
+                                        const SramMappingOptions& options) {
+  MSH_REQUIRE(options.rows > 0 && options.groups > 0);
+  const NmConfig cfg = w.config();
+  // Vertical chunk height: largest multiple of N fitting the physical
+  // rows, so a chunk boundary never splits a group of N sibling slots.
+  const i64 window = options.rows - (options.rows % cfg.n);
+  MSH_REQUIRE(window >= cfg.n);
+  const i64 segment_rows = choose_segment_rows(w.packed_rows(), options.rows,
+                                               options.min_segment_rows);
+
+  std::vector<SramPeTile> tiles;
+  SramPeTile* current = nullptr;
+  i64 next_segment = 0;
+
+  auto open_tile = [&] {
+    tiles.emplace_back();
+    current = &tiles.back();
+    current->cfg = cfg;
+    current->rows = options.rows;
+    current->groups = options.groups;
+    current->segment_rows = segment_rows;
+    current->allocate();
+    current->activation_len = w.dense_rows();
+    next_segment = 0;
+  };
+  open_tile();
+
+  const i64 chunk = std::min(window, segment_rows);
+  for (i64 col = 0; col < w.cols(); ++col) {
+    for (i64 base = 0; base < w.packed_rows(); base += chunk) {
+      const i64 height = std::min(chunk, w.packed_rows() - base);
+      if (next_segment == current->total_segments()) open_tile();
+      const i64 seg = next_segment++;
+      const i64 g = seg / current->segments_per_group();
+      const i64 s = seg % current->segments_per_group();
+      current->output_id[static_cast<size_t>(seg)] = static_cast<i32>(col);
+      current->segment_offset[static_cast<size_t>(seg)] = base / cfg.n;
+      for (i64 r = 0; r < height; ++r) {
+        const size_t slot =
+            static_cast<size_t>(current->slot(g, s * segment_rows + r));
+        current->weights[slot] = w.value(base + r, col);
+        current->indices[slot] = w.index(base + r, col);
+        current->valid[slot] = w.valid(base + r, col) ? 1 : 0;
+      }
+    }
+  }
+  return tiles;
+}
+
+std::vector<MramPeTile> map_to_mram_pes(const QuantizedNmMatrix& w,
+                                        const MramMappingOptions& options) {
+  MSH_REQUIRE(options.array_rows > 0 && options.pairs_per_row > 0);
+  std::vector<MramPeTile> tiles;
+  MramPeTile* current = nullptr;
+
+  auto open_tile = [&] {
+    tiles.emplace_back();
+    current = &tiles.back();
+    current->cfg = w.config();
+    current->pairs_per_row = options.pairs_per_row;
+    current->activation_len = w.dense_rows();
+  };
+  open_tile();
+
+  for (i64 col = 0; col < w.cols(); ++col) {
+    for (i64 base = 0; base < w.packed_rows();
+         base += options.pairs_per_row) {
+      if (static_cast<i64>(current->rows.size()) == options.array_rows)
+        open_tile();
+      MramPeTile::PhysicalRow row;
+      row.output_id = static_cast<i32>(col);
+      row.packed_base = base;
+      const i64 count =
+          std::min(options.pairs_per_row, w.packed_rows() - base);
+      row.entries.resize(static_cast<size_t>(count));
+      for (i64 e = 0; e < count; ++e) {
+        auto& entry = row.entries[static_cast<size_t>(e)];
+        entry.weight = w.value(base + e, col);
+        entry.index = w.index(base + e, col);
+        entry.valid = w.valid(base + e, col) ? 1 : 0;
+      }
+      current->rows.push_back(std::move(row));
+    }
+  }
+  return tiles;
+}
+
+MappingStats sram_mapping_stats(const std::vector<SramPeTile>& tiles) {
+  MappingStats stats;
+  stats.tiles = static_cast<i64>(tiles.size());
+  std::set<i32> seen;
+  std::set<i32> spilled;
+  for (const auto& tile : tiles) {
+    stats.total_slots += tile.rows * tile.groups;
+    for (u8 v : tile.valid) stats.used_slots += v;
+    for (i32 id : tile.output_id) {
+      if (id < 0) continue;
+      if (!seen.insert(id).second) spilled.insert(id);
+    }
+  }
+  stats.spilled_columns = static_cast<i64>(spilled.size());
+  return stats;
+}
+
+MappingStats mram_mapping_stats(const std::vector<MramPeTile>& tiles,
+                                i64 array_rows) {
+  MappingStats stats;
+  stats.tiles = static_cast<i64>(tiles.size());
+  std::map<i32, i64> rows_per_column;
+  for (const auto& tile : tiles) {
+    stats.total_slots += array_rows * tile.pairs_per_row;
+    for (const auto& row : tile.rows) {
+      for (const auto& entry : row.entries) stats.used_slots += entry.valid;
+      if (row.output_id >= 0) ++rows_per_column[row.output_id];
+    }
+  }
+  for (const auto& [id, rows] : rows_per_column) {
+    if (rows > 1) ++stats.spilled_columns;  // column spans several rows
+  }
+  return stats;
+}
+
+}  // namespace msh

@@ -1,0 +1,62 @@
+// CSC compression-and-mapping onto the PE arrays (paper Fig 4).
+//
+// SRAM mapping: the packed matrix is cut into windows of up to 128 packed
+// rows; each logical output column's window segment occupies one column
+// group. A column whose compressed height exceeds one window spills into
+// further groups carrying the same output id — the per-PE row-wise
+// accumulator (within a PE) and the core's shared accumulators (across
+// PEs) merge the partial sums.
+//
+// MRAM mapping: each output column's packed slots stream into successive
+// 512-bit physical rows (42 12-bit pairs per row); a 1024-row sub-array
+// holds many columns back to back.
+#pragma once
+
+#include "mapping/quantized_nm.h"
+#include "pim/pe_tile.h"
+
+namespace msh {
+
+struct SramMappingOptions {
+  i64 rows = 128;
+  i64 groups = 8;
+  /// Smallest adder-tree subtree tap: one column group can hold up to
+  /// rows/min_segment_rows short compressed columns (paper §2.1.1's
+  /// compute time-sharing against compressed weights).
+  i64 min_segment_rows = 16;
+};
+
+struct MramMappingOptions {
+  i64 array_rows = 1024;
+  i64 pairs_per_row = 42;
+};
+
+/// Cuts the matrix into SRAM PE tiles. Window height is the largest
+/// multiple of N that fits the physical rows, so group offsets stay
+/// group-aligned (shared input word lines).
+std::vector<SramPeTile> map_to_sram_pes(const QuantizedNmMatrix& w,
+                                        const SramMappingOptions& options = {});
+
+/// Cuts the matrix into MRAM PE tiles.
+std::vector<MramPeTile> map_to_mram_pes(const QuantizedNmMatrix& w,
+                                        const MramMappingOptions& options = {});
+
+/// Mapping efficiency statistics (used by the mapping bench and tests).
+struct MappingStats {
+  i64 tiles = 0;
+  i64 used_slots = 0;      ///< valid (weight,index) pairs placed
+  i64 total_slots = 0;     ///< physical capacity of the allocated tiles
+  i64 spilled_columns = 0; ///< output columns spanning >1 group/row run
+
+  f64 utilization() const {
+    return total_slots == 0
+               ? 0.0
+               : static_cast<f64>(used_slots) / static_cast<f64>(total_slots);
+  }
+};
+
+MappingStats sram_mapping_stats(const std::vector<SramPeTile>& tiles);
+MappingStats mram_mapping_stats(const std::vector<MramPeTile>& tiles,
+                                i64 array_rows = 1024);
+
+}  // namespace msh

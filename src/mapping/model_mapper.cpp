@@ -1,0 +1,88 @@
+#include "mapping/model_mapper.h"
+
+#include <algorithm>
+
+namespace msh {
+
+namespace {
+i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+}  // namespace
+
+HybridPlan plan_hybrid(const ModelInventory& model,
+                       const HybridPlanOptions& options) {
+  MSH_REQUIRE(options.nm.valid());
+  const PeGeometry& geom = options.geometry;
+  const NmConfig nm = options.nm;
+  const i64 pair_bits = 8 + nm.index_bits();
+
+  HybridPlan plan;
+  plan.nm = nm;
+
+  i64 max_learnable_packed_slots = 0;
+
+  for (const LayerShape& shape : model.layers) {
+    LayerMapping lm;
+    lm.layer = shape.name;
+    lm.learnable = shape.learnable;
+    lm.target = shape.learnable ? PeKind::kSram : PeKind::kMram;
+    lm.dense_k = shape.k;
+    lm.cols = shape.c;
+    lm.mac_batch = shape.mac_batch;
+
+    const bool want_sparse =
+        shape.learnable ? options.sparse_learnable : options.sparse_frozen;
+    lm.sparse = want_sparse && (shape.k % nm.m == 0);
+    lm.packed_rows = lm.sparse ? shape.k / nm.m * nm.n : shape.k;
+    const i64 slots = lm.packed_rows * lm.cols;
+    lm.stored_bits = lm.sparse ? slots * pair_bits : slots * 8;
+
+    if (lm.target == PeKind::kSram) {
+      // Segmented column groups (adder-tree subtree taps): a group holds
+      // several short compressed columns, so compute time scales with
+      // the compressed size rather than with M.
+      const i64 window = geom.sram_rows - (geom.sram_rows % nm.n);
+      i64 segment = geom.sram_rows;
+      constexpr i64 kMinSegment = 16;
+      while (lm.packed_rows < geom.sram_rows && segment / 2 >= lm.packed_rows &&
+             segment / 2 >= kMinSegment) {
+        segment /= 2;
+      }
+      const i64 segments_per_group = geom.sram_rows / segment;
+      const i64 chunk = std::min(window, segment);
+      const i64 chunks = ceil_div(lm.packed_rows, chunk);
+      lm.sram_windows = ceil_div(
+          lm.cols * chunks, geom.sram_column_groups * segments_per_group);
+      // Each PE pass processes one input vector in (M x 8) cycles when
+      // sparse (M index phases x 8 input bit planes), 8 cycles dense.
+      const i64 cycles_per_window = lm.sparse ? nm.m * 8 : 8;
+      lm.sram_array_cycles =
+          lm.sram_windows * cycles_per_window * lm.mac_batch;
+      plan.sram_bits_stored += lm.stored_bits;
+      plan.sram_array_cycles_per_inference += lm.sram_array_cycles;
+      if (lm.learnable) {
+        plan.weights_updated_per_step += slots;
+        max_learnable_packed_slots =
+            std::max(max_learnable_packed_slots, slots);
+      }
+    } else {
+      const i64 rows_per_col = ceil_div(lm.packed_rows, geom.mram_pairs_per_row());
+      lm.mram_row_reads = rows_per_col * lm.cols * lm.mac_batch;
+      plan.mram_bits_stored += lm.stored_bits;
+      plan.mram_row_reads_per_inference += lm.mram_row_reads;
+    }
+    plan.layers.push_back(std::move(lm));
+  }
+
+  plan.mram_pes = ceil_div(plan.mram_bits_stored, geom.mram_capacity_bits());
+  if (options.round_to_cores) {
+    plan.mram_pes = ceil_div(plan.mram_pes, options.mram_pes_per_core) *
+                    options.mram_pes_per_core;
+  }
+  plan.sram_pes = ceil_div(plan.sram_bits_stored, geom.sram_total_bits());
+  const i64 slots_per_pe = geom.sram_rows * geom.sram_column_groups;
+  plan.transposed_sram_pes =
+      ceil_div(max_learnable_packed_slots, slots_per_pe);
+  return plan;
+}
+
+}  // namespace msh

@@ -1,0 +1,73 @@
+// Inventory-scale mapping: places every layer of a paper-scale model
+// (workloads/layer_inventory.h) onto PE macros, producing the storage and
+// per-inference work accounting that the system evaluator prices.
+//
+// Placement rule (paper §4): frozen backbone layers -> MRAM sparse PEs
+// (dense storage, zero leakage, expensive writes are irrelevant because
+// the weights never change); learnable Rep-Net / classifier layers ->
+// SRAM sparse PEs (fast cheap writes for on-device updates), plus a pool
+// of transposed SRAM PEs sized by the largest learnable layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/table2.h"
+#include "sparse/nm_config.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+
+enum class PeKind { kSram, kMram };
+
+struct LayerMapping {
+  std::string layer;
+  PeKind target = PeKind::kMram;
+  bool sparse = false;  ///< N:M pattern applied (k % M == 0)
+  i64 dense_k = 0;
+  i64 cols = 0;
+  i64 mac_batch = 0;
+  i64 packed_rows = 0;  ///< compressed reduction height
+  i64 stored_bits = 0;  ///< (8 + index) x slots if sparse, else 8 x k
+  bool learnable = false;
+
+  // Per-inference work on the assigned PE type.
+  i64 sram_windows = 0;      ///< vertical 128-slot windows x column octets
+  i64 sram_array_cycles = 0; ///< M x 8 cycles per window per input vector
+  i64 mram_row_reads = 0;    ///< physical row reads per inference
+};
+
+struct HybridPlan {
+  NmConfig nm;
+  std::vector<LayerMapping> layers;
+
+  i64 mram_bits_stored = 0;
+  i64 sram_bits_stored = 0;
+  i64 mram_pes = 0;             ///< 1024x512 sub-arrays allocated
+  i64 sram_pes = 0;             ///< 128x96 macros allocated
+  i64 transposed_sram_pes = 0;  ///< backprop buffer pool
+
+  i64 sram_array_cycles_per_inference = 0;
+  i64 mram_row_reads_per_inference = 0;
+  /// INT8 weight elements rewritten per training step (learnable only,
+  /// compressed): feeds the Fig 8 write-volume accounting.
+  i64 weights_updated_per_step = 0;
+};
+
+struct HybridPlanOptions {
+  NmConfig nm = kSparse1of4;
+  PeGeometry geometry = {};
+  /// Apply N:M to learnable layers too (the paper's sparse Rep-Net).
+  bool sparse_learnable = true;
+  /// Apply N:M to frozen backbone layers (PTQ-pruned backbone).
+  bool sparse_frozen = true;
+  /// Allocate MRAM sub-arrays in whole cores (4x4 banks x 4x4 PEs = 256
+  /// sub-arrays = 16 MB per core, paper §5.2).
+  bool round_to_cores = true;
+  i64 mram_pes_per_core = 256;
+};
+
+HybridPlan plan_hybrid(const ModelInventory& model,
+                       const HybridPlanOptions& options = {});
+
+}  // namespace msh

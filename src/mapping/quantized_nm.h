@@ -1,0 +1,69 @@
+// Bridge between the algorithm stack and the hardware tiles: an
+// N:M-packed weight matrix quantized to INT8, in the exact (value, index)
+// pair form the PE arrays store.
+#pragma once
+
+#include "quant/quant.h"
+#include "sparse/nm_packed.h"
+
+namespace msh {
+
+class QuantizedNmMatrix {
+ public:
+  QuantizedNmMatrix() = default;
+
+  /// Quantizes a packed matrix with the given weight quantization params.
+  static QuantizedNmMatrix from_packed(const NmPackedMatrix& packed,
+                                       const QuantParams& params);
+  /// Convenience: calibrates INT8 params from the packed values.
+  static QuantizedNmMatrix from_packed(const NmPackedMatrix& packed);
+
+  /// Adopts packed values that are *already* INT8 codes (stored as
+  /// floats), attaching `dequant_scale` for bookkeeping. Used by the
+  /// transposed-buffer path, which shuffles existing codes around.
+  static QuantizedNmMatrix from_packed_codes(const NmPackedMatrix& packed,
+                                             f32 dequant_scale);
+
+  NmConfig config() const { return cfg_; }
+  i64 dense_rows() const { return dense_rows_; }
+  i64 cols() const { return cols_; }
+  i64 packed_rows() const { return packed_rows_; }
+  f32 scale() const { return params_.scale; }
+  const QuantParams& params() const { return params_; }
+
+  i8 value(i64 packed_row, i64 col) const;
+  u8 index(i64 packed_row, i64 col) const;
+  /// A slot is real (not group padding) iff its FP32 source was non-zero.
+  bool valid(i64 packed_row, i64 col) const;
+
+  /// Reference INT32 matvec over packed slots: the golden result every
+  /// PE-level execution must reproduce bit-exactly.
+  std::vector<i32> reference_matvec(std::span<const i8> activations) const;
+
+  /// Dense INT8 reconstruction [dense_rows x cols].
+  std::vector<i8> to_dense_int8() const;
+
+  /// Raw storage access (serialization). Row-major [packed_rows x cols].
+  std::span<const i8> raw_values() const { return values_; }
+  std::span<const u8> raw_indices() const { return indices_; }
+  std::span<const u8> raw_valid() const { return valid_; }
+
+  /// Reconstructs from raw storage (deserialization). Validates sizes and
+  /// index ranges.
+  static QuantizedNmMatrix from_raw(NmConfig cfg, i64 dense_rows, i64 cols,
+                                    f32 scale, std::vector<i8> values,
+                                    std::vector<u8> indices,
+                                    std::vector<u8> valid);
+
+ private:
+  NmConfig cfg_;
+  i64 dense_rows_ = 0;
+  i64 cols_ = 0;
+  i64 packed_rows_ = 0;
+  QuantParams params_;
+  std::vector<i8> values_;
+  std::vector<u8> indices_;
+  std::vector<u8> valid_;
+};
+
+}  // namespace msh

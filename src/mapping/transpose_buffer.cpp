@@ -1,0 +1,70 @@
+#include "mapping/transpose_buffer.h"
+
+#include <algorithm>
+
+#include "tensor/tensor.h"
+
+namespace msh {
+
+TransposedPeBuffer::Plan TransposedPeBuffer::plan(
+    const QuantizedNmMatrix& w, const SramMappingOptions& options) {
+  const NmConfig fwd_cfg = w.config();
+  const i64 m = fwd_cfg.m;
+
+  // Reconstruct the dense matrix and transpose: W [K x C] -> W^T [C x K].
+  const std::vector<i8> dense = w.to_dense_int8();
+  const i64 k = w.dense_rows(), c = w.cols();
+  // Pad the transposed row count (C) up to a multiple of M.
+  const i64 ct = (c + m - 1) / m * m;
+
+  Tensor wt(Shape{ct, k});
+  for (i64 i = 0; i < c; ++i) {
+    for (i64 j = 0; j < k; ++j) {
+      wt[i * k + j] = static_cast<f32>(dense[static_cast<size_t>(j * c + i)]);
+    }
+  }
+
+  // Worst-case survivors in any aligned M-group of a W^T column.
+  i32 n_eff = 1;
+  for (i64 col = 0; col < k; ++col) {
+    for (i64 g = 0; g < ct / m; ++g) {
+      i32 nz = 0;
+      for (i64 i = 0; i < m; ++i) {
+        if (wt[(g * m + i) * k + col] != 0.0f) ++nz;
+      }
+      n_eff = std::max(n_eff, nz);
+    }
+  }
+
+  Plan plan;
+  plan.effective_cfg = NmConfig{n_eff, static_cast<i32>(m)};
+  // The tensor holds INT8 codes as floats; adopt them verbatim and carry
+  // the forward scale through for dequantization bookkeeping.
+  const NmPackedMatrix packed =
+      NmPackedMatrix::pack(wt, plan.effective_cfg);
+  plan.transposed = QuantizedNmMatrix::from_packed_codes(packed, w.scale());
+  plan.tiles = map_to_sram_pes(plan.transposed, options);
+  plan.pes_required = static_cast<i64>(plan.tiles.size());
+
+  const i64 pair_bits = 8 + plan.effective_cfg.index_bits();
+  for (const auto& tile : plan.tiles) {
+    for (u8 valid : tile.valid) {
+      if (valid) plan.write_bits += pair_bits;
+    }
+  }
+  const i64 fwd_slots = w.packed_rows() * w.cols();
+  const i64 bwd_slots = plan.transposed.packed_rows() * plan.transposed.cols();
+  plan.slot_overhead = fwd_slots == 0 ? 1.0
+                                      : static_cast<f64>(bwd_slots) /
+                                            static_cast<f64>(fwd_slots);
+  return plan;
+}
+
+i64 TransposedPeBuffer::required_for_layer(i64 packed_slots,
+                                           const SramMappingOptions& options) {
+  MSH_REQUIRE(packed_slots >= 0);
+  const i64 slots_per_pe = options.rows * options.groups;
+  return (packed_slots + slots_per_pe - 1) / slots_per_pe;
+}
+
+}  // namespace msh

@@ -1,0 +1,41 @@
+// Transposed SRAM PE buffers (paper §4, Fig 6-2).
+//
+// Backpropagation needs W^T (error propagation, eq. 1) and e^T (gradient,
+// eq. 2). The design writes the current layer's weights/errors transposed
+// into dedicated SRAM PEs and reuses the same in-memory sparse matmul.
+//
+// Transposing an N:M-along-K matrix destroys the aligned pattern: a group
+// of M consecutive entries in a W^T column can hold anywhere from 0 to M
+// survivors. The buffers therefore pack with an *effective* N equal to
+// the worst group observed ("uneven sparsity"), relying on the row-wise
+// accumulator path for the extra spill — exactly the corner case §3.1
+// motivates.
+#pragma once
+
+#include "mapping/csc_mapper.h"
+
+namespace msh {
+
+class TransposedPeBuffer {
+ public:
+  struct Plan {
+    NmConfig effective_cfg;        ///< n_eff : M of the transposed matrix
+    std::vector<SramPeTile> tiles;
+    QuantizedNmMatrix transposed;  ///< the W^T matrix as packed
+    i64 write_bits = 0;            ///< SRAM bits written to load buffers
+    i64 pes_required = 0;          ///< one tile = one transposed PE
+    f64 slot_overhead = 1.0;       ///< packed slots vs the forward layout
+  };
+
+  /// Builds the transposed-buffer plan for a forward weight matrix.
+  static Plan plan(const QuantizedNmMatrix& w,
+                   const SramMappingOptions& options = {});
+
+  /// Paper sizing rule: the transposed-PE pool is bounded by the largest
+  /// learnable layer (errors/gradients are computed layer by layer).
+  /// Returns PE count for a layer of `packed_slots` compressed entries.
+  static i64 required_for_layer(i64 packed_slots,
+                                const SramMappingOptions& options = {});
+};
+
+}  // namespace msh

@@ -1,0 +1,30 @@
+#include "nn/activations.h"
+
+namespace msh {
+
+Tensor Relu::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  if (training) {
+    cached_active_.assign(static_cast<size_t>(x.numel()), 0);
+    cached_shape_ = x.shape();
+  }
+  for (i64 i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (training) cached_active_[static_cast<size_t>(i)] = 1;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  MSH_REQUIRE(grad_out.shape() == cached_shape_);
+  Tensor g = grad_out;
+  for (i64 i = 0; i < g.numel(); ++i) {
+    if (!cached_active_[static_cast<size_t>(i)]) g[i] = 0.0f;
+  }
+  return g;
+}
+
+}  // namespace msh

@@ -1,0 +1,22 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace msh {
+
+class Relu : public Layer {
+ public:
+  explicit Relu(std::string label = "relu") : label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  std::vector<u8> cached_active_;
+  Shape cached_shape_;
+};
+
+}  // namespace msh

@@ -1,0 +1,163 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace msh {
+
+BatchNorm2d::BatchNorm2d(i64 channels, f32 momentum, f32 eps,
+                         std::string label)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      label_(std::move(label)),
+      gamma_(label_ + ".gamma", Tensor::full(Shape{channels}, 1.0f)),
+      beta_(label_ + ".beta", Tensor::zeros(Shape{channels})),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::full(Shape{channels}, 1.0f)) {
+  MSH_REQUIRE(channels_ > 0);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  MSH_REQUIRE(x.shape()[1] == channels_);
+  const i64 n = x.shape()[0], spatial = x.shape()[2] * x.shape()[3];
+  const i64 per_channel = n * spatial;
+  Tensor y(x.shape());
+
+  if (training && frozen_stats_) {
+    // Frozen backbone: normalize with the stored statistics (a fixed
+    // per-channel affine), cache just enough for the simplified backward.
+    cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+    cached_xhat_ = Tensor(x.shape());
+    cached_frozen_ = true;
+    for (i64 ch = 0; ch < channels_; ++ch) {
+      const f32 inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+      cached_inv_std_[static_cast<size_t>(ch)] = inv_std;
+      const f32 mean = running_mean_[ch];
+      for (i64 img = 0; img < n; ++img) {
+        const i64 plane = (img * channels_ + ch) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const f32 xhat = (x[plane + s] - mean) * inv_std;
+          cached_xhat_[plane + s] = xhat;
+          y[plane + s] = gamma_.value[ch] * xhat + beta_.value[ch];
+        }
+      }
+    }
+    return y;
+  }
+
+  if (training) {
+    cached_frozen_ = false;
+    cached_mean_.assign(static_cast<size_t>(channels_), 0.0f);
+    cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+    cached_xhat_ = Tensor(x.shape());
+    cached_input_ = x;
+
+    for (i64 ch = 0; ch < channels_; ++ch) {
+      f64 sum = 0.0, sq = 0.0;
+      for (i64 img = 0; img < n; ++img) {
+        const i64 plane = (img * channels_ + ch) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const f64 v = x[plane + s];
+          sum += v;
+          sq += v * v;
+        }
+      }
+      const f64 mean = sum / per_channel;
+      const f64 var = sq / per_channel - mean * mean;
+      const f32 inv_std = 1.0f / std::sqrt(static_cast<f32>(var) + eps_);
+      cached_mean_[static_cast<size_t>(ch)] = static_cast<f32>(mean);
+      cached_inv_std_[static_cast<size_t>(ch)] = inv_std;
+
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                          momentum_ * static_cast<f32>(mean);
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                         momentum_ * static_cast<f32>(var);
+
+      for (i64 img = 0; img < n; ++img) {
+        const i64 plane = (img * channels_ + ch) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const f32 xhat =
+              (x[plane + s] - static_cast<f32>(mean)) * inv_std;
+          cached_xhat_[plane + s] = xhat;
+          y[plane + s] = gamma_.value[ch] * xhat + beta_.value[ch];
+        }
+      }
+    }
+  } else {
+    for (i64 ch = 0; ch < channels_; ++ch) {
+      const f32 inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+      const f32 mean = running_mean_[ch];
+      for (i64 img = 0; img < n; ++img) {
+        const i64 plane = (img * channels_ + ch) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          y[plane + s] =
+              gamma_.value[ch] * (x[plane + s] - mean) * inv_std +
+              beta_.value[ch];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  MSH_REQUIRE(!cached_xhat_.empty());
+  MSH_REQUIRE(grad_out.shape() == cached_xhat_.shape());
+  const i64 n = grad_out.shape()[0],
+            spatial = grad_out.shape()[2] * grad_out.shape()[3];
+  const f64 per_channel = static_cast<f64>(n * spatial);
+  Tensor gx(grad_out.shape());
+
+  if (cached_frozen_) {
+    // Fixed-affine backward: no batch-statistic terms.
+    for (i64 ch = 0; ch < channels_; ++ch) {
+      const f32 scale =
+          gamma_.value[ch] * cached_inv_std_[static_cast<size_t>(ch)];
+      f64 sum_dy = 0.0, sum_dy_xhat = 0.0;
+      for (i64 img = 0; img < n; ++img) {
+        const i64 plane = (img * channels_ + ch) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const f64 dy = grad_out[plane + s];
+          sum_dy += dy;
+          sum_dy_xhat += dy * cached_xhat_[plane + s];
+          gx[plane + s] = static_cast<f32>(dy) * scale;
+        }
+      }
+      gamma_.grad[ch] += static_cast<f32>(sum_dy_xhat);
+      beta_.grad[ch] += static_cast<f32>(sum_dy);
+    }
+    return gx;
+  }
+
+  for (i64 ch = 0; ch < channels_; ++ch) {
+    f64 sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (i64 img = 0; img < n; ++img) {
+      const i64 plane = (img * channels_ + ch) * spatial;
+      for (i64 s = 0; s < spatial; ++s) {
+        sum_dy += grad_out[plane + s];
+        sum_dy_xhat += f64{grad_out[plane + s]} * cached_xhat_[plane + s];
+      }
+    }
+    gamma_.grad[ch] += static_cast<f32>(sum_dy_xhat);
+    beta_.grad[ch] += static_cast<f32>(sum_dy);
+
+    const f32 inv_std = cached_inv_std_[static_cast<size_t>(ch)];
+    const f32 g = gamma_.value[ch];
+    for (i64 img = 0; img < n; ++img) {
+      const i64 plane = (img * channels_ + ch) * spatial;
+      for (i64 s = 0; s < spatial; ++s) {
+        const f64 dy = grad_out[plane + s];
+        const f64 xhat = cached_xhat_[plane + s];
+        gx[plane + s] = static_cast<f32>(
+            g * inv_std *
+            (dy - sum_dy / per_channel - xhat * sum_dy_xhat / per_channel));
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+}  // namespace msh

@@ -1,0 +1,54 @@
+// Per-channel batch normalization over NCHW activations with running
+// statistics for inference mode.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace msh {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(i64 channels, f32 momentum = 0.1f, f32 eps = 1e-5f,
+                       std::string label = "bn");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+  f32 eps() const { return eps_; }
+  i64 channels() const { return channels_; }
+
+  /// Freezes the running statistics: training-mode forwards normalize
+  /// with the stored running mean/var (like inference) and do NOT update
+  /// them. This is what "frozen backbone" means for BN during on-device
+  /// learning — without it, later tasks would silently drift the
+  /// backbone's statistics and break zero-forgetting task switching.
+  void set_frozen_stats(bool frozen) { frozen_stats_ = frozen; }
+  bool frozen_stats() const { return frozen_stats_; }
+
+ private:
+  i64 channels_;
+  f32 momentum_;
+  f32 eps_;
+  std::string label_;
+  Param gamma_;  ///< scale [C]
+  Param beta_;   ///< shift [C]
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  bool frozen_stats_ = false;
+
+  // Cached state from the last training forward.
+  Tensor cached_xhat_;
+  Tensor cached_input_;
+  std::vector<f32> cached_mean_;
+  std::vector<f32> cached_inv_std_;
+  bool cached_frozen_ = false;
+};
+
+}  // namespace msh

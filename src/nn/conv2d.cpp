@@ -1,0 +1,96 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+
+namespace msh {
+
+Conv2d::Conv2d(Conv2dGeometry geom, Rng& rng, bool bias, std::string label)
+    : geom_(geom),
+      label_(std::move(label)),
+      weight_(label_ + ".w",
+              kaiming_normal(
+                  Shape{geom.out_channels,
+                        geom.in_channels * geom.kernel * geom.kernel},
+                  geom.in_channels * geom.kernel * geom.kernel, rng)),
+      bias_(label_ + ".b", Tensor::zeros(Shape{geom.out_channels})),
+      has_bias_(bias) {
+  MSH_REQUIRE(geom.in_channels > 0 && geom.out_channels > 0);
+  MSH_REQUIRE(geom.kernel > 0 && geom.stride > 0 && geom.padding >= 0);
+}
+
+void Conv2d::set_weight(Tensor w) {
+  MSH_REQUIRE(w.shape() == weight_.value.shape());
+  weight_.value = std::move(w);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  const i64 n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
+  const i64 ho = geom_.out_dim(h), wo = geom_.out_dim(w);
+
+  Tensor cols = im2col(x, geom_);
+  // prod[oc, (img*ho+oy)*wo+ox]
+  Tensor prod = matmul(weight_.value, cols);
+
+  Tensor y(Shape{n, geom_.out_channels, ho, wo});
+  const i64 spatial = ho * wo;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 oc = 0; oc < geom_.out_channels; ++oc) {
+      const f32 b = has_bias_ ? bias_.value[oc] : 0.0f;
+      for (i64 s = 0; s < spatial; ++s) {
+        y[((img * geom_.out_channels + oc) * spatial) + s] =
+            prod[oc * (n * spatial) + img * spatial + s] + b;
+      }
+    }
+  }
+
+  if (training) {
+    cached_cols_ = std::move(cols);
+    cached_input_shape_ = x.shape();
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  MSH_REQUIRE(!cached_cols_.empty());
+  MSH_REQUIRE(grad_out.shape().rank() == 4);
+  const i64 n = grad_out.shape()[0];
+  const i64 oc_count = grad_out.shape()[1];
+  MSH_REQUIRE(oc_count == geom_.out_channels);
+  const i64 spatial = grad_out.shape()[2] * grad_out.shape()[3];
+
+  // Rearrange grad to [oc, n*spatial] matching the forward matmul layout.
+  Tensor g(Shape{oc_count, n * spatial});
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 oc = 0; oc < oc_count; ++oc) {
+      for (i64 s = 0; s < spatial; ++s) {
+        g[oc * (n * spatial) + img * spatial + s] =
+            grad_out[(img * oc_count + oc) * spatial + s];
+      }
+    }
+  }
+
+  // dW = g * cols^T  (eq. 2: gradient = activation x error)
+  Tensor dw = matmul_tb(g, cached_cols_);
+  weight_.grad += dw;
+
+  if (has_bias_) {
+    for (i64 oc = 0; oc < oc_count; ++oc) {
+      f64 acc = 0.0;
+      for (i64 s = 0; s < n * spatial; ++s) acc += g[oc * (n * spatial) + s];
+      bias_.grad[oc] += static_cast<f32>(acc);
+    }
+  }
+
+  // dcols = W^T * g  (eq. 1: error propagation through the transpose)
+  Tensor dcols = matmul_ta(weight_.value, g);
+  return col2im(dcols, cached_input_shape_, geom_);
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace msh

@@ -1,0 +1,43 @@
+// 2-D convolution lowered to matmul via im2col. The weight is held in the
+// [out_channels, in_channels*k*k] matrix form that maps directly onto the
+// PIM arrays (reduction dimension on the input word lines).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace msh {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(Conv2dGeometry geom, Rng& rng, bool bias = true,
+         std::string label = "conv");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+  const Conv2dGeometry& geometry() const { return geom_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+  /// Replaces the weight matrix (shape must match); used when loading a
+  /// pruned/quantized model onto the layer.
+  void set_weight(Tensor w);
+
+ private:
+  Conv2dGeometry geom_;
+  std::string label_;
+  Param weight_;  ///< [out_c, in_c*k*k]
+  Param bias_;    ///< [out_c]
+  bool has_bias_;
+
+  // Cached forward state for backward.
+  Tensor cached_cols_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace msh

@@ -1,0 +1,70 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace msh {
+
+Linear::Linear(i64 in_features, i64 out_features, Rng& rng, bool bias,
+               std::string label)
+    : in_(in_features),
+      out_(out_features),
+      label_(std::move(label)),
+      weight_(label_ + ".w",
+              kaiming_normal(Shape{out_features, in_features}, in_features,
+                             rng)),
+      bias_(label_ + ".b", Tensor::zeros(Shape{out_features})),
+      has_bias_(bias) {
+  MSH_REQUIRE(in_ > 0 && out_ > 0);
+}
+
+void Linear::set_weight(Tensor w) {
+  MSH_REQUIRE(w.shape() == weight_.value.shape());
+  weight_.value = std::move(w);
+}
+
+void Linear::reset(Rng& rng) {
+  weight_.value = kaiming_normal(Shape{out_, in_}, in_, rng);
+  weight_.zero_grad();
+  bias_.value.fill(0.0f);
+  bias_.zero_grad();
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 2);
+  MSH_REQUIRE(x.shape()[1] == in_);
+  Tensor y = matmul_tb(x, weight_.value);  // [B, out]
+  if (has_bias_) {
+    const i64 b = x.shape()[0];
+    for (i64 i = 0; i < b; ++i)
+      for (i64 j = 0; j < out_; ++j) y[i * out_ + j] += bias_.value[j];
+  }
+  if (training) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  MSH_REQUIRE(!cached_input_.empty());
+  MSH_REQUIRE(grad_out.shape() == Shape({cached_input_.shape()[0], out_}));
+
+  // dW = dy^T * x  (eq. 2)
+  weight_.grad += matmul_ta(grad_out, cached_input_);
+  if (has_bias_) {
+    const i64 b = grad_out.shape()[0];
+    for (i64 j = 0; j < out_; ++j) {
+      f64 acc = 0.0;
+      for (i64 i = 0; i < b; ++i) acc += grad_out[i * out_ + j];
+      bias_.grad[j] += static_cast<f32>(acc);
+    }
+  }
+  // dx = dy * W  (eq. 1)
+  return matmul(grad_out, weight_.value);
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace msh

@@ -1,0 +1,39 @@
+// Fully-connected layer: y = x W^T + b, x: [B, in], W: [out, in].
+#pragma once
+
+#include "nn/layer.h"
+
+namespace msh {
+
+class Linear : public Layer {
+ public:
+  Linear(i64 in_features, i64 out_features, Rng& rng, bool bias = true,
+         std::string label = "fc");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+  i64 in_features() const { return in_; }
+  i64 out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+
+  void set_weight(Tensor w);
+  /// Reinitializes weights (used when a fresh classifier head is attached
+  /// for a new continual-learning task).
+  void reset(Rng& rng);
+
+ private:
+  i64 in_;
+  i64 out_;
+  std::string label_;
+  Param weight_;  ///< [out, in]
+  Param bias_;    ///< [out]
+  bool has_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace msh

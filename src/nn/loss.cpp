@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msh {
+
+Tensor softmax(const Tensor& logits) {
+  MSH_REQUIRE(logits.shape().rank() == 2);
+  const i64 b = logits.shape()[0], c = logits.shape()[1];
+  Tensor p(logits.shape());
+  for (i64 i = 0; i < b; ++i) {
+    f32 mx = logits[i * c];
+    for (i64 j = 1; j < c; ++j) mx = std::max(mx, logits[i * c + j]);
+    f64 denom = 0.0;
+    for (i64 j = 0; j < c; ++j) {
+      const f64 e = std::exp(f64{logits[i * c + j]} - mx);
+      p[i * c + j] = static_cast<f32>(e);
+      denom += e;
+    }
+    for (i64 j = 0; j < c; ++j)
+      p[i * c + j] = static_cast<f32>(p[i * c + j] / denom);
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const i32> labels) {
+  MSH_REQUIRE(logits.shape().rank() == 2);
+  const i64 b = logits.shape()[0], c = logits.shape()[1];
+  MSH_REQUIRE(static_cast<i64>(labels.size()) == b);
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  f64 total = 0.0;
+  for (i64 i = 0; i < b; ++i) {
+    const i32 y = labels[static_cast<size_t>(i)];
+    MSH_REQUIRE(y >= 0 && y < c);
+    const f32 p = result.grad_logits[i * c + y];
+    total += -std::log(std::max(p, 1e-12f));
+    result.grad_logits[i * c + y] -= 1.0f;
+  }
+  result.loss = total / static_cast<f64>(b);
+  result.grad_logits *= 1.0f / static_cast<f32>(b);
+  return result;
+}
+
+f64 accuracy(const Tensor& logits, std::span<const i32> labels) {
+  MSH_REQUIRE(logits.shape().rank() == 2);
+  const i64 b = logits.shape()[0], c = logits.shape()[1];
+  MSH_REQUIRE(static_cast<i64>(labels.size()) == b);
+  i64 correct = 0;
+  for (i64 i = 0; i < b; ++i) {
+    i64 best = 0;
+    for (i64 j = 1; j < c; ++j) {
+      if (logits[i * c + j] > logits[i * c + best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<f64>(correct) / static_cast<f64>(b);
+}
+
+}  // namespace msh

@@ -1,0 +1,26 @@
+// Classification loss and metrics.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msh {
+
+struct LossResult {
+  f64 loss = 0.0;      ///< mean cross-entropy over the batch
+  Tensor grad_logits;  ///< gradient w.r.t. the logits, already / batch
+};
+
+/// Numerically stable softmax cross-entropy.
+/// logits: [B, C]; labels: one class id per batch row.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const i32> labels);
+
+/// Row-wise softmax probabilities.
+Tensor softmax(const Tensor& logits);
+
+/// Top-1 accuracy of logits against labels.
+f64 accuracy(const Tensor& logits, std::span<const i32> labels);
+
+}  // namespace msh

@@ -1,0 +1,37 @@
+#include "nn/optimizer.h"
+
+namespace msh {
+
+Sgd::Sgd(std::vector<Param*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  for (Param* p : params_) {
+    MSH_REQUIRE(p != nullptr);
+    velocity_.emplace(p, Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Sgd::step() {
+  for (Param* p : params_) {
+    if (!p->trainable) continue;
+    Tensor& v = velocity_.at(p);
+    const bool masked = p->mask != nullptr;
+    for (i64 i = 0; i < p->value.numel(); ++i) {
+      if (masked && !p->mask->kept(i)) {
+        // Pruned position: no gradient flows, weight pinned at zero.
+        p->value[i] = 0.0f;
+        continue;
+      }
+      f32 g = p->grad[i] + options_.weight_decay * p->value[i];
+      v[i] = options_.momentum * v[i] + g;
+      p->value[i] -= options_.lr * v[i];
+      ++elements_updated_;
+    }
+  }
+  zero_grad();
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace msh

@@ -1,0 +1,42 @@
+// SGD with momentum and weight decay. Honors per-parameter N:M masks:
+// pruned positions receive no gradient and stay exactly zero through the
+// whole fine-tuning phase, which is what lets the fine-tuned model map
+// back onto the sparse PIM arrays unchanged.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace msh {
+
+struct SgdOptions {
+  f32 lr = 0.01f;
+  f32 momentum = 0.9f;
+  f32 weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdOptions options);
+
+  void set_lr(f32 lr) { options_.lr = lr; }
+  f32 lr() const { return options_.lr; }
+
+  /// Applies one update step to all trainable params and zeroes grads.
+  void step();
+  void zero_grad();
+
+  /// Total elements written by update steps so far — feeds the hardware
+  /// model's weight-write accounting for continual learning (Fig 8).
+  i64 elements_updated() const { return elements_updated_; }
+
+ private:
+  std::vector<Param*> params_;
+  SgdOptions options_;
+  std::unordered_map<Param*, Tensor> velocity_;
+  i64 elements_updated_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,167 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace msh {
+
+namespace {
+i64 pool_out_dim(i64 in, i64 kernel, i64 stride) {
+  return (in - kernel) / stride + 1;
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(i64 kernel, i64 stride, std::string label)
+    : kernel_(kernel), stride_(stride), label_(std::move(label)) {
+  MSH_REQUIRE(kernel_ > 0 && stride_ > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  const i64 n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+            w = x.shape()[3];
+  const i64 ho = pool_out_dim(h, kernel_, stride_);
+  const i64 wo = pool_out_dim(w, kernel_, stride_);
+  MSH_REQUIRE(ho > 0 && wo > 0);
+
+  Tensor y(Shape{n, c, ho, wo});
+  cached_argmax_.assign(static_cast<size_t>(y.numel()), 0);
+  cached_input_shape_ = x.shape();
+  (void)training;
+
+  i64 out = 0;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 ch = 0; ch < c; ++ch) {
+      const i64 plane = (img * c + ch) * h * w;
+      for (i64 oy = 0; oy < ho; ++oy) {
+        for (i64 ox = 0; ox < wo; ++ox, ++out) {
+          f32 best = -std::numeric_limits<f32>::infinity();
+          i64 best_off = 0;
+          for (i64 ky = 0; ky < kernel_; ++ky) {
+            for (i64 kx = 0; kx < kernel_; ++kx) {
+              const i64 off =
+                  plane + (oy * stride_ + ky) * w + (ox * stride_ + kx);
+              if (x[off] > best) {
+                best = x[off];
+                best_off = off;
+              }
+            }
+          }
+          y[out] = best;
+          cached_argmax_[static_cast<size_t>(out)] = best_off;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  MSH_REQUIRE(static_cast<size_t>(grad_out.numel()) == cached_argmax_.size());
+  Tensor g(cached_input_shape_);
+  for (i64 i = 0; i < grad_out.numel(); ++i)
+    g[cached_argmax_[static_cast<size_t>(i)]] += grad_out[i];
+  return g;
+}
+
+AvgPool2d::AvgPool2d(i64 kernel, i64 stride, std::string label)
+    : kernel_(kernel), stride_(stride), label_(std::move(label)) {
+  MSH_REQUIRE(kernel_ > 0 && stride_ > 0);
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  const i64 n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+            w = x.shape()[3];
+  const i64 ho = pool_out_dim(h, kernel_, stride_);
+  const i64 wo = pool_out_dim(w, kernel_, stride_);
+  MSH_REQUIRE(ho > 0 && wo > 0);
+  (void)training;
+  cached_input_shape_ = x.shape();
+
+  Tensor y(Shape{n, c, ho, wo});
+  const f32 inv = 1.0f / static_cast<f32>(kernel_ * kernel_);
+  i64 out = 0;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 ch = 0; ch < c; ++ch) {
+      const i64 plane = (img * c + ch) * h * w;
+      for (i64 oy = 0; oy < ho; ++oy) {
+        for (i64 ox = 0; ox < wo; ++ox, ++out) {
+          f32 acc = 0.0f;
+          for (i64 ky = 0; ky < kernel_; ++ky)
+            for (i64 kx = 0; kx < kernel_; ++kx)
+              acc += x[plane + (oy * stride_ + ky) * w + (ox * stride_ + kx)];
+          y[out] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  const i64 n = cached_input_shape_[0], c = cached_input_shape_[1],
+            h = cached_input_shape_[2], w = cached_input_shape_[3];
+  const i64 ho = pool_out_dim(h, kernel_, stride_);
+  const i64 wo = pool_out_dim(w, kernel_, stride_);
+  MSH_REQUIRE(grad_out.shape() == Shape({n, c, ho, wo}));
+  Tensor g(cached_input_shape_);
+  const f32 inv = 1.0f / static_cast<f32>(kernel_ * kernel_);
+  i64 out = 0;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 ch = 0; ch < c; ++ch) {
+      const i64 plane = (img * c + ch) * h * w;
+      for (i64 oy = 0; oy < ho; ++oy) {
+        for (i64 ox = 0; ox < wo; ++ox, ++out) {
+          const f32 share = grad_out[out] * inv;
+          for (i64 ky = 0; ky < kernel_; ++ky)
+            for (i64 kx = 0; kx < kernel_; ++kx)
+              g[plane + (oy * stride_ + ky) * w + (ox * stride_ + kx)] +=
+                  share;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() == 4);
+  (void)training;
+  cached_input_shape_ = x.shape();
+  const i64 n = x.shape()[0], c = x.shape()[1],
+            spatial = x.shape()[2] * x.shape()[3];
+  Tensor y(Shape{n, c, 1, 1});
+  for (i64 i = 0; i < n * c; ++i) {
+    f64 acc = 0.0;
+    for (i64 s = 0; s < spatial; ++s) acc += x[i * spatial + s];
+    y[i] = static_cast<f32>(acc / static_cast<f64>(spatial));
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const i64 n = cached_input_shape_[0], c = cached_input_shape_[1],
+            spatial = cached_input_shape_[2] * cached_input_shape_[3];
+  MSH_REQUIRE(grad_out.shape() == Shape({n, c, 1, 1}));
+  Tensor g(cached_input_shape_);
+  const f32 inv = 1.0f / static_cast<f32>(spatial);
+  for (i64 i = 0; i < n * c; ++i) {
+    const f32 share = grad_out[i] * inv;
+    for (i64 s = 0; s < spatial; ++s) g[i * spatial + s] = share;
+  }
+  return g;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool training) {
+  MSH_REQUIRE(x.shape().rank() >= 2);
+  (void)training;
+  cached_input_shape_ = x.shape();
+  const i64 b = x.shape()[0];
+  return x.reshaped(Shape{b, x.numel() / b});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+}  // namespace msh

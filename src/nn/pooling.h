@@ -1,0 +1,68 @@
+// Spatial pooling layers over NCHW activations.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace msh {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(i64 kernel, i64 stride, std::string label = "maxpool");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  i64 kernel_;
+  i64 stride_;
+  std::string label_;
+  Shape cached_input_shape_;
+  std::vector<i64> cached_argmax_;  ///< flat input offset per output element
+};
+
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(i64 kernel, i64 stride, std::string label = "avgpool");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  i64 kernel_;
+  i64 stride_;
+  std::string label_;
+  Shape cached_input_shape_;
+};
+
+/// Pools each channel to a single value (adaptive average pool to 1x1),
+/// producing [B, C, 1, 1].
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string label = "gap") : label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  Shape cached_input_shape_;
+};
+
+/// Collapses [B, C, H, W] to [B, C*H*W].
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string label = "flatten") : label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace msh

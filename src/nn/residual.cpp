@@ -1,0 +1,79 @@
+#include "nn/residual.h"
+
+namespace msh {
+
+ResidualBlock::ResidualBlock(i64 in_channels, i64 out_channels, i64 stride,
+                             Rng& rng, std::string label)
+    : label_(std::move(label)),
+      conv1_({.in_channels = in_channels,
+              .out_channels = out_channels,
+              .kernel = 3,
+              .stride = stride,
+              .padding = 1},
+             rng, /*bias=*/false, label_ + ".conv1"),
+      bn1_(out_channels, 0.1f, 1e-5f, label_ + ".bn1"),
+      relu1_(label_ + ".relu1"),
+      conv2_({.in_channels = out_channels,
+              .out_channels = out_channels,
+              .kernel = 3,
+              .stride = 1,
+              .padding = 1},
+             rng, /*bias=*/false, label_ + ".conv2"),
+      bn2_(out_channels, 0.1f, 1e-5f, label_ + ".bn2"),
+      has_projection_(stride != 1 || in_channels != out_channels),
+      relu_out_(label_ + ".relu_out") {
+  if (has_projection_) {
+    proj_ = std::make_unique<Conv2d>(
+        Conv2dGeometry{.in_channels = in_channels,
+                       .out_channels = out_channels,
+                       .kernel = 1,
+                       .stride = stride,
+                       .padding = 0},
+        rng, /*bias=*/false, label_ + ".proj");
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels, 0.1f, 1e-5f,
+                                             label_ + ".proj_bn");
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool training) {
+  Tensor main = bn2_.forward(
+      conv2_.forward(
+          relu1_.forward(bn1_.forward(conv1_.forward(x, training), training),
+                         training),
+          training),
+      training);
+  Tensor shortcut =
+      has_projection_
+          ? proj_bn_->forward(proj_->forward(x, training), training)
+          : x;
+  main += shortcut;
+  return relu_out_.forward(main, training);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu_out_.backward(grad_out);
+  // g splits between the main path and the shortcut.
+  Tensor g_main =
+      conv1_.backward(bn1_.backward(relu1_.backward(conv2_.backward(
+          bn2_.backward(g)))));
+  Tensor g_short = has_projection_
+                       ? proj_->backward(proj_bn_->backward(g))
+                       : g;
+  g_main += g_short;
+  return g_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> all;
+  for (Layer* l : std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_,
+                                                &bn2_}) {
+    for (Param* p : l->params()) all.push_back(p);
+  }
+  if (has_projection_) {
+    for (Param* p : proj_->params()) all.push_back(p);
+    for (Param* p : proj_bn_->params()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace msh

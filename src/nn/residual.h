@@ -1,0 +1,48 @@
+// Basic residual block (two 3x3 conv-BN pairs plus identity or 1x1
+// projection shortcut) — the building block of the MicroResNet backbone.
+#pragma once
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+
+namespace msh {
+
+class ResidualBlock : public Layer {
+ public:
+  /// stride > 1 downsamples and forces a projection shortcut; a channel
+  /// change also forces projection.
+  ResidualBlock(i64 in_channels, i64 out_channels, i64 stride, Rng& rng,
+                std::string label = "res");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+  // Structural access for hardware deployment (arch/pim_executor).
+  Conv2d& conv1() { return conv1_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  bool has_projection() const { return has_projection_; }
+  Conv2d& projection() { MSH_REQUIRE(proj_ != nullptr); return *proj_; }
+  BatchNorm2d& projection_bn() {
+    MSH_REQUIRE(proj_bn_ != nullptr);
+    return *proj_bn_;
+  }
+
+ private:
+  std::string label_;
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  Relu relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  bool has_projection_;
+  std::unique_ptr<Conv2d> proj_;
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  Relu relu_out_;
+};
+
+}  // namespace msh

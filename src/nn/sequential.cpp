@@ -1,0 +1,31 @@
+#include "nn/sequential.h"
+
+namespace msh {
+
+Layer& Sequential::layer(i64 i) {
+  MSH_REQUIRE(i >= 0 && i < size());
+  return *layers_[static_cast<size_t>(i)];
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->forward(y, training);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace msh

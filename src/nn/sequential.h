@@ -1,0 +1,35 @@
+// Ordered layer container with pass-through forward/backward.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace msh {
+
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string label = "seq") : label_(std::move(label)) {}
+
+  /// Appends a layer and returns a typed reference to it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+  void append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  i64 size() const { return static_cast<i64>(layers_.size()); }
+  Layer& layer(i64 i);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace msh

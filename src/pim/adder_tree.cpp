@@ -1,0 +1,32 @@
+#include "pim/adder_tree.h"
+
+#include <vector>
+
+namespace msh {
+
+AdderTree::AdderTree(i64 inputs) : inputs_(inputs) {
+  MSH_REQUIRE(inputs_ >= 1);
+  depth_ = 0;
+  i64 span = 1;
+  while (span < inputs_) {
+    span <<= 1;
+    ++depth_;
+  }
+}
+
+i32 AdderTree::reduce(std::span<const i32> values) {
+  MSH_REQUIRE(static_cast<i64>(values.size()) <= inputs_);
+  std::vector<i64> level(values.begin(), values.end());
+  while (level.size() > 1) {
+    std::vector<i64> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(level[i] + level[i + 1]);
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  ++ops_;
+  return level.empty() ? 0 : static_cast<i32>(level.front());
+}
+
+}  // namespace msh

@@ -1,0 +1,37 @@
+// Digital adder tree: the column-wise reduction network of both PE types.
+// Functionally a sum; structurally a binary tree whose depth sets the
+// pipeline latency and whose node count sets per-op energy.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace msh {
+
+class AdderTree {
+ public:
+  /// `inputs` is the leaf count (128 for the SRAM PE column groups).
+  explicit AdderTree(i64 inputs);
+
+  i64 inputs() const { return inputs_; }
+  /// Tree depth in adder stages: ceil(log2(inputs)).
+  i64 depth() const { return depth_; }
+  /// Total 2-input adder nodes (inputs - 1 for a full reduction tree).
+  i64 node_count() const { return inputs_ - 1; }
+
+  /// Performs one reduction, emulating the tree stage by stage (so a
+  /// node-count assertion failure would surface structural bugs), and
+  /// bumps the op counter.
+  i32 reduce(std::span<const i32> values);
+
+  i64 ops() const { return ops_; }
+  void reset_ops() { ops_ = 0; }
+
+ private:
+  i64 inputs_;
+  i64 depth_;
+  i64 ops_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,84 @@
+#include "pim/dense_pe.h"
+
+#include <algorithm>
+
+namespace msh {
+
+DenseCimPe::DenseCimPe() : tree_(128) {}
+
+void DenseCimPe::load(DensePeTile tile) {
+  MSH_REQUIRE(!tile.empty());
+  MSH_REQUIRE(static_cast<i64>(tile.weights.size()) ==
+              tile.rows * tile.cols);
+  events_.sram_weight_bits_written +=
+      static_cast<i64>(tile.weights.size()) * 8;
+  events_.sram_write_row_ops += tile.rows;
+  events_.cycles += tile.rows;
+  tile_ = std::move(tile);
+}
+
+std::vector<i64> DenseCimPe::matvec(std::span<const i8> activations) {
+  MSH_REQUIRE(loaded());
+  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
+
+  const i64 rows = tile_.rows, cols = tile_.cols;
+  std::vector<i64> acc(static_cast<size_t>(cols), 0);
+  std::vector<i32> partials(static_cast<size_t>(rows));
+
+  for (i32 bit = 0; bit < 8; ++bit) {
+    events_.sram_array_cycles += 1;
+    events_.sram_decoder_cycles += 1;
+    events_.cycles += 1;
+    for (i64 c = 0; c < cols; ++c) {
+      std::fill(partials.begin(), partials.end(), 0);
+      for (i64 r = 0; r < rows; ++r) {
+        const i64 dense_row = tile_.row_offset + r;
+        // Ragged final window: rows past the matrix edge hold zero
+        // weights and read no activation.
+        if (dense_row >= static_cast<i64>(activations.size())) continue;
+        const i8 act = activations[static_cast<size_t>(dense_row)];
+        if (!((static_cast<u8>(act) >> bit) & 1)) continue;
+        partials[static_cast<size_t>(r)] =
+            tile_.weights[static_cast<size_t>(c * rows + r)];
+      }
+      const i32 plane = tree_.reduce(partials);
+      events_.sram_adder_tree_ops += 1;
+      events_.sram_shift_acc_ops += 1;
+      const i64 shifted = static_cast<i64>(plane) << bit;
+      acc[static_cast<size_t>(c)] += (bit == 7) ? -shifted : shifted;
+    }
+  }
+  events_.cycles += tree_.depth();
+  return acc;
+}
+
+std::vector<DensePeTile> map_to_dense_pes(std::span<const i8> matrix, i64 k,
+                                          i64 c, i64 rows, i64 cols) {
+  MSH_REQUIRE(static_cast<i64>(matrix.size()) == k * c);
+  MSH_REQUIRE(rows > 0 && cols > 0);
+  std::vector<DensePeTile> tiles;
+  for (i64 col_base = 0; col_base < c; col_base += cols) {
+    const i64 width = std::min(cols, c - col_base);
+    for (i64 row_base = 0; row_base < k; row_base += rows) {
+      const i64 height = std::min(rows, k - row_base);
+      DensePeTile tile;
+      tile.rows = rows;
+      tile.cols = width;
+      tile.row_offset = row_base;
+      tile.col_offset = col_base;
+      tile.activation_len = k;
+      tile.weights.assign(static_cast<size_t>(rows * width), 0);
+      for (i64 cc = 0; cc < width; ++cc) {
+        for (i64 r = 0; r < height; ++r) {
+          tile.weights[static_cast<size_t>(cc * rows + r)] =
+              matrix[static_cast<size_t>((row_base + r) * c + col_base +
+                                         cc)];
+        }
+      }
+      tiles.push_back(std::move(tile));
+    }
+  }
+  return tiles;
+}
+
+}  // namespace msh

@@ -1,0 +1,58 @@
+// Functional model of a *dense* digital SRAM CIM macro in the ISSCC'21
+// [29] style: the same 128-row bit-serial array as the sparse PE but with
+// no index machinery — every row maps one dense reduction element, all
+// rows accumulate unconditionally, and a full matrix pass takes exactly
+// 8 input-bit cycles per 128-row window.
+//
+// Two uses: an executable stand-in for the dense baseline, and a
+// cross-check oracle — a sparse PE loaded with an M:M ("dense") packing
+// must produce identical results at M x the cycles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pim/adder_tree.h"
+#include "pim/events.h"
+
+namespace msh {
+
+struct DensePeTile {
+  i64 rows = 128;    ///< reduction window height
+  i64 cols = 12;     ///< output columns (dense macro: 12 x 8b per 96 cells)
+  std::vector<i8> weights;  ///< [cols * rows], column-major like SramPeTile
+  /// Dense row/column offsets of this window within the full matrix.
+  i64 row_offset = 0;
+  i64 col_offset = 0;
+  i64 activation_len = 0;
+
+  bool empty() const { return weights.empty(); }
+};
+
+class DenseCimPe {
+ public:
+  DenseCimPe();
+
+  void load(DensePeTile tile);
+  bool loaded() const { return !tile_.empty(); }
+  const DensePeTile& tile() const { return tile_; }
+
+  /// Bit-serial dense matvec: 8 array cycles, every row contributes.
+  /// Returns one INT32 accumulator per column.
+  std::vector<i64> matvec(std::span<const i8> activations);
+
+  const PeEventCounts& events() const { return events_; }
+  void reset_events() { events_ = {}; }
+
+ private:
+  DensePeTile tile_;
+  AdderTree tree_;
+  PeEventCounts events_;
+};
+
+/// Cuts a dense [K x C] INT8 matrix into DensePeTile windows.
+std::vector<DensePeTile> map_to_dense_pes(std::span<const i8> matrix,
+                                          i64 k, i64 c, i64 rows = 128,
+                                          i64 cols = 12);
+
+}  // namespace msh

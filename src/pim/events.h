@@ -1,0 +1,60 @@
+// Event counters produced by the PE functional simulators. The sim module
+// converts these to energy/latency with the device EnergyLibrary; keeping
+// raw counts here makes the accounting unit-testable and lets ablations
+// re-price the same run under different device assumptions.
+#pragma once
+
+#include "common/types.h"
+
+namespace msh {
+
+struct PeEventCounts {
+  // Shared
+  i64 cycles = 0;                ///< busy periphery clock cycles
+  i64 buffer_bits_read = 0;      ///< activation buffer reads
+  i64 buffer_bits_written = 0;   ///< result write-backs
+
+  // SRAM sparse PE
+  i64 sram_array_cycles = 0;     ///< cycles the bit-cell array is active
+  i64 sram_decoder_cycles = 0;
+  i64 sram_adder_tree_ops = 0;   ///< one 128-input tree reduction
+  i64 sram_shift_acc_ops = 0;
+  i64 sram_index_compares = 0;   ///< one column group x 128 comparators
+  i64 sram_row_acc_ops = 0;      ///< row-wise accumulator merges (spill)
+  i64 sram_weight_bits_written = 0;
+  i64 sram_write_row_ops = 0;
+
+  // MRAM sparse PE
+  i64 mram_row_reads = 0;
+  i64 mram_shift_acc_ops = 0;
+  i64 mram_adder_tree_ops = 0;
+  i64 mram_set_reset_bits = 0;   ///< MTJ writes actually toggled
+  i64 mram_write_row_ops = 0;
+
+  PeEventCounts& operator+=(const PeEventCounts& o) {
+    cycles += o.cycles;
+    buffer_bits_read += o.buffer_bits_read;
+    buffer_bits_written += o.buffer_bits_written;
+    sram_array_cycles += o.sram_array_cycles;
+    sram_decoder_cycles += o.sram_decoder_cycles;
+    sram_adder_tree_ops += o.sram_adder_tree_ops;
+    sram_shift_acc_ops += o.sram_shift_acc_ops;
+    sram_index_compares += o.sram_index_compares;
+    sram_row_acc_ops += o.sram_row_acc_ops;
+    sram_weight_bits_written += o.sram_weight_bits_written;
+    sram_write_row_ops += o.sram_write_row_ops;
+    mram_row_reads += o.mram_row_reads;
+    mram_shift_acc_ops += o.mram_shift_acc_ops;
+    mram_adder_tree_ops += o.mram_adder_tree_ops;
+    mram_set_reset_bits += o.mram_set_reset_bits;
+    mram_write_row_ops += o.mram_write_row_ops;
+    return *this;
+  }
+};
+
+inline PeEventCounts operator+(PeEventCounts a, const PeEventCounts& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace msh

@@ -1,0 +1,51 @@
+// Index generation and comparison (paper §3.1 step 2): each column group
+// owns an index generator that cycles through the M in-group positions;
+// per-row comparators match it against the 4-bit index stored next to
+// each compressed weight and gate that row's partial product into the
+// adder tree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// Cycles 0, 1, ..., period-1, 0, ... — one step per index phase.
+class IndexGenerator {
+ public:
+  explicit IndexGenerator(i32 period);
+
+  i32 period() const { return period_; }
+  i32 current() const { return current_; }
+  void step();
+  void reset() { current_ = 0; }
+
+ private:
+  i32 period_;
+  i32 current_ = 0;
+};
+
+/// One column group's bank of row comparators.
+class ComparatorColumn {
+ public:
+  explicit ComparatorColumn(i64 rows);
+
+  i64 rows() const { return rows_; }
+
+  /// Compares the generated index against every row's stored index;
+  /// returns the per-row match mask. `valid` marks rows holding real
+  /// (non-padding) entries.
+  std::vector<u8> compare(std::span<const u8> stored_indices,
+                          std::span<const u8> valid, i32 generated) ;
+
+  i64 compare_ops() const { return compare_ops_; }
+  void reset_ops() { compare_ops_ = 0; }
+
+ private:
+  i64 rows_;
+  i64 compare_ops_ = 0;
+};
+
+}  // namespace msh

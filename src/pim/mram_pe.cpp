@@ -1,0 +1,103 @@
+#include "pim/mram_pe.h"
+
+#include <map>
+
+namespace msh {
+
+namespace {
+/// Hamming distance between two (weight, index, valid) entries' encodings.
+i64 changed_bits(const MramPeTile::RowEntry& a,
+                 const MramPeTile::RowEntry& b, i64 index_bits) {
+  i64 bits = 0;
+  const u8 wa = static_cast<u8>(a.weight), wb = static_cast<u8>(b.weight);
+  for (i32 i = 0; i < 8; ++i) bits += ((wa >> i) & 1) != ((wb >> i) & 1);
+  for (i64 i = 0; i < index_bits; ++i)
+    bits += ((a.index >> i) & 1) != ((b.index >> i) & 1);
+  bits += (a.valid != b.valid);
+  return bits;
+}
+}  // namespace
+
+MramSparsePe::MramSparsePe() : tree_(64) {}
+
+void MramSparsePe::program(MramPeTile tile) {
+  MSH_REQUIRE(!tile.empty());
+  MSH_REQUIRE(tile.cfg.valid());
+  const i64 index_bits = tile.cfg.index_bits();
+
+  for (size_t r = 0; r < tile.rows.size(); ++r) {
+    const auto& new_row = tile.rows[r];
+    MSH_REQUIRE(static_cast<i64>(new_row.entries.size()) <=
+                tile.pairs_per_row);
+    for (size_t e = 0; e < new_row.entries.size(); ++e) {
+      const MramPeTile::RowEntry* old_entry = nullptr;
+      if (programmed_once_ && r < tile_.rows.size() &&
+          e < tile_.rows[r].entries.size()) {
+        old_entry = &tile_.rows[r].entries[e];
+      }
+      const MramPeTile::RowEntry blank{};
+      events_.mram_set_reset_bits +=
+          changed_bits(new_row.entries[e], old_entry ? *old_entry : blank,
+                       index_bits);
+    }
+    events_.mram_write_row_ops += 1;
+  }
+  events_.cycles += static_cast<i64>(tile.rows.size());
+  tile_ = std::move(tile);
+  programmed_once_ = true;
+}
+
+MramPeOutput MramSparsePe::matvec(std::span<const i8> activations) {
+  MSH_REQUIRE(loaded());
+  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
+
+  const i32 m = tile_.cfg.m;
+  const i32 n = tile_.cfg.n;
+  std::map<i32, i64> acc;
+  std::vector<i32> products;
+  products.reserve(static_cast<size_t>(tile_.pairs_per_row));
+
+  for (const auto& row : tile_.rows) {
+    if (row.output_id < 0) continue;
+    // S1: sense the row (weights + indices).
+    events_.mram_row_reads += 1;
+    products.clear();
+    for (size_t e = 0; e < row.entries.size(); ++e) {
+      const auto& entry = row.entries[e];
+      if (!entry.valid) continue;
+      // S2: MUX selects the addressed activation from the buffer.
+      const i64 packed_row = row.packed_base + static_cast<i64>(e);
+      const i64 dense_row =
+          (packed_row / n) * m + static_cast<i64>(entry.index);
+      MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
+      events_.buffer_bits_read += 8;
+      // S3: parallel shift-and-accumulate forms the 8b x 8b product.
+      products.push_back(static_cast<i32>(entry.weight) *
+                         static_cast<i32>(
+                             activations[static_cast<size_t>(dense_row)]));
+    }
+    events_.mram_shift_acc_ops += 1;
+    const i32 row_sum = tree_.reduce(products);
+    events_.mram_adder_tree_ops += 1;
+    acc[row.output_id] += row_sum;
+  }
+
+  last_pipeline_ = MramPipelineStats{
+      .rows = events_.mram_row_reads,  // cumulative; delta computed below
+  };
+  // Recompute rows used in this call only.
+  i64 used_rows = 0;
+  for (const auto& row : tile_.rows) used_rows += (row.output_id >= 0);
+  last_pipeline_.rows = used_rows;
+  events_.cycles += last_pipeline_.total_cycles();
+
+  MramPeOutput out;
+  for (const auto& [id, value] : acc) {
+    out.output_ids.push_back(id);
+    out.values.push_back(value);
+    events_.buffer_bits_written += 32;
+  }
+  return out;
+}
+
+}  // namespace msh

@@ -1,0 +1,95 @@
+// Tile formats: what the mapper loads into a PE.
+//
+// Both PE types store compressed (weight, index) pairs of an N:M-packed
+// weight matrix (see sparse/nm_packed.h). A physical slot's dense
+// activation address is reconstructed as
+//    dense_row = (segment_offset + local_row / N) * M + stored_index
+// where local_row counts slots from the top of the slot's segment.
+//
+// SRAM column groups support *segmentation* (the "time-multiplex
+// sparsity" of paper §2.1.1): the 128-input adder tree is tapped at
+// power-of-two subtree boundaries, so one physical column group can hold
+// several short compressed columns — each segment reduces independently
+// and deposits into its own accumulator. Without segmentation a 1:8
+// layer whose compressed column is 16 slots tall would idle 112 of the
+// 128 rows every cycle; with it, sparse compute time scales with the
+// compressed size rather than with M.
+#pragma once
+
+#include <vector>
+
+#include "sparse/nm_config.h"
+#include "common/types.h"
+
+namespace msh {
+
+/// One SRAM sparse PE's contents: `groups` column groups x `rows` slots,
+/// each group split into rows/segment_rows segments.
+/// Storage is group-major ([g * rows + r]).
+struct SramPeTile {
+  NmConfig cfg;
+  i64 rows = 128;
+  i64 groups = 8;
+  /// Adder-tree tap height; power of two dividing `rows`. Each segment
+  /// of segment_rows slots is an independent logical column.
+  i64 segment_rows = 128;
+
+  std::vector<i8> weights;  ///< [groups*rows] INT8 compressed weights
+  std::vector<u8> indices;  ///< [groups*rows] intra-group indices
+  std::vector<u8> valid;    ///< [groups*rows] real entry vs padding
+
+  /// Logical output column served by each segment, indexed
+  /// [g * segments_per_group() + s]; -1 marks an unused segment. Several
+  /// segments may serve the same output (vertical spill of a long
+  /// compressed column) — the row-wise accumulator merges them.
+  std::vector<i32> output_id;
+  /// Dense-group offset of each segment's first slot (same indexing).
+  std::vector<i64> segment_offset;
+
+  /// Dense activation vector length the tile expects.
+  i64 activation_len = 0;
+
+  i64 segments_per_group() const { return rows / segment_rows; }
+  i64 total_segments() const { return groups * segments_per_group(); }
+  i64 slot(i64 group, i64 row) const { return group * rows + row; }
+  i64 segment_index(i64 group, i64 seg) const {
+    return group * segments_per_group() + seg;
+  }
+  bool empty() const { return weights.empty(); }
+
+  /// Allocates zeroed storage for the configured geometry.
+  void allocate() {
+    const size_t n = static_cast<size_t>(rows * groups);
+    weights.assign(n, 0);
+    indices.assign(n, 0);
+    valid.assign(n, 0);
+    output_id.assign(static_cast<size_t>(total_segments()), -1);
+    segment_offset.assign(static_cast<size_t>(total_segments()), 0);
+  }
+};
+
+/// One MRAM sparse PE's contents: packed entries laid out row-major in the
+/// 1024x512 array, `pairs_per_row` (weight, index) pairs per physical row.
+/// Each physical row belongs to exactly one logical output column.
+struct MramPeTile {
+  NmConfig cfg;
+  i64 pairs_per_row = 42;
+
+  struct RowEntry {
+    i8 weight = 0;
+    u8 index = 0;
+    u8 valid = 0;
+  };
+  struct PhysicalRow {
+    i32 output_id = -1;
+    i64 packed_base = 0;  ///< packed-row offset of this row's first pair
+    std::vector<RowEntry> entries;
+  };
+
+  std::vector<PhysicalRow> rows;
+  i64 activation_len = 0;
+
+  bool empty() const { return rows.empty(); }
+};
+
+}  // namespace msh

@@ -1,0 +1,31 @@
+// Shift accumulator: compensates bit-serial input precision (paper Fig 3).
+// Partial sums arrive once per input bit plane; the accumulator applies
+// the bit weight 2^b, with the MSB plane subtracted for two's-complement
+// signed activations.
+#pragma once
+
+#include "common/types.h"
+
+namespace msh {
+
+class ShiftAccumulator {
+ public:
+  explicit ShiftAccumulator(i32 input_bits = 8);
+
+  i32 input_bits() const { return input_bits_; }
+
+  void reset() { acc_ = 0; }
+  /// Accumulates one bit-plane partial sum at significance `bit`.
+  void accumulate(i32 partial_sum, i32 bit);
+  i64 value() const { return acc_; }
+
+  i64 ops() const { return ops_; }
+  void reset_ops() { ops_ = 0; }
+
+ private:
+  i32 input_bits_;
+  i64 acc_ = 0;
+  i64 ops_ = 0;
+};
+
+}  // namespace msh

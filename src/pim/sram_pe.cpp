@@ -1,0 +1,152 @@
+#include "pim/sram_pe.h"
+
+#include <algorithm>
+#include <map>
+
+namespace msh {
+
+SramSparsePe::SramSparsePe() : tree_(128), comparators_(128) {}
+
+void SramSparsePe::load(SramPeTile tile) {
+  MSH_REQUIRE(!tile.empty());
+  MSH_REQUIRE(tile.cfg.valid());
+  MSH_REQUIRE(static_cast<i64>(tile.weights.size()) ==
+              tile.rows * tile.groups);
+  MSH_REQUIRE(tile.segment_rows >= 1 && tile.segment_rows <= tile.rows);
+  MSH_REQUIRE(tile.rows % tile.segment_rows == 0);
+  MSH_REQUIRE(static_cast<i64>(tile.output_id.size()) ==
+              tile.total_segments());
+  const i64 pair_bits = 8 + tile.cfg.index_bits();
+  i64 valid_slots = 0;
+  for (u8 v : tile.valid) valid_slots += v;
+  events_.sram_weight_bits_written += valid_slots * pair_bits;
+  events_.sram_write_row_ops += tile.rows;  // row-parallel write sweep
+  events_.cycles += tile.rows;
+  tile_ = std::move(tile);
+}
+
+SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
+  MSH_REQUIRE(loaded());
+  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
+
+  const i64 rows = tile_.rows;
+  const i64 groups = tile_.groups;
+  const i64 seg_rows = tile_.segment_rows;
+  const i64 segs = tile_.segments_per_group();
+  const i32 m = tile_.cfg.m;
+  const i32 n = tile_.cfg.n;
+  const i32 input_bits = 8;
+
+  // One shift accumulator per segment (subtree tap).
+  std::vector<ShiftAccumulator> seg_acc(
+      static_cast<size_t>(tile_.total_segments()),
+      ShiftAccumulator(input_bits));
+
+  IndexGenerator generator(m);
+  std::vector<i32> partials(static_cast<size_t>(seg_rows));
+
+  for (i32 phase = 0; phase < m; ++phase) {
+    const i32 gen_index = generator.current();
+    // Step 2: all groups' comparators evaluate this phase's index once.
+    std::vector<std::vector<u8>> match(static_cast<size_t>(groups));
+    for (i64 g = 0; g < groups; ++g) {
+      match[static_cast<size_t>(g)] = comparators_.compare(
+          std::span<const u8>(tile_.indices)
+              .subspan(static_cast<size_t>(g * rows),
+                       static_cast<size_t>(rows)),
+          std::span<const u8>(tile_.valid)
+              .subspan(static_cast<size_t>(g * rows),
+                       static_cast<size_t>(rows)),
+          gen_index);
+      events_.sram_index_compares += 1;
+    }
+
+    for (i32 bit = 0; bit < input_bits; ++bit) {
+      // Step 1: one array cycle — every row's compute cells AND the
+      // shared input bit with the stored weight bits.
+      events_.sram_array_cycles += 1;
+      events_.sram_decoder_cycles += 1;
+      events_.cycles += 1;
+
+      for (i64 g = 0; g < groups; ++g) {
+        bool group_active = false;
+        for (i64 s = 0; s < segs; ++s) {
+          const i64 seg_idx = tile_.segment_index(g, s);
+          if (tile_.output_id[static_cast<size_t>(seg_idx)] < 0) continue;
+          group_active = true;
+          const i64 offset =
+              tile_.segment_offset[static_cast<size_t>(seg_idx)];
+          std::fill(partials.begin(), partials.end(), 0);
+          for (i64 r = 0; r < seg_rows; ++r) {
+            const i64 row = s * seg_rows + r;
+            if (!match[static_cast<size_t>(g)][static_cast<size_t>(row)])
+              continue;
+            // Dense activation this slot addresses at this phase.
+            const i64 dense_row = (offset + r / n) * m + gen_index;
+            MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
+            const i8 act = activations[static_cast<size_t>(dense_row)];
+            const bool act_bit = (static_cast<u8>(act) >> bit) & 1;
+            if (!act_bit) continue;
+            // The 8T cells AND the input bit with all 8 weight bits: the
+            // row contributes its full signed weight to this bit plane.
+            partials[static_cast<size_t>(r)] =
+                tile_.weights[static_cast<size_t>(g * rows + row)];
+            events_.buffer_bits_read += 1;
+          }
+          // Step 3: subtree reduction + shift accumulate.
+          const i32 seg_sum = tree_.reduce(partials);
+          seg_acc[static_cast<size_t>(seg_idx)].accumulate(seg_sum, bit);
+          events_.sram_shift_acc_ops += 1;
+        }
+        // The physical tree fires once per group per cycle; taps are free.
+        if (group_active) events_.sram_adder_tree_ops += 1;
+      }
+    }
+    generator.step();
+  }
+  // Adder-tree pipeline drain.
+  events_.cycles += tree_.depth();
+
+  // Row-wise accumulator: merge segments sharing a logical output column.
+  std::map<i32, i64> merged;
+  for (i64 seg_idx = 0; seg_idx < tile_.total_segments(); ++seg_idx) {
+    const i32 id = tile_.output_id[static_cast<size_t>(seg_idx)];
+    if (id < 0) continue;
+    const i64 value = seg_acc[static_cast<size_t>(seg_idx)].value();
+    auto [it, inserted] = merged.emplace(id, value);
+    if (!inserted) {
+      it->second += value;
+      events_.sram_row_acc_ops += 1;
+    }
+  }
+
+  SramPeOutput out;
+  for (const auto& [id, value] : merged) {
+    out.output_ids.push_back(id);
+    out.values.push_back(value);
+    events_.buffer_bits_written += 32;  // accumulator write-back
+  }
+  return out;
+}
+
+void SramSparsePe::rewrite_group(i64 group, std::span<const i8> new_weights,
+                                 std::span<const u8> new_indices,
+                                 std::span<const u8> new_valid) {
+  MSH_REQUIRE(loaded());
+  MSH_REQUIRE(group >= 0 && group < tile_.groups);
+  MSH_REQUIRE(static_cast<i64>(new_weights.size()) == tile_.rows);
+  MSH_REQUIRE(new_indices.size() == new_weights.size());
+  MSH_REQUIRE(new_valid.size() == new_weights.size());
+  const i64 pair_bits = 8 + tile_.cfg.index_bits();
+  for (i64 r = 0; r < tile_.rows; ++r) {
+    const size_t s = static_cast<size_t>(tile_.slot(group, r));
+    tile_.weights[s] = new_weights[static_cast<size_t>(r)];
+    tile_.indices[s] = new_indices[static_cast<size_t>(r)];
+    tile_.valid[s] = new_valid[static_cast<size_t>(r)];
+    if (tile_.valid[s]) events_.sram_weight_bits_written += pair_bits;
+  }
+  events_.sram_write_row_ops += tile_.rows;
+  events_.cycles += tile_.rows;
+}
+
+}  // namespace msh

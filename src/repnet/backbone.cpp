@@ -1,0 +1,124 @@
+#include "repnet/backbone.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+
+namespace msh {
+
+Backbone::Backbone(const BackboneConfig& cfg, Rng& rng)
+    : cfg_(cfg), stem_("stem") {
+  MSH_REQUIRE(cfg_.num_stages() > 0);
+  MSH_REQUIRE(cfg_.stage_channels.size() == cfg_.blocks_per_stage.size());
+  MSH_REQUIRE(cfg_.stage_channels.size() == cfg_.stage_strides.size());
+
+  stem_.emplace<Conv2d>(
+      Conv2dGeometry{.in_channels = cfg_.in_channels,
+                     .out_channels = cfg_.stem_channels,
+                     .kernel = 3,
+                     .stride = 1,
+                     .padding = 1},
+      rng, /*bias=*/false, "stem.conv");
+  stem_.emplace<BatchNorm2d>(cfg_.stem_channels, 0.1f, 1e-5f, "stem.bn");
+  stem_.emplace<Relu>("stem.relu");
+
+  i64 in_ch = cfg_.stem_channels;
+  for (i64 s = 0; s < cfg_.num_stages(); ++s) {
+    auto stage = std::make_unique<Sequential>("stage" + std::to_string(s));
+    const i64 out_ch = cfg_.stage_channels[static_cast<size_t>(s)];
+    const i64 blocks = cfg_.blocks_per_stage[static_cast<size_t>(s)];
+    const i64 stride = cfg_.stage_strides[static_cast<size_t>(s)];
+    for (i64 b = 0; b < blocks; ++b) {
+      stage->emplace<ResidualBlock>(
+          b == 0 ? in_ch : out_ch, out_ch, b == 0 ? stride : 1, rng,
+          "stage" + std::to_string(s) + ".block" + std::to_string(b));
+    }
+    in_ch = out_ch;
+    stages_.push_back(std::move(stage));
+  }
+}
+
+Sequential& Backbone::stage(i64 i) {
+  MSH_REQUIRE(i >= 0 && i < num_stages());
+  return *stages_[static_cast<size_t>(i)];
+}
+
+i64 Backbone::blocks_in_stage(i64 stage) const {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return cfg_.blocks_per_stage[static_cast<size_t>(stage)];
+}
+
+Tensor Backbone::forward_stem(const Tensor& x, bool training) {
+  return stem_.forward(x, training);
+}
+
+Tensor Backbone::forward_stage(i64 stage, const Tensor& x, bool training) {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return stages_[static_cast<size_t>(stage)]->forward(x, training);
+}
+
+Tensor Backbone::backward_stage(i64 stage, const Tensor& grad) {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return stages_[static_cast<size_t>(stage)]->backward(grad);
+}
+
+Tensor Backbone::backward_stem(const Tensor& grad) {
+  return stem_.backward(grad);
+}
+
+std::vector<Param*> Backbone::params() {
+  std::vector<Param*> all = stem_.params();
+  for (auto& stage : stages_) {
+    for (Param* p : stage->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Backbone::set_trainable(bool trainable) {
+  for (Param* p : params()) p->trainable = trainable;
+  set_batchnorm_frozen(!trainable);
+}
+
+void Backbone::set_batchnorm_frozen(bool frozen) {
+  for (i64 i = 0; i < stem_.size(); ++i) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&stem_.layer(i)))
+      bn->set_frozen_stats(frozen);
+  }
+  for (auto& stage : stages_) {
+    for (i64 b = 0; b < stage->size(); ++b) {
+      auto* block = dynamic_cast<ResidualBlock*>(&stage->layer(b));
+      MSH_ENSURE(block != nullptr);
+      block->bn1().set_frozen_stats(frozen);
+      block->bn2().set_frozen_stats(frozen);
+      if (block->has_projection())
+        block->projection_bn().set_frozen_stats(frozen);
+    }
+  }
+}
+
+bool Backbone::batchnorm_frozen() const {
+  for (i64 i = 0; i < stem_.size(); ++i) {
+    auto& stem = const_cast<Sequential&>(stem_);
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&stem.layer(i)))
+      return bn->frozen_stats();
+  }
+  return false;
+}
+
+i64 Backbone::stage_out_channels(i64 stage) const {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return cfg_.stage_channels[static_cast<size_t>(stage)];
+}
+
+i64 Backbone::stage_stride(i64 stage) const {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return cfg_.stage_strides[static_cast<size_t>(stage)];
+}
+
+i64 Backbone::stage_in_channels(i64 stage) const {
+  MSH_REQUIRE(stage >= 0 && stage < num_stages());
+  return stage == 0 ? cfg_.stem_channels
+                    : cfg_.stage_channels[static_cast<size_t>(stage - 1)];
+}
+
+}  // namespace msh

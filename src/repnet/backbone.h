@@ -1,0 +1,54 @@
+// MicroResNet backbone — the trainable stand-in for the paper's
+// ImageNet-pretrained ResNet-50 "fixed main branch". Exposes per-stage
+// forward/backward so the Rep-Net activation connectors can tap the
+// intermediate feature maps (paper Fig 6).
+#pragma once
+
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "workloads/model_zoo.h"
+
+namespace msh {
+
+class Backbone {
+ public:
+  Backbone(const BackboneConfig& cfg, Rng& rng);
+
+  const BackboneConfig& config() const { return cfg_; }
+  i64 num_stages() const { return cfg_.num_stages(); }
+
+  Tensor forward_stem(const Tensor& x, bool training);
+  Tensor forward_stage(i64 stage, const Tensor& x, bool training);
+  Tensor backward_stage(i64 stage, const Tensor& grad);
+  Tensor backward_stem(const Tensor& grad);
+
+  std::vector<Param*> params();
+  /// Freezes/unfreezes all backbone parameters AND BatchNorm running
+  /// statistics. Frozen parameters still propagate error (eq. 1) but
+  /// receive no updates — the paper's non-volatile MRAM-resident weights.
+  /// Freezing the BN statistics too is what makes task switching exactly
+  /// reproducible (see repnet/task_bank.h).
+  void set_trainable(bool trainable);
+  /// Freezes only the BN running statistics (used by recalibration).
+  void set_batchnorm_frozen(bool frozen);
+  bool batchnorm_frozen() const;
+
+  /// Structural access for hardware deployment: the stem container and
+  /// each stage's residual blocks.
+  Sequential& stem() { return stem_; }
+  Sequential& stage(i64 i);
+  i64 blocks_in_stage(i64 stage) const;
+
+  /// Channels produced by a given stage.
+  i64 stage_out_channels(i64 stage) const;
+  i64 stage_stride(i64 stage) const;
+  /// Channels entering a given stage (stem output for stage 0).
+  i64 stage_in_channels(i64 stage) const;
+
+ private:
+  BackboneConfig cfg_;
+  Sequential stem_;
+  std::vector<std::unique_ptr<Sequential>> stages_;
+};
+
+}  // namespace msh

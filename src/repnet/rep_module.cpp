@@ -1,0 +1,48 @@
+#include "repnet/rep_module.h"
+
+namespace msh {
+
+RepModule::RepModule(i64 in_channels, i64 out_channels, i64 bottleneck,
+                     i64 stride, Rng& rng, std::string label)
+    : label_(std::move(label)),
+      has_pool_(stride > 1),
+      reduce_({.in_channels = in_channels,
+               .out_channels = bottleneck,
+               .kernel = 1,
+               .stride = 1,
+               .padding = 0},
+              rng, /*bias=*/true, label_ + ".reduce"),
+      relu_(label_ + ".relu"),
+      expand_({.in_channels = bottleneck,
+               .out_channels = out_channels,
+               .kernel = 3,
+               .stride = 1,
+               .padding = 1},
+              rng, /*bias=*/true, label_ + ".expand") {
+  MSH_REQUIRE(bottleneck > 0);
+  if (has_pool_) {
+    pool_ = std::make_unique<AvgPool2d>(stride, stride, label_ + ".pool");
+  }
+}
+
+Tensor RepModule::forward(const Tensor& x, bool training) {
+  Tensor y = has_pool_ ? pool_->forward(x, training) : x;
+  y = reduce_.forward(y, training);
+  y = relu_.forward(y, training);
+  return expand_.forward(y, training);
+}
+
+Tensor RepModule::backward(const Tensor& grad_out) {
+  Tensor g = expand_.backward(grad_out);
+  g = relu_.backward(g);
+  g = reduce_.backward(g);
+  return has_pool_ ? pool_->backward(g) : g;
+}
+
+std::vector<Param*> RepModule::params() {
+  std::vector<Param*> all = reduce_.params();
+  for (Param* p : expand_.params()) all.push_back(p);
+  return all;
+}
+
+}  // namespace msh

@@ -1,0 +1,44 @@
+// One learnable Rep-Net module (paper §5.1): a pooling layer followed by
+// two convolutions, one of which is 1x1 — here a bottleneck 1x1 reduce,
+// ReLU, and a 3x3 expand back to the stage width. The module consumes the
+// connector activation (stage input + previous rep output) and produces a
+// tensor shaped exactly like its backbone stage's output, so the two paths
+// can exchange feature maps by element-wise addition.
+#pragma once
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/pooling.h"
+
+namespace msh {
+
+class RepModule : public Layer {
+ public:
+  /// `stride` must equal the backbone stage's spatial stride so shapes
+  /// line up at the merge point.
+  RepModule(i64 in_channels, i64 out_channels, i64 bottleneck, i64 stride,
+            Rng& rng, std::string label = "rep");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return label_; }
+
+  Conv2d& reduce() { return reduce_; }
+  Conv2d& expand() { return expand_; }
+  bool has_pool() const { return has_pool_; }
+  AvgPool2d& pool() {
+    MSH_REQUIRE(pool_ != nullptr);
+    return *pool_;
+  }
+
+ private:
+  std::string label_;
+  bool has_pool_;
+  std::unique_ptr<AvgPool2d> pool_;
+  Conv2d reduce_;  ///< 1x1, in -> bottleneck
+  Relu relu_;
+  Conv2d expand_;  ///< 3x3, bottleneck -> out
+};
+
+}  // namespace msh

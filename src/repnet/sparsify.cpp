@@ -1,0 +1,37 @@
+#include "repnet/sparsify.h"
+
+namespace msh {
+
+i64 SparsityPlan::prune(std::vector<Param*> params, NmConfig cfg,
+                        bool use_gradient_saliency) {
+  MSH_REQUIRE(cfg.valid());
+  cfg_ = cfg;
+  i64 pruned = 0;
+  for (Param* p : params) {
+    MSH_REQUIRE(p != nullptr);
+    if (p->value.shape().rank() != 2) continue;
+    const i64 k = p->value.shape()[1];
+    if (k % cfg.m != 0) continue;  // incompatible reduction dim: stay dense
+
+    const Tensor saliency =
+        use_gradient_saliency ? saliency_scores(p->value, p->grad)
+                              : saliency_scores(p->value, Tensor{});
+    auto mask = std::make_unique<NmMask>(
+        select_nm_mask(saliency, cfg, GroupAxis::kCols));
+    apply_mask(p->value, *mask);
+    total_elements_ += p->value.numel();
+    kept_elements_ += mask->count_kept();
+    p->mask = mask.get();
+    masks_.push_back(std::move(mask));
+    ++pruned;
+  }
+  return pruned;
+}
+
+f64 SparsityPlan::kept_fraction() const {
+  return total_elements_ == 0 ? 1.0
+                              : static_cast<f64>(kept_elements_) /
+                                    static_cast<f64>(total_elements_);
+}
+
+}  // namespace msh

@@ -1,0 +1,52 @@
+// Applying N:M structured sparsity to model parameters.
+//
+// Two flows from the paper:
+//  * Backbone (§5.1): post-training magnitude pruning — the pre-trained
+//    weights are masked to the N:M pattern with no retraining (accuracy
+//    drop grows with sparsity: ~1.5% at 1:4, >5% at 1:8).
+//  * Rep-Net path (§5.1): a one-epoch gradient calibration pass scores
+//    weights, the top-N per group of M are kept, then fine-tuning learns
+//    the surviving weights with the mask pinned (SGD preserves zeros).
+//
+// Weight matrices are [out, K] row-major; groups of M run along the
+// reduction dimension K (GroupAxis::kCols), matching the column-direction
+// grouping after the matrix is transposed onto the PIM array. Layers whose
+// K is not a multiple of M (e.g. the 3-channel stem) are left dense, as in
+// NVIDIA's N:M deployments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "sparse/nm_config.h"
+
+namespace msh {
+
+/// Owns the masks referenced by the params they were attached to. Keep it
+/// alive as long as the model trains/evaluates.
+class SparsityPlan {
+ public:
+  SparsityPlan() = default;
+
+  /// Prunes each rank-2 param to the N:M pattern using magnitude (or
+  /// gradient-informed, if param.grad is non-zero) saliency; attaches the
+  /// mask so optimizers preserve the pattern. Skips layers with
+  /// incompatible K. Returns the number of params actually pruned.
+  i64 prune(std::vector<Param*> params, NmConfig cfg,
+            bool use_gradient_saliency);
+
+  NmConfig config() const { return cfg_; }
+  i64 masked_params() const { return static_cast<i64>(masks_.size()); }
+
+  /// Fraction of weight elements kept across all pruned params.
+  f64 kept_fraction() const;
+
+ private:
+  NmConfig cfg_;
+  std::vector<std::unique_ptr<NmMask>> masks_;
+  i64 total_elements_ = 0;
+  i64 kept_elements_ = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,99 @@
+#include "repnet/task_bank.h"
+
+#include <cmath>
+
+namespace msh {
+
+TaskBank::TaskBank(RepNetModel& model) : model_(model) {}
+
+void TaskBank::save_task(const std::string& name) {
+  MSH_REQUIRE(!name.empty());
+  TaskState state;
+  for (i64 m = 0; m < model_.num_rep_modules(); ++m) {
+    for (Param* p : model_.rep_module(m).params())
+      state.rep_values.push_back(p->value);
+  }
+  Linear& classifier = model_.classifier();
+  state.classifier_classes = classifier.out_features();
+  state.classifier_weight = classifier.weight().value;
+  state.classifier_bias = classifier.bias().value;
+  tasks_[name] = std::move(state);
+}
+
+void TaskBank::activate_task(const std::string& name, Rng& rng) {
+  const auto it = tasks_.find(name);
+  if (it == tasks_.end())
+    throw ContractError("TaskBank: unknown task '" + name + "'");
+  const TaskState& state = it->second;
+
+  // Fresh head of the right arity, then overwrite with the saved values.
+  model_.start_new_task(state.classifier_classes, rng);
+  size_t idx = 0;
+  for (i64 m = 0; m < model_.num_rep_modules(); ++m) {
+    for (Param* p : model_.rep_module(m).params()) {
+      MSH_ENSURE(idx < state.rep_values.size());
+      MSH_REQUIRE(p->value.shape() == state.rep_values[idx].shape());
+      p->value = state.rep_values[idx];
+      p->zero_grad();
+      p->mask = nullptr;  // owner may be gone; zeros are already baked in
+      ++idx;
+    }
+  }
+  Linear& classifier = model_.classifier();
+  classifier.set_weight(state.classifier_weight);
+  classifier.bias().value = state.classifier_bias;
+}
+
+bool TaskBank::has_task(const std::string& name) const {
+  return tasks_.count(name) > 0;
+}
+
+std::vector<std::string> TaskBank::task_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (const auto& [name, state] : tasks_) names.push_back(name);
+  return names;
+}
+
+i64 TaskBank::task_param_count(const std::string& name) const {
+  const auto it = tasks_.find(name);
+  MSH_REQUIRE(it != tasks_.end());
+  i64 count = it->second.classifier_weight.numel() +
+              it->second.classifier_bias.numel();
+  for (const Tensor& t : it->second.rep_values) count += t.numel();
+  return count;
+}
+
+i64 TaskBank::total_param_count() const {
+  i64 count = 0;
+  for (const auto& [name, state] : tasks_) count += task_param_count(name);
+  return count;
+}
+
+i64 TaskBank::storage_bytes(i32 value_bits, NmConfig nm) const {
+  MSH_REQUIRE(value_bits > 0 && nm.valid());
+  i64 bits = 0;
+  for (const auto& [name, state] : tasks_) {
+    for (const Tensor& t : state.rep_values) {
+      if (t.shape().rank() == 2 && t.shape()[1] % nm.m == 0) {
+        // N:M-compressible conv matrix: count actual non-zeros at the
+        // value+index cost (a task fine-tuned dense stores densely).
+        i64 nonzeros = 0;
+        for (i64 i = 0; i < t.numel(); ++i) nonzeros += t[i] != 0.0f;
+        const f64 density =
+            static_cast<f64>(nonzeros) / static_cast<f64>(t.numel());
+        if (density <= nm.density() + 1e-9) {
+          bits += nonzeros * (value_bits + nm.index_bits());
+          continue;
+        }
+      }
+      bits += t.numel() * value_bits;
+    }
+    bits += (state.classifier_weight.numel() +
+             state.classifier_bias.numel()) *
+            value_bits;
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace msh

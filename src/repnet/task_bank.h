@@ -1,0 +1,61 @@
+// Multi-task continual learning (paper §4: "on-device multi-task
+// continual learning setup").
+//
+// The architecture's key structural guarantee: the backbone is frozen in
+// NVM, and everything a task learns — its Rep-path weights and classifier
+// — is a small SRAM-resident parameter set. Storing that set per task and
+// swapping it on task switch gives *zero catastrophic forgetting by
+// construction*: revisiting a task restores its exact parameters.
+//
+// The TaskBank manages those per-task snapshots and accounts for the
+// storage they cost (the quantity that bounds how many tasks a device
+// can hold resident).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "repnet/repnet_model.h"
+#include "repnet/sparsify.h"
+
+namespace msh {
+
+class TaskBank {
+ public:
+  explicit TaskBank(RepNetModel& model);
+
+  /// Captures the model's current learnable state under a task name
+  /// (classifier dimensions included). Overwrites an existing entry.
+  void save_task(const std::string& name);
+
+  /// Restores a task's learnable state into the model (including a
+  /// classifier of the right arity). Throws if unknown.
+  void activate_task(const std::string& name, Rng& rng);
+
+  bool has_task(const std::string& name) const;
+  i64 num_tasks() const { return static_cast<i64>(tasks_.size()); }
+  std::vector<std::string> task_names() const;
+
+  /// Parameter elements stored for one task / for the whole bank.
+  i64 task_param_count(const std::string& name) const;
+  i64 total_param_count() const;
+
+  /// Storage bytes for the whole bank at the given weight precision,
+  /// assuming N:M-compressed Rep convs (value+index) and dense INT8
+  /// elsewhere. This is the SRAM/buffer budget multi-task residency
+  /// costs (paper §4's storage-overhead discussion).
+  i64 storage_bytes(i32 value_bits, NmConfig nm) const;
+
+ private:
+  struct TaskState {
+    i64 classifier_classes = 0;
+    std::vector<Tensor> rep_values;         ///< rep-path params, in order
+    Tensor classifier_weight;
+    Tensor classifier_bias;
+  };
+
+  RepNetModel& model_;
+  std::map<std::string, TaskState> tasks_;
+};
+
+}  // namespace msh

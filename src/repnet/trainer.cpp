@@ -1,0 +1,215 @@
+#include "repnet/trainer.h"
+
+#include <algorithm>
+
+namespace msh {
+
+BackboneClassifier::BackboneClassifier(Backbone& backbone, i64 num_classes,
+                                       Rng& rng)
+    : backbone_(backbone),
+      gap_("gap"),
+      flatten_("flatten"),
+      head_(backbone.config().feature_channels(), num_classes, rng,
+            /*bias=*/true, "base_head") {}
+
+Tensor BackboneClassifier::forward(const Tensor& x, bool training) {
+  Tensor a = backbone_.forward_stem(x, training);
+  for (i64 s = 0; s < backbone_.num_stages(); ++s)
+    a = backbone_.forward_stage(s, a, training);
+  Tensor f = flatten_.forward(gap_.forward(a, training), training);
+  return head_.forward(f, training);
+}
+
+void BackboneClassifier::backward(const Tensor& grad_logits) {
+  Tensor g = gap_.backward(flatten_.backward(head_.backward(grad_logits)));
+  for (i64 s = backbone_.num_stages() - 1; s >= 0; --s)
+    g = backbone_.backward_stage(s, g);
+  backbone_.backward_stem(g);
+}
+
+std::vector<Param*> BackboneClassifier::params() {
+  std::vector<Param*> all = backbone_.params();
+  for (Param* p : head_.params()) all.push_back(p);
+  return all;
+}
+
+namespace {
+
+/// One epoch of SGD over a shuffled dataset; returns mean loss.
+template <typename ForwardBackward>
+f64 run_epoch(Dataset& train, i64 batch, ForwardBackward&& step, Rng& rng) {
+  train.shuffle(rng);
+  f64 total_loss = 0.0;
+  i64 batches = 0;
+  for (i64 begin = 0; begin + batch <= train.size(); begin += batch) {
+    const Tensor x = train.batch_images(begin, batch);
+    const auto y = train.batch_labels(begin, batch);
+    total_loss += step(x, std::span<const i32>(y));
+    ++batches;
+  }
+  return batches ? total_loss / static_cast<f64>(batches) : 0.0;
+}
+
+template <typename Model>
+f64 evaluate_model(Model&& model, const Dataset& test, i64 batch) {
+  MSH_REQUIRE(test.size() > 0);
+  f64 correct_weighted = 0.0;
+  i64 counted = 0;
+  for (i64 begin = 0; begin < test.size(); begin += batch) {
+    const i64 count = std::min(batch, test.size() - begin);
+    const Tensor x = test.batch_images(begin, count);
+    const auto y = test.batch_labels(begin, count);
+    const Tensor logits = model.forward(x, /*training=*/false);
+    correct_weighted +=
+        accuracy(logits, std::span<const i32>(y)) * static_cast<f64>(count);
+    counted += count;
+  }
+  return correct_weighted / static_cast<f64>(counted);
+}
+
+}  // namespace
+
+f64 pretrain_backbone(BackboneClassifier& model, const TrainTestSplit& data,
+                      const TrainOptions& options, Rng& rng) {
+  Dataset train = data.train;  // local copy: epochs reshuffle it
+  Sgd sgd(model.params(), {.lr = options.lr,
+                           .momentum = options.momentum,
+                           .weight_decay = options.weight_decay});
+  for (i32 epoch = 0; epoch < options.epochs; ++epoch) {
+    run_epoch(
+        train, options.batch,
+        [&](const Tensor& x, std::span<const i32> y) {
+          const Tensor logits = model.forward(x, /*training=*/true);
+          LossResult loss = softmax_cross_entropy(logits, y);
+          model.backward(loss.grad_logits);
+          sgd.step();
+          return loss.loss;
+        },
+        rng);
+    sgd.set_lr(sgd.lr() * options.lr_decay);
+  }
+  return evaluate_backbone(model, data.test);
+}
+
+f64 evaluate_backbone(BackboneClassifier& model, const Dataset& test,
+                      i64 batch) {
+  return evaluate_model(model, test, batch);
+}
+
+f64 evaluate_repnet(RepNetModel& model, const Dataset& test, i64 batch) {
+  return evaluate_model(model, test, batch);
+}
+
+ScopedFakeQuant::ScopedFakeQuant(std::vector<Param*> params, i32 bits)
+    : params_(std::move(params)) {
+  saved_.reserve(params_.size());
+  for (Param* p : params_) {
+    saved_.push_back(p->value);
+    p->value = fake_quantize(p->value, bits);
+  }
+}
+
+ScopedFakeQuant::~ScopedFakeQuant() {
+  for (size_t i = 0; i < params_.size(); ++i)
+    params_[i]->value = std::move(saved_[i]);
+}
+
+void recalibrate_batchnorm(BackboneClassifier& model, const Dataset& data,
+                           i64 batches, i64 batch_size, Rng& rng) {
+  MSH_REQUIRE(batches > 0 && batch_size > 0);
+  // Statistics must be updatable during recalibration even on an
+  // otherwise-frozen backbone; the previous freeze state is restored.
+  const bool was_frozen = model.backbone().batchnorm_frozen();
+  model.backbone().set_batchnorm_frozen(false);
+  Dataset calib = data;
+  for (i64 i = 0; i < batches; ++i) {
+    calib.shuffle(rng);
+    const i64 count = std::min(batch_size, calib.size());
+    // Training-mode forward refreshes the running mean/var; no backward,
+    // no optimizer step, so weights stay exactly as pruned/quantized.
+    model.forward(calib.batch_images(0, count), /*training=*/true);
+  }
+  model.backbone().set_batchnorm_frozen(was_frozen);
+}
+
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params) {
+  std::vector<Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (const Param* p : params) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<Tensor>& snapshot) {
+  MSH_REQUIRE(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    MSH_REQUIRE(params[i]->value.shape() == snapshot[i].shape());
+    params[i]->value = snapshot[i];
+    params[i]->zero_grad();
+  }
+}
+
+TaskOutcome learn_task(RepNetModel& model, const TrainTestSplit& data,
+                       const ContinualOptions& options, Rng& rng) {
+  TaskOutcome outcome;
+  outcome.task = data.train.name;
+
+  model.backbone().set_trainable(false);
+  model.start_new_task(data.train.classes, rng);
+  // Detach any masks from a previous task; their owner may be gone.
+  for (Param* p : model.learnable_params()) p->mask = nullptr;
+
+  Dataset train = data.train;
+  SparsityPlan& plan = outcome.sparsity;
+
+  if (options.sparse) {
+    // One-epoch gradient calibration pass: accumulate gradients over the
+    // task data without updating any weight (paper §5.1).
+    for (Param* p : model.learnable_params()) p->zero_grad();
+    run_epoch(
+        train, options.finetune.batch,
+        [&](const Tensor& x, std::span<const i32> y) {
+          const Tensor logits = model.forward(x, /*training=*/true);
+          LossResult loss = softmax_cross_entropy(logits, y);
+          model.backward(loss.grad_logits);
+          return loss.loss;
+        },
+        rng);
+    plan.prune(model.rep_conv_params(), options.nm,
+               options.gradient_saliency);
+    outcome.rep_kept_fraction = plan.kept_fraction();
+    for (Param* p : model.learnable_params()) p->zero_grad();
+  }
+
+  Sgd sgd(model.learnable_params(),
+          {.lr = options.finetune.lr,
+           .momentum = options.finetune.momentum,
+           .weight_decay = options.finetune.weight_decay});
+  for (i32 epoch = 0; epoch < options.finetune.epochs; ++epoch) {
+    run_epoch(
+        train, options.finetune.batch,
+        [&](const Tensor& x, std::span<const i32> y) {
+          const Tensor logits = model.forward(x, /*training=*/true);
+          LossResult loss = softmax_cross_entropy(logits, y);
+          model.backward(loss.grad_logits);
+          sgd.step();
+          return loss.loss;
+        },
+        rng);
+    sgd.set_lr(sgd.lr() * options.finetune.lr_decay);
+  }
+  outcome.weights_updated = sgd.elements_updated();
+
+  outcome.accuracy_fp32 = evaluate_repnet(model, data.test);
+  {
+    // INT8 post-training quantization of every weight (backbone +
+    // Rep path + classifier), evaluated without retraining.
+    std::vector<Param*> all = model.backbone_params();
+    for (Param* p : model.learnable_params()) all.push_back(p);
+    ScopedFakeQuant quant(all, 8);
+    outcome.accuracy_int8 = evaluate_repnet(model, data.test);
+  }
+  return outcome;
+}
+
+}  // namespace msh

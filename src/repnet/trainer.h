@@ -1,0 +1,110 @@
+// Training loops: backbone pretraining (the ImageNet stand-in phase) and
+// on-device continual learning of the Rep-Net path + classifier with
+// optional N:M sparsification (paper §5.1 procedure: one-epoch gradient
+// calibration -> mask selection -> fine-tuning with the mask pinned).
+#pragma once
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "quant/quant.h"
+#include "repnet/repnet_model.h"
+#include "repnet/sparsify.h"
+#include "workloads/dataset.h"
+
+namespace msh {
+
+struct TrainOptions {
+  i32 epochs = 10;
+  i64 batch = 32;
+  f32 lr = 0.05f;
+  f32 momentum = 0.9f;
+  f32 weight_decay = 5e-4f;
+  f32 lr_decay = 0.93f;  ///< multiplicative per-epoch decay
+};
+
+/// Backbone + plain classification head, used for pretraining and for
+/// evaluating the backbone alone ("backbone@imagenet" column of Table 1).
+class BackboneClassifier {
+ public:
+  BackboneClassifier(Backbone& backbone, i64 num_classes, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training);
+  void backward(const Tensor& grad_logits);
+  std::vector<Param*> params();
+  Linear& head() { return head_; }
+  Backbone& backbone() { return backbone_; }
+
+ private:
+  Backbone& backbone_;
+  GlobalAvgPool gap_;
+  Flatten flatten_;
+  Linear head_;
+};
+
+/// Trains the backbone classifier; returns final test accuracy.
+f64 pretrain_backbone(BackboneClassifier& model, const TrainTestSplit& data,
+                      const TrainOptions& options, Rng& rng);
+
+/// Test-set accuracy of a backbone classifier.
+f64 evaluate_backbone(BackboneClassifier& model, const Dataset& test,
+                      i64 batch = 64);
+
+/// Test-set accuracy of a full Rep-Net model.
+f64 evaluate_repnet(RepNetModel& model, const Dataset& test, i64 batch = 64);
+
+/// RAII weight fake-quantization: on construction replaces every param
+/// value with its INT-b quantize-dequantize image (the paper's PTQ), on
+/// destruction restores the FP32 values.
+class ScopedFakeQuant {
+ public:
+  ScopedFakeQuant(std::vector<Param*> params, i32 bits);
+  ~ScopedFakeQuant();
+  ScopedFakeQuant(const ScopedFakeQuant&) = delete;
+  ScopedFakeQuant& operator=(const ScopedFakeQuant&) = delete;
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> saved_;
+};
+
+struct ContinualOptions {
+  TrainOptions finetune{.epochs = 12, .batch = 32, .lr = 0.04f};
+  bool sparse = false;
+  NmConfig nm = kSparse1of4;
+  /// Use the paper's gradient-informed saliency (one-epoch calibration)
+  /// for mask selection; false selects by weight magnitude alone.
+  bool gradient_saliency = true;
+};
+
+struct TaskOutcome {
+  std::string task;
+  f64 accuracy_fp32 = 0.0;
+  f64 accuracy_int8 = 0.0;
+  f64 rep_kept_fraction = 1.0;  ///< fraction of Rep-path weights kept
+  i64 weights_updated = 0;      ///< optimizer write volume (for Fig 8)
+  /// Owns the N:M masks the model's params reference after sparse
+  /// learning; keep this alive as long as the model is used.
+  SparsityPlan sparsity;
+};
+
+/// Recalibrates BatchNorm running statistics by running forward passes in
+/// training mode with no weight updates — the standard post-training step
+/// after one-shot pruning/quantization, without which the pruned
+/// backbone's stale statistics destroy its accuracy.
+void recalibrate_batchnorm(BackboneClassifier& model, const Dataset& data,
+                           i64 batches, i64 batch_size, Rng& rng);
+
+/// Value snapshot of a parameter set (used to restore the pretrained
+/// backbone between sparsity configurations in the Table 1 harness).
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params);
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<Tensor>& snapshot);
+
+/// Runs the full on-device learning recipe for one downstream task:
+/// fresh classifier, optional saliency pass + N:M pruning of the Rep
+/// path, fine-tuning of Rep path + classifier (backbone frozen), and
+/// FP32 + INT8-PTQ evaluation.
+TaskOutcome learn_task(RepNetModel& model, const TrainTestSplit& data,
+                       const ContinualOptions& options, Rng& rng);
+
+}  // namespace msh

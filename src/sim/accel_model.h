@@ -1,0 +1,56 @@
+// Common evaluation interface for accelerator designs (our hybrid plus
+// the two dense baselines), producing the three quantities the paper's
+// evaluation reports: silicon area, inference power (leakage + read), and
+// the energy-delay product of one continual-learning update step.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+
+struct PowerBreakdown {
+  Power leakage;
+  Power read;  ///< dynamic power during inference
+
+  Power total() const { return leakage + read; }
+};
+
+struct TrainingCost {
+  Energy energy;
+  TimeNs delay;
+
+  f64 edp_pj_ns() const { return energy.as_pj() * delay.as_ns(); }
+};
+
+/// Operating conditions for the comparisons (identical across designs).
+struct InferenceScenario {
+  f64 fps = 30.0;  ///< sustained inference rate for dynamic power
+};
+
+struct TrainingScenario {
+  /// Backward work per learnable layer relative to its forward work:
+  /// one transposed pass for error propagation (eq. 1) plus one for the
+  /// gradient (eq. 2).
+  f64 backward_factor = 2.0;
+};
+
+class AcceleratorModel {
+ public:
+  virtual ~AcceleratorModel() = default;
+
+  virtual std::string name() const = 0;
+  /// Total silicon to deploy the model.
+  virtual Area area(const ModelInventory& model) const = 0;
+  /// Inference power at the scenario's sustained rate.
+  virtual PowerBreakdown inference_power(
+      const ModelInventory& model, const InferenceScenario& scenario) const = 0;
+  /// Cost of one on-device training step (forward + backward + weight
+  /// write-back) for the model's learnable set.
+  virtual TrainingCost training_step(
+      const ModelInventory& model, const TrainingScenario& scenario) const = 0;
+};
+
+}  // namespace msh

@@ -1,0 +1,56 @@
+#include "sim/energy_model.h"
+
+namespace msh {
+
+EnergyModel::EnergyModel(EnergyLibrary library) : library_(library) {}
+
+EnergyReport EnergyModel::price(const PeEventCounts& e) const {
+  EnergyReport r;
+  r.sram = static_cast<f64>(e.sram_array_cycles) * library_.sram_row_cycle +
+           static_cast<f64>(e.sram_decoder_cycles) *
+               library_.sram_decoder_cycle +
+           static_cast<f64>(e.sram_adder_tree_ops) *
+               library_.sram_adder_tree_op +
+           static_cast<f64>(e.sram_shift_acc_ops) *
+               library_.sram_shift_acc_op +
+           static_cast<f64>(e.sram_index_compares) *
+               library_.sram_index_compare +
+           static_cast<f64>(e.sram_row_acc_ops) * library_.sram_shift_acc_op +
+           static_cast<f64>(e.sram_weight_bits_written) *
+               library_.sram_write_bit;
+  r.mram = static_cast<f64>(e.mram_row_reads) * library_.mram_row_read +
+           static_cast<f64>(e.mram_shift_acc_ops) *
+               library_.mram_shift_acc_op +
+           static_cast<f64>(e.mram_adder_tree_ops) *
+               library_.mram_adder_tree_op +
+           static_cast<f64>(e.mram_set_reset_bits) * library_.mram_write_bit;
+  r.buffer = static_cast<f64>(e.buffer_bits_read + e.buffer_bits_written) *
+             library_.sram_buffer_bit;
+  return r;
+}
+
+Energy EnergyModel::sram_write_energy(i64 bits) const {
+  return static_cast<f64>(bits) * library_.sram_write_bit;
+}
+
+TimeNs EnergyModel::sram_write_time(i64 bits, i64 row_bits,
+                                    i64 parallel_rows) const {
+  MSH_REQUIRE(row_bits > 0 && parallel_rows > 0);
+  const i64 rows = (bits + row_bits - 1) / row_bits;
+  const i64 sequential = (rows + parallel_rows - 1) / parallel_rows;
+  return static_cast<f64>(sequential) * library_.sram_write_row_latency;
+}
+
+Energy EnergyModel::mram_write_energy(i64 bits) const {
+  return static_cast<f64>(bits) * library_.mram_write_bit;
+}
+
+TimeNs EnergyModel::mram_write_time(i64 bits, i64 row_bits,
+                                    i64 parallel_rows) const {
+  MSH_REQUIRE(row_bits > 0 && parallel_rows > 0);
+  const i64 rows = (bits + row_bits - 1) / row_bits;
+  const i64 sequential = (rows + parallel_rows - 1) / parallel_rows;
+  return static_cast<f64>(sequential) * library_.mram_write_row_latency;
+}
+
+}  // namespace msh

@@ -1,0 +1,40 @@
+// Converts PE event counts to energy/latency using the device
+// EnergyLibrary — the pricing half of the evaluation framework. Used both
+// for functional runs (real event counts from the PE simulators) and for
+// inventory-scale analytic counts (from mapping::HybridPlan).
+#pragma once
+
+#include "device/energy_library.h"
+#include "pim/events.h"
+
+namespace msh {
+
+struct EnergyReport {
+  Energy sram;
+  Energy mram;
+  Energy buffer;
+  Energy total() const { return sram + mram + buffer; }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyLibrary library = EnergyLibrary::standard());
+
+  const EnergyLibrary& library() const { return library_; }
+
+  /// Prices a batch of PE events.
+  EnergyReport price(const PeEventCounts& events) const;
+
+  /// Write-path costs (continual learning): energy and time to rewrite
+  /// `bits` of weights, `row_bits` at a time, with `parallel_rows` row
+  /// writes in flight chip-wide.
+  Energy sram_write_energy(i64 bits) const;
+  TimeNs sram_write_time(i64 bits, i64 row_bits, i64 parallel_rows) const;
+  Energy mram_write_energy(i64 bits) const;
+  TimeNs mram_write_time(i64 bits, i64 row_bits, i64 parallel_rows) const;
+
+ private:
+  EnergyLibrary library_;
+};
+
+}  // namespace msh

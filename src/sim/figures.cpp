@@ -1,0 +1,91 @@
+#include "sim/figures.h"
+
+#include "baselines/dense_cim.h"
+
+namespace msh {
+
+namespace {
+
+Fig7Row eval_fig7(const AcceleratorModel& model, const ModelInventory& inv,
+                  const InferenceScenario& scenario) {
+  Fig7Row row;
+  row.design = model.name();
+  row.area_mm2 = model.area(inv).as_mm2();
+  const PowerBreakdown power = model.inference_power(inv, scenario);
+  row.leakage_mw = power.leakage.as_mw();
+  row.read_mw = power.read.as_mw();
+  return row;
+}
+
+HybridDesignModel hybrid_model(NmConfig nm) {
+  HybridModelOptions options;
+  options.nm = nm;
+  return HybridDesignModel(options);
+}
+
+}  // namespace
+
+Fig7Result reproduce_fig7(const InferenceScenario& scenario) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  Fig7Result result;
+  result.rows.push_back(eval_fig7(*make_isscc21_sram(), inv, scenario));
+  result.rows.push_back(eval_fig7(*make_iscas23_mram(), inv, scenario));
+  result.rows.push_back(eval_fig7(hybrid_model(kSparse1of4), inv, scenario));
+  result.rows.push_back(eval_fig7(hybrid_model(kSparse1of8), inv, scenario));
+  return result;
+}
+
+namespace {
+
+Fig8Row eval_fig8(const std::string& label, const AcceleratorModel& model,
+                  const ModelInventory& inv,
+                  const TrainingScenario& scenario) {
+  Fig8Row row;
+  row.config = label;
+  const TrainingCost cost = model.training_step(inv, scenario);
+  row.energy_uj = cost.energy.as_uj();
+  row.delay_us = cost.delay.as_us();
+  row.edp = cost.edp_pj_ns();
+  return row;
+}
+
+}  // namespace
+
+Fig8Result reproduce_fig8(const TrainingScenario& scenario) {
+  const ModelInventory all = resnet50_finetune_all_inventory();
+  const ModelInventory repnet = resnet50_repnet_inventory();
+
+  Fig8Result result;
+  result.rows.push_back(eval_fig8("SRAM[29] finetune-all",
+                                  *make_isscc21_sram(), all, scenario));
+  result.rows.push_back(eval_fig8("MRAM[30] finetune-all",
+                                  *make_iscas23_mram(), all, scenario));
+  result.rows.push_back(eval_fig8("SRAM[29] RepNet (no sparsity)",
+                                  *make_isscc21_sram(), repnet, scenario));
+  result.rows.push_back(eval_fig8("MRAM[30] RepNet (no sparsity)",
+                                  *make_iscas23_mram(), repnet, scenario));
+  result.rows.push_back(eval_fig8("Ours (1:4)", hybrid_model(kSparse1of4),
+                                  repnet, scenario));
+  result.rows.push_back(eval_fig8("Ours (1:8)", hybrid_model(kSparse1of8),
+                                  repnet, scenario));
+  return result;
+}
+
+std::vector<Table2Row> reproduce_table2() {
+  std::vector<Table2Row> rows;
+  const SramPeSpec sram = table2_sram_pe();
+  for (const ComponentSpec* c :
+       {&sram.decoder, &sram.bit_cell, &sram.shift_acc, &sram.index_decoder,
+        &sram.adder, &sram.global_buffer, &sram.global_relu}) {
+    rows.push_back({"SRAM PE", c->name, c->area.as_mm2(), c->power.as_mw()});
+  }
+  const MramPeSpec mram = table2_mram_pe();
+  for (const ComponentSpec* c :
+       {&mram.memory_array, &mram.parallel_shift_acc, &mram.col_decoder_driver,
+        &mram.row_decoder_driver, &mram.adder_tree}) {
+    rows.push_back({"MRAM PE", c->name, c->area.as_mm2(), c->power.as_mw()});
+  }
+  return rows;
+}
+
+}  // namespace msh

@@ -1,0 +1,64 @@
+// Computes the paper's Fig 7 (normalized power & area) and Fig 8
+// (normalized continual-learning EDP) series from the design models.
+// Shared by the bench binaries (which print them) and the integration
+// tests (which assert the shape: orderings and rough factors).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/hybrid_model.h"
+
+namespace msh {
+
+struct Fig7Row {
+  std::string design;
+  f64 area_mm2 = 0.0;
+  f64 leakage_mw = 0.0;
+  f64 read_mw = 0.0;
+
+  f64 total_mw() const { return leakage_mw + read_mw; }
+};
+
+struct Fig7Result {
+  std::vector<Fig7Row> rows;  ///< SRAM[29], MRAM[30], Ours(1:4), Ours(1:8)
+
+  f64 area_norm(size_t i) const {
+    return rows[i].area_mm2 / rows[0].area_mm2;
+  }
+  f64 power_norm(size_t i) const {
+    return rows[i].total_mw() / rows[0].total_mw();
+  }
+};
+
+Fig7Result reproduce_fig7(const InferenceScenario& scenario = {});
+
+struct Fig8Row {
+  std::string config;
+  f64 energy_uj = 0.0;
+  f64 delay_us = 0.0;
+  f64 edp = 0.0;  ///< pJ*ns
+};
+
+struct Fig8Result {
+  /// Order as in the paper: SRAM[29] finetune-all, MRAM[30] finetune-all,
+  /// SRAM[29] RepNet, MRAM[30] RepNet, Ours(1:4), Ours(1:8).
+  std::vector<Fig8Row> rows;
+
+  /// EDP normalized to Ours (1:8) — the paper's y-axis.
+  f64 edp_norm(size_t i) const { return rows[i].edp / rows.back().edp; }
+};
+
+Fig8Result reproduce_fig8(const TrainingScenario& scenario = {});
+
+/// The Table 2 reproduction: component name -> (area, power) rows for
+/// both PE types, straight from the device library.
+struct Table2Row {
+  std::string pe;
+  std::string component;
+  f64 area_mm2;
+  f64 power_mw;
+};
+std::vector<Table2Row> reproduce_table2();
+
+}  // namespace msh

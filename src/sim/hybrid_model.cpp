@@ -1,0 +1,144 @@
+#include "sim/hybrid_model.h"
+
+#include <algorithm>
+
+namespace msh {
+
+HybridDesignModel::HybridDesignModel(HybridModelOptions options,
+                                     EnergyModel energy)
+    : options_(options),
+      energy_(energy),
+      sram_spec_(table2_sram_pe()),
+      mram_spec_(table2_mram_pe()) {
+  MSH_REQUIRE(options_.nm.valid());
+  MSH_REQUIRE(options_.sram_pe_pool > 0);
+}
+
+std::string HybridDesignModel::name() const {
+  return "Hybrid (" + std::to_string(options_.nm.n) + ":" +
+         std::to_string(options_.nm.m) + ")";
+}
+
+HybridPlan HybridDesignModel::plan(const ModelInventory& model) const {
+  HybridPlanOptions plan_options;
+  plan_options.nm = options_.nm;
+  plan_options.geometry = options_.geometry;
+  plan_options.round_to_cores = options_.round_to_cores;
+  return plan_hybrid(model, plan_options);
+}
+
+Area HybridDesignModel::area(const ModelInventory& model) const {
+  const HybridPlan p = plan(model);
+  const Area mram = static_cast<f64>(p.mram_pes) * mram_spec_.total_area();
+  // Forward pool + transposed pool of full sparse SRAM PE macros.
+  const Area sram =
+      static_cast<f64>(2 * options_.sram_pe_pool) * sram_spec_.total_area();
+  const Area buffer = Area::um2(static_cast<f64>(p.sram_bits_stored) *
+                                options_.weight_buffer_um2_per_bit);
+  return (mram + sram + buffer) * (1.0 + options_.interconnect_area_overhead);
+}
+
+PeEventCounts HybridDesignModel::analytic_inference_events(
+    const HybridPlan& p) const {
+  PeEventCounts e;
+  // MRAM path: each physical row read feeds one parallel shift-acc pass
+  // and one adder-tree reduction; the MUX pulls pairs_per_row INT8
+  // activations from the buffer.
+  e.mram_row_reads = p.mram_row_reads_per_inference;
+  e.mram_shift_acc_ops = p.mram_row_reads_per_inference;
+  e.mram_adder_tree_ops = p.mram_row_reads_per_inference;
+  e.buffer_bits_read +=
+      p.mram_row_reads_per_inference * options_.geometry.mram_pairs_per_row() *
+      8;
+  // SRAM path: every array cycle drives the decoder, all 8 column-group
+  // adder trees and shift accumulators; index comparators fire once per
+  // phase per group (cycles / 8 bit planes x 8 groups = cycles).
+  const i64 cycles = p.sram_array_cycles_per_inference;
+  e.sram_array_cycles = cycles;
+  e.sram_decoder_cycles = cycles;
+  e.sram_adder_tree_ops = cycles * options_.geometry.sram_column_groups;
+  e.sram_shift_acc_ops = cycles * options_.geometry.sram_column_groups;
+  e.sram_index_compares = cycles;
+  e.buffer_bits_read += cycles * options_.geometry.sram_rows / 8;
+  e.cycles = cycles + p.mram_row_reads_per_inference;
+  return e;
+}
+
+Energy HybridDesignModel::inference_energy(const HybridPlan& p) const {
+  return energy_.price(analytic_inference_events(p)).total();
+}
+
+Power HybridDesignModel::leakage_power(const HybridPlan& p) const {
+  const Power mram_leak = static_cast<f64>(p.mram_pes) *
+                          mram_spec_.total_leakage() *
+                          options_.mram_power_gating;
+  const Power sram_leak = static_cast<f64>(2 * options_.sram_pe_pool) *
+                          sram_spec_.total_leakage();
+  const Power buffer_leak =
+      Power::uw(static_cast<f64>(p.sram_bits_stored) *
+                options_.weight_buffer_leak_nw_per_bit * 1e-3);
+  return mram_leak + sram_leak + buffer_leak;
+}
+
+TimeNs HybridDesignModel::forward_delay(const HybridPlan& p) const {
+  // MRAM sub-arrays stream one row per cycle, all arrays in parallel.
+  const i64 mram_cycles =
+      p.mram_pes == 0 ? 0 : p.mram_row_reads_per_inference / p.mram_pes;
+  // SRAM windows time-share the physical pool.
+  const i64 sram_cycles =
+      p.sram_array_cycles_per_inference / options_.sram_pe_pool;
+  return TimeNs::ns(static_cast<f64>(mram_cycles + sram_cycles));
+}
+
+PowerBreakdown HybridDesignModel::inference_power(
+    const ModelInventory& model, const InferenceScenario& scenario) const {
+  const HybridPlan p = plan(model);
+  PowerBreakdown power;
+  power.leakage = leakage_power(p);
+  power.read =
+      Power::w(inference_energy(p).as_pj() * scenario.fps * 1e-12);
+  return power;
+}
+
+TrainingCost HybridDesignModel::training_step(
+    const ModelInventory& model, const TrainingScenario& scenario) const {
+  const HybridPlan p = plan(model);
+
+  // Forward pass (backbone on MRAM + learnable on SRAM).
+  const Energy fwd_energy = inference_energy(p);
+  const TimeNs fwd_delay = forward_delay(p);
+
+  // Backward: transposed passes over the learnable SRAM path only (the
+  // frozen backbone propagates error through the same MRAM arrays, which
+  // is already covered by the forward-equivalent pass structure).
+  const i64 learnable_cycles = p.sram_array_cycles_per_inference;
+  PeEventCounts bwd;
+  bwd.sram_array_cycles = static_cast<i64>(
+      scenario.backward_factor * static_cast<f64>(learnable_cycles));
+  bwd.sram_decoder_cycles = bwd.sram_array_cycles;
+  bwd.sram_adder_tree_ops =
+      bwd.sram_array_cycles * options_.geometry.sram_column_groups;
+  bwd.sram_shift_acc_ops = bwd.sram_adder_tree_ops;
+  bwd.sram_index_compares = bwd.sram_array_cycles;
+  const Energy bwd_energy = energy_.price(bwd).total();
+  const TimeNs bwd_delay = TimeNs::ns(
+      static_cast<f64>(bwd.sram_array_cycles) /
+      static_cast<f64>(options_.sram_pe_pool));
+
+  // Weight write-back into SRAM PEs: compressed slots, value+index bits.
+  const i64 pair_bits = 8 + options_.nm.index_bits();
+  const i64 write_bits = p.weights_updated_per_step * pair_bits;
+  const Energy write_energy = energy_.sram_write_energy(write_bits);
+  const i64 row_bits = options_.geometry.sram_column_groups *
+                       (8 + options_.geometry.sram_index_bits);
+  const TimeNs write_time = energy_.sram_write_time(
+      write_bits, row_bits, options_.write_parallel_rows);
+
+  TrainingCost cost;
+  cost.delay = fwd_delay + bwd_delay + write_time;
+  cost.energy = fwd_energy + bwd_energy + write_energy +
+                leakage_power(p) * cost.delay;
+  return cost;
+}
+
+}  // namespace msh

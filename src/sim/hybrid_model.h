@@ -1,0 +1,74 @@
+// Evaluation model of OUR hybrid MRAM-SRAM sparse design, rolled up from
+// the Table 2 component library through the inventory-scale mapping plan.
+//
+// Composition (paper §4-§5.2):
+//  * frozen backbone, N:M-compressed, resident in MRAM sparse PE
+//    sub-arrays (storage + near-memory compute; no cell leakage, periphery
+//    power-gated when idle);
+//  * learnable Rep-Net path + classifier, N:M-compressed, streamed through
+//    a small pool of SRAM sparse PEs (fast cheap writes) with a dedicated
+//    on-chip SRAM weight buffer holding the learnable set;
+//  * a matching pool of transposed SRAM PEs for backprop (Fig 6-2).
+#pragma once
+
+#include "mapping/model_mapper.h"
+#include "sim/accel_model.h"
+#include "sim/energy_model.h"
+
+namespace msh {
+
+struct HybridModelOptions {
+  NmConfig nm = kSparse1of4;
+  PeGeometry geometry = {};
+  /// SRAM sparse PEs for the forward learnable path; the same count is
+  /// provisioned again as transposed PEs (paper: pool size is a
+  /// parallelism choice bounded by the largest learnable layer).
+  i64 sram_pe_pool = 16;
+  /// Fraction of MRAM periphery leaking when idle (power gating).
+  f64 mram_power_gating = 0.05;
+  /// Learnable-weight SRAM buffer: density and leakage per bit.
+  f64 weight_buffer_um2_per_bit = 0.20;
+  f64 weight_buffer_leak_nw_per_bit = 12.0;
+  /// Core-level overhead (scheduler, bus, control) on top of PE area.
+  f64 interconnect_area_overhead = 0.08;
+  /// Allocate MRAM sub-arrays in whole 256-array cores (paper topology).
+  /// Disable for sub-core workloads to allocate at bank granularity.
+  bool round_to_cores = true;
+  /// Concurrent SRAM row writes during weight update.
+  i64 write_parallel_rows = 16;
+};
+
+class HybridDesignModel : public AcceleratorModel {
+ public:
+  explicit HybridDesignModel(HybridModelOptions options = {},
+                             EnergyModel energy = EnergyModel());
+
+  std::string name() const override;
+  const HybridModelOptions& options() const { return options_; }
+
+  Area area(const ModelInventory& model) const override;
+  PowerBreakdown inference_power(
+      const ModelInventory& model,
+      const InferenceScenario& scenario) const override;
+  TrainingCost training_step(const ModelInventory& model,
+                             const TrainingScenario& scenario) const override;
+
+  /// The mapping plan backing the evaluation (exposed for reports).
+  HybridPlan plan(const ModelInventory& model) const;
+
+  /// Analytic per-inference PE event counts implied by the plan — same
+  /// schema the functional PEs produce, priced by the same EnergyModel.
+  PeEventCounts analytic_inference_events(const HybridPlan& plan) const;
+
+ private:
+  Energy inference_energy(const HybridPlan& plan) const;
+  Power leakage_power(const HybridPlan& plan) const;
+  TimeNs forward_delay(const HybridPlan& plan) const;
+
+  HybridModelOptions options_;
+  EnergyModel energy_;
+  SramPeSpec sram_spec_;
+  MramPeSpec mram_spec_;
+};
+
+}  // namespace msh

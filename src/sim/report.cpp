@@ -1,0 +1,81 @@
+#include "sim/report.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace msh {
+
+LayerReport per_layer_report(const HybridDesignModel& design,
+                             const ModelInventory& model) {
+  const HybridPlan plan = design.plan(model);
+  const EnergyModel pricing;
+  const PeGeometry& geom = design.options().geometry;
+
+  LayerReport report;
+  for (const LayerMapping& lm : plan.layers) {
+    LayerReportRow row;
+    row.layer = lm.layer;
+    row.target = lm.target == PeKind::kMram ? "MRAM" : "SRAM";
+    row.sparse = lm.sparse;
+    row.stored_kb = static_cast<f64>(lm.stored_bits) / 8.0 / 1024.0;
+    row.compression = static_cast<f64>(lm.stored_bits) /
+                      static_cast<f64>(lm.dense_k * lm.cols * 8);
+
+    PeEventCounts events;
+    if (lm.target == PeKind::kMram) {
+      row.work_units = lm.mram_row_reads;
+      events.mram_row_reads = lm.mram_row_reads;
+      events.mram_shift_acc_ops = lm.mram_row_reads;
+      events.mram_adder_tree_ops = lm.mram_row_reads;
+      events.buffer_bits_read =
+          lm.mram_row_reads * geom.mram_pairs_per_row() * 8;
+    } else {
+      row.work_units = lm.sram_array_cycles;
+      events.sram_array_cycles = lm.sram_array_cycles;
+      events.sram_decoder_cycles = lm.sram_array_cycles;
+      events.sram_adder_tree_ops =
+          lm.sram_array_cycles * geom.sram_column_groups;
+      events.sram_shift_acc_ops = events.sram_adder_tree_ops;
+      events.sram_index_compares = lm.sram_array_cycles;
+    }
+    row.energy_nj = pricing.price(events).total().as_nj();
+    report.total_energy_nj += row.energy_nj;
+    report.rows.push_back(std::move(row));
+  }
+  for (auto& row : report.rows) {
+    row.energy_share =
+        report.total_energy_nj > 0.0 ? row.energy_nj / report.total_energy_nj
+                                     : 0.0;
+  }
+  return report;
+}
+
+std::string LayerReport::render(size_t max_rows) const {
+  std::vector<const LayerReportRow*> order;
+  order.reserve(rows.size());
+  for (const auto& row : rows) order.push_back(&row);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const LayerReportRow* a, const LayerReportRow* b) {
+                     return a->energy_nj > b->energy_nj;
+                   });
+  if (order.size() > max_rows) order.resize(max_rows);
+
+  AsciiTable table({"Layer", "PE", "packed", "stored (KB)", "compress",
+                    "work units", "E/inf (nJ)", "share"});
+  for (const LayerReportRow* row : order) {
+    table.add_row({row->layer, row->target, row->sparse ? "N:M" : "dense",
+                   AsciiTable::num(row->stored_kb, 1),
+                   AsciiTable::percent(row->compression),
+                   std::to_string(row->work_units),
+                   AsciiTable::num(row->energy_nj, 1),
+                   AsciiTable::percent(row->energy_share)});
+  }
+  table.add_rule();
+  table.add_row({"TOTAL (" + std::to_string(rows.size()) + " layers)", "",
+                 "", "", "", "", AsciiTable::num(total_energy_nj, 1),
+                 "100%"});
+  return table.render();
+}
+
+}  // namespace msh

@@ -1,0 +1,36 @@
+// Per-layer evaluation report for a hybrid deployment plan: where each
+// layer lives, what it stores, how long it runs, what it costs — the
+// per-layer account an NVSIM/PIMA-SIM-style framework emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/hybrid_model.h"
+
+namespace msh {
+
+struct LayerReportRow {
+  std::string layer;
+  std::string target;       ///< "MRAM" / "SRAM"
+  bool sparse = false;
+  f64 stored_kb = 0.0;      ///< compressed storage
+  f64 compression = 1.0;    ///< stored bits / dense bits
+  i64 work_units = 0;       ///< row reads (MRAM) or array cycles (SRAM)
+  f64 energy_nj = 0.0;      ///< per-inference dynamic energy
+  f64 energy_share = 0.0;   ///< of the whole model
+};
+
+struct LayerReport {
+  std::vector<LayerReportRow> rows;
+  f64 total_energy_nj = 0.0;
+
+  /// Renders as an ASCII table (top `max_rows` by energy, plus a total).
+  std::string render(size_t max_rows = 24) const;
+};
+
+/// Builds the per-layer report for a model under the given design.
+LayerReport per_layer_report(const HybridDesignModel& design,
+                             const ModelInventory& model);
+
+}  // namespace msh

@@ -1,0 +1,73 @@
+#include "sparse/csc.h"
+
+#include <cmath>
+
+namespace msh {
+
+CscMatrix CscMatrix::from_dense(const Tensor& dense, f32 eps) {
+  MSH_REQUIRE(dense.shape().rank() == 2);
+  CscMatrix csc;
+  csc.rows_ = dense.shape()[0];
+  csc.cols_ = dense.shape()[1];
+  csc.col_ptr_.assign(static_cast<size_t>(csc.cols_) + 1, 0);
+  for (i64 c = 0; c < csc.cols_; ++c) {
+    for (i64 r = 0; r < csc.rows_; ++r) {
+      const f32 v = dense[r * csc.cols_ + c];
+      if (std::fabs(v) > eps) {
+        csc.row_idx_.push_back(r);
+        csc.values_.push_back(v);
+      }
+    }
+    csc.col_ptr_[static_cast<size_t>(c) + 1] =
+        static_cast<i64>(csc.values_.size());
+  }
+  return csc;
+}
+
+Tensor CscMatrix::to_dense() const {
+  Tensor dense(Shape{rows_, cols_});
+  for (i64 c = 0; c < cols_; ++c) {
+    for (i64 k = col_ptr_[static_cast<size_t>(c)];
+         k < col_ptr_[static_cast<size_t>(c) + 1]; ++k) {
+      dense[row_idx_[static_cast<size_t>(k)] * cols_ + c] =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+std::vector<f32> CscMatrix::vecmat(std::span<const f32> x) const {
+  MSH_REQUIRE(static_cast<i64>(x.size()) == rows_);
+  std::vector<f32> y(static_cast<size_t>(cols_), 0.0f);
+  for (i64 c = 0; c < cols_; ++c) {
+    f64 acc = 0.0;
+    for (i64 k = col_ptr_[static_cast<size_t>(c)];
+         k < col_ptr_[static_cast<size_t>(c) + 1]; ++k) {
+      acc += f64{x[static_cast<size_t>(row_idx_[static_cast<size_t>(k)])]} *
+             values_[static_cast<size_t>(k)];
+    }
+    y[static_cast<size_t>(c)] = static_cast<f32>(acc);
+  }
+  return y;
+}
+
+Tensor CscMatrix::left_matmul(const Tensor& x) const {
+  MSH_REQUIRE(x.shape().rank() == 2);
+  MSH_REQUIRE(x.shape()[1] == rows_);
+  const i64 batch = x.shape()[0];
+  Tensor y(Shape{batch, cols_});
+  for (i64 b = 0; b < batch; ++b) {
+    const auto row = x.span().subspan(static_cast<size_t>(b * rows_),
+                                      static_cast<size_t>(rows_));
+    const auto out = vecmat(row);
+    for (i64 c = 0; c < cols_; ++c) y[b * cols_ + c] = out[static_cast<size_t>(c)];
+  }
+  return y;
+}
+
+i64 CscMatrix::storage_bits(i32 value_bits, i32 index_bits) const {
+  MSH_REQUIRE(value_bits > 0 && index_bits >= 0);
+  return nnz() * (static_cast<i64>(value_bits) + index_bits);
+}
+
+}  // namespace msh

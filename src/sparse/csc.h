@@ -1,0 +1,57 @@
+// Compressed Sparse Column representation (paper §3.1, Fig 4).
+//
+// CSC compresses along the column direction, preserving the column
+// (multiplication) structure while breaking the row (accumulation)
+// structure — which the PIM design restores with index-gated adder trees.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msh {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Compresses a dense [rows x cols] matrix, dropping entries with
+  /// |v| <= eps.
+  static CscMatrix from_dense(const Tensor& dense, f32 eps = 0.0f);
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+  i64 nnz() const { return static_cast<i64>(values_.size()); }
+
+  /// col_ptr has cols()+1 entries; entries of column c live in
+  /// [col_ptr[c], col_ptr[c+1]).
+  const std::vector<i64>& col_ptr() const { return col_ptr_; }
+  const std::vector<i64>& row_idx() const { return row_idx_; }
+  const std::vector<f32>& values() const { return values_; }
+
+  /// Reconstructs the dense matrix (round-trip inverse of from_dense).
+  Tensor to_dense() const;
+
+  /// y[rows? no: cols... ] — computes dense_result = x^T * A where x is a
+  /// dense row vector of length rows(); i.e. column-major dot products,
+  /// the natural CSC kernel. Result length = cols().
+  std::vector<f32> vecmat(std::span<const f32> x) const;
+
+  /// C[MxN] = A[MxK_dense_from_this? ] — computes dense (X * A) where
+  /// X is [batch x rows] and this is [rows x cols]; result [batch x cols].
+  Tensor left_matmul(const Tensor& x) const;
+
+  /// Storage cost in bits given value/index precisions (for the paper's
+  /// density accounting: each kept weight stores value + intra-column row
+  /// index).
+  i64 storage_bits(i32 value_bits, i32 index_bits) const;
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<i64> col_ptr_;
+  std::vector<i64> row_idx_;
+  std::vector<f32> values_;
+};
+
+}  // namespace msh

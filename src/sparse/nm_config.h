@@ -1,0 +1,44 @@
+// N:M structured sparsity configuration (paper §2.3): at most N out of
+// every M contiguous, aligned elements are non-zero. The paper evaluates
+// 1:4 and 1:8; the hardware index field is 4 bits wide, supporting up to
+// N:16 patterns.
+#pragma once
+
+#include "common/types.h"
+
+namespace msh {
+
+struct NmConfig {
+  i32 n = 1;  ///< non-zeros kept per group
+  i32 m = 4;  ///< group size (contiguous, aligned)
+
+  constexpr bool valid() const { return n >= 1 && m >= 2 && n <= m; }
+
+  /// Fraction of weights kept (e.g. 1:4 -> 0.25).
+  constexpr f64 density() const {
+    return static_cast<f64>(n) / static_cast<f64>(m);
+  }
+  /// Fraction of weights pruned (e.g. 1:4 -> 0.75).
+  constexpr f64 sparsity() const { return 1.0 - density(); }
+
+  /// Bits needed to address a position within a group (4 for M=16).
+  constexpr i32 index_bits() const {
+    i32 bits = 0;
+    i32 span = 1;
+    while (span < m) {
+      span <<= 1;
+      ++bits;
+    }
+    return bits;
+  }
+
+  constexpr bool operator==(const NmConfig&) const = default;
+};
+
+/// The two configurations evaluated in the paper.
+inline constexpr NmConfig kSparse1of4{1, 4};
+inline constexpr NmConfig kSparse1of8{1, 8};
+/// Densest pattern the 4-bit hardware index field supports.
+inline constexpr i32 kMaxGroupSize = 16;
+
+}  // namespace msh

@@ -1,0 +1,116 @@
+#include "sparse/nm_mask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace msh {
+
+NmMask::NmMask(Shape shape, NmConfig cfg, GroupAxis axis)
+    : shape_(std::move(shape)),
+      cfg_(cfg),
+      axis_(axis),
+      keep_(static_cast<size_t>(shape_.numel()), 0) {
+  MSH_REQUIRE(cfg_.valid());
+  MSH_REQUIRE(shape_.rank() == 2);
+  const i64 grouped_extent = axis_ == GroupAxis::kRows ? shape_[0] : shape_[1];
+  MSH_REQUIRE(grouped_extent % cfg_.m == 0);
+}
+
+i64 NmMask::count_kept() const {
+  return std::accumulate(keep_.begin(), keep_.end(), i64{0});
+}
+
+bool NmMask::satisfies_pattern() const {
+  const i64 rows = shape_[0], cols = shape_[1];
+  const i64 m = cfg_.m;
+  if (axis_ == GroupAxis::kRows) {
+    for (i64 c = 0; c < cols; ++c) {
+      for (i64 g = 0; g < rows / m; ++g) {
+        i64 nz = 0;
+        for (i64 i = 0; i < m; ++i)
+          nz += keep_[static_cast<size_t>((g * m + i) * cols + c)];
+        if (nz > cfg_.n) return false;
+      }
+    }
+  } else {
+    for (i64 r = 0; r < rows; ++r) {
+      for (i64 g = 0; g < cols / m; ++g) {
+        i64 nz = 0;
+        for (i64 i = 0; i < m; ++i)
+          nz += keep_[static_cast<size_t>(r * cols + g * m + i)];
+        if (nz > cfg_.n) return false;
+      }
+    }
+  }
+  return true;
+}
+
+NmMask select_nm_mask(const Tensor& saliency, NmConfig cfg, GroupAxis axis) {
+  MSH_REQUIRE(saliency.shape().rank() == 2);
+  NmMask mask(saliency.shape(), cfg, axis);
+  const i64 rows = saliency.shape()[0], cols = saliency.shape()[1];
+  const i64 m = cfg.m;
+
+  // Collects the flat offsets of one group, selects the top-N by |score|.
+  std::vector<i64> group(static_cast<size_t>(m));
+  auto select_group = [&](const std::vector<i64>& offs) {
+    std::vector<i64> order(offs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](i64 a, i64 b) {
+      return std::fabs(saliency[offs[static_cast<size_t>(a)]]) >
+             std::fabs(saliency[offs[static_cast<size_t>(b)]]);
+    });
+    for (i32 i = 0; i < cfg.n; ++i)
+      mask.set(offs[static_cast<size_t>(order[static_cast<size_t>(i)])],
+               true);
+  };
+
+  if (axis == GroupAxis::kRows) {
+    for (i64 c = 0; c < cols; ++c) {
+      for (i64 g = 0; g < rows / m; ++g) {
+        for (i64 i = 0; i < m; ++i) group[static_cast<size_t>(i)] =
+            (g * m + i) * cols + c;
+        select_group(group);
+      }
+    }
+  } else {
+    for (i64 r = 0; r < rows; ++r) {
+      for (i64 g = 0; g < cols / m; ++g) {
+        for (i64 i = 0; i < m; ++i) group[static_cast<size_t>(i)] =
+            r * cols + g * m + i;
+        select_group(group);
+      }
+    }
+  }
+  return mask;
+}
+
+Tensor saliency_scores(const Tensor& weights, const Tensor& grad) {
+  Tensor s(weights.shape());
+  const bool has_grad = !grad.empty();
+  if (has_grad) MSH_REQUIRE(grad.shape() == weights.shape());
+  for (i64 i = 0; i < weights.numel(); ++i) {
+    const f32 g = has_grad ? std::fabs(grad[i]) : 0.0f;
+    s[i] = std::fabs(weights[i]) * (1.0f + g);
+  }
+  return s;
+}
+
+void apply_mask(Tensor& weights, const NmMask& mask) {
+  MSH_REQUIRE(weights.shape() == mask.shape());
+  for (i64 i = 0; i < weights.numel(); ++i) {
+    if (!mask.kept(i)) weights[i] = 0.0f;
+  }
+}
+
+f64 measured_sparsity(const Tensor& t, f32 eps) {
+  if (t.numel() == 0) return 0.0;
+  i64 zeros = 0;
+  for (i64 i = 0; i < t.numel(); ++i) {
+    if (std::fabs(t[i]) <= eps) ++zeros;
+  }
+  return static_cast<f64>(zeros) / static_cast<f64>(t.numel());
+}
+
+}  // namespace msh

@@ -1,0 +1,60 @@
+// N:M mask selection and application.
+//
+// Mask selection follows the paper's §5.1 procedure: a one-epoch gradient
+// pass produces a saliency score per weight, then within every aligned
+// group of M consecutive elements the N most salient weights are kept.
+#pragma once
+
+#include "sparse/nm_config.h"
+#include "tensor/tensor.h"
+
+namespace msh {
+
+/// Which tensor dimension groups of M run along.
+enum class GroupAxis {
+  kRows,  ///< groups of M consecutive elements down each column (CSC-friendly)
+  kCols,  ///< groups of M consecutive elements along each row
+};
+
+/// A boolean keep-mask with the same shape as its weight tensor.
+class NmMask {
+ public:
+  NmMask() = default;
+  NmMask(Shape shape, NmConfig cfg, GroupAxis axis);
+
+  const Shape& shape() const { return shape_; }
+  NmConfig config() const { return cfg_; }
+  GroupAxis axis() const { return axis_; }
+
+  bool kept(i64 flat) const { return keep_[static_cast<size_t>(flat)]; }
+  void set(i64 flat, bool keep) { keep_[static_cast<size_t>(flat)] = keep; }
+
+  /// Number of kept weights.
+  i64 count_kept() const;
+  /// Checks every group satisfies the <= N non-zero constraint.
+  bool satisfies_pattern() const;
+
+ private:
+  Shape shape_;
+  NmConfig cfg_;
+  GroupAxis axis_ = GroupAxis::kRows;
+  std::vector<u8> keep_;
+};
+
+/// Selects, per aligned group of M along `axis`, the N entries of
+/// `saliency` with the largest magnitude (ties broken by lower index, so
+/// selection is deterministic). The tensor's grouped extent must be a
+/// multiple of M.
+NmMask select_nm_mask(const Tensor& saliency, NmConfig cfg, GroupAxis axis);
+
+/// Gradient-informed saliency |w| * (1 + |g|) as produced by the paper's
+/// one-epoch calibration pass; falls back to |w| when grad is empty.
+Tensor saliency_scores(const Tensor& weights, const Tensor& grad);
+
+/// Zeroes out pruned weights in place.
+void apply_mask(Tensor& weights, const NmMask& mask);
+
+/// Measured fraction of zero elements.
+f64 measured_sparsity(const Tensor& t, f32 eps = 0.0f);
+
+}  // namespace msh

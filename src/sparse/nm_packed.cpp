@@ -1,0 +1,100 @@
+#include "sparse/nm_packed.h"
+
+#include <cmath>
+
+namespace msh {
+
+NmPackedMatrix NmPackedMatrix::pack(const Tensor& dense, NmConfig cfg) {
+  MSH_REQUIRE(cfg.valid());
+  MSH_REQUIRE(dense.shape().rank() == 2);
+  const i64 k = dense.shape()[0], c = dense.shape()[1];
+  MSH_REQUIRE(k % cfg.m == 0);
+
+  NmPackedMatrix p;
+  p.cfg_ = cfg;
+  p.dense_rows_ = k;
+  p.cols_ = c;
+  p.packed_rows_ = k / cfg.m * cfg.n;
+  p.values_.assign(static_cast<size_t>(p.packed_rows_ * c), 0.0f);
+  p.indices_.assign(static_cast<size_t>(p.packed_rows_ * c), 0);
+
+  const i64 groups = k / cfg.m;
+  for (i64 col = 0; col < c; ++col) {
+    for (i64 g = 0; g < groups; ++g) {
+      i32 slot = 0;
+      for (i32 i = 0; i < cfg.m; ++i) {
+        const f32 v = dense[(g * cfg.m + i) * c + col];
+        if (v == 0.0f) continue;
+        if (slot >= cfg.n)
+          throw ContractError(
+              "NmPackedMatrix::pack: group exceeds N non-zeros; apply an "
+              "N:M mask first");
+        const i64 prow = g * cfg.n + slot;
+        p.values_[static_cast<size_t>(prow * c + col)] = v;
+        p.indices_[static_cast<size_t>(prow * c + col)] =
+            static_cast<u8>(i);
+        ++slot;
+      }
+    }
+  }
+  return p;
+}
+
+f32 NmPackedMatrix::value(i64 packed_row, i64 col) const {
+  MSH_REQUIRE(packed_row >= 0 && packed_row < packed_rows_);
+  MSH_REQUIRE(col >= 0 && col < cols_);
+  return values_[static_cast<size_t>(packed_row * cols_ + col)];
+}
+
+i32 NmPackedMatrix::index(i64 packed_row, i64 col) const {
+  MSH_REQUIRE(packed_row >= 0 && packed_row < packed_rows_);
+  MSH_REQUIRE(col >= 0 && col < cols_);
+  return indices_[static_cast<size_t>(packed_row * cols_ + col)];
+}
+
+i64 NmPackedMatrix::absolute_row(i64 packed_row, i64 col) const {
+  return (packed_row / cfg_.n) * cfg_.m + index(packed_row, col);
+}
+
+Tensor NmPackedMatrix::to_dense() const {
+  Tensor dense(Shape{dense_rows_, cols_});
+  for (i64 p = 0; p < packed_rows_; ++p) {
+    for (i64 col = 0; col < cols_; ++col) {
+      const f32 v = value(p, col);
+      if (v != 0.0f) dense[absolute_row(p, col) * cols_ + col] = v;
+    }
+  }
+  return dense;
+}
+
+Tensor NmPackedMatrix::left_matmul(const Tensor& x) const {
+  MSH_REQUIRE(x.shape().rank() == 2);
+  MSH_REQUIRE(x.shape()[1] == dense_rows_);
+  const i64 batch = x.shape()[0];
+  Tensor y(Shape{batch, cols_});
+  for (i64 b = 0; b < batch; ++b) {
+    for (i64 col = 0; col < cols_; ++col) {
+      f64 acc = 0.0;
+      for (i64 p = 0; p < packed_rows_; ++p) {
+        const f32 w = value(p, col);
+        if (w == 0.0f) continue;  // padded slot: hardware gates this off
+        acc += f64{w} * x[b * dense_rows_ + absolute_row(p, col)];
+      }
+      y[b * cols_ + col] = static_cast<f32>(acc);
+    }
+  }
+  return y;
+}
+
+i64 NmPackedMatrix::storage_bits(i32 value_bits) const {
+  MSH_REQUIRE(value_bits > 0);
+  return packed_rows_ * cols_ *
+         (static_cast<i64>(value_bits) + cfg_.index_bits());
+}
+
+i64 NmPackedMatrix::dense_storage_bits(i32 value_bits) const {
+  MSH_REQUIRE(value_bits > 0);
+  return dense_rows_ * cols_ * static_cast<i64>(value_bits);
+}
+
+}  // namespace msh

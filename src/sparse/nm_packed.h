@@ -1,0 +1,61 @@
+// Hardware-facing packed layout for N:M sparse matrices (paper Fig 4).
+//
+// A dense [K x C] weight matrix (K = reduction dimension, streamed on the
+// PIM input word lines; C = output columns) with N:M sparsity down each
+// column packs into K*N/M slots per column. Each slot holds the weight
+// value and its intra-group index (0..M-1, at most 4 bits for M<=16);
+// slot p of a column belongs to group p/N, so the absolute row is
+// (p/N)*M + index. Groups with fewer than N survivors are padded with
+// (value=0, index=0), which contribute nothing when accumulated.
+#pragma once
+
+#include "sparse/nm_config.h"
+#include "sparse/nm_mask.h"
+#include "tensor/tensor.h"
+
+namespace msh {
+
+class NmPackedMatrix {
+ public:
+  NmPackedMatrix() = default;
+
+  /// Packs a dense matrix that already satisfies the N:M pattern down its
+  /// columns (use select_nm_mask + apply_mask first). Throws if any group
+  /// of M consecutive rows in a column holds more than N non-zeros.
+  static NmPackedMatrix pack(const Tensor& dense, NmConfig cfg);
+
+  NmConfig config() const { return cfg_; }
+  i64 dense_rows() const { return dense_rows_; }
+  i64 cols() const { return cols_; }
+  /// Compressed row count: dense_rows * N / M.
+  i64 packed_rows() const { return packed_rows_; }
+
+  f32 value(i64 packed_row, i64 col) const;
+  /// Intra-group index in [0, M).
+  i32 index(i64 packed_row, i64 col) const;
+  /// Absolute dense row this slot addresses.
+  i64 absolute_row(i64 packed_row, i64 col) const;
+
+  /// Reconstructs the dense matrix.
+  Tensor to_dense() const;
+
+  /// Reference sparse matmul: X [B x K] * this [K x C] -> [B x C],
+  /// touching only packed (non-zero) slots — the Fig 2-2 semantics the
+  /// PIM PEs implement.
+  Tensor left_matmul(const Tensor& x) const;
+
+  /// Bits to store the packed matrix (value + index per slot).
+  i64 storage_bits(i32 value_bits) const;
+  /// Bits the dense original would need.
+  i64 dense_storage_bits(i32 value_bits) const;
+
+ private:
+  NmConfig cfg_;
+  i64 dense_rows_ = 0;
+  i64 cols_ = 0;
+  i64 packed_rows_ = 0;
+  std::vector<f32> values_;  // [packed_rows x cols] row-major
+  std::vector<u8> indices_;  // [packed_rows x cols] row-major
+};
+
+}  // namespace msh

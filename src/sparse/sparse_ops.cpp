@@ -1,0 +1,31 @@
+#include "sparse/sparse_ops.h"
+
+namespace msh {
+
+OpCounts count_ops(const NmPackedMatrix& w, i64 batch) {
+  MSH_REQUIRE(batch >= 0);
+  OpCounts counts;
+  counts.dense_macs = batch * w.dense_rows() * w.cols();
+  counts.sparse_macs = batch * w.packed_rows() * w.cols();
+  return counts;
+}
+
+Tensor masked_matmul(const Tensor& x, const Tensor& w_masked) {
+  MSH_REQUIRE(x.shape().rank() == 2 && w_masked.shape().rank() == 2);
+  const i64 b = x.shape()[0], k = x.shape()[1], c = w_masked.shape()[1];
+  MSH_REQUIRE(w_masked.shape()[0] == k);
+  Tensor y(Shape{b, c});
+  for (i64 i = 0; i < b; ++i) {
+    for (i64 kk = 0; kk < k; ++kk) {
+      const f32 xv = x[i * k + kk];
+      for (i64 j = 0; j < c; ++j) {
+        const f32 w = w_masked[kk * c + j];
+        if (w == 0.0f) continue;  // the "skip" of Fig 2
+        y[i * c + j] += xv * w;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace msh

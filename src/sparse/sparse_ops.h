@@ -1,0 +1,31 @@
+// Reference sparse kernels and operation accounting used to quantify the
+// compute reduction of N:M sparse processing (paper Fig 2).
+#pragma once
+
+#include "sparse/nm_packed.h"
+#include "tensor/tensor.h"
+
+namespace msh {
+
+/// MAC counts for a [B x K] * [K x C] matmul.
+struct OpCounts {
+  i64 dense_macs = 0;   ///< B*K*C: the traditional dense approach (Fig 2-1)
+  i64 sparse_macs = 0;  ///< B*nnz-slots: non-zero operands only (Fig 2-2)
+
+  f64 reduction() const {
+    return dense_macs == 0
+               ? 1.0
+               : static_cast<f64>(sparse_macs) / static_cast<f64>(dense_macs);
+  }
+};
+
+/// Counts dense vs sparse MACs for multiplying a batch of `batch` input
+/// rows against the packed matrix.
+OpCounts count_ops(const NmPackedMatrix& w, i64 batch);
+
+/// Dense matmul that explicitly skips zero weights (Fig 2-2 applied to an
+/// uncompressed masked matrix) — used as an independent oracle against
+/// both the dense path and the packed path.
+Tensor masked_matmul(const Tensor& x, const Tensor& w_masked);
+
+}  // namespace msh

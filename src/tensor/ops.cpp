@@ -1,0 +1,162 @@
+#include "tensor/ops.h"
+
+namespace msh {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MSH_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const i64 m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  MSH_REQUIRE(b.shape()[0] == k);
+  Tensor c(Shape{m, n});
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* pc = c.data();
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 kk = 0; kk < k; ++kk) {
+      const f32 av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const f32* brow = pb + kk * n;
+      f32* crow = pc + i * n;
+      for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_ta(const Tensor& a, const Tensor& b) {
+  MSH_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const i64 k = a.shape()[0], m = a.shape()[1], n = b.shape()[1];
+  MSH_REQUIRE(b.shape()[0] == k);
+  Tensor c(Shape{m, n});
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* pc = c.data();
+  for (i64 kk = 0; kk < k; ++kk) {
+    const f32* arow = pa + kk * m;
+    const f32* brow = pb + kk * n;
+    for (i64 i = 0; i < m; ++i) {
+      const f32 av = arow[i];
+      if (av == 0.0f) continue;
+      f32* crow = pc + i * n;
+      for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tb(const Tensor& a, const Tensor& b) {
+  MSH_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const i64 m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
+  MSH_REQUIRE(b.shape()[1] == k);
+  Tensor c(Shape{m, n});
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* pc = c.data();
+  for (i64 i = 0; i < m; ++i) {
+    const f32* arow = pa + i * k;
+    for (i64 j = 0; j < n; ++j) {
+      const f32* brow = pb + j * k;
+      f64 acc = 0.0;
+      for (i64 kk = 0; kk < k; ++kk) acc += f64{arow[kk]} * brow[kk];
+      pc[i * n + j] = static_cast<f32>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c += b;
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c -= b;
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  MSH_REQUIRE(a.shape() == b.shape());
+  Tensor c = a;
+  for (i64 i = 0; i < c.numel(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, f32 s) {
+  Tensor c = a;
+  c *= s;
+  return c;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeometry& geom) {
+  MSH_REQUIRE(input.shape().rank() == 4);
+  const i64 n = input.shape()[0], c = input.shape()[1],
+            h = input.shape()[2], w = input.shape()[3];
+  MSH_REQUIRE(c == geom.in_channels);
+  const i64 ho = geom.out_dim(h), wo = geom.out_dim(w);
+  MSH_REQUIRE(ho > 0 && wo > 0);
+  const i64 kk = geom.kernel;
+  Tensor cols(Shape{c * kk * kk, n * ho * wo});
+  f32* pc = cols.data();
+  const f32* pi = input.data();
+  const i64 col_count = n * ho * wo;
+  for (i64 ch = 0; ch < c; ++ch) {
+    for (i64 ky = 0; ky < kk; ++ky) {
+      for (i64 kx = 0; kx < kk; ++kx) {
+        const i64 row = (ch * kk + ky) * kk + kx;
+        f32* dst = pc + row * col_count;
+        for (i64 img = 0; img < n; ++img) {
+          const f32* src = pi + (img * c + ch) * h * w;
+          for (i64 oy = 0; oy < ho; ++oy) {
+            const i64 iy = oy * geom.stride - geom.padding + ky;
+            for (i64 ox = 0; ox < wo; ++ox) {
+              const i64 ix = ox * geom.stride - geom.padding + kx;
+              const i64 col = (img * ho + oy) * wo + ox;
+              dst[col] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? src[iy * w + ix]
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dGeometry& geom) {
+  MSH_REQUIRE(input_shape.rank() == 4);
+  const i64 n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  const i64 ho = geom.out_dim(h), wo = geom.out_dim(w);
+  const i64 kk = geom.kernel;
+  MSH_REQUIRE(cols.shape() == Shape({c * kk * kk, n * ho * wo}));
+  Tensor out(input_shape);
+  f32* po = out.data();
+  const f32* pc = cols.data();
+  const i64 col_count = n * ho * wo;
+  for (i64 ch = 0; ch < c; ++ch) {
+    for (i64 ky = 0; ky < kk; ++ky) {
+      for (i64 kx = 0; kx < kk; ++kx) {
+        const i64 row = (ch * kk + ky) * kk + kx;
+        const f32* src = pc + row * col_count;
+        for (i64 img = 0; img < n; ++img) {
+          f32* dst = po + (img * c + ch) * h * w;
+          for (i64 oy = 0; oy < ho; ++oy) {
+            const i64 iy = oy * geom.stride - geom.padding + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (i64 ox = 0; ox < wo; ++ox) {
+              const i64 ix = ox * geom.stride - geom.padding + kx;
+              if (ix < 0 || ix >= w) continue;
+              dst[iy * w + ix] += src[(img * ho + oy) * wo + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace msh

@@ -1,0 +1,44 @@
+// Dense linear-algebra and convolution-lowering primitives. These are the
+// golden reference implementations the PIM functional simulators are
+// verified against.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace msh {
+
+/// C[MxN] = A[MxK] * B[KxN].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[MxN] = A^T[MxK] * B[KxN] where A is stored [KxM].
+Tensor matmul_ta(const Tensor& a, const Tensor& b);
+/// C[MxN] = A[MxK] * B^T[KxN] where B is stored [NxK].
+Tensor matmul_tb(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum / difference / Hadamard product.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, f32 s);
+
+struct Conv2dGeometry {
+  i64 in_channels = 0;
+  i64 out_channels = 0;
+  i64 kernel = 1;
+  i64 stride = 1;
+  i64 padding = 0;
+
+  i64 out_dim(i64 in_dim) const {
+    return (in_dim + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Lowers an input activation [N, C, H, W] to the im2col matrix
+/// [C*k*k, N*Hout*Wout] so conv becomes a matmul with the
+/// [out_channels, C*k*k] weight matrix.
+Tensor im2col(const Tensor& input, const Conv2dGeometry& geom);
+
+/// Adjoint of im2col: scatters gradient columns back to [N, C, H, W].
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dGeometry& geom);
+
+}  // namespace msh

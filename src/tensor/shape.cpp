@@ -1,0 +1,39 @@
+#include "tensor/shape.h"
+
+namespace msh {
+
+void Shape::validate() const {
+  for (i64 d : dims_) MSH_REQUIRE(d >= 0);
+}
+
+i64 Shape::dim(i64 i) const {
+  MSH_REQUIRE(i >= 0 && i < rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+i64 Shape::numel() const {
+  i64 n = 1;
+  for (i64 d : dims_) n *= d;
+  return n;
+}
+
+i64 Shape::offset(const std::vector<i64>& index) const {
+  MSH_REQUIRE(static_cast<i64>(index.size()) == rank());
+  i64 off = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    MSH_REQUIRE(index[i] >= 0 && index[i] < dims_[i]);
+    off = off * dims_[i] + index[i];
+  }
+  return off;
+}
+
+std::string Shape::to_string() const {
+  std::string s = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace msh

@@ -1,0 +1,41 @@
+// Tensor shape: an ordered list of dimension extents with row-major
+// (C-order) linearization. Kept small and value-semantic.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<i64> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<i64> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  i64 rank() const { return static_cast<i64>(dims_.size()); }
+  i64 dim(i64 i) const;
+  i64 operator[](i64 i) const { return dim(i); }
+  const std::vector<i64>& dims() const { return dims_; }
+
+  /// Total element count (1 for a rank-0 shape).
+  i64 numel() const;
+
+  /// Row-major linear offset of a multi-index.
+  i64 offset(const std::vector<i64>& index) const;
+
+  bool operator==(const Shape& o) const = default;
+
+  std::string to_string() const;
+
+ private:
+  void validate() const;
+  std::vector<i64> dims_;
+};
+
+}  // namespace msh

@@ -1,0 +1,154 @@
+#include "workloads/dataset.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace msh {
+
+Tensor Dataset::batch_images(i64 begin, i64 count) const {
+  MSH_REQUIRE(begin >= 0 && begin + count <= size());
+  const i64 c = images.shape()[1], h = images.shape()[2],
+            w = images.shape()[3];
+  const i64 stride = c * h * w;
+  Tensor out(Shape{count, c, h, w});
+  for (i64 i = 0; i < count * stride; ++i)
+    out[i] = images[begin * stride + i];
+  return out;
+}
+
+std::vector<i32> Dataset::batch_labels(i64 begin, i64 count) const {
+  MSH_REQUIRE(begin >= 0 && begin + count <= size());
+  return {labels.begin() + begin, labels.begin() + begin + count};
+}
+
+void Dataset::shuffle(Rng& rng) {
+  const i64 n = size();
+  if (n <= 1) return;
+  const i64 stride = images.numel() / n;
+  for (i64 i = n; i > 1; --i) {
+    const i64 j = static_cast<i64>(rng.uniform_index(static_cast<u64>(i)));
+    const i64 a = i - 1;
+    if (a == j) continue;
+    std::swap(labels[static_cast<size_t>(a)], labels[static_cast<size_t>(j)]);
+    for (i64 k = 0; k < stride; ++k)
+      std::swap(images[a * stride + k], images[j * stride + k]);
+  }
+}
+
+namespace {
+
+/// One class prototype: sum of oriented sinusoids plus Gaussian blobs,
+/// distinct per (seed, class, channel).
+struct Prototype {
+  std::vector<f32> pixels;  // [C*H*W]
+};
+
+Prototype make_prototype(i32 channels, i32 hw, f32 amplitude, Rng& rng) {
+  Prototype proto;
+  proto.pixels.assign(static_cast<size_t>(channels) * hw * hw, 0.0f);
+  const i32 waves = 3;
+  const i32 blobs = 2;
+  for (i32 ch = 0; ch < channels; ++ch) {
+    f32* plane = proto.pixels.data() + static_cast<size_t>(ch) * hw * hw;
+    for (i32 k = 0; k < waves; ++k) {
+      const f64 fx = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / hw;
+      const f64 fy = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / hw;
+      const f64 phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const f32 amp = static_cast<f32>(rng.uniform(0.3, 1.0)) * amplitude;
+      for (i32 y = 0; y < hw; ++y)
+        for (i32 x = 0; x < hw; ++x)
+          plane[y * hw + x] +=
+              amp * static_cast<f32>(std::sin(fx * x + fy * y + phase));
+    }
+    for (i32 k = 0; k < blobs; ++k) {
+      const f64 cx = rng.uniform(0.2, 0.8) * hw;
+      const f64 cy = rng.uniform(0.2, 0.8) * hw;
+      const f64 sigma = rng.uniform(0.08, 0.25) * hw;
+      const f32 amp = static_cast<f32>(rng.uniform(-1.0, 1.0)) * amplitude;
+      for (i32 y = 0; y < hw; ++y) {
+        for (i32 x = 0; x < hw; ++x) {
+          const f64 d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+          plane[y * hw + x] +=
+              amp * static_cast<f32>(std::exp(-d2 / (2.0 * sigma * sigma)));
+        }
+      }
+    }
+  }
+  return proto;
+}
+
+/// Writes one jittered, noisy sample of a prototype into dst.
+void render_sample(const Prototype& proto, i32 channels, i32 hw,
+                   i32 max_shift, f32 noise, Rng& rng, f32* dst) {
+  const i32 dx =
+      max_shift > 0 ? static_cast<i32>(rng.uniform_int(-max_shift, max_shift))
+                    : 0;
+  const i32 dy =
+      max_shift > 0 ? static_cast<i32>(rng.uniform_int(-max_shift, max_shift))
+                    : 0;
+  const f32 gain = static_cast<f32>(rng.uniform(0.85, 1.15));
+  for (i32 ch = 0; ch < channels; ++ch) {
+    const f32* src = proto.pixels.data() + static_cast<size_t>(ch) * hw * hw;
+    f32* plane = dst + static_cast<size_t>(ch) * hw * hw;
+    for (i32 y = 0; y < hw; ++y) {
+      for (i32 x = 0; x < hw; ++x) {
+        // Toroidal shift keeps energy constant across jitters.
+        const i32 sy = ((y + dy) % hw + hw) % hw;
+        const i32 sx = ((x + dx) % hw + hw) % hw;
+        plane[y * hw + x] = gain * src[sy * hw + sx] +
+                            static_cast<f32>(rng.gaussian(0.0, noise));
+      }
+    }
+  }
+}
+
+Dataset render_split(const std::string& name,
+                     const std::vector<Prototype>& protos,
+                     const SyntheticSpec& spec, i32 per_class, Rng& rng) {
+  Dataset ds;
+  ds.name = name;
+  ds.classes = spec.classes;
+  const i64 n = static_cast<i64>(spec.classes) * per_class;
+  ds.images = Tensor(
+      Shape{n, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(static_cast<size_t>(n));
+  const i64 stride = static_cast<i64>(spec.channels) * spec.image_size *
+                     spec.image_size;
+  i64 row = 0;
+  for (i32 cls = 0; cls < spec.classes; ++cls) {
+    for (i32 s = 0; s < per_class; ++s, ++row) {
+      ds.labels[static_cast<size_t>(row)] = cls;
+      render_sample(protos[static_cast<size_t>(cls)], spec.channels,
+                    spec.image_size, spec.max_shift, spec.noise, rng,
+                    ds.images.data() + row * stride);
+    }
+  }
+  ds.shuffle(rng);
+  return ds;
+}
+
+}  // namespace
+
+TrainTestSplit make_synthetic_dataset(const SyntheticSpec& spec) {
+  MSH_REQUIRE(spec.classes >= 2);
+  MSH_REQUIRE(spec.train_per_class > 0 && spec.test_per_class > 0);
+  MSH_REQUIRE(spec.image_size >= 4 && spec.channels >= 1);
+
+  Rng rng(spec.seed);
+  std::vector<Prototype> protos;
+  protos.reserve(static_cast<size_t>(spec.classes));
+  for (i32 c = 0; c < spec.classes; ++c)
+    protos.push_back(make_prototype(spec.channels, spec.image_size,
+                                    spec.class_sep, rng));
+
+  TrainTestSplit split;
+  Rng train_rng = rng.fork();
+  Rng test_rng = rng.fork();
+  split.train = render_split(spec.name + "/train", protos, spec,
+                             spec.train_per_class, train_rng);
+  split.test = render_split(spec.name + "/test", protos, spec,
+                            spec.test_per_class, test_rng);
+  return split;
+}
+
+}  // namespace msh

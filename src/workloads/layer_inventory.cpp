@@ -1,0 +1,177 @@
+#include "workloads/layer_inventory.h"
+
+#include "common/types.h"
+
+namespace msh {
+
+i64 ModelInventory::total_weights() const {
+  i64 n = 0;
+  for (const auto& l : layers) n += l.weights();
+  return n;
+}
+
+i64 ModelInventory::learnable_weights() const {
+  i64 n = 0;
+  for (const auto& l : layers)
+    if (l.learnable) n += l.weights();
+  return n;
+}
+
+i64 ModelInventory::frozen_weights() const {
+  return total_weights() - learnable_weights();
+}
+
+f64 ModelInventory::learnable_fraction() const {
+  const i64 total = total_weights();
+  return total == 0 ? 0.0
+                    : static_cast<f64>(learnable_weights()) /
+                          static_cast<f64>(total);
+}
+
+i64 ModelInventory::total_macs() const {
+  i64 n = 0;
+  for (const auto& l : layers) n += l.macs();
+  return n;
+}
+
+i64 ModelInventory::weight_bytes(i32 bits) const {
+  MSH_REQUIRE(bits > 0);
+  return total_weights() * bits / 8;
+}
+
+namespace {
+
+/// Appends one ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand, plus
+/// an optional projection shortcut). `spatial_in` is the input feature-map
+/// side; stride applies to the 3x3 conv (torchvision convention).
+void add_bottleneck(std::vector<LayerShape>& layers, const std::string& tag,
+                    i64 in_ch, i64 mid_ch, i64 out_ch, i64 spatial_in,
+                    i64 stride, bool projection) {
+  const i64 spatial_out = spatial_in / stride;
+  layers.push_back({tag + ".conv1(1x1)", in_ch, mid_ch,
+                    spatial_in * spatial_in, false});
+  layers.push_back({tag + ".conv2(3x3)", mid_ch * 9, mid_ch,
+                    spatial_out * spatial_out, false});
+  layers.push_back({tag + ".conv3(1x1)", mid_ch, out_ch,
+                    spatial_out * spatial_out, false});
+  if (projection) {
+    layers.push_back({tag + ".proj(1x1)", in_ch, out_ch,
+                      spatial_out * spatial_out, false});
+  }
+}
+
+/// Appends one ResNet-50 stage of bottleneck blocks.
+void add_stage(std::vector<LayerShape>& layers, const std::string& tag,
+               i64 blocks, i64 in_ch, i64 mid_ch, i64 out_ch, i64 spatial_in,
+               i64 first_stride) {
+  add_bottleneck(layers, tag + ".b1", in_ch, mid_ch, out_ch, spatial_in,
+                 first_stride, /*projection=*/true);
+  const i64 spatial = spatial_in / first_stride;
+  for (i64 b = 2; b <= blocks; ++b) {
+    add_bottleneck(layers, tag + ".b" + std::to_string(b), out_ch, mid_ch,
+                   out_ch, spatial, 1, /*projection=*/false);
+  }
+}
+
+/// Appends one learnable Rep-Net module: AvgPool(2) + 1x1 conv to the
+/// bottleneck width + 3x3 conv back to the stage width (paper §5.1).
+void add_rep_module(std::vector<LayerShape>& layers, i64 idx, i64 channels,
+                    i64 spatial, i64 bottleneck) {
+  const i64 pooled = spatial / 2;
+  const std::string tag = "repnet.m" + std::to_string(idx);
+  layers.push_back({tag + ".conv1(1x1)", channels, bottleneck,
+                    pooled * pooled, true});
+  layers.push_back({tag + ".conv2(3x3)", bottleneck * 9, channels,
+                    pooled * pooled, true});
+}
+
+std::vector<LayerShape> resnet50_backbone_layers() {
+  std::vector<LayerShape> layers;
+  // Stem: 7x7, 3->64, stride 2, 224 -> 112.
+  layers.push_back({"conv1(7x7)", 3 * 49, 64, 112 * 112, false});
+  // After 3x3 max pool: 56x56.
+  add_stage(layers, "conv2", 3, 64, 64, 256, 56, 1);
+  add_stage(layers, "conv3", 4, 256, 128, 512, 56, 2);
+  add_stage(layers, "conv4", 6, 512, 256, 1024, 28, 2);
+  add_stage(layers, "conv5", 3, 1024, 512, 2048, 14, 2);
+  // Original ImageNet head stays resident (frozen) in the backbone.
+  layers.push_back({"fc(imagenet)", 2048, 1000, 1, false});
+  return layers;
+}
+
+}  // namespace
+
+ModelInventory resnet50_repnet_inventory(i64 rep_bottleneck,
+                                         i64 classifier_classes) {
+  MSH_REQUIRE(rep_bottleneck > 0 && classifier_classes > 0);
+  ModelInventory inv;
+  inv.name = "resnet50+repnet";
+  inv.layers = resnet50_backbone_layers();
+
+  // Six Rep-Net modules tapping progressively deeper backbone stages
+  // (channels / spatial side at the tap points).
+  const i64 ch[] = {256, 512, 512, 1024, 1024, 2048};
+  const i64 sp[] = {56, 28, 28, 14, 14, 7};
+  for (i64 i = 0; i < 6; ++i)
+    add_rep_module(inv.layers, i + 1, ch[i], sp[i], rep_bottleneck);
+
+  // Shared downstream classifier, retrained per task.
+  inv.layers.push_back(
+      {"classifier", 2048, classifier_classes, 1, true});
+  return inv;
+}
+
+ModelInventory mobilenet_repnet_inventory(i64 rep_bottleneck,
+                                          i64 classifier_classes) {
+  MSH_REQUIRE(rep_bottleneck > 0 && classifier_classes > 0);
+  ModelInventory inv;
+  inv.name = "mobilenetv1+repnet";
+
+  // Stem: 3x3, 3->32, stride 2 (224 -> 112).
+  inv.layers.push_back({"conv1(3x3)", 3 * 9, 32, 112 * 112, false});
+
+  // Depthwise-separable blocks: (channels_out, stride) per MobileNetV1.
+  struct Block {
+    i64 out_ch;
+    i64 stride;
+  };
+  const Block blocks[] = {{64, 1},   {128, 2}, {128, 1}, {256, 2},
+                          {256, 1},  {512, 2}, {512, 1}, {512, 1},
+                          {512, 1},  {512, 1}, {512, 1}, {1024, 2},
+                          {1024, 1}};
+  i64 in_ch = 32;
+  i64 spatial = 112;
+  i64 idx = 0;
+  for (const Block& b : blocks) {
+    ++idx;
+    const i64 out_spatial = spatial / b.stride;
+    // Depthwise 3x3: one 9-element filter per channel. K = 9 per output
+    // channel — modeled as in_ch independent [9 x 1] columns.
+    inv.layers.push_back({"dw" + std::to_string(idx) + "(3x3dw)", 9, in_ch,
+                          out_spatial * out_spatial, false});
+    // Pointwise 1x1: the bulk of the weights.
+    inv.layers.push_back({"pw" + std::to_string(idx) + "(1x1)", in_ch,
+                          b.out_ch, out_spatial * out_spatial, false});
+    in_ch = b.out_ch;
+    spatial = out_spatial;
+  }
+  inv.layers.push_back({"fc(imagenet)", 1024, 1000, 1, false});
+
+  // Rep-Net taps at progressively deeper pointwise outputs.
+  const i64 ch[] = {128, 256, 512, 512, 1024, 1024};
+  const i64 sp[] = {56, 28, 14, 14, 7, 7};
+  for (i64 i = 0; i < 6; ++i)
+    add_rep_module(inv.layers, i + 1, ch[i], sp[i], rep_bottleneck);
+  inv.layers.push_back({"classifier", 1024, classifier_classes, 1, true});
+  return inv;
+}
+
+ModelInventory resnet50_finetune_all_inventory() {
+  ModelInventory inv;
+  inv.name = "resnet50-finetune-all";
+  inv.layers = resnet50_backbone_layers();
+  for (auto& l : inv.layers) l.learnable = true;
+  return inv;
+}
+
+}  // namespace msh

@@ -1,0 +1,65 @@
+// Paper-scale workload descriptions for the hardware benches.
+//
+// The architecture-level results (Fig 7, Fig 8) depend only on layer
+// shapes — weight matrix dimensions, activation volumes, which weights are
+// learnable — not on trained values. This module reproduces the paper's
+// workload exactly at that level: an ImageNet ResNet-50 backbone (~25.6M
+// params, ~26 MB INT8 with the Rep-Net path) plus 6 learnable Rep-Net
+// modules (~5% of the backbone) and a shared classifier head.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// One weight layer in its PIM-mapped matrix form: reduction dimension K
+/// (streamed on the input word lines) by output dimension C (array
+/// columns). For a conv layer K = in_channels * k * k, C = out_channels.
+struct LayerShape {
+  std::string name;
+  i64 k = 0;          ///< reduction (rows)
+  i64 c = 0;          ///< outputs (columns)
+  i64 mac_batch = 1;  ///< input vectors per inference (conv: Hout*Wout)
+  bool learnable = false;  ///< true for Rep-Net path / classifier layers
+
+  i64 weights() const { return k * c; }
+  /// Dense MACs for one inference through this layer.
+  i64 macs() const { return k * c * mac_batch; }
+};
+
+struct ModelInventory {
+  std::string name;
+  std::vector<LayerShape> layers;
+
+  i64 total_weights() const;
+  i64 learnable_weights() const;
+  i64 frozen_weights() const;
+  f64 learnable_fraction() const;
+  i64 total_macs() const;
+  /// Dense weight storage in bytes at the given precision.
+  i64 weight_bytes(i32 bits) const;
+};
+
+/// ImageNet ResNet-50 (224x224 input) + 6 Rep-Net modules + 100-class
+/// shared classifier: the paper's ~26 MB continual-learning workload.
+/// `rep_bottleneck` tunes the Rep-Net path width (default chosen so the
+/// learnable fraction lands near the paper's ~5%).
+ModelInventory resnet50_repnet_inventory(i64 rep_bottleneck = 16,
+                                         i64 classifier_classes = 100);
+
+/// ResNet-50 alone (no Rep-Net path), all weights learnable — the
+/// "fine-tune all weights" workload of Fig 8.
+ModelInventory resnet50_finetune_all_inventory();
+
+/// MobileNetV1-style depthwise-separable workload (224x224, width 1.0)
+/// + Rep-Net modules + classifier: a second paper-scale workload for
+/// generality studies. Depthwise 3x3 layers have K = 9, which no 4-bit
+/// N:M group divides — they exercise the dense-fallback path, while the
+/// pointwise 1x1 layers (most of the weights) compress normally.
+ModelInventory mobilenet_repnet_inventory(i64 rep_bottleneck = 16,
+                                          i64 classifier_classes = 100);
+
+}  // namespace msh

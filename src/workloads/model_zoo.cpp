@@ -1,0 +1,9 @@
+#include "workloads/model_zoo.h"
+
+namespace msh {
+
+BackboneConfig default_backbone_config() { return BackboneConfig{}; }
+
+RepNetConfig default_repnet_config() { return RepNetConfig{}; }
+
+}  // namespace msh

@@ -1,0 +1,43 @@
+// Model configuration presets shared by the algorithm stack (trainable
+// MicroResNet models) and the hardware benches (paper-scale inventories).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// MicroResNet backbone configuration (the trainable stand-in for the
+/// paper's ImageNet ResNet-50 backbone).
+struct BackboneConfig {
+  i64 in_channels = 3;
+  i64 stem_channels = 16;
+  std::vector<i64> stage_channels = {16, 32, 64};
+  std::vector<i64> blocks_per_stage = {2, 2, 2};
+  /// Stage strides; first stage keeps resolution, later stages halve it.
+  std::vector<i64> stage_strides = {1, 2, 2};
+
+  i64 num_stages() const { return static_cast<i64>(stage_channels.size()); }
+  i64 feature_channels() const { return stage_channels.back(); }
+};
+
+/// Rep-Net path configuration: one learnable module per backbone stage,
+/// each "1 pooling layer + 2 convolution layers where one kernel is 1x1"
+/// (paper §5.1), with a bottleneck width keeping the path tiny.
+struct RepNetConfig {
+  /// Bottleneck channels = stage_out_channels / bottleneck_divisor (>= 4).
+  i64 bottleneck_divisor = 8;
+  i64 min_bottleneck = 4;
+
+  i64 bottleneck_for(i64 out_channels) const {
+    const i64 b = out_channels / bottleneck_divisor;
+    return b < min_bottleneck ? min_bottleneck : b;
+  }
+};
+
+BackboneConfig default_backbone_config();
+RepNetConfig default_repnet_config();
+
+}  // namespace msh

@@ -1,0 +1,81 @@
+#include "workloads/task_suite.h"
+
+namespace msh {
+
+SyntheticSpec base_task_spec(u64 seed) {
+  return SyntheticSpec{
+      .name = "imagenet-syn",
+      .classes = 10,
+      .train_per_class = 96,
+      .test_per_class = 24,
+      .image_size = 16,
+      .channels = 3,
+      .noise = 0.30f,
+      .max_shift = 2,
+      .class_sep = 1.0f,
+      .seed = seed,
+  };
+}
+
+std::vector<SyntheticSpec> downstream_task_specs(u64 seed) {
+  // Distinct seeds shift every task's class prototypes away from the base
+  // task, so transfer genuinely relies on backbone generality plus the
+  // learnable Rep-Net path.
+  return {
+      SyntheticSpec{.name = "flower102-syn",
+                    .classes = 8,
+                    .train_per_class = 48,
+                    .test_per_class = 16,
+                    .image_size = 16,
+                    .channels = 3,
+                    .noise = 0.18f,
+                    .max_shift = 1,
+                    .class_sep = 1.1f,
+                    .seed = seed + 1},
+      SyntheticSpec{.name = "pets-syn",
+                    .classes = 6,
+                    .train_per_class = 48,
+                    .test_per_class = 16,
+                    .image_size = 16,
+                    .channels = 3,
+                    .noise = 0.28f,
+                    .max_shift = 2,
+                    .class_sep = 1.0f,
+                    .seed = seed + 2},
+      // Few training samples per class: the paper attributes the 1:4
+      // sparse model beating the dense model on Food101 to dense
+      // overfitting on its small training set.
+      SyntheticSpec{.name = "food101-syn",
+                    .classes = 8,
+                    .train_per_class = 16,
+                    .test_per_class = 16,
+                    .image_size = 16,
+                    .channels = 3,
+                    .noise = 0.40f,
+                    .max_shift = 2,
+                    .class_sep = 0.9f,
+                    .seed = seed + 3},
+      SyntheticSpec{.name = "cifar10-syn",
+                    .classes = 10,
+                    .train_per_class = 48,
+                    .test_per_class = 16,
+                    .image_size = 16,
+                    .channels = 3,
+                    .noise = 0.30f,
+                    .max_shift = 2,
+                    .class_sep = 1.0f,
+                    .seed = seed + 4},
+      SyntheticSpec{.name = "cifar100-syn",
+                    .classes = 16,
+                    .train_per_class = 32,
+                    .test_per_class = 12,
+                    .image_size = 16,
+                    .channels = 3,
+                    .noise = 0.34f,
+                    .max_shift = 2,
+                    .class_sep = 0.9f,
+                    .seed = seed + 5},
+  };
+}
+
+}  // namespace msh

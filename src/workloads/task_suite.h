@@ -1,0 +1,21 @@
+// The evaluation task suite mirroring the paper's §5.1 setup: one base
+// task for backbone pretraining (the ImageNet stand-in) and five
+// downstream continual-learning tasks (Flowers102 / Pets / Food101 /
+// CIFAR-10 / CIFAR-100 stand-ins).
+#pragma once
+
+#include <vector>
+
+#include "workloads/dataset.h"
+
+namespace msh {
+
+/// Recipe for the backbone pretraining task.
+SyntheticSpec base_task_spec(u64 seed = 101);
+
+/// The five downstream task recipes, ordered as in the paper's Table 1.
+/// The Food101 stand-in deliberately has few training samples per class
+/// to reproduce the paper's overfitting observation.
+std::vector<SyntheticSpec> downstream_task_specs(u64 seed = 202);
+
+}  // namespace msh

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dense_cim.h"
+
+namespace msh {
+namespace {
+
+ModelInventory small_model(bool learnable) {
+  ModelInventory inv;
+  inv.name = "small";
+  inv.layers = {{"a", 512, 64, 100, learnable},
+                {"b", 1024, 128, 49, learnable}};
+  return inv;
+}
+
+TEST(DenseCim, AreaScalesWithWeights) {
+  auto model = make_isscc21_sram();
+  const Area a1 = model->area(small_model(false));
+  ModelInventory doubled = small_model(false);
+  doubled.layers.push_back({"c", 1024, 128, 49, false});
+  doubled.layers.push_back({"d", 512, 64, 100, false});
+  const Area a2 = model->area(doubled);
+  EXPECT_NEAR(a2.as_mm2(), 2.0 * a1.as_mm2(), 1e-9);
+}
+
+TEST(DenseCim, MramDenserThanSram) {
+  const ModelInventory inv = small_model(false);
+  EXPECT_LT(make_iscas23_mram()->area(inv).as_mm2(),
+            make_isscc21_sram()->area(inv).as_mm2());
+  // Published ratio ~0.48.
+  const f64 ratio = make_iscas23_mram()->area(inv).as_mm2() /
+                    make_isscc21_sram()->area(inv).as_mm2();
+  EXPECT_NEAR(ratio, 0.48, 0.02);
+}
+
+TEST(DenseCim, SramLeakageDominatesItsPower) {
+  const ModelInventory inv = small_model(false);
+  const PowerBreakdown p =
+      make_isscc21_sram()->inference_power(inv, InferenceScenario{});
+  EXPECT_GT(p.leakage.as_mw(), p.read.as_mw());
+}
+
+TEST(DenseCim, MramPowerFarBelowSram) {
+  const ModelInventory inv = small_model(false);
+  const PowerBreakdown sram =
+      make_isscc21_sram()->inference_power(inv, InferenceScenario{});
+  const PowerBreakdown mram =
+      make_iscas23_mram()->inference_power(inv, InferenceScenario{});
+  EXPECT_LT(mram.total().as_mw(), 0.5 * sram.total().as_mw());
+}
+
+TEST(DenseCim, ReadPowerScalesWithFps) {
+  const ModelInventory inv = small_model(false);
+  auto model = make_isscc21_sram();
+  const PowerBreakdown p30 =
+      model->inference_power(inv, InferenceScenario{.fps = 30.0});
+  const PowerBreakdown p60 =
+      model->inference_power(inv, InferenceScenario{.fps = 60.0});
+  EXPECT_NEAR(p60.read.as_mw(), 2.0 * p30.read.as_mw(), 1e-9);
+  EXPECT_NEAR(p60.leakage.as_mw(), p30.leakage.as_mw(), 1e-9);
+}
+
+TEST(DenseCim, TrainingStepComponentsPositive) {
+  auto model = make_isscc21_sram();
+  const TrainingCost cost =
+      model->training_step(small_model(true), TrainingScenario{});
+  EXPECT_GT(cost.energy.as_pj(), 0.0);
+  EXPECT_GT(cost.delay.as_ns(), 0.0);
+  EXPECT_GT(cost.edp_pj_ns(), 0.0);
+}
+
+TEST(DenseCim, FinetuneAllCostlierThanPartial) {
+  auto model = make_isscc21_sram();
+  const TrainingCost all =
+      model->training_step(small_model(true), TrainingScenario{});
+  const TrainingCost frozen =
+      model->training_step(small_model(false), TrainingScenario{});
+  EXPECT_GT(all.edp_pj_ns(), frozen.edp_pj_ns());
+}
+
+TEST(DenseCim, MramTrainingSlowerThanSram) {
+  // The MTJ write pulse and serialization dominate: the MRAM baseline's
+  // update step takes longer (the paper's motivation).
+  const ModelInventory inv = small_model(true);
+  const TrainingCost sram =
+      make_isscc21_sram()->training_step(inv, TrainingScenario{});
+  const TrainingCost mram =
+      make_iscas23_mram()->training_step(inv, TrainingScenario{});
+  EXPECT_GT(mram.delay.as_ns(), sram.delay.as_ns());
+}
+
+TEST(DenseCim, BackwardFactorIncreasesCost) {
+  auto model = make_isscc21_sram();
+  const ModelInventory inv = small_model(true);
+  const TrainingCost light =
+      model->training_step(inv, TrainingScenario{.backward_factor = 1.0});
+  const TrainingCost heavy =
+      model->training_step(inv, TrainingScenario{.backward_factor = 3.0});
+  EXPECT_GT(heavy.energy.as_pj(), light.energy.as_pj());
+  EXPECT_GT(heavy.delay.as_ns(), light.delay.as_ns());
+}
+
+TEST(DenseCim, ParamsValidated) {
+  DenseCimParams bad = isscc21_sram_params();
+  bad.read_pj_per_mac = 0.0;
+  EXPECT_THROW(DenseCimModel{bad}, ContractError);
+}
+
+TEST(DenseCim, MacsPerNsFromBudget) {
+  const DenseCimParams p = isscc21_sram_params();
+  // 2 W / 0.118 pJ = ~16.9 TMAC/s = ~16949 MACs/ns.
+  EXPECT_NEAR(p.macs_per_ns(), 2.0 / 0.118 * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "arch/chip.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+ModelInventory small_model() {
+  ModelInventory inv;
+  inv.name = "chip-test";
+  inv.layers = {{"frozen", 1024, 256, 196, false},
+                {"rep", 128, 64, 49, true}};
+  return inv;
+}
+
+TEST(Chip, SingleCoreBaseline) {
+  const ChipEvalResult result =
+      evaluate_chip(small_model(), HybridPlanOptions{}, 1);
+  EXPECT_EQ(result.layers.size(), 2u);
+  EXPECT_GT(result.total_cycles, 0);
+  EXPECT_GT(result.bus_bits_moved, 0);
+  EXPECT_NEAR(result.compute_utilization, 1.0, 1e-9);
+}
+
+TEST(Chip, MoreCoresNeverSlower) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  i64 prev = 0;
+  for (const i64 cores : {1L, 2L, 4L, 8L}) {
+    const ChipEvalResult r = evaluate_chip(inv, HybridPlanOptions{}, cores);
+    if (prev > 0) {
+      EXPECT_LE(r.total_cycles, prev);
+    }
+    prev = r.total_cycles;
+  }
+}
+
+TEST(Chip, SpeedupSublinearDueToBus) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const ChipEvalResult one = evaluate_chip(inv, HybridPlanOptions{}, 1);
+  const ChipEvalResult eight = evaluate_chip(inv, HybridPlanOptions{}, 8);
+  const f64 speedup = static_cast<f64>(one.total_cycles) /
+                      static_cast<f64>(eight.total_cycles);
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 8.0);  // Amdahl: shared-bus cycles do not shrink
+}
+
+TEST(Chip, BusTrafficIndependentOfCores) {
+  const ModelInventory inv = small_model();
+  const ChipEvalResult a = evaluate_chip(inv, HybridPlanOptions{}, 1);
+  const ChipEvalResult b = evaluate_chip(inv, HybridPlanOptions{}, 8);
+  EXPECT_EQ(a.bus_bits_moved, b.bus_bits_moved);
+}
+
+TEST(Chip, PerLayerCostsSumToTotal) {
+  const ChipEvalResult result =
+      evaluate_chip(small_model(), HybridPlanOptions{}, 4);
+  i64 sum = 0;
+  for (const auto& layer : result.layers) sum += layer.cycles();
+  EXPECT_EQ(sum, result.total_cycles);
+}
+
+TEST(Chip, InvalidCoreCountRejected) {
+  EXPECT_THROW(evaluate_chip(small_model(), HybridPlanOptions{}, 0),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,136 @@
+// Core control unit: command-stream programs chaining deployed layers.
+#include <gtest/gtest.h>
+
+#include "arch/controller.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix random_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+std::vector<i8> random_activations(i64 len, u64 seed) {
+  Rng rng(seed);
+  std::vector<i8> act(static_cast<size_t>(len));
+  for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  return act;
+}
+
+TEST(Controller, SingleLayerProgramMatchesDirectCall) {
+  HybridCore core;
+  const QuantizedNmMatrix w = random_matrix(128, 8, kSparse1of4, 1);
+  const i64 handle = core.deploy_sram(w);
+  const auto act = random_activations(128, 2);
+
+  CoreController controller(core);
+  controller.load_activations(128).matvec(handle).write_back();
+  const ProgramResult result = controller.run(act);
+
+  EXPECT_EQ(result.output, w.reference_matvec(act));
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_GT(result.total_cycles, 0);
+}
+
+TEST(Controller, TwoLayerPipelineMatchesReference) {
+  HybridCore core;
+  const QuantizedNmMatrix w1 = random_matrix(128, 64, kSparse1of4, 3);
+  const QuantizedNmMatrix w2 = random_matrix(64, 8, kSparse1of4, 4);
+  const i64 h1 = core.deploy_mram(w1);
+  const i64 h2 = core.deploy_sram(w2);
+  const auto act = random_activations(128, 5);
+  const i64 shift = 8;
+
+  CoreController controller(core);
+  controller.load_activations(128)
+      .matvec(h1)
+      .relu_requant(shift)
+      .barrier()
+      .matvec(h2)
+      .write_back();
+  const ProgramResult result = controller.run(act);
+
+  // Software reference of the same integer pipeline.
+  const auto mid = w1.reference_matvec(act);
+  std::vector<i8> mid8(mid.size());
+  for (size_t i = 0; i < mid.size(); ++i) {
+    mid8[i] = static_cast<i8>(
+        std::min<i32>(std::max(mid[i], 0) >> shift, 127));
+  }
+  EXPECT_EQ(result.output, w2.reference_matvec(mid8));
+}
+
+TEST(Controller, TraceCyclesMonotone) {
+  HybridCore core;
+  const QuantizedNmMatrix w = random_matrix(256, 16, kSparse1of8, 6);
+  const i64 handle = core.deploy_sram(w);
+  const auto act = random_activations(256, 7);
+
+  CoreController controller(core);
+  controller.load_activations(256)
+      .matvec(handle)
+      .relu_requant(4)
+      .write_back()
+      .barrier();
+  const ProgramResult result = controller.run(act);
+
+  i64 prev_end = 0;
+  for (const TraceEntry& entry : result.trace) {
+    EXPECT_EQ(entry.start_cycle, prev_end);
+    EXPECT_GT(entry.cycles, 0);
+    prev_end = entry.start_cycle + entry.cycles;
+  }
+  EXPECT_EQ(prev_end, result.total_cycles);
+}
+
+TEST(Controller, MatvecCyclesMatchCoreMakespan) {
+  HybridCore core;
+  const QuantizedNmMatrix w = random_matrix(2048, 8, kSparse1of4, 8);
+  const i64 handle = core.deploy_sram(w);
+  const auto act = random_activations(2048, 9);
+
+  CoreController controller(core);
+  controller.load_activations(2048).matvec(handle).write_back();
+  const ProgramResult result = controller.run(act);
+  i64 matvec_cycles = 0;
+  for (const auto& entry : result.trace) {
+    if (entry.op == OpCode::kMatvec) matvec_cycles = entry.cycles;
+  }
+  EXPECT_EQ(matvec_cycles, core.last_makespan());
+  EXPECT_GT(matvec_cycles, 0);
+}
+
+TEST(Controller, ProgramValidation) {
+  HybridCore core;
+  CoreController controller(core);
+  // Matvec without activations loaded.
+  controller.matvec(0);
+  const auto act = random_activations(4, 10);
+  EXPECT_THROW(controller.run(act), ContractError);
+
+  controller.clear_program();
+  EXPECT_EQ(controller.program_size(), 0u);
+  // Wrong input length.
+  controller.load_activations(8);
+  EXPECT_THROW(controller.run(act), ContractError);
+}
+
+TEST(Controller, ReuseAcrossInputs) {
+  HybridCore core;
+  const QuantizedNmMatrix w = random_matrix(64, 8, kSparse1of4, 11);
+  const i64 handle = core.deploy_sram(w);
+  CoreController controller(core);
+  controller.load_activations(64).matvec(handle).write_back();
+
+  for (u64 seed = 20; seed < 24; ++seed) {
+    const auto act = random_activations(64, seed);
+    EXPECT_EQ(controller.run(act).output, w.reference_matvec(act));
+  }
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csc.h"
+#include "sparse/nm_mask.h"
+#include "tensor/ops.h"
+
+namespace msh {
+namespace {
+
+Tensor random_sparse(Shape shape, f64 density, Rng& rng) {
+  Tensor t(shape);
+  for (i64 i = 0; i < t.numel(); ++i) {
+    if (rng.bernoulli(density)) t[i] = static_cast<f32>(rng.gaussian());
+  }
+  return t;
+}
+
+TEST(CscMatrix, RoundTrip) {
+  Rng rng(1);
+  Tensor dense = random_sparse(Shape{12, 7}, 0.3, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  EXPECT_TRUE(allclose(csc.to_dense(), dense, 0.0f, 0.0f));
+}
+
+TEST(CscMatrix, NnzMatchesDense) {
+  Rng rng(2);
+  Tensor dense = random_sparse(Shape{20, 5}, 0.25, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  i64 nnz = 0;
+  for (i64 i = 0; i < dense.numel(); ++i) nnz += (dense[i] != 0.0f);
+  EXPECT_EQ(csc.nnz(), nnz);
+}
+
+TEST(CscMatrix, ColPtrMonotone) {
+  Rng rng(3);
+  Tensor dense = random_sparse(Shape{10, 8}, 0.4, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  ASSERT_EQ(csc.col_ptr().size(), 9u);
+  EXPECT_EQ(csc.col_ptr().front(), 0);
+  EXPECT_EQ(csc.col_ptr().back(), csc.nnz());
+  for (size_t c = 0; c + 1 < csc.col_ptr().size(); ++c)
+    EXPECT_LE(csc.col_ptr()[c], csc.col_ptr()[c + 1]);
+}
+
+TEST(CscMatrix, RowIndicesSortedWithinColumn) {
+  Rng rng(4);
+  Tensor dense = random_sparse(Shape{30, 4}, 0.5, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  for (i64 c = 0; c < csc.cols(); ++c) {
+    for (i64 k = csc.col_ptr()[static_cast<size_t>(c)] + 1;
+         k < csc.col_ptr()[static_cast<size_t>(c) + 1]; ++k) {
+      EXPECT_LT(csc.row_idx()[static_cast<size_t>(k - 1)],
+                csc.row_idx()[static_cast<size_t>(k)]);
+    }
+  }
+}
+
+TEST(CscMatrix, VecmatMatchesDense) {
+  Rng rng(5);
+  Tensor dense = random_sparse(Shape{16, 6}, 0.3, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  Tensor x = Tensor::randn(Shape{1, 16}, rng);
+  const auto y = csc.vecmat(x.span());
+  Tensor ref = matmul(x, dense);
+  for (i64 c = 0; c < 6; ++c)
+    EXPECT_NEAR(y[static_cast<size_t>(c)], ref[c], 1e-4);
+}
+
+TEST(CscMatrix, LeftMatmulMatchesDense) {
+  Rng rng(6);
+  Tensor dense = random_sparse(Shape{24, 5}, 0.25, rng);
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  Tensor x = Tensor::randn(Shape{3, 24}, rng);
+  EXPECT_TRUE(allclose(csc.left_matmul(x), matmul(x, dense), 1e-4f, 1e-5f));
+}
+
+TEST(CscMatrix, EpsilonThresholdDropsSmall) {
+  Tensor dense = Tensor::from_data(Shape{2, 1}, {0.01f, 1.0f});
+  CscMatrix csc = CscMatrix::from_dense(dense, 0.1f);
+  EXPECT_EQ(csc.nnz(), 1);
+}
+
+TEST(CscMatrix, StorageBits) {
+  Tensor dense = Tensor::from_data(Shape{2, 2}, {1, 0, 0, 2});
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  EXPECT_EQ(csc.storage_bits(8, 4), 2 * 12);
+  EXPECT_THROW(csc.storage_bits(0, 4), ContractError);
+}
+
+TEST(CscMatrix, NmMaskedMatrixCompressesToDensityRatio) {
+  // The paper's storage claim: an N:M matrix holds exactly N/M of its
+  // entries after CSC compression.
+  Rng rng(7);
+  Tensor w = Tensor::randn(Shape{32, 16}, rng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kRows);
+  apply_mask(w, mask);
+  CscMatrix csc = CscMatrix::from_dense(w);
+  EXPECT_EQ(csc.nnz(), w.numel() / 4);
+}
+
+TEST(CscMatrix, EmptyMatrix) {
+  Tensor dense(Shape{4, 3});
+  CscMatrix csc = CscMatrix::from_dense(dense);
+  EXPECT_EQ(csc.nnz(), 0);
+  EXPECT_TRUE(allclose(csc.to_dense(), dense, 0.0f, 0.0f));
+}
+
+}  // namespace
+}  // namespace msh

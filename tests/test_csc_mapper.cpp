@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapping/csc_mapper.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix random_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+TEST(QuantizedNm, ReferenceMatvecMatchesFloatPath) {
+  Rng rng(1);
+  Tensor w = Tensor::randn(Shape{64, 6}, rng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kRows);
+  apply_mask(w, mask);
+  const NmPackedMatrix packed = NmPackedMatrix::pack(w, kSparse1of4);
+  const QuantizedNmMatrix q = QuantizedNmMatrix::from_packed(packed);
+
+  std::vector<i8> act(64);
+  Rng arng(2);
+  for (auto& v : act) v = static_cast<i8>(arng.uniform_int(-127, 127));
+  const auto raw = q.reference_matvec(act);
+
+  // Dequantized integer result approximates the float product.
+  Tensor x(Shape{1, 64});
+  for (i64 i = 0; i < 64; ++i) x[i] = static_cast<f32>(act[i]);
+  Tensor ref = packed.left_matmul(x);
+  for (i64 c = 0; c < 6; ++c) {
+    EXPECT_NEAR(static_cast<f64>(raw[static_cast<size_t>(c)]) * q.scale(),
+                ref[c], 0.05 * std::max(1.0f, std::fabs(ref[c])));
+  }
+}
+
+TEST(QuantizedNm, DenseReconstructionKeepsPattern) {
+  const QuantizedNmMatrix q = random_matrix(32, 4, kSparse1of4, 3);
+  const auto dense = q.to_dense_int8();
+  // Each group of 4 rows per column holds at most 1 non-zero.
+  for (i64 c = 0; c < 4; ++c) {
+    for (i64 g = 0; g < 8; ++g) {
+      int nz = 0;
+      for (i64 i = 0; i < 4; ++i)
+        nz += dense[static_cast<size_t>((g * 4 + i) * 4 + c)] != 0;
+      EXPECT_LE(nz, 1);
+    }
+  }
+}
+
+TEST(SramMapping, TileCountScalesWithColumns) {
+  // K=512 at 1:4 -> full 128-slot columns, 8 per tile.
+  const auto t16 = map_to_sram_pes(random_matrix(512, 16, kSparse1of4, 4));
+  const auto t32 = map_to_sram_pes(random_matrix(512, 32, kSparse1of4, 5));
+  EXPECT_EQ(t16.size(), 2u);
+  EXPECT_EQ(t32.size(), 4u);
+}
+
+TEST(SramMapping, SegmentationReducesTiles) {
+  // K=128 at 1:8 -> 16-slot columns; segmentation packs 8 per group.
+  const auto tiles = map_to_sram_pes(random_matrix(128, 64, kSparse1of8, 6));
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0].segment_rows, 16);
+}
+
+TEST(SramMapping, MinSegmentRespected) {
+  SramMappingOptions options;
+  options.min_segment_rows = 64;
+  const auto tiles =
+      map_to_sram_pes(random_matrix(128, 64, kSparse1of8, 7), options);
+  EXPECT_EQ(tiles[0].segment_rows, 64);
+  EXPECT_EQ(tiles.size(), 4u);  // 2 segments x 8 groups = 16 cols per tile
+}
+
+TEST(SramMapping, StatsUtilization) {
+  const auto tiles = map_to_sram_pes(random_matrix(512, 8, kSparse1of4, 8));
+  const MappingStats stats = sram_mapping_stats(tiles);
+  EXPECT_EQ(stats.tiles, 1);
+  EXPECT_EQ(stats.used_slots, 128 * 8);
+  EXPECT_DOUBLE_EQ(stats.utilization(), 1.0);
+  EXPECT_EQ(stats.spilled_columns, 0);
+}
+
+TEST(SramMapping, SpillDetected) {
+  const auto tiles = map_to_sram_pes(random_matrix(1024, 4, kSparse1of4, 9));
+  const MappingStats stats = sram_mapping_stats(tiles);
+  EXPECT_EQ(stats.spilled_columns, 4);
+}
+
+TEST(SramMapping, OffsetsAreGroupAligned) {
+  const auto tiles = map_to_sram_pes(random_matrix(2048, 4, kSparse1of4, 10));
+  for (const auto& tile : tiles) {
+    for (size_t s = 0; s < tile.segment_offset.size(); ++s) {
+      if (tile.output_id[s] < 0) continue;
+      // Offsets are dense-group offsets: multiplying back by N gives the
+      // packed base, which must be chunk-aligned.
+      EXPECT_EQ(tile.segment_offset[s] * tile.cfg.n % 128, 0);
+    }
+  }
+}
+
+TEST(MramMapping, RowsPerColumn) {
+  // packed 128 slots / 42 per row = 4 rows (ceil), 6 cols -> 24 rows.
+  const auto tiles = map_to_mram_pes(random_matrix(512, 6, kSparse1of4, 11));
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0].rows.size(), 24u);
+}
+
+TEST(MramMapping, PackedBaseTracksPosition) {
+  const auto tiles = map_to_mram_pes(random_matrix(512, 2, kSparse1of4, 12));
+  const auto& rows = tiles[0].rows;
+  EXPECT_EQ(rows[0].packed_base, 0);
+  EXPECT_EQ(rows[1].packed_base, 42);
+  EXPECT_EQ(rows[2].packed_base, 84);
+  EXPECT_EQ(rows[3].packed_base, 126);
+  EXPECT_EQ(rows[4].packed_base, 0);  // next column restarts
+  EXPECT_NE(rows[4].output_id, rows[3].output_id);
+}
+
+TEST(MramMapping, StatsCountSpilledColumns) {
+  const auto tiles = map_to_mram_pes(random_matrix(512, 6, kSparse1of4, 13));
+  const MappingStats stats = mram_mapping_stats(tiles);
+  EXPECT_EQ(stats.spilled_columns, 6);  // every column spans 4 rows
+  EXPECT_GT(stats.utilization(), 0.0);
+}
+
+TEST(MramMapping, ArrayCapacityRespected) {
+  MramMappingOptions options;
+  options.array_rows = 8;
+  const auto tiles =
+      map_to_mram_pes(random_matrix(512, 6, kSparse1of4, 14), options);
+  EXPECT_EQ(tiles.size(), 3u);  // 24 rows / 8 per array
+  for (const auto& tile : tiles)
+    EXPECT_LE(tile.rows.size(), 8u);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.classes = 4;
+  spec.train_per_class = 8;
+  spec.test_per_class = 4;
+  spec.image_size = 8;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(SyntheticDataset, ShapesAndCounts) {
+  const TrainTestSplit split = make_synthetic_dataset(tiny_spec());
+  EXPECT_EQ(split.train.size(), 32);
+  EXPECT_EQ(split.test.size(), 16);
+  EXPECT_EQ(split.train.images.shape(), Shape({32, 3, 8, 8}));
+  EXPECT_EQ(split.train.classes, 4);
+}
+
+TEST(SyntheticDataset, LabelsInRangeAndBalanced) {
+  const TrainTestSplit split = make_synthetic_dataset(tiny_spec());
+  std::vector<i64> counts(4, 0);
+  for (i32 label : split.train.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++counts[static_cast<size_t>(label)];
+  }
+  for (i64 c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(SyntheticDataset, DeterministicInSeed) {
+  const TrainTestSplit a = make_synthetic_dataset(tiny_spec());
+  const TrainTestSplit b = make_synthetic_dataset(tiny_spec());
+  EXPECT_TRUE(allclose(a.train.images, b.train.images, 0.0f, 0.0f));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticDataset, SeedChangesData) {
+  SyntheticSpec other = tiny_spec();
+  other.seed = 78;
+  const TrainTestSplit a = make_synthetic_dataset(tiny_spec());
+  const TrainTestSplit b = make_synthetic_dataset(other);
+  EXPECT_GT(max_abs_diff(a.train.images, b.train.images), 0.1f);
+}
+
+TEST(SyntheticDataset, ClassesAreSeparable) {
+  // Same-class samples must be closer (on average) than cross-class
+  // samples, or no model could learn the task.
+  SyntheticSpec spec = tiny_spec();
+  spec.noise = 0.1f;
+  spec.max_shift = 0;
+  const TrainTestSplit split = make_synthetic_dataset(spec);
+  const Dataset& d = split.train;
+  const i64 dim = d.images.numel() / d.size();
+
+  f64 same = 0.0, cross = 0.0;
+  i64 same_n = 0, cross_n = 0;
+  for (i64 i = 0; i < d.size(); ++i) {
+    for (i64 j = i + 1; j < d.size(); ++j) {
+      f64 dist = 0.0;
+      for (i64 k = 0; k < dim; ++k) {
+        const f64 diff = d.images[i * dim + k] - d.images[j * dim + k];
+        dist += diff * diff;
+      }
+      if (d.labels[static_cast<size_t>(i)] ==
+          d.labels[static_cast<size_t>(j)]) {
+        same += dist;
+        ++same_n;
+      } else {
+        cross += dist;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(Dataset, BatchExtraction) {
+  const TrainTestSplit split = make_synthetic_dataset(tiny_spec());
+  const Tensor batch = split.train.batch_images(4, 8);
+  EXPECT_EQ(batch.shape(), Shape({8, 3, 8, 8}));
+  const auto labels = split.train.batch_labels(4, 8);
+  EXPECT_EQ(labels.size(), 8u);
+  // Batch row 0 equals dataset row 4.
+  const i64 dim = 3 * 8 * 8;
+  for (i64 k = 0; k < dim; ++k)
+    EXPECT_FLOAT_EQ(batch[k], split.train.images[4 * dim + k]);
+}
+
+TEST(Dataset, BatchBoundsChecked) {
+  const TrainTestSplit split = make_synthetic_dataset(tiny_spec());
+  EXPECT_THROW(split.train.batch_images(30, 8), ContractError);
+}
+
+TEST(Dataset, ShuffleKeepsImageLabelPairing) {
+  TrainTestSplit split = make_synthetic_dataset(tiny_spec());
+  Dataset& d = split.train;
+  const i64 dim = d.images.numel() / d.size();
+  // Fingerprint each image by its sum, keyed to its label.
+  std::vector<std::pair<f64, i32>> before;
+  for (i64 i = 0; i < d.size(); ++i) {
+    f64 sum = 0.0;
+    for (i64 k = 0; k < dim; ++k) sum += d.images[i * dim + k];
+    before.emplace_back(sum, d.labels[static_cast<size_t>(i)]);
+  }
+  Rng rng(5);
+  d.shuffle(rng);
+  std::vector<std::pair<f64, i32>> after;
+  for (i64 i = 0; i < d.size(); ++i) {
+    f64 sum = 0.0;
+    for (i64 k = 0; k < dim; ++k) sum += d.images[i * dim + k];
+    after.emplace_back(sum, d.labels[static_cast<size_t>(i)]);
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i].first, after[i].first, 1e-9);
+    EXPECT_EQ(before[i].second, after[i].second);
+  }
+}
+
+TEST(TaskSuite, FiveDownstreamTasks) {
+  const auto specs = downstream_task_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "flower102-syn");
+  EXPECT_EQ(specs[2].name, "food101-syn");
+  // Food101 stand-in is the small-data task (overfitting scenario).
+  for (const auto& spec : specs) {
+    if (spec.name != "food101-syn") {
+      EXPECT_GT(spec.train_per_class, specs[2].train_per_class);
+    }
+  }
+}
+
+TEST(TaskSuite, BaseTaskLargerThanDownstream) {
+  const auto base = base_task_spec();
+  for (const auto& spec : downstream_task_specs())
+    EXPECT_GE(base.train_per_class, spec.train_per_class);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,134 @@
+// Dense CIM PE: the executable ISSCC'21-style baseline, cross-checked
+// against both the integer reference and the sparse PE in dense packing.
+#include <gtest/gtest.h>
+
+#include "mapping/csc_mapper.h"
+#include "pim/dense_pe.h"
+#include "pim/sram_pe.h"
+#include "quant/quant.h"
+
+namespace msh {
+namespace {
+
+std::vector<i8> random_codes(i64 count, u64 seed) {
+  Rng rng(seed);
+  std::vector<i8> codes(static_cast<size_t>(count));
+  for (auto& v : codes) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  return codes;
+}
+
+std::vector<i64> run_dense(std::span<const i8> matrix, i64 k, i64 c,
+                           std::span<const i8> act,
+                           PeEventCounts* events = nullptr) {
+  std::vector<i64> out(static_cast<size_t>(c), 0);
+  for (const auto& tile : map_to_dense_pes(matrix, k, c)) {
+    DenseCimPe pe;
+    pe.load(tile);
+    const auto acc = pe.matvec(act);
+    for (i64 cc = 0; cc < tile.cols; ++cc)
+      out[static_cast<size_t>(tile.col_offset + cc)] +=
+          acc[static_cast<size_t>(cc)];
+    if (events) *events += pe.events();
+  }
+  return out;
+}
+
+std::vector<i64> reference(std::span<const i8> matrix, i64 k, i64 c,
+                           std::span<const i8> act) {
+  std::vector<i64> out(static_cast<size_t>(c), 0);
+  for (i64 r = 0; r < k; ++r) {
+    for (i64 cc = 0; cc < c; ++cc) {
+      out[static_cast<size_t>(cc)] +=
+          static_cast<i64>(matrix[static_cast<size_t>(r * c + cc)]) *
+          act[static_cast<size_t>(r)];
+    }
+  }
+  return out;
+}
+
+TEST(DensePe, BitExactSingleWindow) {
+  const i64 k = 128, c = 12;
+  const auto matrix = random_codes(k * c, 1);
+  const auto act = random_codes(k, 2);
+  EXPECT_EQ(run_dense(matrix, k, c, act), reference(matrix, k, c, act));
+}
+
+TEST(DensePe, BitExactMultiWindow) {
+  const i64 k = 500, c = 30;  // ragged in both dimensions
+  const auto matrix = random_codes(k * c, 3);
+  const auto act = random_codes(k, 4);
+  EXPECT_EQ(run_dense(matrix, k, c, act), reference(matrix, k, c, act));
+}
+
+TEST(DensePe, EightCyclesPerWindowPass) {
+  const i64 k = 128, c = 12;
+  const auto matrix = random_codes(k * c, 5);
+  const auto act = random_codes(k, 6);
+  const auto tiles = map_to_dense_pes(matrix, k, c);
+  ASSERT_EQ(tiles.size(), 1u);
+  DenseCimPe pe;
+  pe.load(tiles[0]);
+  const i64 before = pe.events().cycles;
+  pe.matvec(act);
+  EXPECT_EQ(pe.events().sram_array_cycles, 8);
+  EXPECT_EQ(pe.events().cycles - before, 8 + AdderTree(128).depth());
+}
+
+TEST(DensePe, SparsePeInDensePackingAgrees) {
+  // A 4:4-packed sparse PE computing a dense matrix must equal the dense
+  // PE exactly, at 4x the array cycles (the sparse macro's M index
+  // phases) — the storage-density-vs-time tradeoff in one assertion.
+  const i64 k = 128, c = 8;
+  const auto codes = random_codes(k * c, 7);
+  const auto act = random_codes(k, 8);
+
+  PeEventCounts dense_events;
+  const auto dense_out = run_dense(codes, k, c, act, &dense_events);
+
+  // Build the 4:4 packed equivalent.
+  Tensor dense_f(Shape{k, c});
+  for (i64 i = 0; i < k * c; ++i)
+    dense_f[i] = static_cast<f32>(codes[static_cast<size_t>(i)]);
+  const NmPackedMatrix packed = NmPackedMatrix::pack(dense_f, NmConfig{4, 4});
+  const QuantizedNmMatrix quantized =
+      QuantizedNmMatrix::from_packed_codes(packed, 1.0f);
+
+  PeEventCounts sparse_events;
+  std::vector<i64> sparse_out(static_cast<size_t>(c), 0);
+  for (const auto& tile : map_to_sram_pes(quantized)) {
+    SramSparsePe pe;
+    pe.load(tile);
+    const SramPeOutput y = pe.matvec(act);
+    for (size_t i = 0; i < y.output_ids.size(); ++i)
+      sparse_out[static_cast<size_t>(y.output_ids[i])] += y.values[i];
+    sparse_events += pe.events();
+  }
+
+  EXPECT_EQ(sparse_out, dense_out);
+  EXPECT_EQ(sparse_events.sram_array_cycles,
+            4 * dense_events.sram_array_cycles);
+}
+
+TEST(DensePe, ZeroActivations) {
+  const i64 k = 256, c = 6;
+  const auto matrix = random_codes(k * c, 9);
+  const std::vector<i8> act(static_cast<size_t>(k), 0);
+  for (i64 v : run_dense(matrix, k, c, act)) EXPECT_EQ(v, 0);
+}
+
+TEST(DensePe, LoadRequiredBeforeMatvec) {
+  DenseCimPe pe;
+  const std::vector<i8> act(128, 0);
+  EXPECT_THROW(pe.matvec(act), ContractError);
+}
+
+TEST(DensePe, WriteEventsCounted) {
+  const auto matrix = random_codes(128 * 12, 10);
+  const auto tiles = map_to_dense_pes(matrix, 128, 12);
+  DenseCimPe pe;
+  pe.load(tiles[0]);
+  EXPECT_EQ(pe.events().sram_weight_bits_written, 128 * 12 * 8);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "device/faults.h"
+#include "device/rram.h"
+#include "device/scaling.h"
+
+namespace msh {
+namespace {
+
+// --- Array scaling model -------------------------------------------------
+
+TEST(ArrayScaling, ReferencePointReproducesTable2) {
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  const ArrayGeometry ref{1024, 512};
+  EXPECT_NEAR(model.cell_area(ref).as_mm2(), 0.00686, 1e-9);
+  EXPECT_NEAR(model.row_periphery_area(ref).as_mm2(), 0.0037, 1e-9);
+  EXPECT_NEAR(model.col_periphery_area(ref).as_mm2(), 0.0243, 1e-9);
+  EXPECT_NEAR(model.row_access_latency(ref).as_ns(), 1.0, 1e-9);
+}
+
+TEST(ArrayScaling, CellAreaLinearInBits) {
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  const Area half = model.cell_area({512, 512});
+  const Area full = model.cell_area({1024, 512});
+  EXPECT_NEAR(full.as_mm2(), 2.0 * half.as_mm2(), 1e-12);
+}
+
+TEST(ArrayScaling, SmallArraysLessAreaEfficient) {
+  // The classic NVSIM result: periphery amortizes better over big arrays.
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  EXPECT_LT(model.array_efficiency({128, 64}),
+            model.array_efficiency({1024, 512}));
+  EXPECT_LT(model.array_efficiency({1024, 512}),
+            model.array_efficiency({4096, 2048}));
+}
+
+TEST(ArrayScaling, BiggerArraysSlower) {
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  EXPECT_GT(model.row_access_latency({4096, 2048}).as_ns(),
+            model.row_access_latency({1024, 512}).as_ns());
+  EXPECT_LT(model.row_access_latency({256, 128}).as_ns(),
+            model.row_access_latency({1024, 512}).as_ns());
+}
+
+TEST(ArrayScaling, WiderRowsCostMoreEnergy) {
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  EXPECT_GT(model.row_access_energy({1024, 1024}).as_pj(),
+            model.row_access_energy({1024, 512}).as_pj());
+}
+
+TEST(ArrayScaling, InvalidGeometryRejected) {
+  const ArrayScalingModel model = ArrayScalingModel::mram_reference();
+  EXPECT_THROW(model.cell_area({0, 512}), ContractError);
+}
+
+// --- RRAM device ---------------------------------------------------------
+
+TEST(Rram, OnOffRatio) {
+  RramDevice cell;
+  EXPECT_NEAR(cell.on_off_ratio(), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cell.resistance_ohm(), 200e3);  // starts HRS (0)
+}
+
+TEST(Rram, SetResetEnergiesDiffer) {
+  RramDevice cell;
+  Rng rng(1);
+  cell.write(true, rng);   // SET
+  EXPECT_DOUBLE_EQ(cell.write_energy_spent().as_pj(), 1.5);
+  cell.write(false, rng);  // RESET
+  EXPECT_DOUBLE_EQ(cell.write_energy_spent().as_pj(), 3.5);
+}
+
+TEST(Rram, RedundantWriteFree) {
+  RramDevice cell;
+  Rng rng(2);
+  cell.write(false, rng);
+  EXPECT_EQ(cell.write_count(), 0u);
+}
+
+TEST(Rram, EnduranceFreezesCell) {
+  RramParams params;
+  params.endurance_writes = 2;
+  RramDevice cell(params);
+  Rng rng(3);
+  EXPECT_TRUE(cell.write(true, rng));
+  EXPECT_TRUE(cell.write(false, rng));
+  EXPECT_TRUE(cell.worn_out());
+  EXPECT_FALSE(cell.write(true, rng));   // stuck
+  EXPECT_FALSE(cell.stored_bit());       // froze in last state
+}
+
+TEST(Rram, EnduranceFarBelowMtj) {
+  // The §1 argument for MRAM over RRAM in write-heavy training.
+  EXPECT_LT(RramParams{}.endurance_writes, 1'000'000'000ull);
+}
+
+TEST(Rram, VariationSpreadsResistance) {
+  RramDevice cell;
+  Rng rng(4);
+  f64 lo = 1e18, hi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const f64 r = cell.resistance_with_variation_ohm(rng);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 200e3);
+  EXPECT_GT(hi, 200e3);
+  // Window stays comfortably away from LRS despite variation.
+  EXPECT_GT(lo, 10e3 * 2);
+}
+
+TEST(Rram, WritesSlowerThanMtj) {
+  EXPECT_GT(RramParams{}.write_pulse.as_ns(), 10.0);
+}
+
+// --- Fault injection -----------------------------------------------------
+
+TEST(Faults, ZeroBerFlipsNothing) {
+  Rng rng(5);
+  std::vector<i8> codes(256, 42);
+  const FaultStats stats = inject_bit_errors(codes, 0.0, rng);
+  EXPECT_EQ(stats.bits_flipped, 0);
+  for (i8 c : codes) EXPECT_EQ(c, 42);
+}
+
+TEST(Faults, FullBerFlipsEverything) {
+  Rng rng(6);
+  std::vector<i8> codes(16, 0);
+  const FaultStats stats = inject_bit_errors(codes, 1.0, rng);
+  EXPECT_EQ(stats.bits_flipped, 16 * 8);
+  for (i8 c : codes) EXPECT_EQ(static_cast<u8>(c), 0xFF);
+}
+
+TEST(Faults, MeasuredBerTracksRequested) {
+  Rng rng(7);
+  std::vector<i8> codes(20000, 0);
+  const FaultStats stats = inject_bit_errors(codes, 0.01, rng);
+  EXPECT_NEAR(stats.measured_ber(), 0.01, 0.002);
+}
+
+TEST(Faults, QuantizedTensorOverload) {
+  Rng rng(8);
+  Tensor t = Tensor::randn(Shape{64}, rng);
+  QuantizedTensor q = quantize(t, 8);
+  const std::vector<i8> before = q.data;
+  inject_bit_errors(q, 0.2, rng);
+  i64 changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) changed += before[i] != q.data[i];
+  EXPECT_GT(changed, 0);
+}
+
+TEST(Faults, InvalidBerRejected) {
+  Rng rng(9);
+  std::vector<i8> codes(4, 0);
+  EXPECT_THROW(inject_bit_errors(codes, -0.1, rng), ContractError);
+  EXPECT_THROW(inject_bit_errors(codes, 1.5, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace msh

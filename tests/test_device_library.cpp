@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "device/energy_library.h"
+
+namespace msh {
+namespace {
+
+TEST(Table2, SramComponentValuesMatchPaper) {
+  const SramPeSpec sram = table2_sram_pe();
+  EXPECT_DOUBLE_EQ(sram.decoder.area.as_mm2(), 0.0168);
+  EXPECT_DOUBLE_EQ(sram.decoder.power.as_mw(), 0.96);
+  EXPECT_DOUBLE_EQ(sram.bit_cell.area.as_mm2(), 0.0231);
+  EXPECT_DOUBLE_EQ(sram.bit_cell.power.as_mw(), 1.2);
+  EXPECT_DOUBLE_EQ(sram.shift_acc.area.as_mm2(), 0.0148);
+  EXPECT_DOUBLE_EQ(sram.shift_acc.power.as_mw(), 4.2);
+  EXPECT_DOUBLE_EQ(sram.index_decoder.area.as_mm2(), 0.06);
+  EXPECT_DOUBLE_EQ(sram.index_decoder.power.as_mw(), 7.4);
+  EXPECT_DOUBLE_EQ(sram.adder.area.as_mm2(), 0.14);
+  EXPECT_DOUBLE_EQ(sram.adder.power.as_mw(), 12.11);
+  EXPECT_DOUBLE_EQ(sram.global_buffer.area.as_mm2(), 0.0065);
+  EXPECT_DOUBLE_EQ(sram.global_relu.area.as_mm2(), 0.00719);
+  EXPECT_DOUBLE_EQ(sram.global_relu.power.as_mw(), 0.12);
+}
+
+TEST(Table2, MramComponentValuesMatchPaper) {
+  const MramPeSpec mram = table2_mram_pe();
+  EXPECT_DOUBLE_EQ(mram.memory_array.area.as_mm2(), 0.00686);
+  EXPECT_DOUBLE_EQ(mram.parallel_shift_acc.area.as_mm2(), 0.00258);
+  EXPECT_DOUBLE_EQ(mram.parallel_shift_acc.power.as_mw(), 0.834);
+  EXPECT_DOUBLE_EQ(mram.col_decoder_driver.area.as_mm2(), 0.0243);
+  EXPECT_DOUBLE_EQ(mram.col_decoder_driver.power.as_mw(), 1.58);
+  EXPECT_DOUBLE_EQ(mram.row_decoder_driver.area.as_mm2(), 0.0037);
+  EXPECT_DOUBLE_EQ(mram.row_decoder_driver.power.as_mw(), 0.68);
+  EXPECT_DOUBLE_EQ(mram.adder_tree.area.as_mm2(), 0.044);
+  EXPECT_DOUBLE_EQ(mram.adder_tree.power.as_mw(), 16.3);
+  EXPECT_DOUBLE_EQ(mram.r_parallel_ohm, 4408.0);
+  EXPECT_DOUBLE_EQ(mram.r_antiparallel_ohm, 8759.0);
+  EXPECT_DOUBLE_EQ(mram.set_reset_energy_per_bit.as_pj(), 0.048);
+}
+
+TEST(Table2, LeakagePlusDynamicEqualsTotal) {
+  const SramPeSpec sram = table2_sram_pe();
+  for (const ComponentSpec* c :
+       {&sram.decoder, &sram.bit_cell, &sram.shift_acc, &sram.index_decoder,
+        &sram.adder, &sram.global_relu}) {
+    EXPECT_NEAR(c->leakage().as_mw() + c->dynamic().as_mw(),
+                c->power.as_mw(), 1e-12);
+  }
+}
+
+TEST(Table2, MramArrayHasNoStaticPower) {
+  const MramPeSpec mram = table2_mram_pe();
+  EXPECT_DOUBLE_EQ(mram.memory_array.power.as_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(mram.memory_array.leakage().as_mw(), 0.0);
+}
+
+TEST(Table2, TotalsRollUp) {
+  const SramPeSpec sram = table2_sram_pe();
+  EXPECT_NEAR(sram.total_area().as_mm2(),
+              0.0168 + 0.0231 + 0.0148 + 0.06 + 0.14 + 0.0065 + 0.00719,
+              1e-12);
+  // Dense variant drops only the sparse index machinery.
+  EXPECT_NEAR(sram.total_area().as_mm2() - sram.dense_area().as_mm2(), 0.06,
+              1e-12);
+  const MramPeSpec mram = table2_mram_pe();
+  EXPECT_NEAR(mram.total_area().as_mm2(),
+              0.00686 + 0.00258 + 0.0243 + 0.0037 + 0.044, 1e-12);
+  EXPECT_LT(mram.total_area().as_mm2(), sram.total_area().as_mm2());
+}
+
+TEST(PeGeometry, CapacityMath) {
+  const PeGeometry geom = default_pe_geometry();
+  EXPECT_EQ(geom.sram_weight_capacity_bits(), 128 * 8 * 8);
+  EXPECT_EQ(geom.sram_total_bits(), 128 * 96);
+  EXPECT_EQ(geom.mram_capacity_bits(), 1024 * 512);
+  EXPECT_EQ(geom.mram_pairs_per_row(), 42);
+}
+
+TEST(EnergyLibrary, DerivedFromComponentPowers) {
+  const EnergyLibrary lib = EnergyLibrary::standard();
+  const SramPeSpec sram = table2_sram_pe();
+  // mW x ns = pJ at the 1 GHz cycle.
+  EXPECT_NEAR(lib.sram_row_cycle.as_pj(), sram.bit_cell.dynamic().as_mw(),
+              1e-12);
+  EXPECT_NEAR(lib.sram_adder_tree_op.as_pj(),
+              sram.adder.dynamic().as_mw() / 8.0, 1e-12);
+  EXPECT_NEAR(lib.mram_write_bit.as_pj(), 0.048, 1e-12);
+  EXPECT_GT(lib.mram_write_row_latency.as_ns(), lib.cycle.as_ns());
+}
+
+TEST(EnergyLibrary, MramWriteMoreExpensiveThanSram) {
+  // The asymmetry that motivates the whole hybrid design.
+  const EnergyLibrary lib = EnergyLibrary::standard();
+  EXPECT_GT(lib.mram_write_bit.as_pj(), lib.sram_write_bit.as_pj());
+  EXPECT_GT(lib.mram_write_row_latency.as_ns(),
+            lib.sram_write_row_latency.as_ns());
+}
+
+TEST(SramCell, ComputeCellAnd) {
+  SramComputeCell cell(true);
+  EXPECT_TRUE(cell.and_with(true));
+  EXPECT_FALSE(cell.and_with(false));
+  cell.write(false);
+  EXPECT_FALSE(cell.and_with(true));
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.h"
+
+namespace msh {
+namespace {
+
+TEST(EnergyModel, ZeroEventsZeroEnergy) {
+  EnergyModel model;
+  const EnergyReport report = model.price(PeEventCounts{});
+  EXPECT_DOUBLE_EQ(report.total().as_pj(), 0.0);
+}
+
+TEST(EnergyModel, PricingIsLinearInEvents) {
+  EnergyModel model;
+  PeEventCounts one;
+  one.sram_array_cycles = 10;
+  one.sram_adder_tree_ops = 80;
+  one.mram_row_reads = 5;
+  one.buffer_bits_read = 100;
+  PeEventCounts two = one + one;
+  EXPECT_NEAR(model.price(two).total().as_pj(),
+              2.0 * model.price(one).total().as_pj(), 1e-9);
+}
+
+TEST(EnergyModel, ComponentsRouteToBuckets) {
+  EnergyModel model;
+  PeEventCounts sram_only;
+  sram_only.sram_array_cycles = 100;
+  const EnergyReport r1 = model.price(sram_only);
+  EXPECT_GT(r1.sram.as_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(r1.mram.as_pj(), 0.0);
+
+  PeEventCounts mram_only;
+  mram_only.mram_row_reads = 100;
+  const EnergyReport r2 = model.price(mram_only);
+  EXPECT_GT(r2.mram.as_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(r2.sram.as_pj(), 0.0);
+}
+
+TEST(EnergyModel, MtjWritesPricedAtTable2) {
+  EnergyModel model;
+  PeEventCounts events;
+  events.mram_set_reset_bits = 1000;
+  EXPECT_NEAR(model.price(events).mram.as_pj(), 48.0, 1e-9);
+}
+
+TEST(EnergyModel, WriteEnergyScalesWithBits) {
+  EnergyModel model;
+  EXPECT_GT(model.sram_write_energy(1000).as_pj(), 0.0);
+  EXPECT_NEAR(model.mram_write_energy(1000).as_pj(), 48.0, 1e-9);
+  EXPECT_GT(model.mram_write_energy(1000).as_pj(),
+            model.sram_write_energy(1000).as_pj());
+}
+
+TEST(EnergyModel, WriteTimeRowMath) {
+  EnergyModel model;
+  // 1000 bits, 100-bit rows -> 10 rows; 2 parallel -> 5 sequential.
+  const TimeNs t = model.sram_write_time(1000, 100, 2);
+  EXPECT_DOUBLE_EQ(t.as_ns(), 5.0);
+  // MRAM rows take the 10 ns STT pulse.
+  const TimeNs tm = model.mram_write_time(1000, 100, 2);
+  EXPECT_DOUBLE_EQ(tm.as_ns(), 50.0);
+}
+
+TEST(EnergyModel, WriteTimeValidation) {
+  EnergyModel model;
+  EXPECT_THROW(model.sram_write_time(100, 0, 1), ContractError);
+  EXPECT_THROW(model.mram_write_time(100, 10, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace msh

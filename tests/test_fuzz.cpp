@@ -1,0 +1,101 @@
+// Randomized end-to-end sweep: many random (shape, N:M, batch, PE kind)
+// combinations through the full mapper + functional-PE + shared-
+// accumulator path, each checked bit-exact against the integer
+// reference. Seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+
+namespace msh {
+namespace {
+
+struct FuzzCase {
+  NmConfig cfg;
+  i64 k = 0;
+  i64 c = 0;
+  i64 batch = 1;
+  bool mram = false;
+};
+
+FuzzCase random_case(Rng& rng) {
+  static constexpr NmConfig kConfigs[] = {
+      {1, 4}, {1, 8}, {1, 16}, {2, 4}, {2, 8}, {3, 8}, {4, 8}, {2, 16}};
+  FuzzCase fc;
+  fc.cfg = kConfigs[rng.uniform_index(std::size(kConfigs))];
+  fc.k = fc.cfg.m * rng.uniform_int(1, 96);  // up to ~1.5k dense rows
+  fc.c = rng.uniform_int(1, 40);
+  fc.batch = rng.uniform_int(1, 3);
+  fc.mram = rng.bernoulli(0.5);
+  return fc;
+}
+
+TEST(Fuzz, RandomShapesBitExactOnBothPeKinds) {
+  Rng meta(20240623);
+  for (int trial = 0; trial < 40; ++trial) {
+    const FuzzCase fc = random_case(meta);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": k=" +
+                 std::to_string(fc.k) + " c=" + std::to_string(fc.c) +
+                 " nm=" + std::to_string(fc.cfg.n) + ":" +
+                 std::to_string(fc.cfg.m) +
+                 (fc.mram ? " mram" : " sram"));
+
+    Rng rng(static_cast<u64>(trial) * 7919 + 13);
+    Tensor w = Tensor::randn(Shape{fc.k, fc.c}, rng);
+    NmMask mask = select_nm_mask(w, fc.cfg, GroupAxis::kRows);
+    apply_mask(w, mask);
+    const QuantizedNmMatrix q =
+        QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, fc.cfg));
+
+    std::vector<i8> act(static_cast<size_t>(fc.batch * fc.k));
+    for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-128, 127));
+
+    HybridCore core;
+    const i64 handle = fc.mram ? core.deploy_mram(q) : core.deploy_sram(q);
+    const auto got = core.matmul(handle, act, fc.batch);
+
+    for (i64 b = 0; b < fc.batch; ++b) {
+      const auto row = std::span<const i8>(act).subspan(
+          static_cast<size_t>(b * fc.k), static_cast<size_t>(fc.k));
+      const auto ref = q.reference_matvec(row);
+      for (i64 col = 0; col < fc.c; ++col) {
+        ASSERT_EQ(got[static_cast<size_t>(b * fc.c + col)],
+                  ref[static_cast<size_t>(col)])
+            << "batch " << b << " col " << col;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, PartialGroupsWithUnevenSurvivors) {
+  // "At most N" patterns: randomly drop survivors below N per group so
+  // groups carry 0..N entries, exercising padded-slot handling.
+  Rng meta(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const NmConfig cfg{2, 8};
+    const i64 k = 8 * static_cast<i64>(meta.uniform_int(2, 40));
+    const i64 c = meta.uniform_int(1, 16);
+    Rng rng(static_cast<u64>(trial) + 1000);
+    Tensor w = Tensor::randn(Shape{k, c}, rng);
+    NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+    apply_mask(w, mask);
+    // Randomly zero ~40% of the survivors.
+    for (i64 i = 0; i < w.numel(); ++i) {
+      if (w[i] != 0.0f && rng.bernoulli(0.4)) w[i] = 0.0f;
+    }
+    const QuantizedNmMatrix q =
+        QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+
+    std::vector<i8> act(static_cast<size_t>(k));
+    for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-128, 127));
+
+    HybridCore core;
+    const auto sram = core.matvec(core.deploy_sram(q), act);
+    const auto mram = core.matvec(core.deploy_mram(q), act);
+    const auto ref = q.reference_matvec(act);
+    ASSERT_EQ(sram, ref) << "trial " << trial;
+    ASSERT_EQ(mram, ref) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,148 @@
+// Numerical gradient verification for every trainable layer: central
+// differences on the scalar objective L = <layer(x), G> for a fixed random
+// G must match the analytic backward pass (paper eq. 1-3 correctness).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace msh {
+namespace {
+
+f64 inner(const Tensor& a, const Tensor& b) {
+  f64 s = 0.0;
+  for (i64 i = 0; i < a.numel(); ++i) s += f64{a[i]} * b[i];
+  return s;
+}
+
+/// Checks dL/dx and dL/dparams of `layer` at input `x` against central
+/// differences. Samples at most `samples` coordinates per tensor.
+void check_gradients(Layer& layer, Tensor x, f64 tol = 2e-2,
+                     i64 samples = 24) {
+  Rng rng(99);
+  Tensor y0 = layer.forward(x, true);
+  Tensor g = Tensor::randn(y0.shape(), rng);
+
+  for (Param* p : layer.params()) p->zero_grad();
+  Tensor gx = layer.backward(g);
+
+  const f32 eps = 1e-3f;
+  auto loss_at = [&](Tensor& target, i64 idx, f32 delta) {
+    const f32 saved = target[idx];
+    target[idx] = saved + delta;
+    const Tensor y = layer.forward(x, true);
+    target[idx] = saved;
+    return inner(y, g);
+  };
+
+  // Input gradient.
+  for (i64 k = 0; k < std::min<i64>(samples, x.numel()); ++k) {
+    const i64 idx = static_cast<i64>(rng.uniform_index(
+        static_cast<u64>(x.numel())));
+    const f64 numeric =
+        (loss_at(x, idx, eps) - loss_at(x, idx, -eps)) / (2.0 * eps);
+    EXPECT_NEAR(gx[idx], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at " << idx;
+  }
+
+  // Parameter gradients. Re-run backward after the perturbing forwards so
+  // cached state matches, comparing against the grads captured above.
+  for (Param* p : layer.params()) {
+    Tensor analytic = p->grad;
+    for (i64 k = 0; k < std::min<i64>(samples, p->value.numel()); ++k) {
+      const i64 idx = static_cast<i64>(rng.uniform_index(
+          static_cast<u64>(p->value.numel())));
+      const f64 numeric =
+          (loss_at(p->value, idx, eps) - loss_at(p->value, idx, -eps)) /
+          (2.0 * eps);
+      EXPECT_NEAR(analytic[idx], numeric,
+                  tol * std::max(1.0, std::fabs(numeric)))
+          << "param " << p->name << " grad mismatch at " << idx;
+    }
+  }
+}
+
+TEST(Gradients, Linear) {
+  Rng rng(1);
+  Linear fc(6, 4, rng);
+  check_gradients(fc, Tensor::randn(Shape{3, 6}, rng));
+}
+
+TEST(Gradients, LinearWithoutBias) {
+  Rng rng(2);
+  Linear fc(5, 3, rng, /*bias=*/false);
+  check_gradients(fc, Tensor::randn(Shape{2, 5}, rng));
+}
+
+TEST(Gradients, Conv2dBasic) {
+  Rng rng(3);
+  Conv2d conv({.in_channels = 2, .out_channels = 3, .kernel = 3,
+               .stride = 1, .padding = 1},
+              rng);
+  check_gradients(conv, Tensor::randn(Shape{2, 2, 5, 5}, rng));
+}
+
+TEST(Gradients, Conv2dStridedNoPad) {
+  Rng rng(4);
+  Conv2d conv({.in_channels = 1, .out_channels = 2, .kernel = 2,
+               .stride = 2, .padding = 0},
+              rng);
+  check_gradients(conv, Tensor::randn(Shape{2, 1, 6, 6}, rng));
+}
+
+TEST(Gradients, Conv2d1x1) {
+  Rng rng(5);
+  Conv2d conv({.in_channels = 4, .out_channels = 2, .kernel = 1}, rng);
+  check_gradients(conv, Tensor::randn(Shape{2, 4, 3, 3}, rng));
+}
+
+TEST(Gradients, Relu) {
+  Rng rng(6);
+  Relu relu;
+  // Keep values away from the kink for stable finite differences.
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  for (i64 i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.1f;
+  }
+  check_gradients(relu, x);
+}
+
+TEST(Gradients, MaxPool) {
+  Rng rng(7);
+  MaxPool2d pool(2, 2);
+  Tensor x = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+  check_gradients(pool, x);
+}
+
+TEST(Gradients, AvgPool) {
+  Rng rng(8);
+  AvgPool2d pool(2, 2);
+  check_gradients(pool, Tensor::randn(Shape{2, 2, 4, 4}, rng));
+}
+
+TEST(Gradients, GlobalAvgPool) {
+  Rng rng(9);
+  GlobalAvgPool gap;
+  check_gradients(gap, Tensor::randn(Shape{2, 3, 4, 4}, rng));
+}
+
+TEST(Gradients, Flatten) {
+  Rng rng(10);
+  Flatten flat;
+  check_gradients(flat, Tensor::randn(Shape{2, 2, 3, 3}, rng));
+}
+
+TEST(Gradients, BatchNorm) {
+  Rng rng(11);
+  BatchNorm2d bn(3);
+  check_gradients(bn, Tensor::randn(Shape{4, 3, 4, 4}, rng), 3e-2);
+}
+
+}  // namespace
+}  // namespace msh

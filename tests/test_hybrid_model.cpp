@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sim/hybrid_model.h"
+
+namespace msh {
+namespace {
+
+HybridDesignModel make_model(NmConfig nm) {
+  HybridModelOptions options;
+  options.nm = nm;
+  return HybridDesignModel(options);
+}
+
+TEST(HybridModel, NameEncodesSparsity) {
+  EXPECT_EQ(make_model(kSparse1of4).name(), "Hybrid (1:4)");
+  EXPECT_EQ(make_model(kSparse1of8).name(), "Hybrid (1:8)");
+}
+
+TEST(HybridModel, PlanPlacesBackboneOnMram) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridPlan plan = make_model(kSparse1of4).plan(inv);
+  EXPECT_GT(plan.mram_bits_stored, plan.sram_bits_stored);
+  EXPECT_GT(plan.mram_pes, 0);
+  EXPECT_GT(plan.transposed_sram_pes, 0);
+}
+
+TEST(HybridModel, AreaBelowDenseFootprint) {
+  // The headline claim: the sparse hybrid needs roughly a third of the
+  // dense SRAM design's area.
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const Area area = make_model(kSparse1of4).area(inv);
+  EXPECT_GT(area.as_mm2(), 1.0);
+  EXPECT_LT(area.as_mm2(), 60.0);
+}
+
+TEST(HybridModel, HigherSparsityNoLargerArea) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  EXPECT_LE(make_model(kSparse1of8).area(inv).as_mm2(),
+            make_model(kSparse1of4).area(inv).as_mm2() + 1e-9);
+}
+
+TEST(HybridModel, AnalyticEventsMatchPlanCounts) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridDesignModel model = make_model(kSparse1of4);
+  const HybridPlan plan = model.plan(inv);
+  const PeEventCounts events = model.analytic_inference_events(plan);
+  EXPECT_EQ(events.mram_row_reads, plan.mram_row_reads_per_inference);
+  EXPECT_EQ(events.sram_array_cycles, plan.sram_array_cycles_per_inference);
+  EXPECT_EQ(events.sram_adder_tree_ops, 8 * events.sram_array_cycles);
+}
+
+TEST(HybridModel, LeakageIncludesSramPoolAndBuffer) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  HybridModelOptions small;
+  small.nm = kSparse1of4;
+  small.sram_pe_pool = 2;
+  HybridModelOptions large = small;
+  large.sram_pe_pool = 32;
+  const PowerBreakdown p_small =
+      HybridDesignModel(small).inference_power(inv, InferenceScenario{});
+  const PowerBreakdown p_large =
+      HybridDesignModel(large).inference_power(inv, InferenceScenario{});
+  EXPECT_GT(p_large.leakage.as_mw(), p_small.leakage.as_mw());
+}
+
+TEST(HybridModel, PowerGatingReducesLeakage) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  HybridModelOptions gated;
+  gated.mram_power_gating = 0.01;
+  HybridModelOptions ungated;
+  ungated.mram_power_gating = 1.0;
+  EXPECT_LT(HybridDesignModel(gated)
+                .inference_power(inv, InferenceScenario{})
+                .leakage.as_mw(),
+            HybridDesignModel(ungated)
+                .inference_power(inv, InferenceScenario{})
+                .leakage.as_mw());
+}
+
+TEST(HybridModel, SparserConfigReadsFewerRows) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridPlan p4 = make_model(kSparse1of4).plan(inv);
+  const HybridPlan p8 = make_model(kSparse1of8).plan(inv);
+  EXPECT_LT(p8.mram_row_reads_per_inference,
+            p4.mram_row_reads_per_inference);
+  EXPECT_LT(p8.weights_updated_per_step, p4.weights_updated_per_step);
+}
+
+TEST(HybridModel, TrainingStepCheaperThanDenseBaselineWrites) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const TrainingCost cost =
+      make_model(kSparse1of8).training_step(inv, TrainingScenario{});
+  EXPECT_GT(cost.energy.as_uj(), 0.0);
+  EXPECT_GT(cost.delay.as_us(), 0.0);
+}
+
+TEST(HybridModel, LargerPoolShortensTraining) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  HybridModelOptions small;
+  small.sram_pe_pool = 4;
+  HybridModelOptions large;
+  large.sram_pe_pool = 64;
+  const TrainingCost slow =
+      HybridDesignModel(small).training_step(inv, TrainingScenario{});
+  const TrainingCost fast =
+      HybridDesignModel(large).training_step(inv, TrainingScenario{});
+  EXPECT_GT(slow.delay.as_ns(), fast.delay.as_ns());
+}
+
+TEST(HybridModel, InvalidOptionsRejected) {
+  HybridModelOptions bad;
+  bad.sram_pe_pool = 0;
+  EXPECT_THROW(HybridDesignModel{bad}, ContractError);
+  HybridModelOptions bad_nm;
+  bad_nm.nm = NmConfig{0, 2};
+  EXPECT_THROW(HybridDesignModel{bad_nm}, ContractError);
+}
+
+}  // namespace
+}  // namespace msh

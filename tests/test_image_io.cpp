@@ -1,0 +1,132 @@
+// Deployment image round-trips: what ships in flash must come back
+// bit-identical and executable.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "arch/accelerator.h"
+#include "deploy/image_io.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix random_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+std::string temp_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "/msh_image_" + tag + ".bin";
+}
+
+TEST(DeploymentImage, RoundTripBitExact) {
+  DeploymentImage image;
+  image.add("backbone.conv1", random_matrix(512, 16, kSparse1of4, 1));
+  image.add("rep.m1", random_matrix(128, 8, kSparse1of8, 2));
+  const std::string path = temp_path("roundtrip");
+  image.save(path);
+
+  const DeploymentImage loaded = DeploymentImage::load(path);
+  ASSERT_EQ(loaded.size(), 2);
+  ASSERT_TRUE(loaded.contains("backbone.conv1"));
+  const QuantizedNmMatrix& a = image.get("backbone.conv1");
+  const QuantizedNmMatrix& b = loaded.get("backbone.conv1");
+  EXPECT_EQ(a.config(), b.config());
+  EXPECT_EQ(a.dense_rows(), b.dense_rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_FLOAT_EQ(a.scale(), b.scale());
+  EXPECT_EQ(a.to_dense_int8(), b.to_dense_int8());
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, LoadedMatrixExecutesIdentically) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(256, 12, kSparse1of4, 3));
+  const std::string path = temp_path("exec");
+  image.save(path);
+  const DeploymentImage loaded = DeploymentImage::load(path);
+
+  Rng rng(4);
+  std::vector<i8> act(256);
+  for (auto& v : act) v = static_cast<i8>(rng.uniform_int(-127, 127));
+
+  HybridCore core;
+  const auto y1 =
+      core.matvec(core.deploy_mram(image.get("layer")), act);
+  const auto y2 =
+      core.matvec(core.deploy_mram(loaded.get("layer")), act);
+  EXPECT_EQ(y1, y2);
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, AddReplaces) {
+  DeploymentImage image;
+  image.add("x", random_matrix(64, 4, kSparse1of4, 5));
+  image.add("x", random_matrix(128, 4, kSparse1of4, 6));
+  EXPECT_EQ(image.size(), 1);
+  EXPECT_EQ(image.get("x").dense_rows(), 128);
+}
+
+TEST(DeploymentImage, MissingEntryThrows) {
+  DeploymentImage image;
+  EXPECT_THROW(image.get("nope"), ContractError);
+}
+
+TEST(DeploymentImage, PayloadBytes) {
+  DeploymentImage image;
+  image.add("a", random_matrix(64, 4, kSparse1of4, 7));
+  // packed 16 x 4 cols x 3 planes.
+  EXPECT_EQ(image.payload_bytes(), 16 * 4 * 3);
+}
+
+TEST(DeploymentImage, BadMagicRejected) {
+  const std::string path = temp_path("badmagic");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE and some garbage";
+  }
+  EXPECT_THROW(DeploymentImage::load(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, TruncationRejected) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(256, 8, kSparse1of4, 8));
+  const std::string path = temp_path("trunc");
+  image.save(path);
+  // Truncate the file to half.
+  std::ifstream is(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  is.close();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(DeploymentImage::load(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, MissingFileRejected) {
+  EXPECT_THROW(DeploymentImage::load("/nonexistent/msh.bin"),
+               SimulationError);
+}
+
+TEST(QuantizedNmRaw, FromRawValidates) {
+  // Index out of group range must be rejected.
+  EXPECT_THROW(QuantizedNmMatrix::from_raw(kSparse1of4, 4, 1, 1.0f, {1},
+                                           {7}, {1}),
+               ContractError);
+  // Size mismatch.
+  EXPECT_THROW(QuantizedNmMatrix::from_raw(kSparse1of4, 8, 1, 1.0f, {1},
+                                           {0}, {1}),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,193 @@
+// Cross-module integration: real trained weights flow from the algorithm
+// stack through pruning, quantization, CSC mapping and the functional PE
+// simulators, and the hardware result must match the quantized software
+// model bit-exactly — the full Fig 6 deployment story in miniature.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "mapping/transpose_buffer.h"
+#include "repnet/trainer.h"
+#include "sim/energy_model.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+BackboneConfig tiny_backbone() {
+  BackboneConfig cfg;
+  cfg.stem_channels = 8;
+  cfg.stage_channels = {8, 16};
+  cfg.blocks_per_stage = {1, 1};
+  cfg.stage_strides = {1, 2};
+  return cfg;
+}
+
+SyntheticSpec tiny_task(u64 seed) {
+  SyntheticSpec spec;
+  spec.name = "integration-task";
+  spec.classes = 3;
+  spec.train_per_class = 12;
+  spec.test_per_class = 6;
+  spec.image_size = 12;
+  spec.noise = 0.15f;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Trains a sparse Rep-Net model and returns it.
+std::unique_ptr<RepNetModel> train_sparse_model(Rng& rng) {
+  auto model = std::make_unique<RepNetModel>(
+      tiny_backbone(), default_repnet_config(), 3, rng);
+  BackboneClassifier classifier(model->backbone(), 3, rng);
+  pretrain_backbone(classifier, make_synthetic_dataset(tiny_task(1)),
+                    TrainOptions{.epochs = 3, .batch = 12, .lr = 0.05f},
+                    rng);
+  ContinualOptions options;
+  options.finetune = {.epochs = 3, .batch = 12, .lr = 0.04f};
+  options.sparse = true;
+  options.nm = kSparse1of4;
+  learn_task(*model, make_synthetic_dataset(tiny_task(2)), options, rng);
+  return model;
+}
+
+TEST(Integration, TrainedSparseLayerRunsBitExactOnBothPeTypes) {
+  Rng rng(7);
+  auto model = train_sparse_model(rng);
+
+  // Take a trained, masked Rep-path conv weight [out, K]; the PIM array
+  // maps its transpose [K, out] (reduction on the word lines).
+  Param* conv = model->rep_conv_params()[1];
+  // The trained weight satisfies 1:4 down the reduction dim (the mask
+  // owner lives inside learn_task's outcome; the zeros persist).
+  Tensor w_t = conv->value.transposed();  // [K, out], N:M down columns
+  const i64 k = w_t.shape()[0];
+  ASSERT_EQ(k % 4, 0);
+
+  const NmPackedMatrix packed = NmPackedMatrix::pack(w_t, kSparse1of4);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+
+  // Real activation statistics: quantize a random activation vector.
+  Rng arng(8);
+  std::vector<i8> act(static_cast<size_t>(k));
+  for (auto& v : act) v = static_cast<i8>(arng.uniform_int(-127, 127));
+
+  const auto ref = quantized.reference_matvec(act);
+
+  HybridCore core;
+  const auto sram_out = core.matvec(core.deploy_sram(quantized), act);
+  const auto mram_out = core.matvec(core.deploy_mram(quantized), act);
+  EXPECT_EQ(sram_out, ref);
+  EXPECT_EQ(mram_out, ref);
+}
+
+TEST(Integration, QuantizedHardwareResultTracksFloatModel) {
+  Rng rng(9);
+  auto model = train_sparse_model(rng);
+  Param* conv = model->rep_conv_params()[0];
+  Tensor w_t = conv->value.transposed();
+  const i64 k = w_t.shape()[0], c = w_t.shape()[1];
+
+  const NmPackedMatrix packed = NmPackedMatrix::pack(w_t, kSparse1of4);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+
+  Rng arng(10);
+  Tensor x = Tensor::randn(Shape{1, k}, arng);
+  const QuantizedTensor xq = quantize(x, 8);
+  std::vector<i8> act(xq.data.begin(), xq.data.end());
+
+  HybridCore core;
+  const auto raw = core.matvec(core.deploy_sram(quantized), act);
+
+  // Dequantized hardware output approximates the FP32 product.
+  Tensor ref = packed.left_matmul(x);
+  const f32 scale = xq.params.scale * quantized.scale();
+  for (i64 j = 0; j < c; ++j) {
+    const f32 hw = static_cast<f32>(raw[static_cast<size_t>(j)]) * scale;
+    EXPECT_NEAR(hw, ref[j], 0.05f * std::max(1.0f, ref.abs_max()));
+  }
+}
+
+TEST(Integration, BackpropThroughTransposedBuffersMatchesEq1) {
+  // Error propagation (paper eq. 1) through the transposed SRAM PE plan
+  // equals W^T e computed directly from the trained weights.
+  Rng rng(11);
+  auto model = train_sparse_model(rng);
+  Param* conv = model->rep_conv_params()[1];
+  Tensor w_t = conv->value.transposed();  // forward mapped matrix [K, C]
+  const NmPackedMatrix packed = NmPackedMatrix::pack(w_t, kSparse1of4);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+
+  const auto plan = TransposedPeBuffer::plan(quantized);
+  Rng erng(12);
+  std::vector<i8> error(static_cast<size_t>(plan.transposed.dense_rows()), 0);
+  for (i64 i = 0; i < quantized.cols(); ++i)
+    error[static_cast<size_t>(i)] = static_cast<i8>(erng.uniform_int(-64, 63));
+
+  std::vector<i64> got(static_cast<size_t>(plan.transposed.cols()), 0);
+  for (const auto& tile : plan.tiles) {
+    SramSparsePe pe;
+    pe.load(tile);
+    const SramPeOutput y = pe.matvec(error);
+    for (size_t i = 0; i < y.output_ids.size(); ++i)
+      got[static_cast<size_t>(y.output_ids[i])] += y.values[i];
+  }
+
+  const auto dense = quantized.to_dense_int8();
+  for (i64 j = 0; j < quantized.dense_rows(); ++j) {
+    i64 ref = 0;
+    for (i64 i = 0; i < quantized.cols(); ++i)
+      ref += static_cast<i64>(
+                 dense[static_cast<size_t>(j * quantized.cols() + i)]) *
+             error[static_cast<size_t>(i)];
+    EXPECT_EQ(got[static_cast<size_t>(j)], ref);
+  }
+}
+
+TEST(Integration, EventPricingProducesSensibleEnergySplit) {
+  Rng rng(13);
+  auto model = train_sparse_model(rng);
+  Param* conv = model->rep_conv_params()[0];
+  const NmPackedMatrix packed =
+      NmPackedMatrix::pack(conv->value.transposed(), kSparse1of4);
+  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
+
+  Rng arng(14);
+  std::vector<i8> act(static_cast<size_t>(quantized.dense_rows()));
+  for (auto& v : act) v = static_cast<i8>(arng.uniform_int(-127, 127));
+
+  HybridCore core;
+  const i64 h_sram = core.deploy_sram(quantized);
+  const i64 h_mram = core.deploy_mram(quantized);
+  core.matvec(h_sram, act);
+  core.matvec(h_mram, act);
+
+  const EnergyModel pricing;
+  const EnergyReport report = pricing.price(core.pe_events());
+  EXPECT_GT(report.sram.as_pj(), 0.0);
+  EXPECT_GT(report.mram.as_pj(), 0.0);
+  EXPECT_GT(report.total().as_pj(),
+            report.sram.as_pj());  // buffer + mram contribute
+}
+
+TEST(Integration, Int8AccuracyCloseToFp32OnRealTask) {
+  // Table 1's qualitative claim at miniature scale: INT8 PTQ stays close
+  // to the FP32 accuracy on a learned task.
+  Rng rng(15);
+  auto model = std::make_unique<RepNetModel>(
+      tiny_backbone(), default_repnet_config(), 3, rng);
+  BackboneClassifier classifier(model->backbone(), 3, rng);
+  pretrain_backbone(classifier, make_synthetic_dataset(tiny_task(21)),
+                    TrainOptions{.epochs = 4, .batch = 12, .lr = 0.05f},
+                    rng);
+  ContinualOptions options;
+  options.finetune = {.epochs = 5, .batch = 12, .lr = 0.04f};
+  options.sparse = true;
+  options.nm = kSparse1of4;
+  const TaskOutcome outcome =
+      learn_task(*model, make_synthetic_dataset(tiny_task(22)), options, rng);
+  EXPECT_GT(outcome.accuracy_fp32, 0.5);
+  EXPECT_GT(outcome.accuracy_int8, outcome.accuracy_fp32 - 0.15);
+}
+
+}  // namespace
+}  // namespace msh

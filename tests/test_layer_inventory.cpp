@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+TEST(LayerInventory, ResNet50ParameterCount) {
+  // Torchvision ResNet-50 has 25.557M params (conv + fc, no BN); with the
+  // Rep-Net path and classifier the paper quotes ~26 MB INT8.
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const f64 total_m = static_cast<f64>(inv.total_weights()) / 1e6;
+  EXPECT_GT(total_m, 25.0);
+  EXPECT_LT(total_m, 28.0);
+  EXPECT_GT(inv.weight_bytes(8), 25 * 1000 * 1000);
+}
+
+TEST(LayerInventory, LearnableFractionNearFivePercent) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  EXPECT_GT(inv.learnable_fraction(), 0.02);
+  EXPECT_LT(inv.learnable_fraction(), 0.08);
+}
+
+TEST(LayerInventory, ResNet50MacCount) {
+  // ResNet-50 at 224x224 is ~4.1 GMACs.
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const f64 gmacs = static_cast<f64>(inv.total_macs()) / 1e9;
+  EXPECT_GT(gmacs, 3.5);
+  EXPECT_LT(gmacs, 5.5);
+}
+
+TEST(LayerInventory, SixRepModules) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  i64 rep_layers = 0;
+  for (const auto& l : inv.layers) {
+    if (l.name.rfind("repnet.", 0) == 0) ++rep_layers;
+  }
+  EXPECT_EQ(rep_layers, 12);  // 6 modules x 2 convs
+}
+
+TEST(LayerInventory, RepLayersCompatibleWithOneOfEightSparsity) {
+  // The default bottleneck keeps every learnable conv's reduction dim a
+  // multiple of 8 so 1:8 applies to the whole Rep path.
+  const ModelInventory inv = resnet50_repnet_inventory();
+  for (const auto& l : inv.layers) {
+    if (l.learnable && l.name.rfind("repnet.", 0) == 0) {
+      EXPECT_EQ(l.k % 8, 0) << l.name;
+    }
+  }
+}
+
+TEST(LayerInventory, ClassifierIsLearnable) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  bool found = false;
+  for (const auto& l : inv.layers) {
+    if (l.name == "classifier") {
+      found = true;
+      EXPECT_TRUE(l.learnable);
+      EXPECT_EQ(l.k, 2048);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LayerInventory, BackboneFrozen) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  for (const auto& l : inv.layers) {
+    if (l.name.rfind("conv", 0) == 0 || l.name.rfind("fc(", 0) == 0) {
+      EXPECT_FALSE(l.learnable) << l.name;
+    }
+  }
+}
+
+TEST(LayerInventory, FinetuneAllIsFullyLearnable) {
+  const ModelInventory inv = resnet50_finetune_all_inventory();
+  EXPECT_DOUBLE_EQ(inv.learnable_fraction(), 1.0);
+  EXPECT_EQ(inv.learnable_weights(), inv.total_weights());
+}
+
+TEST(LayerInventory, BottleneckScalesRepPath) {
+  const ModelInventory small = resnet50_repnet_inventory(8);
+  const ModelInventory large = resnet50_repnet_inventory(32);
+  EXPECT_LT(small.learnable_weights(), large.learnable_weights());
+}
+
+TEST(LayerInventory, LayerShapeHelpers) {
+  LayerShape l{"x", 64, 32, 10, true};
+  EXPECT_EQ(l.weights(), 64 * 32);
+  EXPECT_EQ(l.macs(), 64 * 32 * 10);
+}
+
+TEST(LayerInventory, StageSpatialConsistency) {
+  // conv5 layers run at 7x7: their mac_batch must be 49.
+  const ModelInventory inv = resnet50_repnet_inventory();
+  for (const auto& l : inv.layers) {
+    if (l.name.rfind("conv5.b2", 0) == 0) {
+      EXPECT_EQ(l.mac_batch, 49);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace msh {
+namespace {
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv({.in_channels = 3, .out_channels = 8, .kernel = 3,
+               .stride = 2, .padding = 1},
+              rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 4, 4}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(2);
+  Conv2d conv({.in_channels = 1, .out_channels = 1, .kernel = 1}, rng,
+              /*bias=*/false);
+  conv.set_weight(Tensor::from_data(Shape{1, 1}, {1.0f}));
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  EXPECT_TRUE(allclose(conv.forward(x, false), x, 1e-6f, 1e-6f));
+}
+
+TEST(Conv2d, KnownAveragingKernel) {
+  Rng rng(3);
+  Conv2d conv({.in_channels = 1, .out_channels = 1, .kernel = 2}, rng,
+              /*bias=*/false);
+  conv.set_weight(Tensor::full(Shape{1, 4}, 0.25f));
+  Tensor x = Tensor::from_data(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Conv2d, BiasAdds) {
+  Rng rng(4);
+  Conv2d conv({.in_channels = 1, .out_channels = 2, .kernel = 1}, rng);
+  conv.set_weight(Tensor::zeros(Shape{2, 1}));
+  conv.bias().value[0] = 1.5f;
+  conv.bias().value[1] = -2.0f;
+  Tensor x(Shape{1, 1, 2, 2});
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 1.5f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0, 0}), -2.0f);
+}
+
+TEST(Linear, MatchesManualAffine) {
+  Rng rng(5);
+  Linear fc(3, 2, rng);
+  fc.set_weight(Tensor::from_data(Shape{2, 3}, {1, 0, 0, 0, 1, 0}));
+  fc.bias().value[0] = 10.0f;
+  Tensor x = Tensor::from_data(Shape{1, 3}, {1, 2, 3});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+TEST(Linear, ResetReinitializes) {
+  Rng rng(6);
+  Linear fc(4, 4, rng);
+  Tensor before = fc.weight().value;
+  fc.reset(rng);
+  EXPECT_GT(max_abs_diff(before, fc.weight().value), 0.0f);
+}
+
+TEST(Relu, ClampsNegative) {
+  Relu relu;
+  Tensor x = Tensor::from_data(Shape{1, 4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(MaxPool2d, PicksMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x = Tensor::from_data(Shape{1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 7});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+}
+
+TEST(AvgPool2d, Averages) {
+  AvgPool2d pool(2, 2);
+  Tensor x = Tensor::from_data(Shape{1, 1, 2, 2}, {1, 2, 3, 6});
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(GlobalAvgPool, CollapsesSpatial) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::from_data(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten flat;
+  Tensor x(Shape{2, 3, 4, 4});
+  Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 48}));
+}
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  Rng rng(7);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::randn(Shape{8, 3, 4, 4}, rng, 5.0f, 2.0f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1 after training-mode normalization.
+  const i64 spatial = 16, n = 8;
+  for (i64 c = 0; c < 3; ++c) {
+    f64 sum = 0.0, sq = 0.0;
+    for (i64 img = 0; img < n; ++img) {
+      for (i64 s = 0; s < spatial; ++s) {
+        const f64 v = y[(img * 3 + c) * spatial + s];
+        sum += v;
+        sq += v * v;
+      }
+    }
+    const f64 mean = sum / (n * spatial);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / (n * spatial) - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConverge) {
+  Rng rng(8);
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = Tensor::randn(Shape{16, 1, 4, 4}, rng, 3.0f, 1.0f);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var()[0], 1.0f, 0.3f);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(9);
+  BatchNorm2d bn(1);
+  for (int i = 0; i < 30; ++i)
+    bn.forward(Tensor::randn(Shape{8, 1, 2, 2}, rng, 2.0f, 1.0f), true);
+  Tensor x = Tensor::full(Shape{1, 1, 2, 2}, 2.0f);
+  Tensor y = bn.forward(x, false);
+  // Input at the running mean normalizes to ~beta (0).
+  EXPECT_NEAR(y[0], 0.0f, 0.3f);
+}
+
+TEST(BatchNorm2d, FrozenStatsDoNotDrift) {
+  Rng rng(11);
+  BatchNorm2d bn(2, 0.5f);
+  // Establish statistics, then freeze.
+  for (int i = 0; i < 10; ++i)
+    bn.forward(Tensor::randn(Shape{8, 2, 4, 4}, rng, 1.0f, 1.0f), true);
+  const Tensor mean_before = bn.running_mean();
+  bn.set_frozen_stats(true);
+  // Wildly different data in training mode: stats must not move.
+  for (int i = 0; i < 10; ++i)
+    bn.forward(Tensor::randn(Shape{8, 2, 4, 4}, rng, -7.0f, 3.0f), true);
+  EXPECT_TRUE(allclose(bn.running_mean(), mean_before, 0.0f, 0.0f));
+}
+
+TEST(BatchNorm2d, FrozenTrainingForwardEqualsEval) {
+  Rng rng(12);
+  BatchNorm2d bn(3);
+  for (int i = 0; i < 10; ++i)
+    bn.forward(Tensor::randn(Shape{8, 3, 4, 4}, rng), true);
+  bn.set_frozen_stats(true);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  EXPECT_TRUE(allclose(bn.forward(x, true), bn.forward(x, false), 1e-6f,
+                       1e-6f));
+}
+
+TEST(BatchNorm2d, FrozenBackwardIsFixedAffine) {
+  // With frozen stats, backward is g * gamma * inv_std, verified by
+  // finite differences on the input.
+  Rng rng(13);
+  BatchNorm2d bn(1);
+  for (int i = 0; i < 5; ++i)
+    bn.forward(Tensor::randn(Shape{4, 1, 2, 2}, rng), true);
+  bn.set_frozen_stats(true);
+
+  Tensor x = Tensor::randn(Shape{2, 1, 2, 2}, rng);
+  Tensor y = bn.forward(x, true);
+  Tensor g = Tensor::full(y.shape(), 1.0f);
+  for (Param* p : bn.params()) p->zero_grad();
+  Tensor gx = bn.backward(g);
+
+  const f32 eps = 1e-3f;
+  const f32 saved = x[0];
+  x[0] = saved + eps;
+  const f64 up = bn.forward(x, true).sum();
+  x[0] = saved - eps;
+  const f64 down = bn.forward(x, true).sum();
+  x[0] = saved;
+  EXPECT_NEAR(gx[0], (up - down) / (2.0 * eps), 1e-3);
+}
+
+TEST(Sequential, ComposesAndCollectsParams) {
+  Rng rng(10);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng);
+  seq.emplace<Relu>();
+  seq.emplace<Linear>(8, 2, rng);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng);
+  Tensor y = seq.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+  EXPECT_EQ(seq.params().size(), 4u);  // two weights + two biases
+  EXPECT_EQ(param_count(seq.params()), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+}  // namespace
+}  // namespace msh

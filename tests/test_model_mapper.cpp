@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "mapping/model_mapper.h"
+
+namespace msh {
+namespace {
+
+ModelInventory tiny_model() {
+  ModelInventory inv;
+  inv.name = "tiny";
+  inv.layers = {
+      {"frozen1", 512, 64, 100, false},   // backbone conv
+      {"frozen2", 2048, 128, 49, false},  // backbone conv
+      {"rep1", 128, 64, 49, true},        // learnable
+      {"head", 64, 10, 1, true},          // learnable classifier
+  };
+  return inv;
+}
+
+TEST(ModelMapper, PlacementRule) {
+  const HybridPlan plan = plan_hybrid(tiny_model());
+  ASSERT_EQ(plan.layers.size(), 4u);
+  EXPECT_EQ(plan.layers[0].target, PeKind::kMram);
+  EXPECT_EQ(plan.layers[1].target, PeKind::kMram);
+  EXPECT_EQ(plan.layers[2].target, PeKind::kSram);
+  EXPECT_EQ(plan.layers[3].target, PeKind::kSram);
+}
+
+TEST(ModelMapper, SparseCompressionApplied) {
+  HybridPlanOptions options;
+  options.nm = kSparse1of4;
+  const HybridPlan plan = plan_hybrid(tiny_model(), options);
+  // frozen1: 512/4 = 128 packed rows, (8+2) bits per slot.
+  EXPECT_TRUE(plan.layers[0].sparse);
+  EXPECT_EQ(plan.layers[0].packed_rows, 128);
+  EXPECT_EQ(plan.layers[0].stored_bits, 128 * 64 * 10);
+}
+
+TEST(ModelMapper, IncompatibleLayerStaysDense) {
+  ModelInventory inv = tiny_model();
+  inv.layers.push_back({"odd", 27, 8, 1, false});  // 27 % 4 != 0
+  const HybridPlan plan = plan_hybrid(inv);
+  const LayerMapping& odd = plan.layers.back();
+  EXPECT_FALSE(odd.sparse);
+  EXPECT_EQ(odd.packed_rows, 27);
+  EXPECT_EQ(odd.stored_bits, 27 * 8 * 8);
+}
+
+TEST(ModelMapper, SparsityReducesStorage) {
+  HybridPlanOptions p4;
+  p4.nm = kSparse1of4;
+  p4.round_to_cores = false;
+  HybridPlanOptions p8 = p4;
+  p8.nm = kSparse1of8;
+  const HybridPlan plan4 = plan_hybrid(tiny_model(), p4);
+  const HybridPlan plan8 = plan_hybrid(tiny_model(), p8);
+  EXPECT_LT(plan8.mram_bits_stored, plan4.mram_bits_stored);
+  EXPECT_LT(plan4.mram_bits_stored,
+            (512 * 64 + 2048 * 128) * 8);  // below dense
+  EXPECT_LE(plan8.mram_pes, plan4.mram_pes);
+}
+
+TEST(ModelMapper, CoreRounding) {
+  HybridPlanOptions rounded;
+  rounded.round_to_cores = true;
+  const HybridPlan plan = plan_hybrid(tiny_model(), rounded);
+  EXPECT_EQ(plan.mram_pes % 256, 0);
+
+  HybridPlanOptions exact;
+  exact.round_to_cores = false;
+  const HybridPlan plan2 = plan_hybrid(tiny_model(), exact);
+  EXPECT_LE(plan2.mram_pes, plan.mram_pes);
+  EXPECT_GE(plan2.mram_pes, 1);
+}
+
+TEST(ModelMapper, WeightsUpdatedCountsLearnableSlots) {
+  HybridPlanOptions options;
+  options.nm = kSparse1of4;
+  const HybridPlan plan = plan_hybrid(tiny_model(), options);
+  // rep1: 128/4*1=32 packed x 64 cols; head: 64/4=16 packed x 10 cols.
+  EXPECT_EQ(plan.weights_updated_per_step, 32 * 64 + 16 * 10);
+}
+
+TEST(ModelMapper, DenseLearnableWhenDisabled) {
+  HybridPlanOptions options;
+  options.sparse_learnable = false;
+  const HybridPlan plan = plan_hybrid(tiny_model(), options);
+  EXPECT_EQ(plan.weights_updated_per_step, 128 * 64 + 64 * 10);
+}
+
+TEST(ModelMapper, InferenceWorkAccumulates) {
+  const HybridPlan plan = plan_hybrid(tiny_model());
+  EXPECT_GT(plan.mram_row_reads_per_inference, 0);
+  EXPECT_GT(plan.sram_array_cycles_per_inference, 0);
+  // Frozen layers contribute no SRAM cycles and vice versa.
+  for (const auto& lm : plan.layers) {
+    if (lm.target == PeKind::kMram) {
+      EXPECT_EQ(lm.sram_array_cycles, 0);
+      EXPECT_GT(lm.mram_row_reads, 0);
+    } else {
+      EXPECT_EQ(lm.mram_row_reads, 0);
+      EXPECT_GT(lm.sram_array_cycles, 0);
+    }
+  }
+}
+
+TEST(ModelMapper, SegmentationMakesSparseCyclesTrackCompressedSize) {
+  // The §2.1.1 claim: with subtree segmentation, halving the density
+  // roughly halves the SRAM compute cycles (same layer, same M-phases,
+  // twice the columns per pass).
+  ModelInventory inv;
+  inv.layers = {{"rep", 256, 512, 64, true}};
+  HybridPlanOptions p4;
+  p4.nm = kSparse1of4;
+  HybridPlanOptions p8;
+  p8.nm = kSparse1of8;
+  const HybridPlan plan4 = plan_hybrid(inv, p4);
+  const HybridPlan plan8 = plan_hybrid(inv, p8);
+  const f64 ratio =
+      static_cast<f64>(plan8.sram_array_cycles_per_inference) /
+      static_cast<f64>(plan4.sram_array_cycles_per_inference);
+  EXPECT_NEAR(ratio, 1.0, 0.35);  // 2x cycles/pass but ~2x columns/pass
+}
+
+TEST(ModelMapper, MramRowReads) {
+  ModelInventory inv;
+  inv.layers = {{"frozen", 168 * 4, 10, 7, false}};  // packed 168 = 4 rows
+  HybridPlanOptions options;
+  options.nm = kSparse1of4;
+  const HybridPlan plan = plan_hybrid(inv, options);
+  EXPECT_EQ(plan.mram_row_reads_per_inference, 4 * 10 * 7);
+}
+
+TEST(ModelMapper, InvalidConfigRejected) {
+  HybridPlanOptions options;
+  options.nm = NmConfig{0, 4};
+  EXPECT_THROW(plan_hybrid(tiny_model(), options), ContractError);
+}
+
+}  // namespace
+}  // namespace msh

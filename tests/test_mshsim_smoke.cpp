@@ -1,0 +1,64 @@
+// Smoke coverage for the pieces the mshsim CLI composes (argument parsing
+// helpers live in the binary; the underlying library calls are exercised
+// here so a CLI regression surfaces in CI).
+#include <gtest/gtest.h>
+
+#include "sim/figures.h"
+#include "sim/report.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+TEST(CliSurface, AllModelsResolvable) {
+  EXPECT_GT(resnet50_repnet_inventory().total_weights(), 0);
+  EXPECT_GT(resnet50_finetune_all_inventory().total_weights(), 0);
+  EXPECT_GT(mobilenet_repnet_inventory().total_weights(), 0);
+}
+
+TEST(CliSurface, MobileNetInventoryShape) {
+  const ModelInventory inv = mobilenet_repnet_inventory();
+  // MobileNetV1: ~4.2M backbone params + fc + rep path.
+  const f64 m = static_cast<f64>(inv.total_weights()) / 1e6;
+  EXPECT_GT(m, 4.0);
+  EXPECT_LT(m, 6.0);
+  // ~0.57 GMACs at 224x224.
+  const f64 gmacs = static_cast<f64>(inv.total_macs()) / 1e9;
+  EXPECT_GT(gmacs, 0.4);
+  EXPECT_LT(gmacs, 0.9);
+  // Depthwise layers exist and are N:M-incompatible (K = 9).
+  bool has_dw = false;
+  for (const auto& l : inv.layers) {
+    if (l.name.find("3x3dw") != std::string::npos) {
+      has_dw = true;
+      EXPECT_EQ(l.k, 9);
+      EXPECT_NE(l.k % 4, 0);
+    }
+  }
+  EXPECT_TRUE(has_dw);
+}
+
+TEST(CliSurface, Fig7AtDifferentFps) {
+  const Fig7Result slow = reproduce_fig7(InferenceScenario{.fps = 1.0});
+  const Fig7Result fast = reproduce_fig7(InferenceScenario{.fps = 60.0});
+  // Read power scales with fps; leakage does not.
+  EXPECT_GT(fast.rows[1].read_mw, 10.0 * slow.rows[1].read_mw);
+  EXPECT_NEAR(fast.rows[1].leakage_mw, slow.rows[1].leakage_mw, 1e-9);
+  // Area is fps-independent.
+  EXPECT_NEAR(fast.rows[2].area_mm2, slow.rows[2].area_mm2, 1e-9);
+}
+
+TEST(CliSurface, BreakdownWorksOnEveryModel) {
+  for (const ModelInventory& inv :
+       {resnet50_repnet_inventory(), mobilenet_repnet_inventory()}) {
+    HybridModelOptions options;
+    options.round_to_cores = false;
+    const LayerReport report =
+        per_layer_report(HybridDesignModel{options}, inv);
+    EXPECT_EQ(report.rows.size(), inv.layers.size());
+    EXPECT_FALSE(report.render().empty());
+  }
+}
+
+}  // namespace
+}  // namespace msh

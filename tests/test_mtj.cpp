@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "device/mtj.h"
+
+namespace msh {
+namespace {
+
+TEST(Mtj, Table2Resistances) {
+  MtjDevice mtj;
+  EXPECT_DOUBLE_EQ(mtj.params().r_parallel_ohm, 4408.0);
+  EXPECT_DOUBLE_EQ(mtj.params().r_antiparallel_ohm, 8759.0);
+  EXPECT_DOUBLE_EQ(mtj.resistance_ohm(), 4408.0);  // starts parallel
+}
+
+TEST(Mtj, TmrFromResistances) {
+  MtjDevice mtj;
+  EXPECT_NEAR(mtj.tmr(), (8759.0 - 4408.0) / 4408.0, 1e-12);
+}
+
+TEST(Mtj, WriteTogglesStateAndCostsEnergy) {
+  MtjDevice mtj;
+  Rng rng(1);
+  EXPECT_TRUE(mtj.write(true, rng));
+  EXPECT_EQ(mtj.state(), MtjState::kAntiParallel);
+  EXPECT_TRUE(mtj.stored_bit());
+  EXPECT_DOUBLE_EQ(mtj.resistance_ohm(), 8759.0);
+  EXPECT_DOUBLE_EQ(mtj.write_energy_spent().as_pj(), 0.048);
+}
+
+TEST(Mtj, RedundantWriteIsFree) {
+  // Read-before-write: storing the already-present value costs nothing —
+  // the delta-write accounting the MRAM PE's program() relies on.
+  MtjDevice mtj;
+  Rng rng(2);
+  mtj.write(false, rng);
+  EXPECT_EQ(mtj.write_count(), 0u);
+  EXPECT_DOUBLE_EQ(mtj.write_energy_spent().as_pj(), 0.0);
+  mtj.write(true, rng);
+  mtj.write(true, rng);
+  EXPECT_EQ(mtj.write_count(), 1u);
+}
+
+TEST(Mtj, ReadCurrentHigherInParallelState) {
+  MtjDevice mtj;
+  Rng rng(3);
+  const f64 i_parallel = mtj.read_current_a();
+  mtj.write(true, rng);
+  const f64 i_antiparallel = mtj.read_current_a();
+  EXPECT_GT(i_parallel, i_antiparallel);
+}
+
+TEST(Mtj, StochasticWriteFailureKeepsState) {
+  MtjParams params;
+  params.write_error_rate = 0.999999;  // essentially always fails
+  MtjDevice mtj(params);
+  Rng rng(4);
+  EXPECT_FALSE(mtj.write(true, rng));
+  EXPECT_EQ(mtj.state(), MtjState::kParallel);
+  // Energy was still spent on the failed attempt.
+  EXPECT_GT(mtj.write_energy_spent().as_pj(), 0.0);
+}
+
+TEST(Mtj, WriteErrorRateStatistics) {
+  MtjParams params;
+  params.write_error_rate = 0.2;
+  Rng rng(5);
+  int failures = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    MtjDevice mtj(params);
+    if (!mtj.write(true, rng)) ++failures;
+  }
+  EXPECT_NEAR(static_cast<f64>(failures) / trials, 0.2, 0.02);
+}
+
+TEST(Mtj, EnduranceTracking) {
+  MtjParams params;
+  params.endurance_writes = 3;
+  MtjDevice mtj(params);
+  Rng rng(6);
+  bool bit = true;
+  for (int i = 0; i < 3; ++i) {
+    mtj.write(bit, rng);
+    bit = !bit;
+  }
+  EXPECT_TRUE(mtj.worn_out());
+}
+
+TEST(Mtj, InvalidParamsRejected) {
+  MtjParams bad;
+  bad.r_antiparallel_ohm = bad.r_parallel_ohm;  // no TMR
+  EXPECT_THROW(MtjDevice{bad}, ContractError);
+  MtjParams neg;
+  neg.write_error_rate = -0.1;
+  EXPECT_THROW(MtjDevice{neg}, ContractError);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace msh {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn(Shape{5, 7}, rng, 0.0f, 3.0f);
+  Tensor p = softmax(logits);
+  for (i64 i = 0; i < 5; ++i) {
+    f64 sum = 0.0;
+    for (i64 j = 0; j < 7; ++j) {
+      sum += p[i * 7 + j];
+      EXPECT_GE(p[i * 7 + j], 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor logits = Tensor::from_data(Shape{1, 2}, {1000.0f, 999.0f});
+  Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::from_data(Shape{1, 3}, {20.0f, 0.0f, 0.0f});
+  const std::vector<i32> labels{0};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 4});
+  const std::vector<i32> labels{1, 3};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn(Shape{3, 5}, rng);
+  const std::vector<i32> labels{0, 2, 4};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  for (i64 i = 0; i < 3; ++i) {
+    f64 sum = 0.0;
+    for (i64 j = 0; j < 5; ++j) sum += r.grad_logits[i * 5 + j];
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn(Shape{2, 4}, rng);
+  const std::vector<i32> labels{1, 2};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  const f32 eps = 1e-3f;
+  for (i64 idx : {0L, 3L, 5L, 7L}) {
+    Tensor plus = logits, minus = logits;
+    plus[idx] += eps;
+    minus[idx] -= eps;
+    const f64 numeric = (softmax_cross_entropy(plus, labels).loss -
+                         softmax_cross_entropy(minus, labels).loss) /
+                        (2.0 * eps);
+    EXPECT_NEAR(r.grad_logits[idx], numeric, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, InvalidLabelThrows) {
+  Tensor logits(Shape{1, 3});
+  const std::vector<i32> bad{3};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad), ContractError);
+}
+
+TEST(Accuracy, CountsTop1) {
+  Tensor logits = Tensor::from_data(Shape{2, 3}, {1, 5, 0, 9, 1, 2});
+  const std::vector<i32> labels{1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 1.0);
+  const std::vector<i32> wrong{0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(logits, wrong), 0.0);
+}
+
+TEST(Sgd, PlainStepDescends) {
+  Param p("w", Tensor::from_data(Shape{1}, {1.0f}));
+  p.grad[0] = 0.5f;
+  Sgd sgd({&p}, {.lr = 0.1f, .momentum = 0.0f});
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  // Grad cleared after step.
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor::from_data(Shape{1}, {0.0f}));
+  Sgd sgd({&p}, {.lr = 1.0f, .momentum = 0.5f});
+  p.grad[0] = 1.0f;
+  sgd.step();  // v=1, w=-1
+  p.grad[0] = 1.0f;
+  sgd.step();  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  Param p("w", Tensor::from_data(Shape{1}, {2.0f}));
+  Sgd sgd({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  sgd.step();  // g = 0 + 0.5*2 = 1 -> w = 2 - 0.1
+  EXPECT_FLOAT_EQ(p.value[0], 1.9f);
+}
+
+TEST(Sgd, FrozenParamUntouched) {
+  Param p("w", Tensor::from_data(Shape{1}, {1.0f}));
+  p.trainable = false;
+  p.grad[0] = 1.0f;
+  Sgd sgd({&p}, {.lr = 0.1f});
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_EQ(sgd.elements_updated(), 0);
+}
+
+TEST(Sgd, MaskPinsPrunedWeightsToZero) {
+  // The paper's sparse fine-tuning invariant: pruned positions stay
+  // exactly zero through updates.
+  Rng rng(4);
+  Param p("w", Tensor::randn(Shape{8, 4}, rng));
+  NmMask mask = select_nm_mask(p.value, kSparse1of4, GroupAxis::kRows);
+  apply_mask(p.value, mask);
+  p.mask = &mask;
+
+  Sgd sgd({&p}, {.lr = 0.1f, .momentum = 0.9f});
+  for (int step = 0; step < 5; ++step) {
+    for (i64 i = 0; i < p.grad.numel(); ++i)
+      p.grad[i] = static_cast<f32>(rng.gaussian());
+    sgd.step();
+  }
+  for (i64 i = 0; i < p.value.numel(); ++i) {
+    if (!mask.kept(i)) {
+      EXPECT_FLOAT_EQ(p.value[i], 0.0f);
+    }
+  }
+  // Kept positions did move.
+  i64 moved = 0;
+  for (i64 i = 0; i < p.value.numel(); ++i) moved += mask.kept(i);
+  EXPECT_EQ(sgd.elements_updated(), moved * 5);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // min (w - 3)^2 via gradient 2(w - 3).
+  Param p("w", Tensor::from_data(Shape{1}, {0.0f}));
+  Sgd sgd({&p}, {.lr = 0.1f, .momentum = 0.0f});
+  for (int i = 0; i < 100; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-4);
+}
+
+TEST(Sgd, TrainsLinearRegression) {
+  Rng rng(5);
+  Linear fc(4, 1, rng);
+  Tensor true_w = Tensor::from_data(Shape{1, 4}, {1, -2, 0.5f, 3});
+  Sgd sgd(fc.params(), {.lr = 0.05f, .momentum = 0.9f});
+
+  for (int step = 0; step < 300; ++step) {
+    Tensor x = Tensor::randn(Shape{16, 4}, rng);
+    Tensor target = matmul_tb(x, true_w);
+    Tensor y = fc.forward(x, true);
+    Tensor grad = sub(y, target);
+    grad *= 2.0f / 16.0f;
+    fc.backward(grad);
+    sgd.step();
+  }
+  EXPECT_LT(max_abs_diff(fc.weight().value, true_w), 0.05f);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pim/adder_tree.h"
+#include "pim/index_unit.h"
+#include "pim/shift_acc.h"
+
+namespace msh {
+namespace {
+
+TEST(AdderTree, SumsCorrectly) {
+  AdderTree tree(128);
+  std::vector<i32> v(128);
+  std::iota(v.begin(), v.end(), 1);
+  EXPECT_EQ(tree.reduce(v), 128 * 129 / 2);
+}
+
+TEST(AdderTree, HandlesNegativeValues) {
+  AdderTree tree(8);
+  std::vector<i32> v{-5, 3, -2, 7, 0, -1, 4, -6};
+  EXPECT_EQ(tree.reduce(v), 0);
+}
+
+TEST(AdderTree, DepthIsLog2) {
+  EXPECT_EQ(AdderTree(128).depth(), 7);
+  EXPECT_EQ(AdderTree(64).depth(), 6);
+  EXPECT_EQ(AdderTree(100).depth(), 7);
+  EXPECT_EQ(AdderTree(1).depth(), 0);
+}
+
+TEST(AdderTree, NodeCount) {
+  EXPECT_EQ(AdderTree(128).node_count(), 127);
+}
+
+TEST(AdderTree, PartialInputsAllowed) {
+  AdderTree tree(128);
+  std::vector<i32> v{1, 2, 3};
+  EXPECT_EQ(tree.reduce(v), 6);
+  std::vector<i32> empty;
+  EXPECT_EQ(tree.reduce(empty), 0);
+}
+
+TEST(AdderTree, TooManyInputsRejected) {
+  AdderTree tree(4);
+  std::vector<i32> v(5, 1);
+  EXPECT_THROW(tree.reduce(v), ContractError);
+}
+
+TEST(AdderTree, OpsCounted) {
+  AdderTree tree(16);
+  std::vector<i32> v(16, 1);
+  tree.reduce(v);
+  tree.reduce(v);
+  EXPECT_EQ(tree.ops(), 2);
+  tree.reset_ops();
+  EXPECT_EQ(tree.ops(), 0);
+}
+
+TEST(ShiftAccumulator, UnsignedBitWeights) {
+  ShiftAccumulator acc(8);
+  // value 5 = 101b streamed as bit planes of partial sum 1.
+  acc.accumulate(1, 0);
+  acc.accumulate(1, 2);
+  EXPECT_EQ(acc.value(), 5);
+}
+
+TEST(ShiftAccumulator, MsbPlaneIsNegative) {
+  // Two's complement: plane 7 carries weight -128.
+  ShiftAccumulator acc(8);
+  acc.accumulate(1, 7);
+  EXPECT_EQ(acc.value(), -128);
+  acc.reset();
+  // -1 = all bit planes set.
+  for (i32 b = 0; b < 8; ++b) acc.accumulate(1, b);
+  EXPECT_EQ(acc.value(), -1);
+}
+
+TEST(ShiftAccumulator, ReconstructsSignedProductSums) {
+  // Streaming x bit-serially and accumulating w per set bit equals w*x
+  // for any signed INT8 x.
+  for (i32 x = -128; x <= 127; ++x) {
+    const i32 w = 37;
+    ShiftAccumulator acc(8);
+    for (i32 b = 0; b < 8; ++b) {
+      const bool bit = (static_cast<u32>(x) >> b) & 1;
+      acc.accumulate(bit ? w : 0, b);
+    }
+    EXPECT_EQ(acc.value(), static_cast<i64>(w) * x) << "x=" << x;
+  }
+}
+
+TEST(ShiftAccumulator, BitRangeChecked) {
+  ShiftAccumulator acc(8);
+  EXPECT_THROW(acc.accumulate(1, 8), ContractError);
+  EXPECT_THROW(acc.accumulate(1, -1), ContractError);
+}
+
+TEST(IndexGenerator, CyclesThroughPeriod) {
+  IndexGenerator gen(4);
+  std::vector<i32> seen;
+  for (int i = 0; i < 8; ++i) {
+    seen.push_back(gen.current());
+    gen.step();
+  }
+  EXPECT_EQ(seen, (std::vector<i32>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(IndexGenerator, ResetReturnsToZero) {
+  IndexGenerator gen(8);
+  gen.step();
+  gen.step();
+  gen.reset();
+  EXPECT_EQ(gen.current(), 0);
+}
+
+TEST(ComparatorColumn, MatchesStoredIndices) {
+  ComparatorColumn comp(4);
+  const std::vector<u8> stored{0, 1, 2, 1};
+  const std::vector<u8> valid{1, 1, 1, 1};
+  const auto match = comp.compare(stored, valid, 1);
+  EXPECT_EQ(match, (std::vector<u8>{0, 1, 0, 1}));
+}
+
+TEST(ComparatorColumn, InvalidRowsNeverMatch) {
+  ComparatorColumn comp(3);
+  const std::vector<u8> stored{2, 2, 2};
+  const std::vector<u8> valid{1, 0, 1};
+  const auto match = comp.compare(stored, valid, 2);
+  EXPECT_EQ(match, (std::vector<u8>{1, 0, 1}));
+}
+
+TEST(ComparatorColumn, OpsCountedPerParallelCompare) {
+  ComparatorColumn comp(128);
+  const std::vector<u8> stored(128, 0);
+  const std::vector<u8> valid(128, 1);
+  comp.compare(stored, valid, 0);
+  comp.compare(stored, valid, 1);
+  EXPECT_EQ(comp.compare_ops(), 2);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "repnet/repnet_model.h"
+
+namespace msh {
+namespace {
+
+RepNetModel make_model(Rng& rng, i64 classes = 5) {
+  return RepNetModel(default_backbone_config(), default_repnet_config(),
+                     classes, rng);
+}
+
+TEST(RepNetModel, ForwardShape) {
+  Rng rng(1);
+  RepNetModel model = make_model(rng, 7);
+  Tensor x = Tensor::randn(Shape{3, 3, 16, 16}, rng);
+  Tensor logits = model.forward(x, false);
+  EXPECT_EQ(logits.shape(), Shape({3, 7}));
+}
+
+TEST(RepNetModel, OneRepModulePerStage) {
+  Rng rng(2);
+  RepNetModel model = make_model(rng);
+  EXPECT_EQ(model.num_rep_modules(), model.backbone().num_stages());
+}
+
+TEST(RepNetModel, RepPathIsSmallFractionOfBackbone) {
+  // The paper's premise: the learnable Rep path is a few percent of the
+  // backbone.
+  Rng rng(3);
+  RepNetModel model = make_model(rng);
+  const i64 backbone = param_count(model.backbone_params());
+  i64 rep = 0;
+  for (i64 i = 0; i < model.num_rep_modules(); ++i)
+    rep += param_count(model.rep_module(i).params());
+  EXPECT_LT(static_cast<f64>(rep) / static_cast<f64>(backbone), 0.25);
+  EXPECT_GT(rep, 0);
+}
+
+TEST(RepNetModel, FrozenBackboneParamsGetNoUpdates) {
+  Rng rng(4);
+  RepNetModel model = make_model(rng, 4);
+  model.backbone().set_trainable(false);
+  for (Param* p : model.backbone_params()) EXPECT_FALSE(p->trainable);
+  for (Param* p : model.learnable_params()) EXPECT_TRUE(p->trainable);
+}
+
+TEST(RepNetModel, BackwardFillsLearnableGrads) {
+  Rng rng(5);
+  RepNetModel model = make_model(rng, 4);
+  Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+  Tensor logits = model.forward(x, true);
+  const std::vector<i32> labels{0, 2};
+  LossResult loss = softmax_cross_entropy(logits, labels);
+  for (Param* p : model.learnable_params()) p->zero_grad();
+  model.backward(loss.grad_logits);
+  f64 total = 0.0;
+  for (Param* p : model.learnable_params()) total += p->grad.sq_norm();
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(RepNetModel, RepPathChangesOutput) {
+  // Zeroing the rep modules must change the logits: the parallel path
+  // genuinely participates via the activation connectors.
+  Rng rng(6);
+  RepNetModel model = make_model(rng, 4);
+  Tensor x = Tensor::randn(Shape{1, 3, 16, 16}, rng);
+  Tensor before = model.forward(x, false);
+  for (i64 i = 0; i < model.num_rep_modules(); ++i) {
+    for (Param* p : model.rep_module(i).params()) p->value.fill(0.0f);
+  }
+  Tensor after = model.forward(x, false);
+  EXPECT_GT(max_abs_diff(before, after), 1e-6f);
+}
+
+TEST(RepNetModel, StartNewTaskSwapsClassifier) {
+  Rng rng(7);
+  RepNetModel model = make_model(rng, 4);
+  model.start_new_task(9, rng);
+  Tensor x = Tensor::randn(Shape{1, 3, 16, 16}, rng);
+  EXPECT_EQ(model.forward(x, false).shape(), Shape({1, 9}));
+}
+
+TEST(RepNetModel, RepConvParamsAreRankTwo) {
+  Rng rng(8);
+  RepNetModel model = make_model(rng);
+  const auto convs = model.rep_conv_params();
+  EXPECT_EQ(static_cast<i64>(convs.size()), 2 * model.num_rep_modules());
+  for (Param* p : convs) EXPECT_EQ(p->value.shape().rank(), 2);
+}
+
+TEST(RepNetModel, DeterministicForward) {
+  Rng rng1(9), rng2(9);
+  RepNetModel a = make_model(rng1, 4);
+  RepNetModel b = make_model(rng2, 4);
+  Rng xr(10);
+  Tensor x = Tensor::randn(Shape{1, 3, 16, 16}, xr);
+  EXPECT_TRUE(allclose(a.forward(x, false), b.forward(x, false), 0.0f, 0.0f));
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/report.h"
+
+namespace msh {
+namespace {
+
+TEST(LayerReport, RowsCoverEveryLayer) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridDesignModel design{HybridModelOptions{}};
+  const LayerReport report = per_layer_report(design, inv);
+  EXPECT_EQ(report.rows.size(), inv.layers.size());
+  EXPECT_GT(report.total_energy_nj, 0.0);
+}
+
+TEST(LayerReport, SharesSumToOne) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridDesignModel design{HybridModelOptions{}};
+  const LayerReport report = per_layer_report(design, inv);
+  f64 total_share = 0.0;
+  for (const auto& row : report.rows) {
+    EXPECT_GE(row.energy_share, 0.0);
+    total_share += row.energy_share;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(LayerReport, TargetsMatchPlacementRule) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridDesignModel design{HybridModelOptions{}};
+  const LayerReport report = per_layer_report(design, inv);
+  for (const auto& row : report.rows) {
+    if (row.layer.rfind("repnet", 0) == 0 || row.layer == "classifier") {
+      EXPECT_EQ(row.target, "SRAM") << row.layer;
+    } else {
+      EXPECT_EQ(row.target, "MRAM") << row.layer;
+    }
+  }
+}
+
+TEST(LayerReport, CompressionMatchesPattern) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  HybridModelOptions options;
+  options.nm = kSparse1of4;
+  const LayerReport report =
+      per_layer_report(HybridDesignModel{options}, inv);
+  for (const auto& row : report.rows) {
+    if (row.sparse) {
+      EXPECT_NEAR(row.compression, 10.0 / 32.0, 1e-9) << row.layer;
+    } else {
+      EXPECT_NEAR(row.compression, 1.0, 1e-9) << row.layer;
+    }
+  }
+}
+
+TEST(LayerReport, RenderTruncatesToTopRows) {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  const HybridDesignModel design{HybridModelOptions{}};
+  const std::string rendered =
+      per_layer_report(design, inv).render(/*max_rows=*/5);
+  // 5 data rows + total row + header + 4 rules.
+  size_t lines = 0;
+  for (char c : rendered) lines += (c == '\n');
+  EXPECT_LE(lines, 12u);
+  EXPECT_NE(rendered.find("TOTAL"), std::string::npos);
+}
+
+TEST(Logger, LevelFilters) {
+  Logger& logger = Logger::instance();
+  const LogLevel before = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  // These must not crash and are filtered below the threshold.
+  log_debug("hidden ", 1);
+  log_info("hidden ", 2);
+  log_warn("hidden ", 3);
+  logger.set_level(before);
+}
+
+}  // namespace
+}  // namespace msh

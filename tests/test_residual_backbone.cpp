@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/residual.h"
+#include "repnet/backbone.h"
+
+namespace msh {
+namespace {
+
+f64 inner(const Tensor& a, const Tensor& b) {
+  f64 s = 0.0;
+  for (i64 i = 0; i < a.numel(); ++i) s += f64{a[i]} * b[i];
+  return s;
+}
+
+TEST(ResidualBlock, IdentityShapePreserved) {
+  Rng rng(1);
+  ResidualBlock block(8, 8, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 8, 6, 6}, rng);
+  Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlock, StrideDownsamples) {
+  Rng rng(2);
+  ResidualBlock block(8, 16, 2, rng);
+  Tensor x = Tensor::randn(Shape{2, 8, 6, 6}, rng);
+  Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 16, 3, 3}));
+}
+
+TEST(ResidualBlock, ProjectionParamsOnlyWhenNeeded) {
+  Rng rng(3);
+  ResidualBlock same(8, 8, 1, rng);
+  ResidualBlock wider(8, 16, 1, rng);
+  EXPECT_LT(same.params().size(), wider.params().size());
+}
+
+TEST(ResidualBlock, GradientCheck) {
+  Rng rng(4);
+  ResidualBlock block(3, 6, 2, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  Tensor y0 = block.forward(x, true);
+  Tensor g = Tensor::randn(y0.shape(), rng);
+  for (Param* p : block.params()) p->zero_grad();
+  Tensor gx = block.backward(g);
+
+  const f32 eps = 1e-3f;
+  Rng pick(5);
+  for (int k = 0; k < 16; ++k) {
+    const i64 idx =
+        static_cast<i64>(pick.uniform_index(static_cast<u64>(x.numel())));
+    const f32 saved = x[idx];
+    x[idx] = saved + eps;
+    const f64 lp = inner(block.forward(x, true), g);
+    x[idx] = saved - eps;
+    const f64 lm = inner(block.forward(x, true), g);
+    x[idx] = saved;
+    const f64 numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[idx], numeric, 3e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(Backbone, StageShapes) {
+  Rng rng(6);
+  BackboneConfig cfg;  // 16 -> {16, 32, 64}, strides {1, 2, 2}
+  Backbone backbone(cfg, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+  Tensor a = backbone.forward_stem(x, false);
+  EXPECT_EQ(a.shape(), Shape({2, 16, 16, 16}));
+  a = backbone.forward_stage(0, a, false);
+  EXPECT_EQ(a.shape(), Shape({2, 16, 16, 16}));
+  a = backbone.forward_stage(1, a, false);
+  EXPECT_EQ(a.shape(), Shape({2, 32, 8, 8}));
+  a = backbone.forward_stage(2, a, false);
+  EXPECT_EQ(a.shape(), Shape({2, 64, 4, 4}));
+}
+
+TEST(Backbone, ChannelAccessors) {
+  Rng rng(7);
+  Backbone backbone(BackboneConfig{}, rng);
+  EXPECT_EQ(backbone.stage_in_channels(0), 16);
+  EXPECT_EQ(backbone.stage_out_channels(0), 16);
+  EXPECT_EQ(backbone.stage_in_channels(1), 16);
+  EXPECT_EQ(backbone.stage_out_channels(2), 64);
+  EXPECT_EQ(backbone.stage_stride(1), 2);
+}
+
+TEST(Backbone, FreezeMarksAllParams) {
+  Rng rng(8);
+  Backbone backbone(BackboneConfig{}, rng);
+  backbone.set_trainable(false);
+  for (Param* p : backbone.params()) EXPECT_FALSE(p->trainable);
+  backbone.set_trainable(true);
+  for (Param* p : backbone.params()) EXPECT_TRUE(p->trainable);
+}
+
+TEST(Backbone, FrozenStillPropagatesError) {
+  // Frozen backbone weights must pass gradients through (eq. 1) while
+  // accumulating parameter gradients that the optimizer then ignores.
+  Rng rng(9);
+  Backbone backbone(BackboneConfig{}, rng);
+  backbone.set_trainable(false);
+  Tensor x = Tensor::randn(Shape{1, 3, 16, 16}, rng);
+  Tensor a = backbone.forward_stem(x, true);
+  for (i64 s = 0; s < backbone.num_stages(); ++s)
+    a = backbone.forward_stage(s, a, true);
+  Tensor g = Tensor::full(a.shape(), 1.0f);
+  for (i64 s = backbone.num_stages() - 1; s >= 0; --s)
+    g = backbone.backward_stage(s, g);
+  g = backbone.backward_stem(g);
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_GT(g.sq_norm(), 0.0);
+}
+
+TEST(Backbone, ConfigValidation) {
+  Rng rng(10);
+  BackboneConfig bad;
+  bad.stage_channels = {16, 32};
+  bad.blocks_per_stage = {2};  // mismatched
+  EXPECT_THROW(Backbone(bad, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace msh {
+namespace {
+
+TEST(Shape, RankAndDims) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, RowMajorOffset) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset({0, 0, 0}), 0);
+  EXPECT_EQ(s.offset({0, 0, 1}), 1);
+  EXPECT_EQ(s.offset({0, 1, 0}), 4);
+  EXPECT_EQ(s.offset({1, 0, 0}), 12);
+  EXPECT_EQ(s.offset({1, 2, 3}), 23);
+}
+
+TEST(Shape, OffsetBoundsChecked) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.offset({2, 0}), ContractError);
+  EXPECT_THROW(s.offset({0, 3}), ContractError);
+  EXPECT_THROW(s.offset({0}), ContractError);
+}
+
+TEST(Shape, NegativeDimRejected) {
+  EXPECT_THROW(Shape({-1, 2}), ContractError);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(Shape{2, 2}, 3.0f);
+  EXPECT_EQ(t.numel(), 4);
+  for (i64 i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 3.0f);
+  t.fill(1.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3}), ContractError);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t(Shape{2});
+  EXPECT_THROW(t[2], ContractError);
+  EXPECT_THROW(t[-1], ContractError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_data(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  for (i64 i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(r[i], t[i]);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), ContractError);
+}
+
+TEST(Tensor, Transpose) {
+  Tensor t = Tensor::from_data(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.transposed();
+  EXPECT_EQ(tt.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(tt.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(tt.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(tt.at({2, 1}), 6.0f);
+  // Double transpose is identity.
+  EXPECT_TRUE(allclose(tt.transposed(), t));
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::from_data(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::from_data(Shape{3}, {10, 20, 30});
+  a += b;
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(a += b, ContractError);
+}
+
+TEST(Tensor, Statistics) {
+  Tensor t = Tensor::from_data(Shape{4}, {-3, 1, 2, 4});
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(t.sq_norm(), 9 + 1 + 4 + 16);
+}
+
+TEST(Tensor, RandomInitDeterministic) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::randn(Shape{100}, r1);
+  Tensor b = Tensor::randn(Shape{100}, r2);
+  EXPECT_TRUE(allclose(a, b, 0.0f, 0.0f));
+}
+
+TEST(Tensor, UniformWithinBounds) {
+  Rng rng(9);
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -2.0f, 2.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 2.0f);
+}
+
+TEST(Tensor, MaxAbsDiffAndAllclose) {
+  Tensor a = Tensor::from_data(Shape{2}, {1.0f, 2.0f});
+  Tensor b = Tensor::from_data(Shape{2}, {1.0f, 2.5f});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_TRUE(allclose(a, a));
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "common/types.h"
+
+namespace msh {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAligned) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"xxxx", "y"});
+  const std::string out = t.render();
+  // Every line has the same width.
+  size_t width = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiTable, ArityMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(AsciiTable, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), ContractError);
+}
+
+TEST(AsciiTable, RuleInsertsSeparator) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + inserted = 4 separator lines.
+  size_t rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiTable, PercentFormatting) {
+  EXPECT_EQ(AsciiTable::percent(0.256, 1), "25.6%");
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace msh {
+namespace {
+
+TEST(Matmul, HandComputed2x2) {
+  Tensor a = Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_data(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 19.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 43.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 50.0f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 2});
+  EXPECT_THROW(matmul(a, b), ContractError);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  Tensor b = Tensor::randn(Shape{6, 5}, rng);
+  Tensor ref = matmul(a, b);
+  // A^T stored transposed.
+  EXPECT_TRUE(allclose(matmul_ta(a.transposed(), b), ref, 1e-4f, 1e-5f));
+  // B^T stored transposed.
+  EXPECT_TRUE(allclose(matmul_tb(a, b.transposed()), ref, 1e-4f, 1e-5f));
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(4);
+  Tensor a = Tensor::randn(Shape{3, 3}, rng);
+  Tensor eye(Shape{3, 3});
+  for (i64 i = 0; i < 3; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_TRUE(allclose(matmul(a, eye), a, 1e-6f, 1e-6f));
+  EXPECT_TRUE(allclose(matmul(eye, a), a, 1e-6f, 1e-6f));
+}
+
+TEST(ElementwiseOps, AddSubMulScale) {
+  Tensor a = Tensor::from_data(Shape{2}, {1, 2});
+  Tensor b = Tensor::from_data(Shape{2}, {3, 5});
+  EXPECT_FLOAT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(sub(b, a)[1], 3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b)[1], 10.0f);
+  EXPECT_FLOAT_EQ(scale(a, 3.0f)[0], 3.0f);
+}
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1x1 kernel, stride 1: im2col is a reshape.
+  Conv2dGeometry geom{.in_channels = 2, .out_channels = 1, .kernel = 1};
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{1, 2, 3, 3}, rng);
+  Tensor cols = im2col(x, geom);
+  EXPECT_EQ(cols.shape(), Shape({2, 9}));
+  for (i64 i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(cols[i], x[i]);
+}
+
+TEST(Im2col, KnownPatch) {
+  Conv2dGeometry geom{.in_channels = 1, .out_channels = 1, .kernel = 2};
+  Tensor x = Tensor::from_data(Shape{1, 1, 3, 3},
+                               {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols = im2col(x, geom);
+  // 2x2 output positions, 4 kernel rows.
+  EXPECT_EQ(cols.shape(), Shape({4, 4}));
+  // Column 0 = top-left patch [1,2,4,5].
+  EXPECT_FLOAT_EQ(cols.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at({1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(cols.at({2, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(cols.at({3, 0}), 5.0f);
+  // Column 3 = bottom-right patch [5,6,8,9].
+  EXPECT_FLOAT_EQ(cols.at({0, 3}), 5.0f);
+  EXPECT_FLOAT_EQ(cols.at({3, 3}), 9.0f);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  Conv2dGeometry geom{
+      .in_channels = 1, .out_channels = 1, .kernel = 3, .padding = 1};
+  Tensor x = Tensor::full(Shape{1, 1, 2, 2}, 1.0f);
+  Tensor cols = im2col(x, geom);
+  EXPECT_EQ(cols.shape(), Shape({9, 4}));
+  // Top-left output: only the 4 in-bounds taps are 1.
+  f64 col0 = 0.0;
+  for (i64 r = 0; r < 9; ++r) col0 += cols.at({r, 0});
+  EXPECT_DOUBLE_EQ(col0, 4.0);
+}
+
+TEST(Im2col, StrideReducesOutputs) {
+  Conv2dGeometry geom{
+      .in_channels = 1, .out_channels = 1, .kernel = 2, .stride = 2};
+  Tensor x(Shape{1, 1, 4, 4});
+  Tensor cols = im2col(x, geom);
+  EXPECT_EQ(cols.shape(), Shape({4, 4}));  // 2x2 outputs
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes conv backward correct.
+  Conv2dGeometry geom{
+      .in_channels = 2, .out_channels = 1, .kernel = 3, .stride = 2,
+      .padding = 1};
+  Rng rng(6);
+  const Shape xshape{2, 2, 5, 5};
+  Tensor x = Tensor::randn(xshape, rng);
+  Tensor cols = im2col(x, geom);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+
+  f64 lhs = 0.0;
+  for (i64 i = 0; i < cols.numel(); ++i) lhs += f64{cols[i]} * y[i];
+  Tensor back = col2im(y, xshape, geom);
+  f64 rhs = 0.0;
+  for (i64 i = 0; i < x.numel(); ++i) rhs += f64{x[i]} * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConvGeometry, OutDim) {
+  Conv2dGeometry g{.in_channels = 1, .out_channels = 1, .kernel = 3,
+                   .stride = 2, .padding = 1};
+  EXPECT_EQ(g.out_dim(7), 4);
+  EXPECT_EQ(g.out_dim(8), 4);
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "repnet/trainer.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+SyntheticSpec tiny_task(u64 seed, i32 classes = 4) {
+  SyntheticSpec spec;
+  spec.name = "tiny-task";
+  spec.classes = classes;
+  spec.train_per_class = 16;
+  spec.test_per_class = 8;
+  spec.image_size = 12;
+  spec.noise = 0.15f;
+  spec.max_shift = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+BackboneConfig tiny_backbone() {
+  BackboneConfig cfg;
+  cfg.stem_channels = 8;
+  cfg.stage_channels = {8, 16};
+  cfg.blocks_per_stage = {1, 1};
+  cfg.stage_strides = {1, 2};
+  return cfg;
+}
+
+TEST(Pretrain, BackboneLearnsBaseTask) {
+  Rng rng(1);
+  Backbone backbone(tiny_backbone(), rng);
+  BackboneClassifier classifier(backbone, 4, rng);
+  const TrainTestSplit data = make_synthetic_dataset(tiny_task(10));
+  const f64 acc = pretrain_backbone(
+      classifier, data,
+      TrainOptions{.epochs = 6, .batch = 16, .lr = 0.05f}, rng);
+  EXPECT_GT(acc, 0.6);  // far above the 0.25 chance level
+}
+
+TEST(ScopedFakeQuantTest, RestoresWeights) {
+  Rng rng(2);
+  Backbone backbone(tiny_backbone(), rng);
+  const auto params = backbone.params();
+  std::vector<Tensor> saved;
+  for (Param* p : params) saved.push_back(p->value);
+  {
+    ScopedFakeQuant quant(params, 4);  // coarse quant: values must change
+    f32 diff = 0.0f;
+    for (size_t i = 0; i < params.size(); ++i)
+      diff = std::max(diff, max_abs_diff(params[i]->value, saved[i]));
+    EXPECT_GT(diff, 0.0f);
+  }
+  for (size_t i = 0; i < params.size(); ++i)
+    EXPECT_TRUE(allclose(params[i]->value, saved[i], 0.0f, 0.0f));
+}
+
+class LearnTaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(3);
+    model_ = std::make_unique<RepNetModel>(
+        tiny_backbone(), default_repnet_config(), 4, *rng_);
+    // Pretrain briefly so the backbone provides usable features.
+    BackboneClassifier classifier(model_->backbone(), 4, *rng_);
+    pretrain_backbone(classifier, make_synthetic_dataset(tiny_task(20)),
+                      TrainOptions{.epochs = 4, .batch = 16, .lr = 0.05f},
+                      *rng_);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<RepNetModel> model_;
+};
+
+TEST_F(LearnTaskTest, DenseContinualLearningBeatsChance) {
+  const TrainTestSplit task = make_synthetic_dataset(tiny_task(30, 3));
+  ContinualOptions options;
+  options.finetune = {.epochs = 6, .batch = 12, .lr = 0.04f};
+  options.sparse = false;
+  const TaskOutcome outcome = learn_task(*model_, task, options, *rng_);
+  EXPECT_GT(outcome.accuracy_fp32, 0.55);  // chance = 1/3
+  EXPECT_GT(outcome.accuracy_int8, 0.5);
+  EXPECT_DOUBLE_EQ(outcome.rep_kept_fraction, 1.0);
+  EXPECT_GT(outcome.weights_updated, 0);
+}
+
+TEST_F(LearnTaskTest, SparseContinualLearningKeepsPattern) {
+  const TrainTestSplit task = make_synthetic_dataset(tiny_task(40, 3));
+  ContinualOptions options;
+  options.finetune = {.epochs = 6, .batch = 12, .lr = 0.04f};
+  options.sparse = true;
+  options.nm = kSparse1of4;
+  const TaskOutcome outcome = learn_task(*model_, task, options, *rng_);
+  EXPECT_GT(outcome.accuracy_fp32, 0.5);
+  // The Rep-path conv weights satisfy 1:4 after fine-tuning.
+  EXPECT_NEAR(outcome.rep_kept_fraction, 0.25, 1e-9);
+  for (Param* p : model_->rep_conv_params()) {
+    ASSERT_NE(p->mask, nullptr);
+    Tensor copy = p->value;
+    i64 nonzero_outside_mask = 0;
+    for (i64 i = 0; i < copy.numel(); ++i) {
+      if (!p->mask->kept(i) && copy[i] != 0.0f) ++nonzero_outside_mask;
+    }
+    EXPECT_EQ(nonzero_outside_mask, 0);
+  }
+}
+
+TEST_F(LearnTaskTest, SparseUpdatesFewerWeightsThanDense) {
+  const TrainTestSplit task = make_synthetic_dataset(tiny_task(50, 3));
+  ContinualOptions dense;
+  dense.finetune = {.epochs = 2, .batch = 12, .lr = 0.04f};
+  ContinualOptions sparse = dense;
+  sparse.sparse = true;
+  sparse.nm = kSparse1of4;
+  const i64 dense_updates =
+      learn_task(*model_, task, dense, *rng_).weights_updated;
+  const i64 sparse_updates =
+      learn_task(*model_, task, sparse, *rng_).weights_updated;
+  EXPECT_LT(sparse_updates, dense_updates);
+}
+
+TEST(EvaluateRepnet, HandlesPartialFinalBatch) {
+  Rng rng(5);
+  RepNetModel model(tiny_backbone(), default_repnet_config(), 4, rng);
+  const TrainTestSplit data = make_synthetic_dataset(tiny_task(60));
+  // 32 test samples with batch 24 -> final partial batch of 8.
+  const f64 acc = evaluate_repnet(model, data.test, 24);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace msh

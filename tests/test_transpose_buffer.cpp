@@ -1,0 +1,123 @@
+// Transposed SRAM PE buffers: the backprop path of paper §4 / Fig 6-2.
+// Error propagation e^{l-1} = (W^l)^T e^l must compute exactly through
+// the same sparse in-memory matmul, despite the transposed matrix's
+// uneven per-group sparsity.
+#include <gtest/gtest.h>
+
+#include "mapping/transpose_buffer.h"
+#include "pim/sram_pe.h"
+
+namespace msh {
+namespace {
+
+QuantizedNmMatrix random_matrix(i64 k, i64 c, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{k, c}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return QuantizedNmMatrix::from_packed(NmPackedMatrix::pack(w, cfg));
+}
+
+std::vector<i64> run_tiles(const std::vector<SramPeTile>& tiles, i64 cols,
+                           std::span<const i8> act) {
+  std::vector<i64> out(static_cast<size_t>(cols), 0);
+  for (const auto& tile : tiles) {
+    SramSparsePe pe;
+    pe.load(tile);
+    const SramPeOutput y = pe.matvec(act);
+    for (size_t i = 0; i < y.output_ids.size(); ++i)
+      out[static_cast<size_t>(y.output_ids[i])] += y.values[i];
+  }
+  return out;
+}
+
+TEST(TransposeBuffer, TransposedMatrixIsExactTranspose) {
+  const QuantizedNmMatrix w = random_matrix(64, 12, kSparse1of4, 1);
+  const auto plan = TransposedPeBuffer::plan(w);
+  const auto dense = w.to_dense_int8();
+  const auto dense_t = plan.transposed.to_dense_int8();
+  // W^T padded to a multiple of M rows: first 12 rows match W's columns.
+  const i64 k = 64, c = 12;
+  ASSERT_EQ(plan.transposed.cols(), k);
+  for (i64 i = 0; i < c; ++i) {
+    for (i64 j = 0; j < k; ++j) {
+      EXPECT_EQ(dense_t[static_cast<size_t>(i * k + j)],
+                dense[static_cast<size_t>(j * c + i)]);
+    }
+  }
+}
+
+TEST(TransposeBuffer, ErrorPropagationMatchesReference) {
+  // e_prev = W^T e computed on SRAM PEs loaded with the transposed plan
+  // must equal the direct integer reference.
+  const QuantizedNmMatrix w = random_matrix(64, 16, kSparse1of4, 2);
+  const auto plan = TransposedPeBuffer::plan(w);
+
+  Rng rng(3);
+  std::vector<i8> error(16);
+  for (auto& v : error) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  // Pad the error vector to the transposed matrix's padded row count.
+  std::vector<i8> padded(static_cast<size_t>(plan.transposed.dense_rows()), 0);
+  std::copy(error.begin(), error.end(), padded.begin());
+
+  const auto got = run_tiles(plan.tiles, plan.transposed.cols(), padded);
+
+  // Reference: e_prev[j] = sum_i W[j][i] * e[i].
+  const auto dense = w.to_dense_int8();
+  for (i64 j = 0; j < 64; ++j) {
+    i64 ref = 0;
+    for (i64 i = 0; i < 16; ++i)
+      ref += static_cast<i64>(dense[static_cast<size_t>(j * 16 + i)]) *
+             error[static_cast<size_t>(i)];
+    EXPECT_EQ(got[static_cast<size_t>(j)], ref) << "output row " << j;
+  }
+}
+
+TEST(TransposeBuffer, EffectiveNReflectsUnevenSparsity) {
+  // Transposing N:M-along-K sparsity yields uneven column sparsity: the
+  // effective N is at least the forward N and at most M.
+  const QuantizedNmMatrix w = random_matrix(128, 32, kSparse1of4, 4);
+  const auto plan = TransposedPeBuffer::plan(w);
+  EXPECT_EQ(plan.effective_cfg.m, 4);
+  EXPECT_GE(plan.effective_cfg.n, 1);
+  EXPECT_LE(plan.effective_cfg.n, 4);
+}
+
+TEST(TransposeBuffer, SlotOverheadAtLeastOne) {
+  const QuantizedNmMatrix w = random_matrix(128, 32, kSparse1of8, 5);
+  const auto plan = TransposedPeBuffer::plan(w);
+  EXPECT_GE(plan.slot_overhead, 1.0);
+}
+
+TEST(TransposeBuffer, WriteBitsCountValidSlots) {
+  const QuantizedNmMatrix w = random_matrix(64, 8, kSparse1of4, 6);
+  const auto plan = TransposedPeBuffer::plan(w);
+  i64 valid = 0;
+  for (const auto& tile : plan.tiles) {
+    for (u8 v : tile.valid) valid += v;
+  }
+  EXPECT_EQ(plan.write_bits,
+            valid * (8 + plan.effective_cfg.index_bits()));
+}
+
+TEST(TransposeBuffer, RequiredForLayerCeil) {
+  SramMappingOptions options;  // 128 x 8 = 1024 slots per PE
+  EXPECT_EQ(TransposedPeBuffer::required_for_layer(0, options), 0);
+  EXPECT_EQ(TransposedPeBuffer::required_for_layer(1, options), 1);
+  EXPECT_EQ(TransposedPeBuffer::required_for_layer(1024, options), 1);
+  EXPECT_EQ(TransposedPeBuffer::required_for_layer(1025, options), 2);
+}
+
+TEST(TransposeBuffer, PaperSizingRuleBoundedByLargestLayer) {
+  // Larger learnable layers need more transposed PEs; higher sparsity
+  // needs fewer (paper: "depending on the model sparsity level").
+  const QuantizedNmMatrix w4 = random_matrix(256, 64, kSparse1of4, 7);
+  const QuantizedNmMatrix w8 = random_matrix(256, 64, kSparse1of8, 8);
+  const auto plan4 = TransposedPeBuffer::plan(w4);
+  const auto plan8 = TransposedPeBuffer::plan(w8);
+  EXPECT_LE(plan8.transposed.packed_rows() * plan8.transposed.cols(),
+            plan4.transposed.packed_rows() * plan4.transposed.cols());
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace msh {
+namespace {
+
+TEST(Units, AreaConversions) {
+  const Area a = Area::mm2(2.5);
+  EXPECT_DOUBLE_EQ(a.as_mm2(), 2.5);
+  EXPECT_DOUBLE_EQ(a.as_um2(), 2.5e6);
+  EXPECT_DOUBLE_EQ(Area::um2(1e6).as_mm2(), 1.0);
+}
+
+TEST(Units, AreaArithmetic) {
+  const Area a = Area::mm2(1.0) + Area::mm2(0.5);
+  EXPECT_DOUBLE_EQ(a.as_mm2(), 1.5);
+  EXPECT_DOUBLE_EQ((a - Area::mm2(0.5)).as_mm2(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).as_mm2(), 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).as_mm2(), 3.0);
+  EXPECT_DOUBLE_EQ(a / Area::mm2(0.5), 3.0);
+  EXPECT_LT(Area::mm2(1.0), Area::mm2(2.0));
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(Power::w(1.0).as_mw(), 1000.0);
+  EXPECT_DOUBLE_EQ(Power::uw(500.0).as_mw(), 0.5);
+  EXPECT_DOUBLE_EQ(Power::mw(3.0).as_uw(), 3000.0);
+  EXPECT_DOUBLE_EQ(Power::mw(2000.0).as_w(), 2.0);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(Energy::nj(1.0).as_pj(), 1000.0);
+  EXPECT_DOUBLE_EQ(Energy::fj(500.0).as_pj(), 0.5);
+  EXPECT_DOUBLE_EQ(Energy::uj(1.0).as_nj(), 1000.0);
+  EXPECT_DOUBLE_EQ(Energy::mj(1.0).as_uj(), 1000.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(TimeNs::us(1.0).as_ns(), 1000.0);
+  EXPECT_DOUBLE_EQ(TimeNs::ms(1.0).as_us(), 1000.0);
+  EXPECT_DOUBLE_EQ(TimeNs::s(1.0).as_ms(), 1000.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  // 3 mW for 2 ns = 6 pJ.
+  const Energy e = Power::mw(3.0) * TimeNs::ns(2.0);
+  EXPECT_DOUBLE_EQ(e.as_pj(), 6.0);
+  EXPECT_DOUBLE_EQ((TimeNs::ns(2.0) * Power::mw(3.0)).as_pj(), 6.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  const Power p = Energy::pj(10.0) / TimeNs::ns(5.0);
+  EXPECT_DOUBLE_EQ(p.as_mw(), 2.0);
+}
+
+TEST(Units, EdpProduct) {
+  const Edp edp = Energy::pj(4.0) * TimeNs::ns(3.0);
+  EXPECT_DOUBLE_EQ(edp.pj_ns, 12.0);
+}
+
+TEST(Units, AccumulationOperators) {
+  Energy e;
+  e += Energy::pj(1.5);
+  e += Energy::pj(2.5);
+  EXPECT_DOUBLE_EQ(e.as_pj(), 4.0);
+  Power p;
+  p += Power::mw(1.0);
+  EXPECT_DOUBLE_EQ(p.as_mw(), 1.0);
+  TimeNs t;
+  t += TimeNs::ns(7.0);
+  EXPECT_DOUBLE_EQ(t.as_ns(), 7.0);
+}
+
+TEST(Units, ToStringPicksScale) {
+  EXPECT_EQ(to_string(TimeNs::ns(5.0)), "5 ns");
+  EXPECT_EQ(to_string(TimeNs::us(2.0)), "2 us");
+  EXPECT_EQ(to_string(TimeNs::ms(3.0)), "3 ms");
+  EXPECT_EQ(to_string(Energy::pj(1.0)), "1 pJ");
+  EXPECT_EQ(to_string(Energy::nj(2.0)), "2 nJ");
+  EXPECT_EQ(to_string(Energy::uj(1.5)), "1.5 uJ");
+}
+
+TEST(Units, DefaultZero) {
+  EXPECT_DOUBLE_EQ(Area{}.as_mm2(), 0.0);
+  EXPECT_DOUBLE_EQ(Power{}.as_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(Energy{}.as_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(TimeNs{}.as_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace msh

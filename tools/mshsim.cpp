@@ -1,0 +1,191 @@
+// mshsim — command-line front end to the evaluation framework.
+//
+//   mshsim specs                     Table 2 component library
+//   mshsim fig7 [--fps N]            power & area comparison
+//   mshsim fig8                      continual-learning EDP comparison
+//   mshsim inventory <model>         per-layer workload description
+//   mshsim breakdown <model> [n:m]   per-layer energy account (hybrid)
+//   mshsim explore                   N:M x pool design-space sweep
+//
+// Models: resnet50 | resnet50-all | mobilenet
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "sim/figures.h"
+#include "sim/report.h"
+#include "workloads/layer_inventory.h"
+
+namespace msh {
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: mshsim <command> [args]\n"
+      "  specs                       Table 2 component library\n"
+      "  fig7 [--fps N]              power & area vs the SRAM baseline\n"
+      "  fig8                        continual-learning EDP comparison\n"
+      "  inventory <model>           per-layer workload description\n"
+      "  breakdown <model> [n:m]     per-layer energy account (hybrid)\n"
+      "  explore                     N:M x SRAM-pool design-space sweep\n"
+      "models: resnet50 | resnet50-all | mobilenet\n");
+  return 2;
+}
+
+bool parse_model(const std::string& name, ModelInventory* out) {
+  if (name == "resnet50") {
+    *out = resnet50_repnet_inventory();
+  } else if (name == "resnet50-all") {
+    *out = resnet50_finetune_all_inventory();
+  } else if (name == "mobilenet") {
+    *out = mobilenet_repnet_inventory();
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool parse_nm(const std::string& text, NmConfig* out) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  out->n = std::atoi(text.substr(0, colon).c_str());
+  out->m = std::atoi(text.substr(colon + 1).c_str());
+  return out->valid();
+}
+
+int cmd_specs() {
+  AsciiTable table({"PE", "Component", "Area (mm^2)", "Power (mW)"});
+  for (const Table2Row& row : reproduce_table2()) {
+    table.add_row({row.pe, row.component, AsciiTable::num(row.area_mm2, 5),
+                   row.power_mw > 0.0 ? AsciiTable::num(row.power_mw, 3)
+                                      : std::string("-")});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_fig7(f64 fps) {
+  const Fig7Result fig7 = reproduce_fig7(InferenceScenario{.fps = fps});
+  AsciiTable table({"Design", "Area (mm^2)", "Area norm", "Power (mW)",
+                    "Power norm"});
+  for (size_t i = 0; i < fig7.rows.size(); ++i) {
+    const Fig7Row& row = fig7.rows[i];
+    table.add_row({row.design, AsciiTable::num(row.area_mm2, 1),
+                   AsciiTable::num(fig7.area_norm(i), 3),
+                   AsciiTable::num(row.total_mw(), 1),
+                   AsciiTable::num(fig7.power_norm(i), 4)});
+  }
+  std::printf("inference rate: %.0f fps\n%s", fps, table.render().c_str());
+  return 0;
+}
+
+int cmd_fig8() {
+  const Fig8Result fig8 = reproduce_fig8();
+  AsciiTable table({"Configuration", "Energy (uJ)", "Delay (us)",
+                    "EDP norm (ours 1:8 = 1)"});
+  for (size_t i = 0; i < fig8.rows.size(); ++i) {
+    const Fig8Row& row = fig8.rows[i];
+    table.add_row({row.config, AsciiTable::num(row.energy_uj, 1),
+                   AsciiTable::num(row.delay_us, 1),
+                   AsciiTable::num(fig8.edp_norm(i), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_inventory(const ModelInventory& inv) {
+  std::printf("%s: %.2f M weights (%.1f MB INT8), %.2f GMACs, "
+              "learnable %.2f%%, %zu layers\n",
+              inv.name.c_str(),
+              static_cast<double>(inv.total_weights()) / 1e6,
+              static_cast<double>(inv.weight_bytes(8)) / 1e6,
+              static_cast<double>(inv.total_macs()) / 1e9,
+              inv.learnable_fraction() * 100.0, inv.layers.size());
+  AsciiTable table({"Layer", "K", "C", "batch", "MACs (M)", "learnable"});
+  for (const LayerShape& layer : inv.layers) {
+    table.add_row({layer.name, std::to_string(layer.k),
+                   std::to_string(layer.c), std::to_string(layer.mac_batch),
+                   AsciiTable::num(static_cast<double>(layer.macs()) / 1e6, 1),
+                   layer.learnable ? "yes" : ""});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_breakdown(const ModelInventory& inv, NmConfig nm) {
+  HybridModelOptions options;
+  options.nm = nm;
+  const HybridDesignModel design(options);
+  std::printf("%s on %s\n%s", inv.name.c_str(), design.name().c_str(),
+              per_layer_report(design, inv).render().c_str());
+  return 0;
+}
+
+int cmd_explore() {
+  const ModelInventory inv = resnet50_repnet_inventory();
+  AsciiTable table({"N:M", "pool", "area (mm^2)", "power (mW)",
+                    "train EDP (uJ*us)"});
+  for (const NmConfig nm : {NmConfig{1, 4}, NmConfig{2, 8}, NmConfig{1, 8},
+                            NmConfig{1, 16}}) {
+    for (const i64 pool : {8L, 16L, 32L}) {
+      HybridModelOptions options;
+      options.nm = nm;
+      options.sram_pe_pool = pool;
+      const HybridDesignModel model(options);
+      table.add_row(
+          {std::to_string(nm.n) + ":" + std::to_string(nm.m),
+           std::to_string(pool),
+           AsciiTable::num(model.area(inv).as_mm2(), 1),
+           AsciiTable::num(
+               model.inference_power(inv, InferenceScenario{}).total().as_mw(),
+               1),
+           AsciiTable::num(
+               model.training_step(inv, TrainingScenario{}).edp_pj_ns() / 1e12,
+               2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main(int argc, char** argv) {
+  using namespace msh;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "specs") return cmd_specs();
+    if (command == "fig7") {
+      f64 fps = 30.0;
+      for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--fps") == 0) fps = std::atof(argv[i + 1]);
+      }
+      return cmd_fig7(fps);
+    }
+    if (command == "fig8") return cmd_fig8();
+    if (command == "inventory" && argc >= 3) {
+      ModelInventory inv;
+      if (!parse_model(argv[2], &inv)) return 2;
+      return cmd_inventory(inv);
+    }
+    if (command == "breakdown" && argc >= 3) {
+      ModelInventory inv;
+      if (!parse_model(argv[2], &inv)) return 2;
+      NmConfig nm = kSparse1of4;
+      if (argc >= 4 && !parse_nm(argv[3], &nm)) {
+        std::fprintf(stderr, "bad N:M '%s'\n", argv[3]);
+        return 2;
+      }
+      return cmd_breakdown(inv, nm);
+    }
+    if (command == "explore") return cmd_explore();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mshsim: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
