@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_saliency.dir/bench_ablation_saliency.cpp.o"
+  "CMakeFiles/bench_ablation_saliency.dir/bench_ablation_saliency.cpp.o.d"
+  "bench_ablation_saliency"
+  "bench_ablation_saliency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_saliency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

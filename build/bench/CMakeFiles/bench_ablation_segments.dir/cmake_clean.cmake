@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_segments.dir/bench_ablation_segments.cpp.o"
+  "CMakeFiles/bench_ablation_segments.dir/bench_ablation_segments.cpp.o.d"
+  "bench_ablation_segments"
+  "bench_ablation_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

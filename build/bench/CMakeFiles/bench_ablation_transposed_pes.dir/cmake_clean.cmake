@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transposed_pes.dir/bench_ablation_transposed_pes.cpp.o"
+  "CMakeFiles/bench_ablation_transposed_pes.dir/bench_ablation_transposed_pes.cpp.o.d"
+  "bench_ablation_transposed_pes"
+  "bench_ablation_transposed_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transposed_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

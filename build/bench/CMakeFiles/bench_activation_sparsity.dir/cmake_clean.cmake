@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activation_sparsity.dir/bench_activation_sparsity.cpp.o"
+  "CMakeFiles/bench_activation_sparsity.dir/bench_activation_sparsity.cpp.o.d"
+  "bench_activation_sparsity"
+  "bench_activation_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activation_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

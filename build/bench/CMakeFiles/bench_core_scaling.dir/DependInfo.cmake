@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_core_scaling.cpp" "bench/CMakeFiles/bench_core_scaling.dir/bench_core_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_core_scaling.dir/bench_core_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/msh_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/msh_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/msh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/msh_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/msh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/msh_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_training.dir/bench_hw_training.cpp.o"
+  "CMakeFiles/bench_hw_training.dir/bench_hw_training.cpp.o.d"
+  "bench_hw_training"
+  "bench_hw_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

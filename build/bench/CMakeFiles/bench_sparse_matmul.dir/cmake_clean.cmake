@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_matmul.dir/bench_sparse_matmul.cpp.o"
+  "CMakeFiles/bench_sparse_matmul.dir/bench_sparse_matmul.cpp.o.d"
+  "bench_sparse_matmul"
+  "bench_sparse_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

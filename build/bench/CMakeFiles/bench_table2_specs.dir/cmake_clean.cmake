@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_specs.dir/bench_table2_specs.cpp.o"
+  "CMakeFiles/bench_table2_specs.dir/bench_table2_specs.cpp.o.d"
+  "bench_table2_specs"
+  "bench_table2_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_sweep.dir/bench_workload_sweep.cpp.o"
+  "CMakeFiles/bench_workload_sweep.dir/bench_workload_sweep.cpp.o.d"
+  "bench_workload_sweep"
+  "bench_workload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

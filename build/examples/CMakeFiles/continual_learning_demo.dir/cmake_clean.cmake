@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_learning_demo.dir/continual_learning_demo.cpp.o"
+  "CMakeFiles/continual_learning_demo.dir/continual_learning_demo.cpp.o.d"
+  "continual_learning_demo"
+  "continual_learning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_learning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

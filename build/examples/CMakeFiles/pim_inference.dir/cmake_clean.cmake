@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_inference.dir/pim_inference.cpp.o"
+  "CMakeFiles/pim_inference.dir/pim_inference.cpp.o.d"
+  "pim_inference"
+  "pim_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("sparse")
+subdirs("quant")
+subdirs("nn")
+subdirs("workloads")
+subdirs("repnet")
+subdirs("device")
+subdirs("pim")
+subdirs("mapping")
+subdirs("arch")
+subdirs("baselines")
+subdirs("sim")
+subdirs("deploy")

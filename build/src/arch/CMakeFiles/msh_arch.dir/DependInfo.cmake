@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cpp" "src/arch/CMakeFiles/msh_arch.dir/accelerator.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/accelerator.cpp.o.d"
+  "/root/repo/src/arch/buffer.cpp" "src/arch/CMakeFiles/msh_arch.dir/buffer.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/buffer.cpp.o.d"
+  "/root/repo/src/arch/bus.cpp" "src/arch/CMakeFiles/msh_arch.dir/bus.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/bus.cpp.o.d"
+  "/root/repo/src/arch/chip.cpp" "src/arch/CMakeFiles/msh_arch.dir/chip.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/chip.cpp.o.d"
+  "/root/repo/src/arch/controller.cpp" "src/arch/CMakeFiles/msh_arch.dir/controller.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/controller.cpp.o.d"
+  "/root/repo/src/arch/offchip.cpp" "src/arch/CMakeFiles/msh_arch.dir/offchip.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/offchip.cpp.o.d"
+  "/root/repo/src/arch/scheduler.cpp" "src/arch/CMakeFiles/msh_arch.dir/scheduler.cpp.o" "gcc" "src/arch/CMakeFiles/msh_arch.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pim/CMakeFiles/msh_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/msh_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/msh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/msh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/msh_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

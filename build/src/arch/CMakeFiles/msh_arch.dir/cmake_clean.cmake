@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_arch.dir/accelerator.cpp.o"
+  "CMakeFiles/msh_arch.dir/accelerator.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/buffer.cpp.o"
+  "CMakeFiles/msh_arch.dir/buffer.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/bus.cpp.o"
+  "CMakeFiles/msh_arch.dir/bus.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/chip.cpp.o"
+  "CMakeFiles/msh_arch.dir/chip.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/controller.cpp.o"
+  "CMakeFiles/msh_arch.dir/controller.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/offchip.cpp.o"
+  "CMakeFiles/msh_arch.dir/offchip.cpp.o.d"
+  "CMakeFiles/msh_arch.dir/scheduler.cpp.o"
+  "CMakeFiles/msh_arch.dir/scheduler.cpp.o.d"
+  "libmsh_arch.a"
+  "libmsh_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

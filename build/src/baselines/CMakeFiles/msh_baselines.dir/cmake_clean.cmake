@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_baselines.dir/dense_cim.cpp.o"
+  "CMakeFiles/msh_baselines.dir/dense_cim.cpp.o.d"
+  "libmsh_baselines.a"
+  "libmsh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_common.dir/logging.cpp.o"
+  "CMakeFiles/msh_common.dir/logging.cpp.o.d"
+  "CMakeFiles/msh_common.dir/rng.cpp.o"
+  "CMakeFiles/msh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/msh_common.dir/table.cpp.o"
+  "CMakeFiles/msh_common.dir/table.cpp.o.d"
+  "CMakeFiles/msh_common.dir/units.cpp.o"
+  "CMakeFiles/msh_common.dir/units.cpp.o.d"
+  "libmsh_common.a"
+  "libmsh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

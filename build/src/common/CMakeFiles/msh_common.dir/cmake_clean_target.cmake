@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsh_common.a"
+)

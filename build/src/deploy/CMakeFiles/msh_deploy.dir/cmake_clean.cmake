@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_deploy.dir/image_io.cpp.o"
+  "CMakeFiles/msh_deploy.dir/image_io.cpp.o.d"
+  "CMakeFiles/msh_deploy.dir/pim_executor.cpp.o"
+  "CMakeFiles/msh_deploy.dir/pim_executor.cpp.o.d"
+  "CMakeFiles/msh_deploy.dir/pim_layer.cpp.o"
+  "CMakeFiles/msh_deploy.dir/pim_layer.cpp.o.d"
+  "CMakeFiles/msh_deploy.dir/pim_trainer.cpp.o"
+  "CMakeFiles/msh_deploy.dir/pim_trainer.cpp.o.d"
+  "libmsh_deploy.a"
+  "libmsh_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/energy_library.cpp" "src/device/CMakeFiles/msh_device.dir/energy_library.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/energy_library.cpp.o.d"
+  "/root/repo/src/device/faults.cpp" "src/device/CMakeFiles/msh_device.dir/faults.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/faults.cpp.o.d"
+  "/root/repo/src/device/mtj.cpp" "src/device/CMakeFiles/msh_device.dir/mtj.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/mtj.cpp.o.d"
+  "/root/repo/src/device/rram.cpp" "src/device/CMakeFiles/msh_device.dir/rram.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/rram.cpp.o.d"
+  "/root/repo/src/device/scaling.cpp" "src/device/CMakeFiles/msh_device.dir/scaling.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/scaling.cpp.o.d"
+  "/root/repo/src/device/sram_cell.cpp" "src/device/CMakeFiles/msh_device.dir/sram_cell.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/sram_cell.cpp.o.d"
+  "/root/repo/src/device/table2.cpp" "src/device/CMakeFiles/msh_device.dir/table2.cpp.o" "gcc" "src/device/CMakeFiles/msh_device.dir/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

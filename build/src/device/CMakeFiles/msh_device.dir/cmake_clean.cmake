@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_device.dir/energy_library.cpp.o"
+  "CMakeFiles/msh_device.dir/energy_library.cpp.o.d"
+  "CMakeFiles/msh_device.dir/faults.cpp.o"
+  "CMakeFiles/msh_device.dir/faults.cpp.o.d"
+  "CMakeFiles/msh_device.dir/mtj.cpp.o"
+  "CMakeFiles/msh_device.dir/mtj.cpp.o.d"
+  "CMakeFiles/msh_device.dir/rram.cpp.o"
+  "CMakeFiles/msh_device.dir/rram.cpp.o.d"
+  "CMakeFiles/msh_device.dir/scaling.cpp.o"
+  "CMakeFiles/msh_device.dir/scaling.cpp.o.d"
+  "CMakeFiles/msh_device.dir/sram_cell.cpp.o"
+  "CMakeFiles/msh_device.dir/sram_cell.cpp.o.d"
+  "CMakeFiles/msh_device.dir/table2.cpp.o"
+  "CMakeFiles/msh_device.dir/table2.cpp.o.d"
+  "libmsh_device.a"
+  "libmsh_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

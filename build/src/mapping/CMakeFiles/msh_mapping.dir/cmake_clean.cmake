@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_mapping.dir/csc_mapper.cpp.o"
+  "CMakeFiles/msh_mapping.dir/csc_mapper.cpp.o.d"
+  "CMakeFiles/msh_mapping.dir/model_mapper.cpp.o"
+  "CMakeFiles/msh_mapping.dir/model_mapper.cpp.o.d"
+  "CMakeFiles/msh_mapping.dir/quantized_nm.cpp.o"
+  "CMakeFiles/msh_mapping.dir/quantized_nm.cpp.o.d"
+  "CMakeFiles/msh_mapping.dir/transpose_buffer.cpp.o"
+  "CMakeFiles/msh_mapping.dir/transpose_buffer.cpp.o.d"
+  "libmsh_mapping.a"
+  "libmsh_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

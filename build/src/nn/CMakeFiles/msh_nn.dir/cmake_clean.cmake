@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_nn.dir/activations.cpp.o"
+  "CMakeFiles/msh_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/msh_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/msh_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/init.cpp.o"
+  "CMakeFiles/msh_nn.dir/init.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/linear.cpp.o"
+  "CMakeFiles/msh_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/loss.cpp.o"
+  "CMakeFiles/msh_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/msh_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/pooling.cpp.o"
+  "CMakeFiles/msh_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/residual.cpp.o"
+  "CMakeFiles/msh_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/msh_nn.dir/sequential.cpp.o"
+  "CMakeFiles/msh_nn.dir/sequential.cpp.o.d"
+  "libmsh_nn.a"
+  "libmsh_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

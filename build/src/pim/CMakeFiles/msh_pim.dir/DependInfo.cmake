@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/adder_tree.cpp" "src/pim/CMakeFiles/msh_pim.dir/adder_tree.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/adder_tree.cpp.o.d"
+  "/root/repo/src/pim/dense_pe.cpp" "src/pim/CMakeFiles/msh_pim.dir/dense_pe.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/dense_pe.cpp.o.d"
+  "/root/repo/src/pim/index_unit.cpp" "src/pim/CMakeFiles/msh_pim.dir/index_unit.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/index_unit.cpp.o.d"
+  "/root/repo/src/pim/mram_pe.cpp" "src/pim/CMakeFiles/msh_pim.dir/mram_pe.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/mram_pe.cpp.o.d"
+  "/root/repo/src/pim/shift_acc.cpp" "src/pim/CMakeFiles/msh_pim.dir/shift_acc.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/shift_acc.cpp.o.d"
+  "/root/repo/src/pim/sram_pe.cpp" "src/pim/CMakeFiles/msh_pim.dir/sram_pe.cpp.o" "gcc" "src/pim/CMakeFiles/msh_pim.dir/sram_pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/msh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/msh_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

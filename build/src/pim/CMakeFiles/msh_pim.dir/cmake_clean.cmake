@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_pim.dir/adder_tree.cpp.o"
+  "CMakeFiles/msh_pim.dir/adder_tree.cpp.o.d"
+  "CMakeFiles/msh_pim.dir/dense_pe.cpp.o"
+  "CMakeFiles/msh_pim.dir/dense_pe.cpp.o.d"
+  "CMakeFiles/msh_pim.dir/index_unit.cpp.o"
+  "CMakeFiles/msh_pim.dir/index_unit.cpp.o.d"
+  "CMakeFiles/msh_pim.dir/mram_pe.cpp.o"
+  "CMakeFiles/msh_pim.dir/mram_pe.cpp.o.d"
+  "CMakeFiles/msh_pim.dir/shift_acc.cpp.o"
+  "CMakeFiles/msh_pim.dir/shift_acc.cpp.o.d"
+  "CMakeFiles/msh_pim.dir/sram_pe.cpp.o"
+  "CMakeFiles/msh_pim.dir/sram_pe.cpp.o.d"
+  "libmsh_pim.a"
+  "libmsh_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

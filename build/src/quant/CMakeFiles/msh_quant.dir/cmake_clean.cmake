@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_quant.dir/quant.cpp.o"
+  "CMakeFiles/msh_quant.dir/quant.cpp.o.d"
+  "libmsh_quant.a"
+  "libmsh_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

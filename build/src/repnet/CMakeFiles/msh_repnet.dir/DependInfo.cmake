@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repnet/backbone.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/backbone.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/backbone.cpp.o.d"
+  "/root/repo/src/repnet/rep_module.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/rep_module.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/rep_module.cpp.o.d"
+  "/root/repo/src/repnet/repnet_model.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/repnet_model.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/repnet_model.cpp.o.d"
+  "/root/repo/src/repnet/sparsify.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/sparsify.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/sparsify.cpp.o.d"
+  "/root/repo/src/repnet/task_bank.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/task_bank.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/task_bank.cpp.o.d"
+  "/root/repo/src/repnet/trainer.cpp" "src/repnet/CMakeFiles/msh_repnet.dir/trainer.cpp.o" "gcc" "src/repnet/CMakeFiles/msh_repnet.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/msh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/msh_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_repnet.dir/backbone.cpp.o"
+  "CMakeFiles/msh_repnet.dir/backbone.cpp.o.d"
+  "CMakeFiles/msh_repnet.dir/rep_module.cpp.o"
+  "CMakeFiles/msh_repnet.dir/rep_module.cpp.o.d"
+  "CMakeFiles/msh_repnet.dir/repnet_model.cpp.o"
+  "CMakeFiles/msh_repnet.dir/repnet_model.cpp.o.d"
+  "CMakeFiles/msh_repnet.dir/sparsify.cpp.o"
+  "CMakeFiles/msh_repnet.dir/sparsify.cpp.o.d"
+  "CMakeFiles/msh_repnet.dir/task_bank.cpp.o"
+  "CMakeFiles/msh_repnet.dir/task_bank.cpp.o.d"
+  "CMakeFiles/msh_repnet.dir/trainer.cpp.o"
+  "CMakeFiles/msh_repnet.dir/trainer.cpp.o.d"
+  "libmsh_repnet.a"
+  "libmsh_repnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_repnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/msh_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/msh_sim.dir/figures.cpp.o"
+  "CMakeFiles/msh_sim.dir/figures.cpp.o.d"
+  "CMakeFiles/msh_sim.dir/hybrid_model.cpp.o"
+  "CMakeFiles/msh_sim.dir/hybrid_model.cpp.o.d"
+  "CMakeFiles/msh_sim.dir/report.cpp.o"
+  "CMakeFiles/msh_sim.dir/report.cpp.o.d"
+  "libmsh_sim.a"
+  "libmsh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

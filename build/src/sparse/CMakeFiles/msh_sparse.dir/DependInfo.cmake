@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csc.cpp" "src/sparse/CMakeFiles/msh_sparse.dir/csc.cpp.o" "gcc" "src/sparse/CMakeFiles/msh_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/sparse/nm_mask.cpp" "src/sparse/CMakeFiles/msh_sparse.dir/nm_mask.cpp.o" "gcc" "src/sparse/CMakeFiles/msh_sparse.dir/nm_mask.cpp.o.d"
+  "/root/repo/src/sparse/nm_packed.cpp" "src/sparse/CMakeFiles/msh_sparse.dir/nm_packed.cpp.o" "gcc" "src/sparse/CMakeFiles/msh_sparse.dir/nm_packed.cpp.o.d"
+  "/root/repo/src/sparse/sparse_ops.cpp" "src/sparse/CMakeFiles/msh_sparse.dir/sparse_ops.cpp.o" "gcc" "src/sparse/CMakeFiles/msh_sparse.dir/sparse_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

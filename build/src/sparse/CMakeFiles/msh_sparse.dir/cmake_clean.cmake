@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_sparse.dir/csc.cpp.o"
+  "CMakeFiles/msh_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/msh_sparse.dir/nm_mask.cpp.o"
+  "CMakeFiles/msh_sparse.dir/nm_mask.cpp.o.d"
+  "CMakeFiles/msh_sparse.dir/nm_packed.cpp.o"
+  "CMakeFiles/msh_sparse.dir/nm_packed.cpp.o.d"
+  "CMakeFiles/msh_sparse.dir/sparse_ops.cpp.o"
+  "CMakeFiles/msh_sparse.dir/sparse_ops.cpp.o.d"
+  "libmsh_sparse.a"
+  "libmsh_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

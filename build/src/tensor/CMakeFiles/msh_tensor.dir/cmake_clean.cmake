@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_tensor.dir/ops.cpp.o"
+  "CMakeFiles/msh_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/msh_tensor.dir/shape.cpp.o"
+  "CMakeFiles/msh_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/msh_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/msh_tensor.dir/tensor.cpp.o.d"
+  "libmsh_tensor.a"
+  "libmsh_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msh_workloads.dir/dataset.cpp.o"
+  "CMakeFiles/msh_workloads.dir/dataset.cpp.o.d"
+  "CMakeFiles/msh_workloads.dir/layer_inventory.cpp.o"
+  "CMakeFiles/msh_workloads.dir/layer_inventory.cpp.o.d"
+  "CMakeFiles/msh_workloads.dir/model_zoo.cpp.o"
+  "CMakeFiles/msh_workloads.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/msh_workloads.dir/task_suite.cpp.o"
+  "CMakeFiles/msh_workloads.dir/task_suite.cpp.o.d"
+  "libmsh_workloads.a"
+  "libmsh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_pe.dir/test_dense_pe.cpp.o"
+  "CMakeFiles/test_dense_pe.dir/test_dense_pe.cpp.o.d"
+  "test_dense_pe"
+  "test_dense_pe.pdb"
+  "test_dense_pe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

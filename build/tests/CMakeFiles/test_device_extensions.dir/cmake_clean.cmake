@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_extensions.dir/test_device_extensions.cpp.o"
+  "CMakeFiles/test_device_extensions.dir/test_device_extensions.cpp.o.d"
+  "test_device_extensions"
+  "test_device_extensions.pdb"
+  "test_device_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

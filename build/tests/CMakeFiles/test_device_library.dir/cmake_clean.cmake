@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_library.dir/test_device_library.cpp.o"
+  "CMakeFiles/test_device_library.dir/test_device_library.cpp.o.d"
+  "test_device_library"
+  "test_device_library.pdb"
+  "test_device_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gradients.cpp" "tests/CMakeFiles/test_gradients.dir/test_gradients.cpp.o" "gcc" "tests/CMakeFiles/test_gradients.dir/test_gradients.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/msh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/msh_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/msh_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

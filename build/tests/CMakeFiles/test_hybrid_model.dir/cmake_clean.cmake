@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_model.dir/test_hybrid_model.cpp.o"
+  "CMakeFiles/test_hybrid_model.dir/test_hybrid_model.cpp.o.d"
+  "test_hybrid_model"
+  "test_hybrid_model.pdb"
+  "test_hybrid_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_inventory.dir/test_layer_inventory.cpp.o"
+  "CMakeFiles/test_layer_inventory.dir/test_layer_inventory.cpp.o.d"
+  "test_layer_inventory"
+  "test_layer_inventory.pdb"
+  "test_layer_inventory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

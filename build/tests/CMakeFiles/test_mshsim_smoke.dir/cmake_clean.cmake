@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshsim_smoke.dir/test_mshsim_smoke.cpp.o"
+  "CMakeFiles/test_mshsim_smoke.dir/test_mshsim_smoke.cpp.o.d"
+  "test_mshsim_smoke"
+  "test_mshsim_smoke.pdb"
+  "test_mshsim_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshsim_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nm_mask.dir/test_nm_mask.cpp.o"
+  "CMakeFiles/test_nm_mask.dir/test_nm_mask.cpp.o.d"
+  "test_nm_mask"
+  "test_nm_mask.pdb"
+  "test_nm_mask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nm_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer_loss.dir/test_optimizer_loss.cpp.o"
+  "CMakeFiles/test_optimizer_loss.dir/test_optimizer_loss.cpp.o.d"
+  "test_optimizer_loss"
+  "test_optimizer_loss.pdb"
+  "test_optimizer_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_executor.dir/test_pim_executor.cpp.o"
+  "CMakeFiles/test_pim_executor.dir/test_pim_executor.cpp.o.d"
+  "test_pim_executor"
+  "test_pim_executor.pdb"
+  "test_pim_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

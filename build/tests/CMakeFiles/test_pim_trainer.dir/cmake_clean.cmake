@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_trainer.dir/test_pim_trainer.cpp.o"
+  "CMakeFiles/test_pim_trainer.dir/test_pim_trainer.cpp.o.d"
+  "test_pim_trainer"
+  "test_pim_trainer.pdb"
+  "test_pim_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repnet_model.dir/test_repnet_model.cpp.o"
+  "CMakeFiles/test_repnet_model.dir/test_repnet_model.cpp.o.d"
+  "test_repnet_model"
+  "test_repnet_model.pdb"
+  "test_repnet_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repnet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

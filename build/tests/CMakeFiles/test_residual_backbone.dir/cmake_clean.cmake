@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_residual_backbone.dir/test_residual_backbone.cpp.o"
+  "CMakeFiles/test_residual_backbone.dir/test_residual_backbone.cpp.o.d"
+  "test_residual_backbone"
+  "test_residual_backbone.pdb"
+  "test_residual_backbone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_residual_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_bank.dir/test_task_bank.cpp.o"
+  "CMakeFiles/test_task_bank.dir/test_task_bank.cpp.o.d"
+  "test_task_bank"
+  "test_task_bank.pdb"
+  "test_task_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

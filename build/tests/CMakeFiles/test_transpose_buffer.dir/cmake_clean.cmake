@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpose_buffer.dir/test_transpose_buffer.cpp.o"
+  "CMakeFiles/test_transpose_buffer.dir/test_transpose_buffer.cpp.o.d"
+  "test_transpose_buffer"
+  "test_transpose_buffer.pdb"
+  "test_transpose_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpose_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

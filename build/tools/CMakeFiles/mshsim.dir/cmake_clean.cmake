@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshsim.dir/mshsim.cpp.o"
+  "CMakeFiles/mshsim.dir/mshsim.cpp.o.d"
+  "mshsim"
+  "mshsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mshsim.
+# This may be replaced when dependencies are built.
