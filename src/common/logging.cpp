@@ -10,8 +10,9 @@ Logger& Logger::instance() {
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
-  if (level < level_) return;
+  if (level < this->level()) return;
   static const char* const names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const std::lock_guard<std::mutex> guard(mutex_);
   std::fprintf(stderr, "[msh %s] %s\n", names[static_cast<int>(level)],
                msg.c_str());
 }

@@ -3,6 +3,8 @@
 // examples and debugging sessions.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -10,18 +12,21 @@ namespace msh {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Safe to call from any thread: the level is atomic and emission is
+/// serialized so concurrent workers never interleave half-lines.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   void log(LogLevel level, const std::string& msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  std::mutex mutex_;
 };
 
 namespace detail {

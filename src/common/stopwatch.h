@@ -1,0 +1,34 @@
+// Monotonic wall-clock helpers for the serving runtime and load benches.
+// All durations are microseconds as f64 (the natural unit for request
+// latencies on a simulated accelerator: big enough to avoid ns clutter,
+// fine enough for queueing math).
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// Microseconds since an arbitrary (but fixed) monotonic epoch.
+inline f64 monotonic_now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<f64>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t).count()) /
+         1e3;
+}
+
+/// Elapsed-time meter around monotonic_now_us().
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(monotonic_now_us()) {}
+
+  void reset() { start_us_ = monotonic_now_us(); }
+  f64 elapsed_us() const { return monotonic_now_us() - start_us_; }
+  f64 elapsed_s() const { return elapsed_us() / 1e6; }
+
+ private:
+  f64 start_us_;
+};
+
+}  // namespace msh

@@ -14,6 +14,35 @@ Tensor relu_eval(Tensor x) {
   return x;
 }
 
+// Side-effect-free average pool. The nn::AvgPool2d layer caches its input
+// shape for backward even in eval mode; hardware-mode inference must not
+// write to the shared model, so the digital periphery pools here instead.
+Tensor avg_pool_eval(const Tensor& x, i64 kernel, i64 stride) {
+  const i64 n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+            w = x.shape()[3];
+  const i64 ho = (h - kernel) / stride + 1;
+  const i64 wo = (w - kernel) / stride + 1;
+  MSH_REQUIRE(ho > 0 && wo > 0);
+  Tensor y(Shape{n, c, ho, wo});
+  const f32 inv = 1.0f / static_cast<f32>(kernel * kernel);
+  i64 out = 0;
+  for (i64 img = 0; img < n; ++img) {
+    for (i64 ch = 0; ch < c; ++ch) {
+      const i64 plane = (img * c + ch) * h * w;
+      for (i64 oy = 0; oy < ho; ++oy) {
+        for (i64 ox = 0; ox < wo; ++ox, ++out) {
+          f32 acc = 0.0f;
+          for (i64 ky = 0; ky < kernel; ++ky)
+            for (i64 kx = 0; kx < kernel; ++kx)
+              acc += x[plane + (oy * stride + ky) * w + (ox * stride + kx)];
+          y[out] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 }  // namespace
 
 PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
@@ -120,7 +149,14 @@ Tensor PimRepNetExecutor::apply_residual(ResidualBlock& block,
 
 Tensor PimRepNetExecutor::apply_rep(RepModule& rep, const Tensor& x,
                                     Mode mode) {
-  Tensor y = rep.has_pool() ? rep.pool().forward(x, false) : x;
+  Tensor y = x;
+  if (rep.has_pool()) {
+    // Hardware mode keeps the shared model strictly read-only (replicas
+    // may be forwarding concurrently); the layer's own forward caches.
+    y = mode == Mode::kHardware
+            ? avg_pool_eval(x, rep.pool().kernel(), rep.pool().stride())
+            : rep.pool().forward(x, false);
+  }
   y = apply_conv(rep.reduce(), y, mode);
   y = relu_eval(std::move(y));
   return apply_conv(rep.expand(), y, mode);
@@ -185,6 +221,19 @@ f64 PimRepNetExecutor::evaluate(const Dataset& test, i64 batch) {
     counted += count;
   }
   return weighted / static_cast<f64>(counted);
+}
+
+std::vector<std::unique_ptr<PimRepNetExecutor>> make_executor_replicas(
+    RepNetModel& model, const Dataset& calibration, i64 count,
+    PimExecutorOptions options) {
+  MSH_REQUIRE(count > 0);
+  std::vector<std::unique_ptr<PimRepNetExecutor>> replicas;
+  replicas.reserve(static_cast<size_t>(count));
+  for (i64 i = 0; i < count; ++i) {
+    replicas.push_back(
+        std::make_unique<PimRepNetExecutor>(model, calibration, options));
+  }
+  return replicas;
 }
 
 i64 PimRepNetExecutor::sparse_deployments() const {

@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "deploy/pim_layer.h"
 #include "repnet/repnet_model.h"
@@ -39,6 +40,13 @@ class PimRepNetExecutor {
                     PimExecutorOptions options = {});
 
   /// Hardware inference: [B, C, H, W] images -> [B, classes] logits.
+  ///
+  /// Thread-safety contract: an executor is single-threaded internally
+  /// (it mutates its own HybridCore event counters), but hardware-mode
+  /// forward treats the shared RepNetModel as strictly read-only. Several
+  /// replicas deployed from the same model may therefore run forward()
+  /// concurrently, one thread per replica — the serving runtime's
+  /// concurrency model (see src/runtime).
   Tensor forward(const Tensor& images);
 
   /// Top-1 accuracy over a dataset, computed on the hardware.
@@ -72,5 +80,15 @@ class PimRepNetExecutor {
   std::unordered_map<const Conv2d*, std::unique_ptr<PimConv>> convs_;
   std::unique_ptr<PimLinear> classifier_;
 };
+
+/// Deploys `count` independent executor replicas of one trained model —
+/// each with its own HybridCore, quantized weight images and calibration
+/// state — so that every serving worker thread owns a full accelerator.
+/// Construction is sequential (it walks the model in software); the
+/// returned replicas may then forward() concurrently. Deterministic:
+/// every replica is bit-identical to a directly constructed executor.
+std::vector<std::unique_ptr<PimRepNetExecutor>> make_executor_replicas(
+    RepNetModel& model, const Dataset& calibration, i64 count,
+    PimExecutorOptions options = {});
 
 }  // namespace msh

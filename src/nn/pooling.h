@@ -12,6 +12,8 @@ class MaxPool2d : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return label_; }
+  i64 kernel() const { return kernel_; }
+  i64 stride() const { return stride_; }
 
  private:
   i64 kernel_;
@@ -28,6 +30,8 @@ class AvgPool2d : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return label_; }
+  i64 kernel() const { return kernel_; }
+  i64 stride() const { return stride_; }
 
  private:
   i64 kernel_;

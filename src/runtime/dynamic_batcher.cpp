@@ -1,0 +1,64 @@
+#include "runtime/dynamic_batcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/stopwatch.h"
+
+namespace msh {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherOptions options)
+    : queue_(queue), options_(options) {
+  MSH_REQUIRE(options_.max_batch_rows > 0);
+  MSH_REQUIRE(options_.max_wait_us >= 0);
+}
+
+Tensor concat_request_images(
+    const std::vector<detail::PendingRequest>& requests) {
+  MSH_REQUIRE(!requests.empty());
+  const Shape& first = requests.front().images.shape();
+  MSH_REQUIRE(first.rank() == 4);
+  i64 rows = 0;
+  for (const auto& r : requests) {
+    const Shape& s = r.images.shape();
+    MSH_REQUIRE(s.rank() == 4 && s[1] == first[1] && s[2] == first[2] &&
+                s[3] == first[3]);
+    rows += s[0];
+  }
+  Tensor batch(Shape{rows, first[1], first[2], first[3]});
+  f32* dst = batch.data();
+  for (const auto& r : requests) {
+    std::memcpy(dst, r.images.data(),
+                sizeof(f32) * static_cast<size_t>(r.images.numel()));
+    dst += r.images.numel();
+  }
+  return batch;
+}
+
+std::optional<MicroBatch> DynamicBatcher::next(f64 idle_timeout_us) {
+  auto first = queue_.pop(idle_timeout_us);
+  if (!first) return std::nullopt;
+
+  MicroBatch batch;
+  batch.rows = first->rows;
+  batch.requests.push_back(std::move(*first));
+
+  // Latency-bounded coalescing. A single oversized request (> max rows)
+  // still dispatches — requests are never split; the batch may likewise
+  // overshoot by at most one request's rows.
+  const f64 deadline = monotonic_now_us() + options_.max_wait_us;
+  while (batch.rows < options_.max_batch_rows) {
+    const f64 remaining = deadline - monotonic_now_us();
+    if (remaining <= 0) break;
+    auto follower = queue_.pop(remaining);
+    if (!follower) break;  // deadline hit, or queue closed and drained
+    batch.rows += follower->rows;
+    batch.requests.push_back(std::move(*follower));
+  }
+
+  batch.images = concat_request_images(batch.requests);
+  batch.formed_us = monotonic_now_us();
+  return batch;
+}
+
+}  // namespace msh

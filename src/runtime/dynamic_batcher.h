@@ -1,0 +1,50 @@
+// Dynamic batching: coalesces queued requests into one hardware batch to
+// amortize per-dispatch overhead on the PIM core. A batch closes when it
+// holds `max_batch_rows` images or when `max_wait_us` has elapsed since
+// its first request was picked up — latency-bounded batching, the same
+// policy knob every serving system exposes (cf. TF-Serving / Triton).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/request_queue.h"
+
+namespace msh {
+
+struct BatcherOptions {
+  i64 max_batch_rows = 8;  ///< images per hardware dispatch
+  f64 max_wait_us = 2000;  ///< batch-formation deadline after first pickup
+};
+
+/// Requests coalesced for one dispatch, plus their concatenated images.
+struct MicroBatch {
+  std::vector<detail::PendingRequest> requests;
+  Tensor images;  ///< [sum(rows), C, H, W]
+  i64 rows = 0;
+  f64 formed_us = 0.0;  ///< monotonic timestamp when the batch closed
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, BatcherOptions options);
+
+  /// Blocks up to `idle_timeout_us` for a first request, then coalesces
+  /// followers until the batch is full or `max_wait_us` expires. Returns
+  /// nullopt when nothing arrived (idle tick or closed-and-drained
+  /// queue). Requests are never split across batches and never reordered.
+  std::optional<MicroBatch> next(f64 idle_timeout_us);
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  RequestQueue& queue_;
+  BatcherOptions options_;
+};
+
+/// Concatenates request images along the batch dimension. All requests
+/// must agree on [C, H, W].
+Tensor concat_request_images(
+    const std::vector<detail::PendingRequest>& requests);
+
+}  // namespace msh

@@ -1,0 +1,55 @@
+#include "runtime/request.h"
+
+namespace msh {
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kPending:
+      return "pending";
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool ResponseFuture::poll() const {
+  MSH_REQUIRE(state_ != nullptr);
+  const std::lock_guard<std::mutex> guard(state_->mutex);
+  return state_->done;
+}
+
+InferenceResponse ResponseFuture::get() const {
+  MSH_REQUIRE(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->response;
+}
+
+bool ResponseFuture::wait_for_us(f64 timeout_us) const {
+  MSH_REQUIRE(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(
+      lock, std::chrono::microseconds(static_cast<i64>(timeout_us)),
+      [&] { return state_->done; });
+}
+
+namespace detail {
+
+void resolve(PendingRequest& request, InferenceResponse&& response) {
+  MSH_REQUIRE(request.state != nullptr);
+  {
+    const std::lock_guard<std::mutex> guard(request.state->mutex);
+    MSH_ENSURE(!request.state->done);
+    request.state->response = std::move(response);
+    request.state->response.id = request.id;
+    request.state->done = true;
+  }
+  request.state->cv.notify_all();
+}
+
+}  // namespace detail
+}  // namespace msh

@@ -1,0 +1,96 @@
+// Request/response types for the serving runtime: what a client submits
+// (a batch of images), what it gets back (logits + timings + status), and
+// the future-style handle connecting the two across threads.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+#include "tensor/tensor.h"
+
+namespace msh {
+
+enum class RequestStatus {
+  kPending,   ///< still queued or executing
+  kOk,        ///< logits are valid
+  kRejected,  ///< backpressure: the queue was full (or the engine stopped)
+  kFailed,    ///< the executor threw while serving this request
+};
+
+const char* to_string(RequestStatus status);
+
+/// What the client submits: [B, C, H, W] images (B >= 1).
+struct InferenceRequest {
+  Tensor images;
+};
+
+/// What the client receives once the request resolves.
+struct InferenceResponse {
+  RequestStatus status = RequestStatus::kPending;
+  Tensor logits;      ///< [B, classes]; empty unless status == kOk
+  std::string error;  ///< set when status is kRejected/kFailed
+  u64 id = 0;         ///< engine-assigned, monotonically increasing
+  i64 worker = -1;    ///< replica index that served the request
+  i64 batch_rows = 0; ///< total rows of the hardware batch it rode in
+  f64 queue_us = 0.0; ///< submit -> dispatch to a worker
+  f64 total_us = 0.0; ///< submit -> response ready
+};
+
+namespace detail {
+/// Shared slot written once by a worker and read by the client.
+struct ResponseState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  InferenceResponse response;
+};
+}  // namespace detail
+
+/// Future-style handle returned by ServingEngine::submit. poll() never
+/// blocks; get() blocks until the response is ready. Handles are cheap to
+/// copy (shared state) and remain valid after the engine is destroyed,
+/// because shutdown resolves every accepted request first.
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the response is ready; never blocks.
+  bool poll() const;
+
+  /// Blocks until ready, then returns the response (copy; get() may be
+  /// called repeatedly).
+  InferenceResponse get() const;
+
+  /// Blocks up to `timeout_us`; true if the response became ready.
+  bool wait_for_us(f64 timeout_us) const;
+
+ private:
+  friend class ServingEngine;
+  explicit ResponseFuture(std::shared_ptr<detail::ResponseState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::ResponseState> state_;
+};
+
+namespace detail {
+/// A request in flight inside the engine: payload + promise side of the
+/// future + the submit timestamp for latency accounting.
+struct PendingRequest {
+  u64 id = 0;
+  Tensor images;
+  i64 rows = 0;
+  f64 submit_us = 0.0;
+  std::shared_ptr<ResponseState> state;
+};
+
+/// Resolves the future: fills the response and wakes waiters. Must be
+/// called exactly once per accepted request.
+void resolve(PendingRequest& request, InferenceResponse&& response);
+}  // namespace detail
+
+}  // namespace msh

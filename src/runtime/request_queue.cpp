@@ -1,0 +1,50 @@
+#include "runtime/request_queue.h"
+
+#include <chrono>
+
+namespace msh {
+
+RequestQueue::RequestQueue(i64 capacity) : capacity_(capacity) {
+  MSH_REQUIRE(capacity_ > 0);
+}
+
+bool RequestQueue::try_push(detail::PendingRequest&& request) {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (closed_ || static_cast<i64>(items_.size()) >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<detail::PendingRequest> RequestQueue::pop(f64 timeout_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait_for(lock,
+                  std::chrono::microseconds(static_cast<i64>(timeout_us)),
+                  [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;
+  detail::PendingRequest request = std::move(items_.front());
+  items_.pop_front();
+  return request;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return closed_;
+}
+
+i64 RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return static_cast<i64>(items_.size());
+}
+
+}  // namespace msh

@@ -1,0 +1,46 @@
+// Thread-safe bounded FIFO of pending requests — the admission point of
+// the serving engine. Overload policy is reject-with-error, never
+// block-forever: try_push fails immediately when the queue is full, so a
+// caller under backpressure gets a signal it can act on (shed load, retry
+// with jitter) instead of an unbounded stall.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/request.h"
+
+namespace msh {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(i64 capacity);
+
+  /// Enqueues if there is room and the queue is open. Returns false (and
+  /// leaves `request` untouched) when full or closed.
+  bool try_push(detail::PendingRequest&& request);
+
+  /// Dequeues the oldest request, blocking up to `timeout_us`. Returns
+  /// nullopt on timeout, or immediately once the queue is closed *and*
+  /// drained (closing still lets consumers take what was accepted).
+  std::optional<detail::PendingRequest> pop(f64 timeout_us);
+
+  /// Stops admission; waiting consumers drain the remainder and then see
+  /// nullopt without waiting out their timeout.
+  void close();
+
+  bool closed() const;
+  i64 depth() const;
+  i64 capacity() const { return capacity_; }
+
+ private:
+  const i64 capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<detail::PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace msh

@@ -1,0 +1,138 @@
+#include "runtime/serving_engine.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace msh {
+
+ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
+                             ServingEngineOptions options)
+    : options_(options),
+      replicas_(make_executor_replicas(model, calibration, options.workers,
+                                       options.executor)),
+      queue_(options.queue_capacity) {
+  MSH_REQUIRE(options_.idle_poll_us > 0);
+  log_info("serving engine: ", workers(), " worker(s), queue capacity ",
+           queue_.capacity(), ", max batch ",
+           options_.batcher.max_batch_rows, " rows, max wait ",
+           options_.batcher.max_wait_us, " us");
+  if (options_.autostart) start();
+}
+
+ServingEngine::~ServingEngine() { shutdown(); }
+
+const PimRepNetExecutor& ServingEngine::replica(i64 i) const {
+  MSH_REQUIRE(i >= 0 && i < workers());
+  return *replicas_[static_cast<size_t>(i)];
+}
+
+void ServingEngine::start() {
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  threads_.reserve(static_cast<size_t>(workers()));
+  for (i64 i = 0; i < workers(); ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+void ServingEngine::reject(detail::PendingRequest& request, const char* why) {
+  InferenceResponse response;
+  response.status = RequestStatus::kRejected;
+  response.error = why;
+  response.total_us = monotonic_now_us() - request.submit_us;
+  detail::resolve(request, std::move(response));
+}
+
+ResponseFuture ServingEngine::submit(Tensor images) {
+  MSH_REQUIRE(images.shape().rank() == 4);
+  MSH_REQUIRE(images.shape()[0] > 0);
+  detail::PendingRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.rows = images.shape()[0];
+  request.images = std::move(images);
+  request.submit_us = monotonic_now_us();
+  request.state = std::make_shared<detail::ResponseState>();
+  ResponseFuture future(request.state);
+
+  if (!queue_.try_push(std::move(request))) {
+    // try_push leaves the request intact on failure.
+    reject(request, queue_.closed() ? "engine is shut down"
+                                    : "request queue full");
+    metrics_.record_rejected();
+    return future;
+  }
+  metrics_.sample_queue_depth(queue_.depth());
+  return future;
+}
+
+void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
+  metrics_.record_batch(batch.rows);
+  Tensor logits;
+  std::string error;
+  bool ok = true;
+  try {
+    logits = replicas_[static_cast<size_t>(index)]->forward(batch.images);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+    log_error("worker ", index, ": batch of ", batch.rows,
+              " rows failed: ", error);
+  }
+  MSH_ENSURE(!ok || logits.shape()[0] == batch.rows);
+  const f64 done_us = monotonic_now_us();
+  const i64 classes = ok ? logits.shape()[1] : 0;
+
+  i64 row = 0;
+  for (auto& request : batch.requests) {
+    InferenceResponse response;
+    response.worker = index;
+    response.batch_rows = batch.rows;
+    // Queue latency includes batch-formation wait: it is the full
+    // submit -> hardware-dispatch gap a client experiences.
+    response.queue_us = batch.formed_us - request.submit_us;
+    response.total_us = done_us - request.submit_us;
+    if (ok) {
+      response.status = RequestStatus::kOk;
+      response.logits = Tensor(Shape{request.rows, classes});
+      std::memcpy(response.logits.data(), logits.data() + row * classes,
+                  sizeof(f32) * static_cast<size_t>(request.rows * classes));
+      metrics_.record_completed(request.rows, response.queue_us,
+                                response.total_us);
+    } else {
+      response.status = RequestStatus::kFailed;
+      response.error = error;
+      metrics_.record_failed(request.rows);
+    }
+    row += request.rows;
+    detail::resolve(request, std::move(response));
+  }
+}
+
+void ServingEngine::worker_loop(i64 index) {
+  DynamicBatcher batcher(queue_, options_.batcher);
+  while (true) {
+    auto batch = batcher.next(options_.idle_poll_us);
+    if (!batch) {
+      // nullopt on a closed queue means closed *and* drained: done.
+      if (queue_.closed()) break;
+      continue;  // idle tick
+    }
+    serve_batch(index, *batch);
+  }
+}
+
+void ServingEngine::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_.close();  // stop admission; workers drain the backlog
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  running_.store(false, std::memory_order_release);
+  // Never-started engine: resolve whatever was staged in the queue.
+  while (auto leftover = queue_.pop(0.0)) {
+    reject(*leftover, "engine shut down before serving");
+    metrics_.record_rejected();
+  }
+}
+
+}  // namespace msh

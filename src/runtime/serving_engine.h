@@ -1,0 +1,97 @@
+// Concurrent batched inference serving over the hybrid PIM executor.
+//
+// Concurrency model: replication, not locking. The engine deploys one
+// PimRepNetExecutor replica per worker thread at construction (each with
+// its own HybridCore and quantized weight image — on real silicon, one
+// accelerator instance per replica); workers then run their replica
+// single-threaded, exactly as the executor requires. The trained
+// RepNetModel is shared read-only across replicas. Requests flow:
+//
+//   submit() -> RequestQueue (bounded, reject-on-full)
+//            -> DynamicBatcher (per worker: coalesce up to
+//               max_batch_rows / max_wait_us)
+//            -> replica forward() -> per-request logits -> ResponseFuture
+//
+// FIFO dispatch order is preserved; per-sample results are bit-identical
+// to calling PimRepNetExecutor::forward sequentially on the same inputs,
+// regardless of worker count or how requests were coalesced (every
+// operator in the hardware path is per-sample).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "deploy/pim_executor.h"
+#include "runtime/dynamic_batcher.h"
+#include "runtime/request_queue.h"
+#include "runtime/serving_metrics.h"
+
+namespace msh {
+
+struct ServingEngineOptions {
+  i64 workers = 2;           ///< executor replicas == worker threads
+  i64 queue_capacity = 64;   ///< admission bound (requests, not rows)
+  BatcherOptions batcher = {};
+  PimExecutorOptions executor = {};
+  /// When false the engine is built stopped: submissions queue up (or
+  /// reject) until start(). Lets tests stage deterministic backlogs.
+  bool autostart = true;
+  /// Worker wake cadence while the queue is idle.
+  f64 idle_poll_us = 1000.0;
+};
+
+class ServingEngine {
+ public:
+  /// Deploys `options.workers` executor replicas from the shared trained
+  /// `model` (sequentially, during construction) and, unless
+  /// `autostart` is off, launches the worker pool.
+  ServingEngine(RepNetModel& model, const Dataset& calibration,
+                ServingEngineOptions options = {});
+  /// Shuts down (draining accepted requests) if still running.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues a request. Never blocks: when the queue is full or the
+  /// engine is shut down, the returned future resolves immediately with
+  /// RequestStatus::kRejected. `images` must be [B, C, H, W], B >= 1.
+  ResponseFuture submit(Tensor images);
+
+  /// Launches the worker pool (no-op when already running).
+  void start();
+
+  /// Stops admission, drains every accepted request, joins workers.
+  /// Requests still queued when the engine never ran (autostart off,
+  /// start() never called) resolve as kRejected. Idempotent.
+  void shutdown();
+
+  i64 workers() const { return static_cast<i64>(replicas_.size()); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  i64 queue_depth() const { return queue_.depth(); }
+  i64 queue_capacity() const { return queue_.capacity(); }
+
+  const ServingMetrics& metrics() const { return metrics_; }
+  std::string metrics_json() const { return metrics_.to_json(); }
+
+  /// Replica inspection (e.g. PE event counts per worker).
+  const PimRepNetExecutor& replica(i64 i) const;
+
+ private:
+  void worker_loop(i64 index);
+  void serve_batch(i64 index, MicroBatch& batch);
+  static void reject(detail::PendingRequest& request, const char* why);
+
+  ServingEngineOptions options_;
+  std::vector<std::unique_ptr<PimRepNetExecutor>> replicas_;
+  RequestQueue queue_;
+  ServingMetrics metrics_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<u64> next_id_{1};
+};
+
+}  // namespace msh

@@ -1,0 +1,141 @@
+#include "runtime/serving_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace msh {
+
+namespace {
+constexpr f64 kFirstBoundUs = 1.0;
+constexpr f64 kGrowth = 1.4;
+}  // namespace
+
+f64 LatencyHistogram::bucket_bound_us(i64 i) {
+  return kFirstBoundUs * std::pow(kGrowth, static_cast<f64>(i));
+}
+
+void LatencyHistogram::record(f64 latency_us) {
+  latency_us = std::max(latency_us, 0.0);
+  i64 idx = 0;
+  while (idx < kBuckets - 1 && latency_us >= bucket_bound_us(idx)) ++idx;
+  buckets_[static_cast<size_t>(idx)] += 1;
+  count_ += 1;
+  sum_us_ += latency_us;
+  max_us_ = std::max(max_us_, latency_us);
+}
+
+f64 LatencyHistogram::percentile_us(f64 p) const {
+  MSH_REQUIRE(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const i64 rank =
+      std::max<i64>(1, static_cast<i64>(std::ceil(p / 100.0 * count_)));
+  i64 seen = 0;
+  for (i64 i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) return std::min(bucket_bound_us(i), max_us_);
+  }
+  return max_us_;
+}
+
+ServingMetrics::ServingMetrics() : start_us_(monotonic_now_us()) {}
+
+void ServingMetrics::record_completed(i64 rows, f64 queue_us, f64 total_us) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  completed_requests_ += 1;
+  completed_rows_ += rows;
+  queue_latency_.record(queue_us);
+  total_latency_.record(total_us);
+}
+
+void ServingMetrics::record_rejected() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  rejected_requests_ += 1;
+}
+
+void ServingMetrics::record_failed(i64 rows) {
+  (void)rows;
+  const std::lock_guard<std::mutex> guard(mutex_);
+  failed_requests_ += 1;
+}
+
+void ServingMetrics::record_batch(i64 rows) {
+  MSH_REQUIRE(rows >= 0);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  batches_ += 1;
+  if (static_cast<size_t>(rows) >= batch_rows_histogram_.size())
+    batch_rows_histogram_.resize(static_cast<size_t>(rows) + 1, 0);
+  batch_rows_histogram_[static_cast<size_t>(rows)] += 1;
+}
+
+void ServingMetrics::sample_queue_depth(i64 depth) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  queue_depth_samples_ += 1;
+  queue_depth_sum_ += static_cast<f64>(depth);
+  queue_depth_max_ = std::max(queue_depth_max_, depth);
+}
+
+MetricsSnapshot ServingMetrics::snapshot() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  MetricsSnapshot s;
+  s.completed_requests = completed_requests_;
+  s.completed_rows = completed_rows_;
+  s.rejected_requests = rejected_requests_;
+  s.failed_requests = failed_requests_;
+  s.batches = batches_;
+  s.elapsed_s = (monotonic_now_us() - start_us_) / 1e6;
+  if (s.elapsed_s > 0.0) {
+    s.throughput_rps = completed_requests_ / s.elapsed_s;
+    s.throughput_images_per_s = completed_rows_ / s.elapsed_s;
+  }
+  s.queue_latency = queue_latency_;
+  s.total_latency = total_latency_;
+  s.batch_rows_histogram = batch_rows_histogram_;
+  s.queue_depth_samples = queue_depth_samples_;
+  s.queue_depth_mean =
+      queue_depth_samples_ == 0 ? 0.0
+                                : queue_depth_sum_ / queue_depth_samples_;
+  s.queue_depth_max = queue_depth_max_;
+  return s;
+}
+
+namespace {
+
+void append_latency_json(std::ostringstream& os, const char* key,
+                         const LatencyHistogram& h) {
+  os << '"' << key << "\":{\"count\":" << h.count()
+     << ",\"mean_us\":" << h.mean_us() << ",\"max_us\":" << h.max_us()
+     << ",\"p50_us\":" << h.percentile_us(50.0)
+     << ",\"p95_us\":" << h.percentile_us(95.0)
+     << ",\"p99_us\":" << h.percentile_us(99.0) << '}';
+}
+
+}  // namespace
+
+std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"elapsed_s\":" << s.elapsed_s
+     << ",\"requests\":{\"completed\":" << s.completed_requests
+     << ",\"rejected\":" << s.rejected_requests
+     << ",\"failed\":" << s.failed_requests << '}'
+     << ",\"images\":" << s.completed_rows
+     << ",\"throughput\":{\"requests_per_s\":" << s.throughput_rps
+     << ",\"images_per_s\":" << s.throughput_images_per_s << '}'
+     << ",\"latency_us\":{";
+  append_latency_json(os, "queue", s.queue_latency);
+  os << ',';
+  append_latency_json(os, "total", s.total_latency);
+  os << "},\"batches\":{\"count\":" << s.batches << ",\"rows_histogram\":[";
+  for (size_t i = 0; i < s.batch_rows_histogram.size(); ++i) {
+    if (i) os << ',';
+    os << s.batch_rows_histogram[i];
+  }
+  os << "]},\"queue_depth\":{\"samples\":" << s.queue_depth_samples
+     << ",\"mean\":" << s.queue_depth_mean << ",\"max\":" << s.queue_depth_max
+     << "}}";
+  return os.str();
+}
+
+}  // namespace msh

@@ -1,0 +1,99 @@
+// Serving observability: per-request latency percentiles from a
+// fixed-bucket histogram, throughput counters, batch-size distribution,
+// queue-depth samples and rejection counts. All entry points are
+// thread-safe (one mutex; recording is a handful of integer bumps).
+// Snapshots are plain structs; to_json() emits a stable, documented
+// schema (see DESIGN.md §"Serving runtime") for offline analysis.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// Log-spaced fixed-bucket latency histogram. Bounded memory, O(buckets)
+/// percentile queries, no per-sample allocation: the standard shape for
+/// always-on serving metrics. Buckets grow 1.4x from 1us (top bucket
+/// ~37min); out-of-range samples clamp into the edge buckets.
+class LatencyHistogram {
+ public:
+  static constexpr i64 kBuckets = 64;
+
+  void record(f64 latency_us);
+
+  i64 count() const { return count_; }
+  f64 sum_us() const { return sum_us_; }
+  f64 mean_us() const { return count_ == 0 ? 0.0 : sum_us_ / count_; }
+  f64 max_us() const { return max_us_; }
+
+  /// Percentile estimate (p in [0, 100]): upper bound of the bucket that
+  /// contains the p-th sample. Zero when empty.
+  f64 percentile_us(f64 p) const;
+
+  /// Upper bound of bucket i (exclusive); shared by all histograms.
+  static f64 bucket_bound_us(i64 i);
+
+  const std::array<i64, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<i64, kBuckets> buckets_{};
+  i64 count_ = 0;
+  f64 sum_us_ = 0.0;
+  f64 max_us_ = 0.0;
+};
+
+/// One coherent view of the counters, taken under the lock.
+struct MetricsSnapshot {
+  i64 completed_requests = 0;
+  i64 completed_rows = 0;  ///< images served
+  i64 rejected_requests = 0;
+  i64 failed_requests = 0;
+  i64 batches = 0;
+  f64 elapsed_s = 0.0;  ///< since construction/reset
+  f64 throughput_rps = 0.0;
+  f64 throughput_images_per_s = 0.0;
+  LatencyHistogram queue_latency;
+  LatencyHistogram total_latency;
+  std::vector<i64> batch_rows_histogram;  ///< index = rows in batch
+  i64 queue_depth_samples = 0;
+  f64 queue_depth_mean = 0.0;
+  i64 queue_depth_max = 0;
+};
+
+class ServingMetrics {
+ public:
+  ServingMetrics();
+
+  void record_completed(i64 rows, f64 queue_us, f64 total_us);
+  void record_rejected();
+  void record_failed(i64 rows);
+  void record_batch(i64 rows);
+  void sample_queue_depth(i64 depth);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Serializes a snapshot to JSON (schema documented in DESIGN.md).
+  static std::string to_json(const MetricsSnapshot& snapshot);
+  std::string to_json() const { return to_json(snapshot()); }
+
+ private:
+  mutable std::mutex mutex_;
+  f64 start_us_ = 0.0;
+  i64 completed_requests_ = 0;
+  i64 completed_rows_ = 0;
+  i64 rejected_requests_ = 0;
+  i64 failed_requests_ = 0;
+  i64 batches_ = 0;
+  LatencyHistogram queue_latency_;
+  LatencyHistogram total_latency_;
+  std::vector<i64> batch_rows_histogram_;
+  i64 queue_depth_samples_ = 0;
+  f64 queue_depth_sum_ = 0.0;
+  i64 queue_depth_max_ = 0;
+};
+
+}  // namespace msh

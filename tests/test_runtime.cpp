@@ -1,0 +1,257 @@
+// Serving runtime: admission control, dynamic batching, worker-pool
+// execution and metrics. The load-bearing property is the last test:
+// multi-worker, dynamically-batched serving is bit-identical to calling
+// the single-threaded executor on the same inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "runtime/serving_engine.h"
+#include "workloads/dataset.h"
+
+namespace msh {
+namespace {
+
+detail::PendingRequest make_pending(u64 id, Tensor images) {
+  detail::PendingRequest request;
+  request.id = id;
+  request.rows = images.shape()[0];
+  request.images = std::move(images);
+  request.submit_us = monotonic_now_us();
+  request.state = std::make_shared<detail::ResponseState>();
+  return request;
+}
+
+Tensor tiny_images(i64 rows, u64 seed) {
+  Rng rng(seed);
+  return Tensor::randn(Shape{rows, 3, 12, 12}, rng);
+}
+
+TEST(RequestQueue, FifoAndBackpressure) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_pending(1, tiny_images(1, 1))));
+  EXPECT_TRUE(queue.try_push(make_pending(2, tiny_images(1, 2))));
+  EXPECT_EQ(queue.depth(), 2);
+  // Full: reject, never block.
+  auto overflow = make_pending(3, tiny_images(1, 3));
+  EXPECT_FALSE(queue.try_push(std::move(overflow)));
+  EXPECT_NE(overflow.state, nullptr);  // rejected request left intact
+
+  auto a = queue.pop(0.0);
+  auto b = queue.pop(0.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->id, 1u);  // FIFO
+  EXPECT_EQ(b->id, 2u);
+  EXPECT_FALSE(queue.pop(0.0));  // empty: timeout
+}
+
+TEST(RequestQueue, CloseDrainsThenReturnsEmpty) {
+  RequestQueue queue(4);
+  EXPECT_TRUE(queue.try_push(make_pending(1, tiny_images(1, 1))));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(make_pending(2, tiny_images(1, 2))));
+  // Accepted work remains poppable after close...
+  auto drained = queue.pop(1e6);
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(drained->id, 1u);
+  // ...then pop returns immediately (no timeout wait) once drained.
+  const Stopwatch watch;
+  EXPECT_FALSE(queue.pop(5e6));
+  EXPECT_LT(watch.elapsed_us(), 1e6);
+}
+
+TEST(DynamicBatcher, FlushesPartialBatchOnDeadline) {
+  RequestQueue queue(16);
+  for (u64 i = 1; i <= 3; ++i)
+    ASSERT_TRUE(queue.try_push(make_pending(i, tiny_images(1, i))));
+  DynamicBatcher batcher(queue,
+                         {.max_batch_rows = 8, .max_wait_us = 20000.0});
+  auto batch = batcher.next(1e6);
+  ASSERT_TRUE(batch);
+  // Deadline flush: only 3 of the 8 allowed rows ever arrived.
+  EXPECT_EQ(batch->rows, 3);
+  ASSERT_EQ(batch->requests.size(), 3u);
+  EXPECT_EQ(batch->requests[0].id, 1u);  // arrival order preserved
+  EXPECT_EQ(batch->requests[2].id, 3u);
+  EXPECT_EQ(batch->images.shape(), Shape({3, 3, 12, 12}));
+}
+
+TEST(DynamicBatcher, ClosesFullBatchWithoutWaitingOutDeadline) {
+  RequestQueue queue(16);
+  for (u64 i = 1; i <= 5; ++i)
+    ASSERT_TRUE(queue.try_push(make_pending(i, tiny_images(1, i))));
+  DynamicBatcher batcher(queue, {.max_batch_rows = 4, .max_wait_us = 5e6});
+  const Stopwatch watch;
+  auto batch = batcher.next(1e6);
+  ASSERT_TRUE(batch);
+  EXPECT_EQ(batch->rows, 4);
+  EXPECT_LT(watch.elapsed_us(), 4e6);  // did not sit out the 5s deadline
+  EXPECT_EQ(queue.depth(), 1);
+}
+
+TEST(LatencyHistogram, PercentilesAndBounds) {
+  LatencyHistogram h;
+  for (i64 i = 1; i <= 100; ++i) h.record(static_cast<f64>(i * 100));
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.max_us(), 10000.0);
+  EXPECT_LE(h.percentile_us(50.0), h.percentile_us(95.0));
+  EXPECT_LE(h.percentile_us(95.0), h.percentile_us(99.0));
+  EXPECT_LE(h.percentile_us(99.0), h.max_us());
+  // Bucketed p50 must bracket the exact median within one 1.4x bucket.
+  EXPECT_GE(h.percentile_us(50.0), 5000.0 / 1.4);
+  EXPECT_LE(h.percentile_us(50.0), 5000.0 * 1.4);
+}
+
+/// Shared tiny model + calibration data. The model is deliberately
+/// untrained: serving correctness is about request plumbing and
+/// bit-exactness, not accuracy.
+class ServingEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.name = "serving-task";
+    spec.classes = 4;
+    spec.train_per_class = 8;
+    spec.test_per_class = 4;
+    spec.image_size = 12;
+    spec.seed = 11;
+    data_ = make_synthetic_dataset(spec);
+
+    BackboneConfig backbone;
+    backbone.stem_channels = 8;
+    backbone.stage_channels = {8, 16};
+    backbone.blocks_per_stage = {1, 1};
+    backbone.stage_strides = {1, 2};
+    Rng rng(17);
+    model_ = std::make_unique<RepNetModel>(
+        backbone, RepNetConfig{.bottleneck_divisor = 8, .min_bottleneck = 8},
+        4, rng);
+  }
+
+  TrainTestSplit data_;
+  std::unique_ptr<RepNetModel> model_;
+};
+
+TEST_F(ServingEngineTest, SingleWorkerServesFifo) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  ServingEngine engine(*model_, data_.train, options);
+
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 6; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i, 1)));
+  engine.start();
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const InferenceResponse response = futures[i].get();
+    EXPECT_EQ(response.status, RequestStatus::kOk);
+    EXPECT_EQ(response.worker, 0);
+    EXPECT_EQ(response.batch_rows, 1);
+    EXPECT_EQ(response.logits.shape(), Shape({1, 4}));
+    // FIFO: when request i has resolved, every earlier request has too.
+    for (size_t j = 0; j < i; ++j) EXPECT_TRUE(futures[j].poll());
+  }
+  engine.shutdown();
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.completed_requests, 6);
+  EXPECT_EQ(snapshot.completed_rows, 6);
+  EXPECT_EQ(snapshot.rejected_requests, 0);
+}
+
+TEST_F(ServingEngineTest, RejectsWhenQueueFullAndOnLateSubmit) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.autostart = false;  // staged backlog: nothing drains the queue
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture a = engine.submit(data_.test.batch_images(0, 1));
+  ResponseFuture b = engine.submit(data_.test.batch_images(1, 1));
+  ResponseFuture c = engine.submit(data_.test.batch_images(2, 1));
+  EXPECT_FALSE(a.poll());
+  EXPECT_FALSE(b.poll());
+  ASSERT_TRUE(c.poll());  // rejected immediately, no blocking
+  const InferenceResponse rejected = c.get();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_EQ(rejected.error, "request queue full");
+
+  // Shutdown without ever starting: the staged backlog must still
+  // resolve (as rejected), not leak hung futures.
+  engine.shutdown();
+  EXPECT_EQ(a.get().status, RequestStatus::kRejected);
+  EXPECT_EQ(b.get().status, RequestStatus::kRejected);
+
+  const InferenceResponse late =
+      engine.submit(data_.test.batch_images(0, 1)).get();
+  EXPECT_EQ(late.status, RequestStatus::kRejected);
+  EXPECT_EQ(late.error, "engine is shut down");
+  EXPECT_EQ(engine.metrics().snapshot().rejected_requests, 4);
+}
+
+TEST_F(ServingEngineTest, ShutdownDrainsInFlightRequests) {
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  options.batcher = {.max_batch_rows = 4, .max_wait_us = 500.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 10; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i, 1)));
+  engine.shutdown();  // accepted requests must complete, not vanish
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    EXPECT_EQ(response.status, RequestStatus::kOk);
+    EXPECT_EQ(response.logits.shape(), Shape({1, 4}));
+  }
+  EXPECT_EQ(engine.metrics().snapshot().completed_requests, 10);
+  EXPECT_FALSE(engine.running());
+}
+
+TEST_F(ServingEngineTest, MultiWorkerBatchedBitIdenticalToSequential) {
+  // Reference: the plain single-threaded executor.
+  PimRepNetExecutor reference(*model_, data_.train);
+
+  ServingEngineOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  options.batcher = {.max_batch_rows = 4, .max_wait_us = 2000.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  // Mixed request sizes so coalescing forms genuinely different
+  // hardware batches than the reference calls.
+  std::vector<Tensor> inputs;
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 12; ++i) {
+    const i64 rows = 1 + i % 2;
+    inputs.push_back(data_.test.batch_images(i, rows));
+    futures.push_back(engine.submit(inputs.back()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const InferenceResponse response = futures[i].get();
+    ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+    const Tensor expected = reference.forward(inputs[i]);
+    ASSERT_EQ(response.logits.shape(), expected.shape());
+    // Bit-identical: replication changes nothing about the math, and
+    // every hardware operator is per-sample (batch-composition
+    // invariant), so worker count and coalescing cannot perturb logits.
+    EXPECT_EQ(max_abs_diff(response.logits, expected), 0.0f)
+        << "request " << i;
+  }
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.completed_requests, 12);
+  EXPECT_EQ(snapshot.completed_rows, 18);
+  const std::string json = ServingMetrics::to_json(snapshot);
+  EXPECT_NE(json.find("\"throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_histogram\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msh
