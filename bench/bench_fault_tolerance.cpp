@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "deploy/pim_executor.h"
 #include "device/faults.h"
 #include "repnet/trainer.h"
 #include "workloads/task_suite.h"
@@ -83,10 +84,58 @@ int main() {
   restore_params(model.backbone_params(), backbone_snapshot);
   restore_params(model.learnable_params(), learnable_snapshot);
 
-  std::printf("%s\n", table.render().c_str());
-  std::printf("shape check: accuracy degrades gracefully below ~1e-4 BER "
-              "(well above MTJ write-error rates with verify-after-write) "
-              "and collapses near 1e-1; the small Rep path is the lesser "
-              "exposure.\n");
+  std::printf("--- software model, uniform bit errors ---\n%s\n",
+              table.render().c_str());
+
+  // --- Deployed-executor campaign: faults land on the PE-resident CSC
+  // weight/index codes (MRAM arrays only; the SRAM rep path is CMOS),
+  // then a scrub pass runs before serving — in-place SEC-DED correction,
+  // or golden re-fetch of parity-flagged words.
+  PimRepNetExecutor reference(model, data.train);
+  const f64 clean_hw = reference.evaluate(data.test);
+  const Tensor probe = data.test.batch_images(0, 16);
+  const Tensor clean_logits = reference.forward(probe);
+  std::printf("deployed clean accuracy: %.2f%%\n\n", clean_hw * 100.0);
+
+  AsciiTable deployed({"BER", "protection", "accuracy", "max |logit d|",
+                       "corrected", "detected", "silent"});
+  for (const f64 ber : {1e-4, 1e-3, 1e-2}) {
+    for (const EccMode mode :
+         {EccMode::kNone, EccMode::kParity, EccMode::kSecDed}) {
+      PimExecutorOptions exec_options;
+      exec_options.ecc = mode;
+      PimRepNetExecutor executor(model, data.train, exec_options);
+      Rng fault_rng(7000 + static_cast<u64>(ber * 1e7) +
+                    static_cast<u64>(mode));
+      executor.inject_nvm_faults(MtjFaultModel::symmetric(ber), fault_rng);
+      // Unprotected arrays have nothing to detect with: scrub is
+      // diagnostic-only. Both codes repair what they flag.
+      EccStats totals;
+      for (const auto& report : executor.scrub(
+               /*repair_detected_from_golden=*/mode != EccMode::kNone)) {
+        totals += report.weights;
+        totals += report.indices;
+      }
+      const f64 acc = executor.evaluate(data.test);
+      const f32 delta = max_abs_diff(executor.forward(probe), clean_logits);
+      char label[32];
+      std::snprintf(label, sizeof label, "%.0e", ber);
+      deployed.add_row({label, ecc_mode_name(mode), AsciiTable::percent(acc),
+                        AsciiTable::num(delta, 4),
+                        std::to_string(totals.corrected),
+                        std::to_string(totals.detected_uncorrectable),
+                        std::to_string(totals.silent)});
+    }
+  }
+  std::printf("--- deployed executor, MRAM cell faults + scrub ---\n%s\n",
+              deployed.render().c_str());
+
+  std::printf("shape check: software accuracy degrades gracefully below "
+              "~1e-4 BER and collapses near 1e-1, with the small Rep path "
+              "the lesser exposure; on the deployed executor, unprotected "
+              "arrays leak every flip silently while SEC-DED (and "
+              "parity-with-re-fetch) hold the logits bit-identical to the "
+              "fault-free run through at least 1e-4 — max |logit d| 0 and "
+              "zero silent words.\n");
   return 0;
 }

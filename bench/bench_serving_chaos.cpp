@@ -1,0 +1,190 @@
+// Chaos benchmark over the self-healing serving runtime: open-loop
+// Poisson load while replica faults (crashes and MRAM corruption) are
+// injected mid-run. Compares a clean baseline run against the chaos run
+// and reports availability (accepted requests that resolved kOk or
+// kTimedOut — never kFailed), retry/heal counts, and p99 inflation.
+//
+// Deterministic load: arrivals and fault points are drawn from the
+// repo's own Rng with an explicit seed; the arrival rate is fixed (not
+// measured) so the trace is reproducible across hosts.
+//   usage: bench_serving_chaos [seed] [requests] [rate_img_s]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "runtime/serving_engine.h"
+#include "workloads/dataset.h"
+
+namespace msh {
+namespace {
+
+struct ChaosResult {
+  i64 ok = 0;
+  i64 timed_out = 0;
+  i64 failed = 0;
+  i64 rejected = 0;
+  i64 retries = 0;
+  i64 heals = 0;
+  f64 p50_ms = 0.0;
+  f64 p99_ms = 0.0;
+  i64 healthy_workers = 0;
+  std::string metrics_json;
+};
+
+/// Open-loop run; when `faults > 0`, that many chaos faults are injected
+/// at deterministic points in the arrival stream, alternating crash and
+/// NVM-corruption faults round-robin across workers.
+ChaosResult run(RepNetModel& model, const Dataset& calibration,
+                const Dataset& pool, ServingEngineOptions options, i64 total,
+                f64 rate_rps, i64 faults, Rng& rng) {
+  ServingEngine engine(model, calibration, options);
+  const Stopwatch watch;
+  std::vector<ResponseFuture> futures;
+  futures.reserve(static_cast<size_t>(total));
+  const i64 fault_stride = faults > 0 ? std::max<i64>(1, total / faults) : 0;
+  i64 injected = 0;
+  f64 next_arrival_us = 0.0;
+  for (i64 i = 0; i < total; ++i) {
+    next_arrival_us += -std::log(1.0 - rng.uniform()) / rate_rps * 1e6;
+    while (watch.elapsed_us() < next_arrival_us) std::this_thread::yield();
+    if (fault_stride > 0 && i % fault_stride == fault_stride / 2) {
+      const i64 worker = injected % options.workers;
+      if (injected % 2 == 0) {
+        engine.inject_worker_fault(worker, WorkerFault::kCrashNextBatch);
+      } else {
+        engine.inject_worker_fault(worker, WorkerFault::kCorruptNvm,
+                                   MtjFaultModel::symmetric(5e-3),
+                                   /*seed=*/rng.next_u64());
+      }
+      ++injected;
+    }
+    futures.push_back(engine.submit(pool.batch_images(i % pool.size(), 1)));
+  }
+  ChaosResult r;
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    switch (response.status) {
+      case RequestStatus::kOk: ++r.ok; break;
+      case RequestStatus::kTimedOut: ++r.timed_out; break;
+      case RequestStatus::kRejected: ++r.rejected; break;
+      default: ++r.failed; break;
+    }
+  }
+  engine.shutdown();
+  const MetricsSnapshot s = engine.metrics().snapshot();
+  r.retries = s.retries;
+  r.heals = s.heals;
+  r.p50_ms = s.total_latency.percentile_us(50.0) / 1e3;
+  r.p99_ms = s.total_latency.percentile_us(99.0) / 1e3;
+  r.healthy_workers = engine.healthy_workers();
+  r.metrics_json = ServingMetrics::to_json(s);
+  return r;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main(int argc, char** argv) {
+  using namespace msh;
+
+  const u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const i64 total = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 96;
+  // Default offered load sits just under what two replicas sustain on a
+  // typical host, so latency reflects service + heal pauses, not a
+  // saturated queue; pass a rate to pin the trace on faster machines.
+  const f64 rate = argc > 3 ? std::strtod(argv[3], nullptr) : 20.0;
+  if (total <= 0 || rate <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_serving_chaos [seed] [requests] [rate_img_s]\n"
+                 "requests and rate_img_s must be >= 1\n");
+    return 1;
+  }
+
+  SyntheticSpec spec;
+  spec.name = "serving-chaos";
+  spec.classes = 4;
+  spec.train_per_class = 16;
+  spec.test_per_class = 16;
+  spec.image_size = 12;
+  spec.seed = seed;
+  TrainTestSplit data = make_synthetic_dataset(spec);
+
+  BackboneConfig backbone;
+  backbone.stem_channels = 8;
+  backbone.stage_channels = {8, 16};
+  backbone.blocks_per_stage = {1, 1};
+  backbone.stage_strides = {1, 2};
+  Rng model_rng(seed);
+  RepNetModel model(backbone,
+                    RepNetConfig{.bottleneck_divisor = 8, .min_bottleneck = 8},
+                    4, model_rng);
+
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  options.batcher = {.max_batch_rows = 4, .max_wait_us = 200.0};
+  options.executor.ecc = EccMode::kSecDed;
+  options.max_retries = 3;
+  options.scrub_every_batches = 4;
+
+  std::printf("=== Serving chaos: %lld requests, %.0f img/s offered, "
+              "seed %llu ===\n\n",
+              static_cast<long long>(total), rate,
+              static_cast<unsigned long long>(seed));
+
+  Rng arrival_rng(seed);
+  Rng baseline_rng = arrival_rng.fork();
+  Rng chaos_rng = arrival_rng.fork();
+  const ChaosResult baseline = run(model, data.train, data.test, options,
+                                   total, rate, /*faults=*/0, baseline_rng);
+  const i64 faults = std::max<i64>(4, total / 16);
+  const ChaosResult chaos = run(model, data.train, data.test, options, total,
+                                rate, faults, chaos_rng);
+
+  AsciiTable table({"run", "ok", "timed out", "failed", "rejected", "retries",
+                    "heals", "p50 (ms)", "p99 (ms)", "healthy workers"});
+  const auto row = [&](const char* name, const ChaosResult& r) {
+    table.add_row({name, std::to_string(r.ok), std::to_string(r.timed_out),
+                   std::to_string(r.failed), std::to_string(r.rejected),
+                   std::to_string(r.retries), std::to_string(r.heals),
+                   AsciiTable::num(r.p50_ms, 2), AsciiTable::num(r.p99_ms, 2),
+                   std::to_string(r.healthy_workers)});
+  };
+  row("baseline", baseline);
+  row("chaos", chaos);
+  std::printf("%s\n", table.render().c_str());
+
+  const f64 inflation =
+      baseline.p99_ms > 0.0 ? chaos.p99_ms / baseline.p99_ms : 0.0;
+  const i64 accepted = chaos.ok + chaos.timed_out + chaos.failed;
+  const f64 availability =
+      accepted > 0 ? static_cast<f64>(chaos.ok) / accepted : 0.0;
+  std::printf("chaos p99 inflation: %.2fx; availability of accepted "
+              "requests: %.2f%% (%lld faults injected)\n\n",
+              inflation, availability * 100.0,
+              static_cast<long long>(faults));
+  std::printf("metrics JSON (chaos run):\n%s\n\n", chaos.metrics_json.c_str());
+
+  // Acceptance bar: chaos must never surface a replica fault to a
+  // client as kFailed, and the engine must end fully healed.
+  if (chaos.failed != 0 || chaos.healthy_workers != options.workers) {
+    std::printf("FAILED: %lld requests failed, %lld/%lld workers healthy\n",
+                static_cast<long long>(chaos.failed),
+                static_cast<long long>(chaos.healthy_workers),
+                static_cast<long long>(options.workers));
+    return 1;
+  }
+  std::printf(
+      "shape check: every accepted request resolves kOk or kTimedOut under "
+      "chaos (never kFailed); crashes surface as retries + heals, NVM "
+      "corruption as scrub corrections (and heals when uncorrectable); the "
+      "engine ends with all workers healthy and p99 inflated only "
+      "modestly by redeploy pauses.\n");
+  return 0;
+}

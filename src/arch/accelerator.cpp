@@ -57,6 +57,45 @@ void HybridCore::redeploy_sram(i64 handle, const QuantizedNmMatrix& w) {
   }
 }
 
+HybridCore::NvmCodeView HybridCore::nvm_codes(i64 handle) {
+  MSH_REQUIRE(handle >= 0 &&
+              handle < static_cast<i64>(deployments_.size()));
+  Deployment& dep = deployments_[static_cast<size_t>(handle)];
+  NvmCodeView view;
+  view.is_sram = dep.is_sram;
+  if (dep.is_sram) {
+    for (auto& pe : dep.sram_pes) {
+      SramPeTile& tile = pe->mutable_tile();
+      view.index_bits = tile.cfg.index_bits();
+      const i64 slots = tile.rows * tile.groups;
+      for (i64 s = 0; s < slots; ++s) {
+        if (!tile.valid[static_cast<size_t>(s)]) continue;
+        view.weights.push_back(&tile.weights[static_cast<size_t>(s)]);
+        view.indices.push_back(&tile.indices[static_cast<size_t>(s)]);
+      }
+    }
+  } else {
+    for (auto& pe : dep.mram_pes) {
+      MramPeTile& tile = pe->mutable_tile();
+      view.index_bits = tile.cfg.index_bits();
+      for (auto& row : tile.rows) {
+        for (auto& entry : row.entries) {
+          if (!entry.valid) continue;
+          view.weights.push_back(&entry.weight);
+          view.indices.push_back(&entry.index);
+        }
+      }
+    }
+  }
+  return view;
+}
+
+bool HybridCore::deployment_is_sram(i64 handle) const {
+  MSH_REQUIRE(handle >= 0 &&
+              handle < static_cast<i64>(deployments_.size()));
+  return deployments_[static_cast<size_t>(handle)].is_sram;
+}
+
 std::vector<i32> HybridCore::matvec(i64 handle,
                                     std::span<const i8> activations) {
   MSH_REQUIRE(handle >= 0 &&

@@ -53,6 +53,25 @@ class HybridCore {
   std::vector<i32> matmul(i64 handle, std::span<const i8> activations,
                           i64 batch);
 
+  /// Pointer view over one deployment's PE-resident compressed codes —
+  /// the physical surface where NVM faults land and ECC scrubs repair.
+  /// Only valid (non-padding) slots are exposed: padding cells never
+  /// feed a MAC, so corrupting them is a no-op. Pointer order is the
+  /// deterministic deploy order (PE, then slot), stable across runs.
+  /// Pointers are invalidated by redeploy of the same handle.
+  struct NvmCodeView {
+    bool is_sram = false;
+    i32 index_bits = 0;        ///< stored bits per index cell group
+    std::vector<i8*> weights;  ///< INT8 weight cells
+    std::vector<u8*> indices;  ///< N:M intra-group index cells
+  };
+  NvmCodeView nvm_codes(i64 handle);
+
+  i64 num_deployments() const {
+    return static_cast<i64>(deployments_.size());
+  }
+  bool deployment_is_sram(i64 handle) const;
+
   /// Cycle makespan of the last matvec/matmul, from the SIMT schedule
   /// over the physical PE pool.
   i64 last_makespan() const { return last_makespan_; }

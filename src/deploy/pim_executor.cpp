@@ -53,6 +53,24 @@ PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
   deploy();
 }
 
+PimRepNetExecutor::PimRepNetExecutor(
+    RepNetModel& model, PimExecutorOptions options,
+    const std::unordered_map<const void*, f32>& amax)
+    : model_(model),
+      options_(options),
+      core_(options.core),
+      input_amax_(amax) {
+  deploy();
+}
+
+std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone() const {
+  // Skips the calibration walk (which runs layers in software and is
+  // not read-only on the shared model) and redeploys from the recorded
+  // ranges: bit-identical to this executor's as-programmed state.
+  return std::unique_ptr<PimRepNetExecutor>(
+      new PimRepNetExecutor(model_, options_, input_amax_));
+}
+
 void PimRepNetExecutor::calibrate(const Dataset& calibration) {
   MSH_REQUIRE(calibration.size() > 0);
   const i64 batch = std::min(options_.calibration_batch, calibration.size());
@@ -102,6 +120,140 @@ void PimRepNetExecutor::deploy() {
   classifier_ = std::make_unique<PimLinear>(
       core_, model_.classifier(), options_.nm, PeKind::kSram,
       scale_for(&model_.classifier()));
+
+  protect_arrays();
+}
+
+void PimRepNetExecutor::protect_arrays() {
+  protections_.clear();
+  protections_.reserve(static_cast<size_t>(core_.num_deployments()));
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    const i32 idx_bits = std::max(1, view.index_bits);
+    ArrayProtection p;
+    p.golden_weights.reserve(view.weights.size());
+    p.golden_indices.reserve(view.indices.size());
+    for (const i8* w : view.weights) p.golden_weights.push_back(*w);
+    for (const u8* idx : view.indices) p.golden_indices.push_back(*idx);
+    if (options_.ecc != EccMode::kNone) {
+      p.weight_checks.reserve(view.weights.size());
+      for (const i8* w : view.weights) {
+        p.weight_checks.push_back(options_.ecc == EccMode::kSecDed
+                                      ? secded_encode(static_cast<u8>(*w))
+                                      : parity_bit(static_cast<u8>(*w), 8));
+      }
+      p.index_parity.reserve(view.indices.size());
+      for (const u8* idx : view.indices)
+        p.index_parity.push_back(parity_bit(*idx, idx_bits));
+    }
+    protections_.push_back(std::move(p));
+  }
+}
+
+FaultStats PimRepNetExecutor::inject_nvm_faults(const MtjFaultModel& model,
+                                                Rng& rng) {
+  FaultStats total;
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    if (view.is_sram) continue;  // CMOS cells: no MTJ failure modes
+    const i32 idx_bits = std::max(1, view.index_bits);
+    total += inject_bit_errors(view.weights, model, rng, 8);
+    total += inject_bit_errors(view.indices, model, rng, idx_bits);
+    if (options_.ecc != EccMode::kNone) {
+      // Check cells occupy spare columns of the same imperfect array.
+      ArrayProtection& p = protections_[static_cast<size_t>(h)];
+      const i32 check_bits =
+          options_.ecc == EccMode::kSecDed ? kSecDedCheckBits : 1;
+      total += inject_bit_errors(std::span<u8>(p.weight_checks), model, rng,
+                                 check_bits);
+      total += inject_bit_errors(std::span<u8>(p.index_parity), model, rng, 1);
+    }
+  }
+  return total;
+}
+
+std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
+    bool repair_detected_from_golden) {
+  std::vector<ScrubReport> reports;
+  reports.reserve(static_cast<size_t>(core_.num_deployments()));
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    ArrayProtection& p = protections_[static_cast<size_t>(h)];
+    const i32 idx_bits = std::max(1, view.index_bits);
+    ScrubReport report;
+    report.handle = h;
+    report.is_sram = view.is_sram;
+
+    for (size_t i = 0; i < view.weights.size(); ++i) {
+      ++report.weights.words_checked;
+      i8& cell = *view.weights[i];
+      bool detected = false;
+      switch (options_.ecc) {
+        case EccMode::kNone:
+          break;  // nothing to decode; golden comparison below
+        case EccMode::kParity: {
+          if (parity_bit(static_cast<u8>(cell), 8) !=
+              (p.weight_checks[i] & 1u)) {
+            detected = true;
+            ++report.weights.detected_uncorrectable;
+            if (repair_detected_from_golden) {
+              cell = p.golden_weights[i];
+              p.weight_checks[i] = parity_bit(static_cast<u8>(cell), 8);
+            }
+          }
+          break;
+        }
+        case EccMode::kSecDed: {
+          u8 data = static_cast<u8>(cell);
+          u8 check = p.weight_checks[i];
+          switch (secded_decode(data, check)) {
+            case SecDedOutcome::kClean:
+              break;
+            case SecDedOutcome::kCorrectedSingle:
+              ++report.weights.corrected;
+              cell = static_cast<i8>(data);
+              p.weight_checks[i] = check;
+              break;
+            case SecDedOutcome::kDetectedDouble:
+              detected = true;
+              ++report.weights.detected_uncorrectable;
+              if (repair_detected_from_golden) {
+                cell = p.golden_weights[i];
+                p.weight_checks[i] =
+                    secded_encode(static_cast<u8>(cell));
+              }
+              break;
+          }
+          break;
+        }
+      }
+      // Whatever survives decode (or was never protected) but differs
+      // from the as-programmed image escaped the code: silent.
+      if (!detected && cell != p.golden_weights[i]) ++report.weights.silent;
+    }
+
+    for (size_t i = 0; i < view.indices.size(); ++i) {
+      ++report.indices.words_checked;
+      u8& cell = *view.indices[i];
+      bool detected = false;
+      if (options_.ecc != EccMode::kNone &&
+          parity_bit(cell, idx_bits) != (p.index_parity[i] & 1u)) {
+        detected = true;
+        ++report.indices.detected_uncorrectable;
+        if (repair_detected_from_golden) {
+          // Re-fetch repairs either a flipped index bit or a flipped
+          // parity cell — both land back at the programmed state.
+          cell = p.golden_indices[i];
+          p.index_parity[i] = parity_bit(cell, idx_bits);
+        }
+      }
+      if (!detected && cell != p.golden_indices[i]) ++report.indices.silent;
+    }
+
+    reports.push_back(report);
+  }
+  last_scrub_reports_ = reports;
+  return reports;
 }
 
 Tensor PimRepNetExecutor::apply_conv(Conv2d& conv, const Tensor& x,
@@ -229,10 +381,12 @@ std::vector<std::unique_ptr<PimRepNetExecutor>> make_executor_replicas(
   MSH_REQUIRE(count > 0);
   std::vector<std::unique_ptr<PimRepNetExecutor>> replicas;
   replicas.reserve(static_cast<size_t>(count));
-  for (i64 i = 0; i < count; ++i) {
-    replicas.push_back(
-        std::make_unique<PimRepNetExecutor>(model, calibration, options));
-  }
+  replicas.push_back(
+      std::make_unique<PimRepNetExecutor>(model, calibration, options));
+  // Remaining replicas clone the first: one calibration walk total, and
+  // every clone is bit-identical to a directly constructed executor
+  // (deploy() quantizes from the same recorded ranges).
+  for (i64 i = 1; i < count; ++i) replicas.push_back(replicas[0]->clone());
   return replicas;
 }
 

@@ -16,7 +16,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "deploy/ecc.h"
 #include "deploy/pim_layer.h"
+#include "device/faults.h"
 #include "repnet/repnet_model.h"
 #include "workloads/dataset.h"
 
@@ -30,6 +32,10 @@ struct PimExecutorOptions {
   NmConfig nm = kSparse1of4;
   i64 calibration_batch = 16;
   i64 calibration_batches = 2;
+  /// Protection applied to deployed weight/index codes: SEC-DED check
+  /// words on weight bytes + even parity on index cells (spare array
+  /// columns), parity-only on both, or raw.
+  EccMode ecc = EccMode::kNone;
 };
 
 class PimRepNetExecutor {
@@ -57,7 +63,47 @@ class PimRepNetExecutor {
   /// Count of layers that deployed with the requested sparse packing.
   i64 sparse_deployments() const;
 
+  EccMode ecc_mode() const { return options_.ecc; }
+
+  /// Scrub result for one deployed array (one HybridCore handle).
+  struct ScrubReport {
+    i64 handle = -1;
+    bool is_sram = false;
+    EccStats weights;
+    EccStats indices;
+    bool clean() const { return weights.clean() && indices.clean(); }
+  };
+
+  /// Applies the MTJ fault model to the PE-resident codes of every
+  /// MRAM-deployed array — weight bytes, index cells, and (when
+  /// protected) the stored check/parity cells, which live in the same
+  /// imperfect medium. SRAM deployments are CMOS and not touched.
+  /// Deterministic in `rng`.
+  FaultStats inject_nvm_faults(const MtjFaultModel& model, Rng& rng);
+
+  /// Decode/correct/re-encode pass over every deployed array.
+  /// kSecDed corrects single-bit errors in place; kParity only detects.
+  /// With `repair_detected_from_golden`, detected-uncorrectable words
+  /// are re-fetched from the executor's golden copy (the host-DRAM
+  /// model image every deployment was programmed from). `silent` counts
+  /// corruption the code missed or miscorrected, measured against that
+  /// same golden copy. Reports are also retained in
+  /// last_scrub_reports().
+  std::vector<ScrubReport> scrub(bool repair_detected_from_golden = false);
+  const std::vector<ScrubReport>& last_scrub_reports() const {
+    return last_scrub_reports_;
+  }
+
+  /// Builds a fresh executor replica (own HybridCore, freshly encoded
+  /// protection) reusing this executor's calibration. Read-only on the
+  /// shared model, so safe while other replicas are forwarding
+  /// concurrently — the serving runtime's redeploy-after-failure path.
+  std::unique_ptr<PimRepNetExecutor> clone() const;
+
  private:
+  /// Clone constructor: skips calibration, reuses recorded ranges.
+  PimRepNetExecutor(RepNetModel& model, PimExecutorOptions options,
+                    const std::unordered_map<const void*, f32>& amax);
   /// Shared forward-structure walk. In calibration mode convs run in
   /// software while input ranges are recorded; in hardware mode they run
   /// through the deployed PIM layers.
@@ -71,7 +117,19 @@ class PimRepNetExecutor {
 
   void calibrate(const Dataset& calibration);
   void deploy();
+  void protect_arrays();
   f32 scale_for(const void* layer) const;
+
+  /// Check/parity cells plus the golden (as-programmed) code image of
+  /// one deployed array. The golden copy models the host-side weight
+  /// image deployments are programmed from — re-fetch source for
+  /// detected-uncorrectable words and ground truth for `silent`.
+  struct ArrayProtection {
+    std::vector<u8> weight_checks;  ///< SEC-DED words or parity bits
+    std::vector<u8> index_parity;   ///< 1 even-parity bit per index cell
+    std::vector<i8> golden_weights;
+    std::vector<u8> golden_indices;
+  };
 
   RepNetModel& model_;
   PimExecutorOptions options_;
@@ -79,6 +137,8 @@ class PimRepNetExecutor {
   std::unordered_map<const void*, f32> input_amax_;
   std::unordered_map<const Conv2d*, std::unique_ptr<PimConv>> convs_;
   std::unique_ptr<PimLinear> classifier_;
+  std::vector<ArrayProtection> protections_;  ///< indexed by core handle
+  std::vector<ScrubReport> last_scrub_reports_;
 };
 
 /// Deploys `count` independent executor replicas of one trained model —

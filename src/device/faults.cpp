@@ -1,24 +1,148 @@
 #include "device/faults.h"
 
-namespace msh {
+#include <cmath>
 
-FaultStats inject_bit_errors(std::span<i8> codes, f64 ber, Rng& rng) {
-  MSH_REQUIRE(ber >= 0.0 && ber <= 1.0);
-  FaultStats stats;
-  for (i8& code : codes) {
-    for (i32 bit = 0; bit < 8; ++bit) {
-      ++stats.bits_examined;
-      if (rng.bernoulli(ber)) {
-        code = static_cast<i8>(static_cast<u8>(code) ^ (1u << bit));
-        ++stats.bits_flipped;
+namespace msh {
+namespace {
+
+/// Per-bit corruption core shared by every byte-typed overload. `Byte`
+/// is i8 (weight codes) or u8 (index nibbles / check words); faults land
+/// on the low `bits_per_word` bits of each word, matching the number of
+/// physical cells the word occupies.
+template <typename Byte>
+void corrupt_word(Byte& word, const MtjFaultModel& model, Rng& rng,
+                  i32 bits_per_word, FaultStats& stats) {
+  u8 value = static_cast<u8>(word);
+  for (i32 bit = 0; bit < bits_per_word; ++bit) {
+    ++stats.bits_examined;
+    const bool stored = (value >> bit) & 1u;
+    bool read = stored;
+    if (model.stuck_at_fraction > 0.0 &&
+        rng.bernoulli(model.stuck_at_fraction)) {
+      // Cell past endurance: pinned regardless of what was programmed.
+      ++stats.stuck_cells;
+      read = rng.bernoulli(model.stuck_at_ap_share);
+    } else {
+      const f64 p = model.flip_probability(stored);
+      if (p > 0.0 && rng.bernoulli(p)) read = !stored;
+    }
+    if (read != stored) {
+      value ^= (1u << bit);
+      ++stats.bits_flipped;
+      if (stored) {
+        ++stats.flips_ap_to_p;
+      } else {
+        ++stats.flips_p_to_ap;
       }
     }
+  }
+  word = static_cast<Byte>(value);
+}
+
+}  // namespace
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  bits_examined += other.bits_examined;
+  bits_flipped += other.bits_flipped;
+  flips_p_to_ap += other.flips_p_to_ap;
+  flips_ap_to_p += other.flips_ap_to_p;
+  stuck_cells += other.stuck_cells;
+  return *this;
+}
+
+MtjFaultModel MtjFaultModel::symmetric(f64 ber) {
+  MSH_REQUIRE(ber >= 0.0 && ber <= 1.0);
+  MtjFaultModel model;
+  model.flip_p_to_ap = ber;
+  model.flip_ap_to_p = ber;
+  return model;
+}
+
+MtjFaultModel MtjFaultModel::from_device(const MtjParams& params, f64 elapsed_s,
+                                         f64 stuck_at_fraction) {
+  MtjFaultModel model;
+  model.flip_p_to_ap = params.write_error_rate_to(MtjState::kAntiParallel);
+  model.flip_ap_to_p = params.write_error_rate_to(MtjState::kParallel);
+  model.retention_elapsed_s = elapsed_s;
+  model.retention_tau_s = params.retention_tau_s;
+  model.stuck_at_fraction = stuck_at_fraction;
+  model.validate();
+  return model;
+}
+
+f64 MtjFaultModel::retention_flip_probability() const {
+  if (retention_elapsed_s <= 0.0) return 0.0;
+  return 1.0 - std::exp(-retention_elapsed_s / retention_tau_s);
+}
+
+f64 MtjFaultModel::flip_probability(bool stored_bit) const {
+  if (!stored_bit) return flip_p_to_ap;
+  // Retention drift only relaxes AP bits toward the parallel ground
+  // state; independent of the write-time error, so combine as
+  // 1 - (1-w)(1-r).
+  const f64 r = retention_flip_probability();
+  return 1.0 - (1.0 - flip_ap_to_p) * (1.0 - r);
+}
+
+void MtjFaultModel::validate() const {
+  MSH_REQUIRE(flip_p_to_ap >= 0.0 && flip_p_to_ap <= 1.0);
+  MSH_REQUIRE(flip_ap_to_p >= 0.0 && flip_ap_to_p <= 1.0);
+  MSH_REQUIRE(stuck_at_fraction >= 0.0 && stuck_at_fraction <= 1.0);
+  MSH_REQUIRE(stuck_at_ap_share >= 0.0 && stuck_at_ap_share <= 1.0);
+  MSH_REQUIRE(retention_elapsed_s >= 0.0);
+  MSH_REQUIRE(retention_tau_s > 0.0);
+}
+
+FaultStats inject_bit_errors(std::span<i8> codes, const MtjFaultModel& model,
+                             Rng& rng, i32 bits_per_word) {
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  model.validate();
+  FaultStats stats;
+  for (i8& code : codes) corrupt_word(code, model, rng, bits_per_word, stats);
+  return stats;
+}
+
+FaultStats inject_bit_errors(std::span<u8> codes, const MtjFaultModel& model,
+                             Rng& rng, i32 bits_per_word) {
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  model.validate();
+  FaultStats stats;
+  for (u8& code : codes) corrupt_word(code, model, rng, bits_per_word, stats);
+  return stats;
+}
+
+FaultStats inject_bit_errors(const std::vector<i8*>& cells,
+                             const MtjFaultModel& model, Rng& rng,
+                             i32 bits_per_word) {
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  model.validate();
+  FaultStats stats;
+  for (i8* cell : cells) {
+    MSH_REQUIRE(cell != nullptr);
+    corrupt_word(*cell, model, rng, bits_per_word, stats);
+  }
+  return stats;
+}
+
+FaultStats inject_bit_errors(const std::vector<u8*>& cells,
+                             const MtjFaultModel& model, Rng& rng,
+                             i32 bits_per_word) {
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  model.validate();
+  FaultStats stats;
+  for (u8* cell : cells) {
+    MSH_REQUIRE(cell != nullptr);
+    corrupt_word(*cell, model, rng, bits_per_word, stats);
   }
   return stats;
 }
 
 FaultStats inject_bit_errors(QuantizedTensor& weights, f64 ber, Rng& rng) {
   return inject_bit_errors(std::span<i8>(weights.data), ber, rng);
+}
+
+FaultStats inject_bit_errors(std::span<i8> codes, f64 ber, Rng& rng) {
+  return inject_bit_errors(codes, MtjFaultModel::symmetric(ber), rng);
 }
 
 }  // namespace msh

@@ -1,13 +1,23 @@
-// Fault injection into deployed INT8 weights.
+// Fault injection into deployed INT8 weight/index codes.
 //
 // NVM cells fail: stochastic write errors (MTJ switching failures),
 // retention drift, stuck-at cells past endurance. These utilities flip
-// bits of quantized weights at a configurable bit-error rate so the test
-// suite and the fault-tolerance bench can measure the accuracy impact of
-// storing the frozen backbone in imperfect non-volatile memory.
+// bits of stored codes so the test suite, the fault-tolerance bench and
+// the serving chaos campaign can measure the accuracy and availability
+// impact of storing the frozen backbone in imperfect non-volatile memory.
+//
+// The physical model (MtjFaultModel) is direction-resolved: a stored 0
+// is the low-resistance Parallel state, a stored 1 the Anti-Parallel
+// state, and the two switching directions fail at different rates.
+// Retention drift relaxes AP bits toward the parallel ground state over
+// time; cells past endurance pin to a fixed value (stuck-at).
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "common/rng.h"
+#include "device/mtj.h"
 #include "quant/quant.h"
 
 namespace msh {
@@ -15,6 +25,9 @@ namespace msh {
 struct FaultStats {
   i64 bits_examined = 0;
   i64 bits_flipped = 0;
+  i64 flips_p_to_ap = 0;  ///< stored 0 read back as 1
+  i64 flips_ap_to_p = 0;  ///< stored 1 read back as 0
+  i64 stuck_cells = 0;    ///< cells pinned by the endurance model
 
   f64 measured_ber() const {
     return bits_examined == 0
@@ -22,9 +35,58 @@ struct FaultStats {
                : static_cast<f64>(bits_flipped) /
                      static_cast<f64>(bits_examined);
   }
+
+  FaultStats& operator+=(const FaultStats& other);
 };
 
-/// Flips each stored bit independently with probability `ber`.
+/// Physical fault model of an MTJ array at read-out time: what the PE
+/// sense amps see relative to what the mapper programmed.
+struct MtjFaultModel {
+  f64 flip_p_to_ap = 0.0;       ///< P(stored 0 reads 1): write-error rate
+  f64 flip_ap_to_p = 0.0;       ///< P(stored 1 reads 0): write-error rate
+  f64 stuck_at_fraction = 0.0;  ///< fraction of cells past endurance
+  f64 stuck_at_ap_share = 0.5;  ///< of stuck cells, fraction pinned to AP
+  f64 retention_elapsed_s = 0.0;  ///< time since the array was programmed
+  f64 retention_tau_s = 3.156e8;  ///< AP->P thermal relaxation constant
+
+  /// Symmetric BER, no stuck cells, no drift — the legacy behavior.
+  static MtjFaultModel symmetric(f64 ber);
+
+  /// Sources the per-direction write-error rates and retention constant
+  /// from the MTJ device model.
+  static MtjFaultModel from_device(const MtjParams& params,
+                                   f64 elapsed_s = 0.0,
+                                   f64 stuck_at_fraction = 0.0);
+
+  /// P(a stored AP bit has relaxed to P) after `retention_elapsed_s`.
+  f64 retention_flip_probability() const;
+
+  /// Total per-bit flip probability (write error + retention drift) for
+  /// a cell that is not stuck.
+  f64 flip_probability(bool stored_bit) const;
+
+  void validate() const;
+};
+
+/// Flips bits of stored codes in place under the physical model. Each
+/// word contributes its low `bits_per_word` bits (a weight byte stores
+/// 8, an N:M index nibble log2(M), ECC check words 5).
+FaultStats inject_bit_errors(std::span<i8> codes, const MtjFaultModel& model,
+                             Rng& rng, i32 bits_per_word = 8);
+FaultStats inject_bit_errors(std::span<u8> codes, const MtjFaultModel& model,
+                             Rng& rng, i32 bits_per_word = 8);
+
+/// Same, over a scattered fault surface (pointers into PE tiles — see
+/// HybridCore::nvm_codes).
+FaultStats inject_bit_errors(const std::vector<i8*>& cells,
+                             const MtjFaultModel& model, Rng& rng,
+                             i32 bits_per_word = 8);
+FaultStats inject_bit_errors(const std::vector<u8*>& cells,
+                             const MtjFaultModel& model, Rng& rng,
+                             i32 bits_per_word = 8);
+
+/// Flips each stored bit independently with probability `ber` (the
+/// symmetric legacy entry point).
 FaultStats inject_bit_errors(QuantizedTensor& weights, f64 ber, Rng& rng);
 
 /// Flips bits of an INT8 code vector in place (the PE-resident form).

@@ -2,12 +2,23 @@
 
 namespace msh {
 
+f64 MtjParams::write_error_rate_to(MtjState target) const {
+  const f64 directional = target == MtjState::kAntiParallel
+                              ? write_error_rate_p_to_ap
+                              : write_error_rate_ap_to_p;
+  return directional < 0.0 ? write_error_rate : directional;
+}
+
 MtjDevice::MtjDevice(MtjParams params, MtjState initial)
     : params_(params), state_(initial) {
   MSH_REQUIRE(params_.r_parallel_ohm > 0.0);
   MSH_REQUIRE(params_.r_antiparallel_ohm > params_.r_parallel_ohm);
   MSH_REQUIRE(params_.write_error_rate >= 0.0 &&
               params_.write_error_rate < 1.0);
+  // Directional rates: negative = inherit symmetric, else a probability.
+  MSH_REQUIRE(params_.write_error_rate_p_to_ap < 1.0);
+  MSH_REQUIRE(params_.write_error_rate_ap_to_p < 1.0);
+  MSH_REQUIRE(params_.retention_tau_s > 0.0);
 }
 
 f64 MtjDevice::resistance_ohm() const {
@@ -29,8 +40,8 @@ bool MtjDevice::write(bool bit, Rng& rng) {
   if (target == state_) return true;  // read-before-write: skip redundant set
   ++write_count_;
   write_energy_spent_ += params_.write_energy_per_bit;
-  if (params_.write_error_rate > 0.0 &&
-      rng.bernoulli(params_.write_error_rate)) {
+  const f64 error_rate = params_.write_error_rate_to(target);
+  if (error_rate > 0.0 && rng.bernoulli(error_rate)) {
     return false;  // switching failed; free layer kept its polarity
   }
   state_ = target;

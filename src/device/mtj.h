@@ -27,7 +27,22 @@ struct MtjParams {
   TimeNs read_latency = TimeNs::ns(1.0);
   f64 read_voltage = 0.1;           ///< V, small to avoid read disturb
   f64 write_error_rate = 0.0;       ///< per-attempt switching failure
+  /// Direction-resolved switching failure rates. STT switching is
+  /// asymmetric: the P->AP transition fights the spin-torque efficiency
+  /// of the reference layer and fails more often than AP->P at equal
+  /// pulse energy. Negative (the default) inherits `write_error_rate`
+  /// for both directions — today's symmetric behavior.
+  f64 write_error_rate_p_to_ap = -1.0;
+  f64 write_error_rate_ap_to_p = -1.0;
+  /// Thermal retention time constant: stored AP bits relax toward the
+  /// parallel ground state with P(loss) = 1 - exp(-t/tau). ~10 years at
+  /// the Table 2 thermal stability factor.
+  f64 retention_tau_s = 3.156e8;
   u64 endurance_writes = 1'000'000'000'000ull;  ///< ~1e12 for STT-MRAM
+
+  /// Switching failure probability for a write attempting to reach
+  /// `target` (resolves the inherit-from-symmetric default).
+  f64 write_error_rate_to(MtjState target) const;
 };
 
 class MtjDevice {

@@ -52,6 +52,10 @@ class MramSparsePe {
   /// program of a row).
   void program(MramPeTile tile);
   const MramPeTile& tile() const { return tile_; }
+  /// Direct cell access for fault injection and ECC scrub — models MTJs
+  /// flipping/being repaired underneath the periphery, so it bypasses
+  /// write-event accounting on purpose.
+  MramPeTile& mutable_tile() { return tile_; }
   bool loaded() const { return !tile_.empty(); }
 
   /// One sparse matvec against an INT8 dense activation vector. Bit-exact

@@ -42,6 +42,10 @@ class SramSparsePe {
   /// lives here).
   void load(SramPeTile tile);
   const SramPeTile& tile() const { return tile_; }
+  /// Direct cell access for fault injection and ECC scrub — models the
+  /// array being corrupted/repaired underneath the datapath, so it
+  /// bypasses write-event accounting on purpose.
+  SramPeTile& mutable_tile() { return tile_; }
   bool loaded() const { return !tile_.empty(); }
 
   /// Executes one sparse matrix-vector product against an INT8 dense

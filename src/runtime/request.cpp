@@ -12,6 +12,8 @@ const char* to_string(RequestStatus status) {
       return "rejected";
     case RequestStatus::kFailed:
       return "failed";
+    case RequestStatus::kTimedOut:
+      return "timed_out";
   }
   return "unknown";
 }

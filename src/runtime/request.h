@@ -17,7 +17,8 @@ enum class RequestStatus {
   kPending,   ///< still queued or executing
   kOk,        ///< logits are valid
   kRejected,  ///< backpressure: the queue was full (or the engine stopped)
-  kFailed,    ///< the executor threw while serving this request
+  kFailed,    ///< the executor threw and the retry budget is spent
+  kTimedOut,  ///< per-request deadline expired before a healthy dispatch
 };
 
 const char* to_string(RequestStatus status);
@@ -35,6 +36,7 @@ struct InferenceResponse {
   u64 id = 0;         ///< engine-assigned, monotonically increasing
   i64 worker = -1;    ///< replica index that served the request
   i64 batch_rows = 0; ///< total rows of the hardware batch it rode in
+  i64 retries = 0;    ///< failed dispatches survived before resolving
   f64 queue_us = 0.0; ///< submit -> dispatch to a worker
   f64 total_us = 0.0; ///< submit -> response ready
 };
@@ -85,6 +87,8 @@ struct PendingRequest {
   Tensor images;
   i64 rows = 0;
   f64 submit_us = 0.0;
+  f64 deadline_us = 0.0;  ///< absolute; 0 = no deadline
+  i64 attempts = 0;       ///< failed dispatches so far (retry accounting)
   std::shared_ptr<ResponseState> state;
 };
 

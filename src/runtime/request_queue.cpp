@@ -18,6 +18,14 @@ bool RequestQueue::try_push(detail::PendingRequest&& request) {
   return true;
 }
 
+void RequestQueue::push_front(detail::PendingRequest&& request) {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    items_.push_front(std::move(request));
+  }
+  ready_.notify_one();
+}
+
 std::optional<detail::PendingRequest> RequestQueue::pop(f64 timeout_us) {
   std::unique_lock<std::mutex> lock(mutex_);
   ready_.wait_for(lock,

@@ -22,6 +22,13 @@ class RequestQueue {
   /// leaves `request` untouched) when full or closed.
   bool try_push(detail::PendingRequest&& request);
 
+  /// Re-enqueues an already-admitted request at the head (retry after a
+  /// replica failure). Bypasses both the capacity bound and the closed
+  /// flag: admission happened at the original try_push, and workers
+  /// drain the queue after close(), so a retry during shutdown is still
+  /// served (or deadline-expired), never lost.
+  void push_front(detail::PendingRequest&& request);
+
   /// Dequeues the oldest request, blocking up to `timeout_us`. Returns
   /// nullopt on timeout, or immediately once the queue is closed *and*
   /// drained (closing still lets consumers take what was accepted).

@@ -14,10 +14,19 @@ ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
                                        options.executor)),
       queue_(options.queue_capacity) {
   MSH_REQUIRE(options_.idle_poll_us > 0);
+  MSH_REQUIRE(options_.max_retries >= 0);
+  MSH_REQUIRE(options_.request_deadline_us >= 0.0);
+  MSH_REQUIRE(options_.scrub_every_batches >= 0);
+  expected_image_ = calibration.batch_images(0, 1).shape();
+  states_.reserve(static_cast<size_t>(workers()));
+  for (i64 i = 0; i < workers(); ++i)
+    states_.push_back(std::make_unique<WorkerState>());
   log_info("serving engine: ", workers(), " worker(s), queue capacity ",
            queue_.capacity(), ", max batch ",
            options_.batcher.max_batch_rows, " rows, max wait ",
-           options_.batcher.max_wait_us, " us");
+           options_.batcher.max_wait_us, " us, retry budget ",
+           options_.max_retries, ", ecc ",
+           ecc_mode_name(options_.executor.ecc));
   if (options_.autostart) start();
 }
 
@@ -52,8 +61,26 @@ ResponseFuture ServingEngine::submit(Tensor images) {
   request.rows = images.shape()[0];
   request.images = std::move(images);
   request.submit_us = monotonic_now_us();
+  if (options_.request_deadline_us > 0.0)
+    request.deadline_us = request.submit_us + options_.request_deadline_us;
   request.state = std::make_shared<detail::ResponseState>();
   ResponseFuture future(request.state);
+
+  // Validate against the deployed model up front: a shape mismatch must
+  // resolve here with a descriptive error, not blow up a worker
+  // mid-batch (and take its batchmates down with it).
+  const Shape& got = request.images.shape();
+  if (got[1] != expected_image_[1] || got[2] != expected_image_[2] ||
+      got[3] != expected_image_[3]) {
+    const std::string why = "image shape mismatch: got " + got.to_string() +
+                            ", deployed model expects [B, " +
+                            std::to_string(expected_image_[1]) + ", " +
+                            std::to_string(expected_image_[2]) + ", " +
+                            std::to_string(expected_image_[3]) + "]";
+    reject(request, why.c_str());
+    metrics_.record_rejected();
+    return future;
+  }
 
   if (!queue_.try_push(std::move(request))) {
     // try_push leaves the request intact on failure.
@@ -66,46 +93,199 @@ ResponseFuture ServingEngine::submit(Tensor images) {
   return future;
 }
 
+void ServingEngine::inject_worker_fault(i64 worker, WorkerFault fault,
+                                        MtjFaultModel model, u64 seed) {
+  MSH_REQUIRE(worker >= 0 && worker < workers());
+  WorkerState& state = *states_[static_cast<size_t>(worker)];
+  const std::lock_guard<std::mutex> guard(state.mutex);
+  state.pending.push_back({fault, model, seed});
+}
+
+i64 ServingEngine::healthy_workers() const {
+  i64 count = 0;
+  for (const auto& state : states_)
+    if (state->healthy.load(std::memory_order_acquire)) ++count;
+  return count;
+}
+
+void ServingEngine::apply_pending_faults(i64 index) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  std::vector<PendingFault> faults;
+  {
+    const std::lock_guard<std::mutex> guard(state.mutex);
+    faults.swap(state.pending);
+  }
+  for (const PendingFault& fault : faults) {
+    switch (fault.fault) {
+      case WorkerFault::kCrashNextBatch:
+        state.crash_next = true;
+        break;
+      case WorkerFault::kCorruptNvm: {
+        Rng rng(fault.seed);
+        const FaultStats stats =
+            replicas_[static_cast<size_t>(index)]->inject_nvm_faults(
+                fault.model, rng);
+        log_warn("worker ", index, ": chaos corrupted ", stats.bits_flipped,
+                 " of ", stats.bits_examined, " NVM bits");
+        break;
+      }
+    }
+  }
+}
+
+void ServingEngine::heal(i64 index, const std::string& why) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  state.healthy.store(false, std::memory_order_release);
+  log_warn("worker ", index, " quarantined: ", why, "; redeploying replica");
+  // clone() rebuilds the replica from the shared golden model + the
+  // original calibration — read-only on the model, so the other workers
+  // keep serving while this one re-programs its arrays.
+  replicas_[static_cast<size_t>(index)] =
+      replicas_[static_cast<size_t>(index)]->clone();
+  state.batches_since_scrub = 0;
+  metrics_.record_heal();
+  state.healthy.store(true, std::memory_order_release);
+  log_info("worker ", index, " healed, back in service");
+}
+
+void ServingEngine::scrub_and_heal(i64 index) {
+  const auto reports = replicas_[static_cast<size_t>(index)]->scrub();
+  EccStats totals;
+  for (const auto& report : reports) {
+    totals += report.weights;
+    totals += report.indices;
+  }
+  metrics_.record_scrub(totals.corrected, totals.detected_uncorrectable,
+                        totals.silent);
+  if (totals.corrected > 0)
+    log_info("worker ", index, ": scrub corrected ", totals.corrected,
+             " single-bit error(s)");
+  if (totals.detected_uncorrectable > 0 || totals.silent > 0) {
+    if (options_.self_heal) {
+      heal(index, "scrub found " +
+                      std::to_string(totals.detected_uncorrectable) +
+                      " uncorrectable + " + std::to_string(totals.silent) +
+                      " silent corrupt word(s)");
+    } else {
+      log_error("worker ", index, ": scrub found ",
+                totals.detected_uncorrectable, " uncorrectable + ",
+                totals.silent, " silent corrupt word(s); self-heal is off");
+    }
+  }
+}
+
 void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
+  apply_pending_faults(index);
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+
+  // Deadline gate: requests whose budget expired while queued (or while
+  // bouncing between failed replicas) resolve kTimedOut before burning
+  // hardware time; the rest of the batch is rebuilt and served.
+  if (options_.request_deadline_us > 0.0) {
+    const f64 now = monotonic_now_us();
+    std::vector<detail::PendingRequest> live;
+    live.reserve(batch.requests.size());
+    for (auto& request : batch.requests) {
+      if (request.deadline_us > 0.0 && now >= request.deadline_us) {
+        InferenceResponse response;
+        response.status = RequestStatus::kTimedOut;
+        response.error = "deadline expired before dispatch";
+        response.worker = index;
+        response.retries = request.attempts;
+        response.total_us = now - request.submit_us;
+        metrics_.record_timed_out(request.rows);
+        detail::resolve(request, std::move(response));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    if (live.empty()) return;
+    if (live.size() != batch.requests.size()) {
+      batch.requests = std::move(live);
+      batch.rows = 0;
+      for (const auto& request : batch.requests) batch.rows += request.rows;
+      batch.images = concat_request_images(batch.requests);
+    } else {
+      batch.requests = std::move(live);
+    }
+  }
+
   metrics_.record_batch(batch.rows);
   Tensor logits;
   std::string error;
   bool ok = true;
-  try {
-    logits = replicas_[static_cast<size_t>(index)]->forward(batch.images);
-  } catch (const std::exception& e) {
+  if (state.crash_next) {
+    state.crash_next = false;
     ok = false;
-    error = e.what();
+    error = "injected replica fault";
     log_error("worker ", index, ": batch of ", batch.rows,
               " rows failed: ", error);
+  } else {
+    try {
+      logits = replicas_[static_cast<size_t>(index)]->forward(batch.images);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+      log_error("worker ", index, ": batch of ", batch.rows,
+                " rows failed: ", error);
+    }
   }
-  MSH_ENSURE(!ok || logits.shape()[0] == batch.rows);
+
+  if (!ok) {
+    if (options_.self_heal) heal(index, error);
+    // Retry in-flight requests at the head of the queue (they already
+    // paid admission); the budget bounds how many failures one request
+    // may ride through. Reverse order keeps FIFO intact.
+    for (auto it = batch.requests.rbegin(); it != batch.requests.rend();
+         ++it) {
+      detail::PendingRequest& request = *it;
+      if (request.attempts < options_.max_retries) {
+        ++request.attempts;
+        metrics_.record_retry();
+        queue_.push_front(std::move(request));
+      } else {
+        InferenceResponse response;
+        response.status = RequestStatus::kFailed;
+        response.error = error + " (retry budget exhausted)";
+        response.worker = index;
+        response.batch_rows = batch.rows;
+        response.retries = request.attempts;
+        response.total_us = monotonic_now_us() - request.submit_us;
+        metrics_.record_failed(request.rows);
+        detail::resolve(request, std::move(response));
+      }
+    }
+    return;
+  }
+
+  MSH_ENSURE(logits.shape()[0] == batch.rows);
   const f64 done_us = monotonic_now_us();
-  const i64 classes = ok ? logits.shape()[1] : 0;
+  const i64 classes = logits.shape()[1];
 
   i64 row = 0;
   for (auto& request : batch.requests) {
     InferenceResponse response;
     response.worker = index;
     response.batch_rows = batch.rows;
+    response.retries = request.attempts;
     // Queue latency includes batch-formation wait: it is the full
     // submit -> hardware-dispatch gap a client experiences.
     response.queue_us = batch.formed_us - request.submit_us;
     response.total_us = done_us - request.submit_us;
-    if (ok) {
-      response.status = RequestStatus::kOk;
-      response.logits = Tensor(Shape{request.rows, classes});
-      std::memcpy(response.logits.data(), logits.data() + row * classes,
-                  sizeof(f32) * static_cast<size_t>(request.rows * classes));
-      metrics_.record_completed(request.rows, response.queue_us,
-                                response.total_us);
-    } else {
-      response.status = RequestStatus::kFailed;
-      response.error = error;
-      metrics_.record_failed(request.rows);
-    }
+    response.status = RequestStatus::kOk;
+    response.logits = Tensor(Shape{request.rows, classes});
+    std::memcpy(response.logits.data(), logits.data() + row * classes,
+                sizeof(f32) * static_cast<size_t>(request.rows * classes));
+    metrics_.record_completed(request.rows, response.queue_us,
+                              response.total_us);
     row += request.rows;
     detail::resolve(request, std::move(response));
+  }
+
+  if (options_.scrub_every_batches > 0 &&
+      ++state.batches_since_scrub >= options_.scrub_every_batches) {
+    state.batches_since_scrub = 0;
+    scrub_and_heal(index);
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -40,6 +41,28 @@ struct ServingEngineOptions {
   bool autostart = true;
   /// Worker wake cadence while the queue is idle.
   f64 idle_poll_us = 1000.0;
+  /// Extra dispatch attempts per accepted request after a replica
+  /// failure; exhausting the budget resolves kFailed.
+  i64 max_retries = 2;
+  /// Absolute per-request budget (submit -> dispatch); a request still
+  /// undispatched past it resolves kTimedOut. 0 disables deadlines.
+  f64 request_deadline_us = 0.0;
+  /// Quarantine + redeploy a replica after a serving failure or an
+  /// uncorrectable-ECC scrub signal.
+  bool self_heal = true;
+  /// Run an ECC scrub pass on a worker's replica every N served
+  /// batches (0 = never). Scrubs repair single-bit errors in place;
+  /// with self_heal, uncorrectable or silent corruption triggers a
+  /// redeploy.
+  i64 scrub_every_batches = 0;
+};
+
+/// Chaos-engineering faults a test/bench can aim at a worker. Applied on
+/// the owning worker thread between batches (replicas are
+/// single-threaded), so injection is race-free by construction.
+enum class WorkerFault {
+  kCrashNextBatch,  ///< the replica's next dispatch throws
+  kCorruptNvm,      ///< MTJ bit errors land on the replica's MRAM arrays
 };
 
 class ServingEngine {
@@ -76,12 +99,44 @@ class ServingEngine {
   const ServingMetrics& metrics() const { return metrics_; }
   std::string metrics_json() const { return metrics_.to_json(); }
 
-  /// Replica inspection (e.g. PE event counts per worker).
+  /// Replica inspection (e.g. PE event counts per worker). Not valid
+  /// while the engine is running with self-heal enabled — a heal swaps
+  /// the replica out from under the reference; inspect after shutdown.
   const PimRepNetExecutor& replica(i64 i) const;
 
+  /// Queues a chaos fault for `worker`; the worker applies it before
+  /// its next dispatch. `model` + `seed` parameterize kCorruptNvm
+  /// (ignored for kCrashNextBatch).
+  void inject_worker_fault(i64 worker, WorkerFault fault,
+                           MtjFaultModel model = {}, u64 seed = 1);
+
+  /// Workers currently in service (not quarantined mid-heal).
+  i64 healthy_workers() const;
+
  private:
+  struct PendingFault {
+    WorkerFault fault = WorkerFault::kCrashNextBatch;
+    MtjFaultModel model;
+    u64 seed = 1;
+  };
+  /// Per-worker mutable state. `pending` is the cross-thread handoff
+  /// (guarded); `crash_next` / `batches_since_scrub` are owner-thread
+  /// only; `healthy` is read by observers.
+  struct WorkerState {
+    std::mutex mutex;
+    std::vector<PendingFault> pending;
+    bool crash_next = false;
+    i64 batches_since_scrub = 0;
+    std::atomic<bool> healthy{true};
+  };
+
   void worker_loop(i64 index);
   void serve_batch(i64 index, MicroBatch& batch);
+  void apply_pending_faults(i64 index);
+  void scrub_and_heal(i64 index);
+  /// Quarantines worker `index` and redeploys its replica from the
+  /// shared golden model. Runs on the owning worker thread.
+  void heal(i64 index, const std::string& why);
   static void reject(detail::PendingRequest& request, const char* why);
 
   ServingEngineOptions options_;
@@ -89,6 +144,8 @@ class ServingEngine {
   RequestQueue queue_;
   ServingMetrics metrics_;
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  Shape expected_image_;  ///< [1, C, H, W] the deployment was built for
   std::atomic<bool> running_{false};
   std::atomic<bool> shut_down_{false};
   std::atomic<u64> next_id_{1};

@@ -61,6 +61,31 @@ void ServingMetrics::record_failed(i64 rows) {
   failed_requests_ += 1;
 }
 
+void ServingMetrics::record_timed_out(i64 rows) {
+  (void)rows;
+  const std::lock_guard<std::mutex> guard(mutex_);
+  timed_out_requests_ += 1;
+}
+
+void ServingMetrics::record_retry() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  retries_ += 1;
+}
+
+void ServingMetrics::record_heal() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  heals_ += 1;
+}
+
+void ServingMetrics::record_scrub(i64 corrected, i64 detected_uncorrectable,
+                                  i64 silent) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  scrubs_ += 1;
+  ecc_corrected_ += corrected;
+  ecc_detected_uncorrectable_ += detected_uncorrectable;
+  ecc_silent_ += silent;
+}
+
 void ServingMetrics::record_batch(i64 rows) {
   MSH_REQUIRE(rows >= 0);
   const std::lock_guard<std::mutex> guard(mutex_);
@@ -84,7 +109,14 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   s.completed_rows = completed_rows_;
   s.rejected_requests = rejected_requests_;
   s.failed_requests = failed_requests_;
+  s.timed_out_requests = timed_out_requests_;
   s.batches = batches_;
+  s.retries = retries_;
+  s.heals = heals_;
+  s.scrubs = scrubs_;
+  s.ecc_corrected = ecc_corrected_;
+  s.ecc_detected_uncorrectable = ecc_detected_uncorrectable_;
+  s.ecc_silent = ecc_silent_;
   s.elapsed_s = (monotonic_now_us() - start_us_) / 1e6;
   if (s.elapsed_s > 0.0) {
     s.throughput_rps = completed_requests_ / s.elapsed_s;
@@ -119,7 +151,13 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
   os << "{\"elapsed_s\":" << s.elapsed_s
      << ",\"requests\":{\"completed\":" << s.completed_requests
      << ",\"rejected\":" << s.rejected_requests
-     << ",\"failed\":" << s.failed_requests << '}'
+     << ",\"failed\":" << s.failed_requests
+     << ",\"timed_out\":" << s.timed_out_requests << '}'
+     << ",\"resilience\":{\"retries\":" << s.retries
+     << ",\"heals\":" << s.heals << ",\"scrubs\":" << s.scrubs
+     << ",\"ecc_corrected\":" << s.ecc_corrected
+     << ",\"ecc_detected_uncorrectable\":" << s.ecc_detected_uncorrectable
+     << ",\"ecc_silent\":" << s.ecc_silent << '}'
      << ",\"images\":" << s.completed_rows
      << ",\"throughput\":{\"requests_per_s\":" << s.throughput_rps
      << ",\"images_per_s\":" << s.throughput_images_per_s << '}'

@@ -52,7 +52,15 @@ struct MetricsSnapshot {
   i64 completed_rows = 0;  ///< images served
   i64 rejected_requests = 0;
   i64 failed_requests = 0;
+  i64 timed_out_requests = 0;
   i64 batches = 0;
+  // Resilience counters (self-healing path).
+  i64 retries = 0;        ///< failed dispatches re-queued for retry
+  i64 heals = 0;          ///< replica quarantine + redeploy cycles
+  i64 scrubs = 0;         ///< periodic ECC scrub passes
+  i64 ecc_corrected = 0;  ///< single-bit errors repaired by scrubs
+  i64 ecc_detected_uncorrectable = 0;
+  i64 ecc_silent = 0;
   f64 elapsed_s = 0.0;  ///< since construction/reset
   f64 throughput_rps = 0.0;
   f64 throughput_images_per_s = 0.0;
@@ -71,6 +79,11 @@ class ServingMetrics {
   void record_completed(i64 rows, f64 queue_us, f64 total_us);
   void record_rejected();
   void record_failed(i64 rows);
+  void record_timed_out(i64 rows);
+  void record_retry();
+  void record_heal();
+  /// One scrub pass: corrected / detected-uncorrectable / silent totals.
+  void record_scrub(i64 corrected, i64 detected_uncorrectable, i64 silent);
   void record_batch(i64 rows);
   void sample_queue_depth(i64 depth);
 
@@ -87,7 +100,14 @@ class ServingMetrics {
   i64 completed_rows_ = 0;
   i64 rejected_requests_ = 0;
   i64 failed_requests_ = 0;
+  i64 timed_out_requests_ = 0;
   i64 batches_ = 0;
+  i64 retries_ = 0;
+  i64 heals_ = 0;
+  i64 scrubs_ = 0;
+  i64 ecc_corrected_ = 0;
+  i64 ecc_detected_uncorrectable_ = 0;
+  i64 ecc_silent_ = 0;
   LatencyHistogram queue_latency_;
   LatencyHistogram total_latency_;
   std::vector<i64> batch_rows_histogram_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "device/faults.h"
 #include "device/rram.h"
 #include "device/scaling.h"
@@ -154,6 +156,99 @@ TEST(Faults, InvalidBerRejected) {
   std::vector<i8> codes(4, 0);
   EXPECT_THROW(inject_bit_errors(codes, -0.1, rng), ContractError);
   EXPECT_THROW(inject_bit_errors(codes, 1.5, rng), ContractError);
+}
+
+// --- Physical MTJ fault model --------------------------------------------
+
+TEST(MtjFaultModel, AsymmetricRatesFlipOnlyOneDirection) {
+  Rng rng(10);
+  MtjFaultModel model;
+  model.flip_p_to_ap = 1.0;  // every stored 0 reads back 1
+  std::vector<i8> codes(16, 0);
+  const FaultStats stats =
+      inject_bit_errors(std::span<i8>(codes), model, rng);
+  EXPECT_EQ(stats.flips_p_to_ap, 16 * 8);
+  EXPECT_EQ(stats.flips_ap_to_p, 0);
+  for (i8 c : codes) EXPECT_EQ(static_cast<u8>(c), 0xFF);
+
+  MtjFaultModel mirror;
+  mirror.flip_ap_to_p = 1.0;  // and the reverse direction
+  const FaultStats back =
+      inject_bit_errors(std::span<i8>(codes), mirror, rng);
+  EXPECT_EQ(back.flips_ap_to_p, 16 * 8);
+  EXPECT_EQ(back.flips_p_to_ap, 0);
+  for (i8 c : codes) EXPECT_EQ(c, 0);
+}
+
+TEST(MtjFaultModel, RetentionDriftOnlyRelaxesApBits) {
+  MtjFaultModel model;
+  model.retention_elapsed_s = model.retention_tau_s;  // one time constant
+  EXPECT_NEAR(model.retention_flip_probability(), 1.0 - std::exp(-1.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(model.flip_probability(false), 0.0);  // P is ground state
+  EXPECT_GT(model.flip_probability(true), 0.6);          // AP bits decay
+}
+
+TEST(MtjFaultModel, StuckCellsPinIndependentOfStoredValue) {
+  Rng rng(11);
+  MtjFaultModel model;
+  model.stuck_at_fraction = 1.0;
+  model.stuck_at_ap_share = 1.0;  // every cell pinned to AP (reads 1)
+  std::vector<i8> codes(8, 0);
+  const FaultStats stats =
+      inject_bit_errors(std::span<i8>(codes), model, rng);
+  EXPECT_EQ(stats.stuck_cells, 8 * 8);
+  for (i8 c : codes) EXPECT_EQ(static_cast<u8>(c), 0xFF);
+}
+
+TEST(MtjFaultModel, FromDeviceResolvesDirectionalRates) {
+  MtjParams params;
+  params.write_error_rate = 1e-3;
+  params.write_error_rate_p_to_ap = 5e-3;  // P->AP switching is harder
+  const MtjFaultModel model = MtjFaultModel::from_device(params);
+  EXPECT_DOUBLE_EQ(model.flip_p_to_ap, 5e-3);
+  EXPECT_DOUBLE_EQ(model.flip_ap_to_p, 1e-3);  // inherits the symmetric rate
+  EXPECT_DOUBLE_EQ(model.retention_tau_s, params.retention_tau_s);
+}
+
+TEST(MtjFaultModel, BitsPerWordRestrictsFaultSurface) {
+  Rng rng(12);
+  std::vector<u8> nibbles(64, 0);
+  const MtjFaultModel model = MtjFaultModel::symmetric(1.0);
+  const FaultStats stats =
+      inject_bit_errors(std::span<u8>(nibbles), model, rng, /*bits_per_word=*/2);
+  EXPECT_EQ(stats.bits_examined, 64 * 2);
+  for (u8 c : nibbles) EXPECT_EQ(c, 0x3);  // only the low 2 bits exist
+}
+
+TEST(MtjFaultModel, PointerCellViewMatchesContiguousSpan) {
+  // Scattered-cell overload (the PE-tile fault surface) must corrupt
+  // exactly like the contiguous span given the same model and seed.
+  std::vector<i8> a(128);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<i8>(i);
+  std::vector<i8> b = a;
+  std::vector<i8*> cells;
+  for (i8& x : b) cells.push_back(&x);
+  const MtjFaultModel model = MtjFaultModel::symmetric(0.05);
+  Rng r1(13), r2(13);
+  const FaultStats s1 = inject_bit_errors(std::span<i8>(a), model, r1);
+  const FaultStats s2 = inject_bit_errors(cells, model, r2);
+  EXPECT_EQ(s1.bits_flipped, s2.bits_flipped);
+  EXPECT_GT(s1.bits_flipped, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MtjFaultModel, InvalidModelRejected) {
+  Rng rng(14);
+  std::vector<i8> codes(4, 0);
+  MtjFaultModel model;
+  model.flip_p_to_ap = 1.5;
+  EXPECT_THROW(inject_bit_errors(std::span<i8>(codes), model, rng),
+               ContractError);
+  model = {};
+  model.stuck_at_fraction = -0.5;
+  EXPECT_THROW(inject_bit_errors(std::span<i8>(codes), model, rng),
+               ContractError);
 }
 
 }  // namespace

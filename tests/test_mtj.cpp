@@ -93,6 +93,37 @@ TEST(Mtj, InvalidParamsRejected) {
   MtjParams neg;
   neg.write_error_rate = -0.1;
   EXPECT_THROW(MtjDevice{neg}, ContractError);
+  MtjParams dir;
+  dir.write_error_rate_p_to_ap = 1.0;  // a certainty is not a rate
+  EXPECT_THROW(MtjDevice{dir}, ContractError);
+  MtjParams tau;
+  tau.retention_tau_s = 0.0;
+  EXPECT_THROW(MtjDevice{tau}, ContractError);
+}
+
+TEST(Mtj, DirectionalWriteErrorRatesResolve) {
+  MtjParams params;
+  params.write_error_rate = 0.01;
+  // Defaults inherit the symmetric rate in both directions.
+  EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kAntiParallel), 0.01);
+  EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kParallel), 0.01);
+  // An explicit directional rate overrides only its own direction.
+  params.write_error_rate_p_to_ap = 0.2;
+  EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kAntiParallel), 0.2);
+  EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kParallel), 0.01);
+}
+
+TEST(Mtj, AsymmetricWritesFailOnlyInTheHardDirection) {
+  MtjParams params;
+  params.write_error_rate_p_to_ap = 1.0 - 1e-12;  // P->AP ~always fails
+  params.write_error_rate_ap_to_p = 0.0;          // AP->P never does
+  Rng rng(7);
+  MtjDevice mtj(params);  // starts Parallel
+  EXPECT_FALSE(mtj.write(true, rng));  // cannot reach AP
+  EXPECT_EQ(mtj.state(), MtjState::kParallel);
+  MtjDevice ap(params, MtjState::kAntiParallel);
+  EXPECT_TRUE(ap.write(false, rng));  // easy direction always lands
+  EXPECT_EQ(ap.state(), MtjState::kParallel);
 }
 
 }  // namespace

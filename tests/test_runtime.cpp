@@ -253,5 +253,143 @@ TEST_F(ServingEngineTest, MultiWorkerBatchedBitIdenticalToSequential) {
   EXPECT_NE(json.find("\"rows_histogram\""), std::string::npos);
 }
 
+TEST_F(ServingEngineTest, SubmitValidatesShapeUpFront) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  ServingEngine engine(*model_, data_.train, options);
+
+  Rng rng(23);
+  ResponseFuture bad = engine.submit(Tensor::randn(Shape{1, 3, 8, 8}, rng));
+  ASSERT_TRUE(bad.poll());  // resolved at submit, no worker involved
+  const InferenceResponse response = bad.get();
+  EXPECT_EQ(response.status, RequestStatus::kRejected);
+  EXPECT_NE(response.error.find("image shape mismatch"), std::string::npos)
+      << response.error;
+  EXPECT_NE(response.error.find("[1, 3, 8, 8]"), std::string::npos)
+      << response.error;
+  EXPECT_EQ(engine.metrics().snapshot().rejected_requests, 1);
+  EXPECT_EQ(engine.queue_depth(), 0);  // never admitted
+  engine.shutdown();
+}
+
+TEST_F(ServingEngineTest, CrashedReplicaQuarantinedHealedAndRetried) {
+  PimRepNetExecutor reference(*model_, data_.train);
+
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.max_retries = 2;
+  ServingEngine engine(*model_, data_.train, options);
+
+  const Tensor images = data_.test.batch_images(0, 1);
+  ResponseFuture future = engine.submit(images);
+  engine.inject_worker_fault(0, WorkerFault::kCrashNextBatch);
+  engine.start();
+
+  const InferenceResponse response = future.get();
+  EXPECT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(response.retries, 1);  // one crash survived
+  // The healed replica redeployed from the golden model: logits are
+  // bit-identical to a fresh executor.
+  EXPECT_EQ(max_abs_diff(response.logits, reference.forward(images)), 0.0f);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.completed_requests, 1);
+  EXPECT_EQ(snapshot.failed_requests, 0);
+  EXPECT_EQ(snapshot.retries, 1);
+  EXPECT_EQ(snapshot.heals, 1);
+  EXPECT_EQ(engine.healthy_workers(), 1);
+}
+
+TEST_F(ServingEngineTest, RetryBudgetExhaustionFails) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.max_retries = 0;  // any replica failure is final
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture future = engine.submit(data_.test.batch_images(0, 1));
+  engine.inject_worker_fault(0, WorkerFault::kCrashNextBatch);
+  engine.start();
+
+  const InferenceResponse response = future.get();
+  EXPECT_EQ(response.status, RequestStatus::kFailed);
+  EXPECT_NE(response.error.find("retry budget exhausted"), std::string::npos)
+      << response.error;
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.failed_requests, 1);
+  EXPECT_EQ(snapshot.retries, 0);
+  EXPECT_EQ(snapshot.heals, 1);  // quarantine/redeploy still ran
+  EXPECT_EQ(engine.healthy_workers(), 1);
+}
+
+TEST_F(ServingEngineTest, DeadlineExpiryResolvesTimedOut) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.request_deadline_us = 1.0;  // expires while staged
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture future = engine.submit(data_.test.batch_images(0, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.start();
+
+  const InferenceResponse response = future.get();
+  EXPECT_EQ(response.status, RequestStatus::kTimedOut);
+  EXPECT_NE(response.error.find("deadline expired"), std::string::npos);
+  EXPECT_TRUE(response.logits.empty());
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.timed_out_requests, 1);
+  EXPECT_EQ(snapshot.completed_requests, 0);
+  EXPECT_EQ(snapshot.failed_requests, 0);
+}
+
+TEST_F(ServingEngineTest, UncorrectableScrubTriggersRedeploy) {
+  PimRepNetExecutor reference(*model_, data_.train);
+
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.executor.ecc = EccMode::kSecDed;
+  options.scrub_every_batches = 1;  // scrub after every served batch
+  ServingEngine engine(*model_, data_.train, options);
+
+  // Heavy corruption: beyond SEC-DED's single-error regime, so the
+  // post-batch scrub must raise the uncorrectable signal and redeploy.
+  const Tensor first = data_.test.batch_images(0, 1);
+  const Tensor second = data_.test.batch_images(1, 1);
+  ResponseFuture a = engine.submit(first);
+  ResponseFuture b = engine.submit(second);
+  engine.inject_worker_fault(0, WorkerFault::kCorruptNvm,
+                             MtjFaultModel::symmetric(5e-3), /*seed=*/77);
+  engine.start();
+
+  EXPECT_EQ(a.get().status, RequestStatus::kOk);  // served corrupt, then
+  const InferenceResponse healed = b.get();       // healed before this one
+  EXPECT_EQ(healed.status, RequestStatus::kOk);
+  EXPECT_EQ(max_abs_diff(healed.logits, reference.forward(second)), 0.0f);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_GE(snapshot.scrubs, 1);
+  EXPECT_GT(snapshot.ecc_detected_uncorrectable, 0);
+  EXPECT_EQ(snapshot.heals, 1);
+  EXPECT_EQ(engine.healthy_workers(), 1);
+  const std::string json = ServingMetrics::to_json(snapshot);
+  EXPECT_NE(json.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(json.find("\"timed_out\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msh
