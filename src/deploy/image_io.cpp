@@ -1,14 +1,38 @@
 #include "deploy/image_io.h"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace msh {
 
 namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'H', 'I'};
-constexpr u32 kVersion = 1;
+// v1: no integrity footer. v2 appends a CRC-32 of every preceding byte;
+// load still accepts v1 images (no footer to check).
+constexpr u32 kVersion = 2;
+constexpr u32 kOldestReadableVersion = 1;
+
+/// Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320).
+u32 crc32(const char* data, size_t len) {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ static_cast<u8>(data[i])) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {
@@ -36,6 +60,12 @@ std::vector<T> read_vec(std::istream& is, size_t count) {
           static_cast<std::streamsize>(count * sizeof(T)));
   if (!is) throw SimulationError("DeploymentImage: truncated payload");
   return data;
+}
+
+std::string hex32(u32 value) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", value);
+  return buf;
 }
 
 }  // namespace
@@ -71,37 +101,82 @@ i64 DeploymentImage::payload_bytes() const {
 }
 
 void DeploymentImage::save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw SimulationError("DeploymentImage: cannot open " + path);
-  os.write(kMagic, 4);
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<u64>(entries_.size()));
+  // Serialize to memory first: the CRC footer covers the whole body, and
+  // the temp-file + rename publish below needs a single complete write.
+  std::ostringstream buf(std::ios::binary);
+  buf.write(kMagic, 4);
+  write_pod(buf, kVersion);
+  write_pod(buf, static_cast<u64>(entries_.size()));
   for (const auto& [name, matrix] : entries_) {
-    write_pod(os, static_cast<u64>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(os, static_cast<i32>(matrix.config().n));
-    write_pod(os, static_cast<i32>(matrix.config().m));
-    write_pod(os, matrix.dense_rows());
-    write_pod(os, matrix.cols());
-    write_pod(os, matrix.scale());
-    write_vec(os, matrix.raw_values());
-    write_vec(os, matrix.raw_indices());
-    write_vec(os, matrix.raw_valid());
+    write_pod(buf, static_cast<u64>(name.size()));
+    buf.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(buf, static_cast<i32>(matrix.config().n));
+    write_pod(buf, static_cast<i32>(matrix.config().m));
+    write_pod(buf, matrix.dense_rows());
+    write_pod(buf, matrix.cols());
+    write_pod(buf, matrix.scale());
+    write_vec(buf, matrix.raw_values());
+    write_vec(buf, matrix.raw_indices());
+    write_vec(buf, matrix.raw_valid());
   }
-  if (!os) throw SimulationError("DeploymentImage: write failed: " + path);
+  std::string body = buf.str();
+  const u32 crc = crc32(body.data(), body.size());
+  body.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  // Atomic publish: write a sibling temp file, then rename over the
+  // target. A crash mid-save leaves the old image intact; readers never
+  // observe a half-written file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw SimulationError("DeploymentImage: cannot open " + tmp);
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw SimulationError("DeploymentImage: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SimulationError("DeploymentImage: cannot publish " + path);
+  }
 }
 
 DeploymentImage DeploymentImage::load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw SimulationError("DeploymentImage: cannot open " + path);
-  char magic[4];
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw SimulationError("DeploymentImage: cannot open " + path);
+  std::ostringstream sink(std::ios::binary);
+  sink << file.rdbuf();
+  std::string blob = sink.str();
+
+  if (blob.size() < 4 + sizeof(u32) + sizeof(u64) ||
+      std::memcmp(blob.data(), kMagic, 4) != 0)
     throw SimulationError("DeploymentImage: bad magic in " + path);
-  const u32 version = read_pod<u32>(is);
-  if (version != kVersion)
+  u32 version = 0;
+  std::memcpy(&version, blob.data() + 4, sizeof(version));
+  if (version < kOldestReadableVersion || version > kVersion)
     throw SimulationError("DeploymentImage: unsupported version " +
                           std::to_string(version));
+  if (version >= 2) {
+    // The last 4 bytes are the CRC-32 of everything before them.
+    if (blob.size() < 4 + sizeof(u32) + sizeof(u64) + sizeof(u32))
+      throw SimulationError("DeploymentImage: truncated file");
+    u32 stored = 0;
+    std::memcpy(&stored, blob.data() + blob.size() - sizeof(stored),
+                sizeof(stored));
+    blob.resize(blob.size() - sizeof(stored));
+    const u32 computed = crc32(blob.data(), blob.size());
+    if (stored != computed) {
+      throw SimulationError(
+          "DeploymentImage: CRC mismatch in " + path + " (stored " +
+          hex32(stored) + ", computed " + hex32(computed) +
+          "): refusing to deploy a corrupt image");
+    }
+  }
+
+  std::istringstream is(blob, std::ios::binary);
+  is.ignore(4 + sizeof(u32));  // magic + version, validated above
 
   DeploymentImage image;
   const u64 count = read_pod<u64>(is);

@@ -3,13 +3,20 @@
 // boot. A simple, versioned little-endian binary container of named
 // QuantizedNmMatrix entries.
 //
-// Format:
+// Format (version 2; version 1 = the same without the footer and is
+// still readable):
 //   "MSHI" | u32 version | u64 entry_count |
 //   per entry: u64 name_len | name bytes |
 //              i32 n | i32 m | i64 dense_rows | i64 cols | f32 scale |
 //              values  (packed_rows * cols x i8)
 //              indices (packed_rows * cols x u8)
 //              valid   (packed_rows * cols x u8, 0/1)
+//   u32 crc32 (IEEE, over every preceding byte)
+//
+// save() is atomic: the image is serialized to a sibling temp file and
+// renamed over the target, so a crash mid-save never clobbers a good
+// image. load() verifies the CRC before deserializing and refuses a
+// corrupt or truncated file with a descriptive SimulationError.
 #pragma once
 
 #include <map>

@@ -55,11 +55,13 @@ PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
 
 PimRepNetExecutor::PimRepNetExecutor(
     RepNetModel& model, PimExecutorOptions options,
-    const std::unordered_map<const void*, f32>& amax)
+    const std::unordered_map<const void*, f32>& amax,
+    std::shared_ptr<const DeploymentImage> image)
     : model_(model),
       options_(options),
       core_(options.core),
-      input_amax_(amax) {
+      input_amax_(amax),
+      source_image_(std::move(image)) {
   deploy();
 }
 
@@ -68,7 +70,23 @@ std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone() const {
   // not read-only on the shared model) and redeploys from the recorded
   // ranges: bit-identical to this executor's as-programmed state.
   return std::unique_ptr<PimRepNetExecutor>(
-      new PimRepNetExecutor(model_, options_, input_amax_));
+      new PimRepNetExecutor(model_, options_, input_amax_, source_image_));
+}
+
+std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone_with_image(
+    std::shared_ptr<const DeploymentImage> image) const {
+  MSH_REQUIRE(image != nullptr);
+  return std::unique_ptr<PimRepNetExecutor>(
+      new PimRepNetExecutor(model_, options_, input_amax_, std::move(image)));
+}
+
+std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::deploy_from_image(
+    RepNetModel& model, PimExecutorOptions options,
+    std::unordered_map<const void*, f32> amax,
+    std::shared_ptr<const DeploymentImage> image) {
+  MSH_REQUIRE(image != nullptr);
+  return std::unique_ptr<PimRepNetExecutor>(
+      new PimRepNetExecutor(model, options, amax, std::move(image)));
 }
 
 void PimRepNetExecutor::calibrate(const Dataset& calibration) {
@@ -89,39 +107,107 @@ f32 PimRepNetExecutor::scale_for(const void* layer) const {
 
 void PimRepNetExecutor::deploy() {
   Backbone& backbone = model_.backbone();
-  auto deploy_conv = [&](Conv2d& conv, PeKind target) {
-    convs_.emplace(&conv, std::make_unique<PimConv>(
-                              core_, conv, options_.nm, target,
-                              scale_for(&conv)));
+  named_layers_.clear();
+  auto preset_for = [&](const std::string& name) -> const QuantizedNmMatrix* {
+    if (!source_image_) return nullptr;
+    if (!source_image_->contains(name)) {
+      throw SimulationError("PimRepNetExecutor: deployment image has no "
+                            "entry for layer '" + name + "'");
+    }
+    return &source_image_->get(name);
+  };
+  auto deploy_conv = [&](const std::string& name, Conv2d& conv,
+                         PeKind target) {
+    auto deployed = std::make_unique<PimConv>(core_, conv, options_.nm,
+                                              target, scale_for(&conv),
+                                              preset_for(name));
+    named_layers_.emplace_back(name, &deployed->matmul_layer());
+    convs_.emplace(&conv, std::move(deployed));
   };
 
   // Frozen backbone -> MRAM.
   for (i64 i = 0; i < backbone.stem().size(); ++i) {
     if (auto* conv = dynamic_cast<Conv2d*>(&backbone.stem().layer(i)))
-      deploy_conv(*conv, PeKind::kMram);
+      deploy_conv("stem." + std::to_string(i), *conv, PeKind::kMram);
   }
   for (i64 s = 0; s < backbone.num_stages(); ++s) {
     Sequential& stage = backbone.stage(s);
     for (i64 b = 0; b < stage.size(); ++b) {
       auto* block = dynamic_cast<ResidualBlock*>(&stage.layer(b));
       MSH_ENSURE(block != nullptr);
-      deploy_conv(block->conv1(), PeKind::kMram);
-      deploy_conv(block->conv2(), PeKind::kMram);
+      const std::string prefix =
+          "stage" + std::to_string(s) + ".block" + std::to_string(b);
+      deploy_conv(prefix + ".conv1", block->conv1(), PeKind::kMram);
+      deploy_conv(prefix + ".conv2", block->conv2(), PeKind::kMram);
       if (block->has_projection())
-        deploy_conv(block->projection(), PeKind::kMram);
+        deploy_conv(prefix + ".proj", block->projection(), PeKind::kMram);
     }
   }
   // Learnable path -> SRAM.
   for (i64 m = 0; m < model_.num_rep_modules(); ++m) {
     RepModule& rep = model_.rep_module(m);
-    deploy_conv(rep.reduce(), PeKind::kSram);
-    deploy_conv(rep.expand(), PeKind::kSram);
+    const std::string prefix = "rep" + std::to_string(m);
+    deploy_conv(prefix + ".reduce", rep.reduce(), PeKind::kSram);
+    deploy_conv(prefix + ".expand", rep.expand(), PeKind::kSram);
   }
   classifier_ = std::make_unique<PimLinear>(
       core_, model_.classifier(), options_.nm, PeKind::kSram,
-      scale_for(&model_.classifier()));
+      scale_for(&model_.classifier()), preset_for("classifier"));
+  named_layers_.emplace_back("classifier", &classifier_->matmul_layer());
 
   protect_arrays();
+}
+
+std::vector<std::string> PimRepNetExecutor::layer_names() const {
+  std::vector<std::string> names;
+  names.reserve(named_layers_.size());
+  for (const auto& [name, layer] : named_layers_) names.push_back(name);
+  return names;
+}
+
+DeploymentImage PimRepNetExecutor::export_image() const {
+  DeploymentImage image;
+  for (const auto& [name, layer] : named_layers_)
+    image.add(name, layer->deployed_matrix());
+  return image;
+}
+
+std::string PimRepNetExecutor::verify_against(const DeploymentImage& image) {
+  for (const auto& [name, layer] : named_layers_) {
+    if (!image.contains(name))
+      return "layer '" + name + "': no entry in the deployment image";
+    const QuantizedNmMatrix& want = image.get(name);
+    const QuantizedNmMatrix& have = layer->deployed_matrix();
+    if (want.config().n != have.config().n ||
+        want.config().m != have.config().m ||
+        want.dense_rows() != have.dense_rows() ||
+        want.cols() != have.cols()) {
+      return "layer '" + name + "': geometry mismatch (image " +
+             std::to_string(want.dense_rows()) + " x " +
+             std::to_string(want.cols()) + " @ " +
+             std::to_string(want.config().n) + ":" +
+             std::to_string(want.config().m) + ")";
+    }
+    if (want.scale() != have.scale())
+      return "layer '" + name + "': dequantization scale mismatch";
+    // Physical probe: a deterministic INT8 vector through the live PE
+    // arrays must reproduce the image's reference matvec bit-exactly.
+    // Catches programming corruption the metadata checks above cannot.
+    std::vector<i8> probe(static_cast<size_t>(want.dense_rows()));
+    for (size_t i = 0; i < probe.size(); ++i)
+      probe[i] = static_cast<i8>(static_cast<i64>(i * 37 + 11) % 255 - 127);
+    const std::vector<i32> expect = want.reference_matvec(probe);
+    const std::vector<i32> got = core_.matvec(layer->handle(), probe);
+    MSH_ENSURE(expect.size() == got.size());
+    for (size_t c = 0; c < got.size(); ++c) {
+      if (got[c] != expect[c]) {
+        return "layer '" + name + "': probe matvec diverges at column " +
+               std::to_string(c) + " (array " + std::to_string(got[c]) +
+               ", image " + std::to_string(expect[c]) + ")";
+      }
+    }
+  }
+  return "";
 }
 
 void PimRepNetExecutor::protect_arrays() {

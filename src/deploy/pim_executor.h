@@ -13,10 +13,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "deploy/ecc.h"
+#include "deploy/image_io.h"
 #include "deploy/pim_layer.h"
 #include "device/faults.h"
 #include "repnet/repnet_model.h"
@@ -98,12 +101,58 @@ class PimRepNetExecutor {
   /// protection) reusing this executor's calibration. Read-only on the
   /// shared model, so safe while other replicas are forwarding
   /// concurrently — the serving runtime's redeploy-after-failure path.
+  /// A replica deployed from an image (see clone_with_image) redeploys
+  /// from that same image: heal-after-swap restores the swapped weights,
+  /// not the original model's.
   std::unique_ptr<PimRepNetExecutor> clone() const;
 
+  /// Like clone(), but programs the PE arrays from `image`'s quantized
+  /// codes instead of re-quantizing the model — the model-swap path.
+  /// Every deployed layer must have a matching entry (by layer name);
+  /// missing or ill-fitting entries throw SimulationError. The image
+  /// pointer is retained as this replica's deployment provenance.
+  std::unique_ptr<PimRepNetExecutor> clone_with_image(
+      std::shared_ptr<const DeploymentImage> image) const;
+
+  /// Standalone image deployment: same as clone_with_image but without an
+  /// existing executor to copy options/calibration from.
+  static std::unique_ptr<PimRepNetExecutor> deploy_from_image(
+      RepNetModel& model, PimExecutorOptions options,
+      std::unordered_map<const void*, f32> amax,
+      std::shared_ptr<const DeploymentImage> image);
+
+  /// Serializes the as-programmed (golden) quantized matrices of every
+  /// deployed layer under its stable name — what a device would flash.
+  DeploymentImage export_image() const;
+
+  /// Physical read-back verification: for every deployed layer, drives a
+  /// deterministic INT8 probe vector through the PE arrays and compares
+  /// bit-exactly against `image`'s reference matvec (plus scale/shape
+  /// checks). Returns an empty string when the live arrays match the
+  /// image, else a description of the first divergence — the
+  /// deploy-verify gate of the zero-downtime swap.
+  std::string verify_against(const DeploymentImage& image);
+
+  /// The image this executor was deployed from (null when deployed by
+  /// quantizing the model directly).
+  const std::shared_ptr<const DeploymentImage>& source_image() const {
+    return source_image_;
+  }
+
+  /// Calibration state (input-range table), for deploy_from_image.
+  const std::unordered_map<const void*, f32>& input_amax() const {
+    return input_amax_;
+  }
+
+  /// Stable names of the deployed weight layers, in deploy order.
+  std::vector<std::string> layer_names() const;
+
  private:
-  /// Clone constructor: skips calibration, reuses recorded ranges.
+  /// Clone constructor: skips calibration, reuses recorded ranges. With
+  /// a non-null `image`, deploys its codes instead of quantizing.
   PimRepNetExecutor(RepNetModel& model, PimExecutorOptions options,
-                    const std::unordered_map<const void*, f32>& amax);
+                    const std::unordered_map<const void*, f32>& amax,
+                    std::shared_ptr<const DeploymentImage> image = nullptr);
   /// Shared forward-structure walk. In calibration mode convs run in
   /// software while input ranges are recorded; in hardware mode they run
   /// through the deployed PIM layers.
@@ -139,6 +188,9 @@ class PimRepNetExecutor {
   std::unique_ptr<PimLinear> classifier_;
   std::vector<ArrayProtection> protections_;  ///< indexed by core handle
   std::vector<ScrubReport> last_scrub_reports_;
+  /// (stable name, deployed layer), in deploy-walk order.
+  std::vector<std::pair<std::string, const PimMatmulLayer*>> named_layers_;
+  std::shared_ptr<const DeploymentImage> source_image_;
 };
 
 /// Deploys `count` independent executor replicas of one trained model —

@@ -1,6 +1,7 @@
 #include "deploy/pim_layer.h"
 
 #include <cmath>
+#include <string>
 
 namespace msh {
 
@@ -36,7 +37,8 @@ Tensor pad_rows(const Tensor& matrix, i64 multiple) {
 
 PimMatmulLayer::PimMatmulLayer(HybridCore& core, const Tensor& weight,
                                NmConfig cfg, PeKind target,
-                               f32 activation_scale)
+                               f32 activation_scale,
+                               const QuantizedNmMatrix* preset)
     : core_(core) {
   MSH_REQUIRE(weight.shape().rank() == 2);
   MSH_REQUIRE(activation_scale > 0.0f);
@@ -59,14 +61,31 @@ PimMatmulLayer::PimMatmulLayer(HybridCore& core, const Tensor& weight,
   }
   padded_k_ = padded.shape()[0];
 
-  const NmPackedMatrix packed = NmPackedMatrix::pack(padded, packed_cfg_);
-  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
-  weight_scale_ = quantized.scale();
-  stored_slots_ = quantized.packed_rows() * quantized.cols();
+  if (preset != nullptr) {
+    if (preset->config().n != packed_cfg_.n ||
+        preset->config().m != packed_cfg_.m ||
+        preset->dense_rows() != padded_k_ || preset->cols() != out_) {
+      throw SimulationError(
+          "PimMatmulLayer: preset matrix does not fit the layer: preset " +
+          std::to_string(preset->config().n) + ":" +
+          std::to_string(preset->config().m) + " [" +
+          std::to_string(preset->dense_rows()) + " x " +
+          std::to_string(preset->cols()) + "], layer expects " +
+          std::to_string(packed_cfg_.n) + ":" +
+          std::to_string(packed_cfg_.m) + " [" + std::to_string(padded_k_) +
+          " x " + std::to_string(out_) + "]");
+    }
+    deployed_ = *preset;
+  } else {
+    const NmPackedMatrix packed = NmPackedMatrix::pack(padded, packed_cfg_);
+    deployed_ = QuantizedNmMatrix::from_packed(packed);
+  }
+  weight_scale_ = deployed_.scale();
+  stored_slots_ = deployed_.packed_rows() * deployed_.cols();
 
   act_params_.scale = activation_scale;
-  handle_ = target == PeKind::kSram ? core_.deploy_sram(quantized)
-                                    : core_.deploy_mram(quantized);
+  handle_ = target == PeKind::kSram ? core_.deploy_sram(deployed_)
+                                    : core_.deploy_mram(deployed_);
 }
 
 void PimMatmulLayer::update(const Tensor& weight) {
@@ -74,9 +93,9 @@ void PimMatmulLayer::update(const Tensor& weight) {
   Tensor padded = pad_rows(weight.transposed(), packed_cfg_.m);
   MSH_REQUIRE(satisfies_nm(padded, packed_cfg_));
   const NmPackedMatrix packed = NmPackedMatrix::pack(padded, packed_cfg_);
-  const QuantizedNmMatrix quantized = QuantizedNmMatrix::from_packed(packed);
-  weight_scale_ = quantized.scale();
-  core_.redeploy_sram(handle_, quantized);
+  deployed_ = QuantizedNmMatrix::from_packed(packed);
+  weight_scale_ = deployed_.scale();
+  core_.redeploy_sram(handle_, deployed_);
 }
 
 void PimMatmulLayer::set_activation_scale(f32 scale) {
@@ -107,9 +126,10 @@ Tensor PimMatmulLayer::matmul(const Tensor& x) {
 }
 
 PimConv::PimConv(HybridCore& core, Conv2d& conv, NmConfig cfg, PeKind target,
-                 f32 activation_scale)
+                 f32 activation_scale, const QuantizedNmMatrix* preset)
     : geom_(conv.geometry()),
-      matmul_(core, conv.weight().value, cfg, target, activation_scale) {
+      matmul_(core, conv.weight().value, cfg, target, activation_scale,
+              preset) {
   if (conv.has_bias()) bias_ = conv.bias().value;
 }
 
@@ -140,8 +160,10 @@ Tensor PimConv::forward(const Tensor& x) {
 }
 
 PimLinear::PimLinear(HybridCore& core, Linear& linear, NmConfig cfg,
-                     PeKind target, f32 activation_scale)
-    : matmul_(core, linear.weight().value, cfg, target, activation_scale) {
+                     PeKind target, f32 activation_scale,
+                     const QuantizedNmMatrix* preset)
+    : matmul_(core, linear.weight().value, cfg, target, activation_scale,
+              preset) {
   bias_ = linear.bias().value;
 }
 

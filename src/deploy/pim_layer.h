@@ -22,9 +22,15 @@ bool satisfies_nm(const Tensor& matrix, NmConfig cfg);
 class PimMatmulLayer {
  public:
   /// `weight` is the layer's [out x K] matrix; `activation_scale` the
-  /// calibrated symmetric scale of this layer's inputs.
+  /// calibrated symmetric scale of this layer's inputs. When `preset` is
+  /// given, its already-quantized codes are programmed instead of
+  /// re-quantizing `weight` — the model-swap / boot-from-flash path. The
+  /// packing decision (sparse vs dense fallback) still comes from
+  /// `weight`; a preset whose config or shape disagrees with that
+  /// decision throws SimulationError.
   PimMatmulLayer(HybridCore& core, const Tensor& weight, NmConfig cfg,
-                 PeKind target, f32 activation_scale);
+                 PeKind target, f32 activation_scale,
+                 const QuantizedNmMatrix* preset = nullptr);
 
   /// y[B x out] = dequant( PE( quant(x[B x K]) ) ).
   Tensor matmul(const Tensor& x);
@@ -43,6 +49,12 @@ class PimMatmulLayer {
   NmConfig packed_config() const { return packed_cfg_; }
   bool deployed_sparse() const { return deployed_sparse_; }
   i64 stored_slots() const { return stored_slots_; }
+  i64 handle() const { return handle_; }
+
+  /// The as-programmed quantized matrix (golden copy, serialization /
+  /// verify source). Physical PE cells may have drifted since (faults);
+  /// this copy has not.
+  const QuantizedNmMatrix& deployed_matrix() const { return deployed_; }
 
  private:
   HybridCore& core_;
@@ -55,6 +67,7 @@ class PimMatmulLayer {
   QuantParams act_params_;
   f32 weight_scale_ = 1.0f;
   i64 stored_slots_ = 0;
+  QuantizedNmMatrix deployed_;
 };
 
 /// A conv layer on the hardware: im2col lowering around a PimMatmulLayer,
@@ -62,7 +75,7 @@ class PimMatmulLayer {
 class PimConv {
  public:
   PimConv(HybridCore& core, Conv2d& conv, NmConfig cfg, PeKind target,
-          f32 activation_scale);
+          f32 activation_scale, const QuantizedNmMatrix* preset = nullptr);
 
   /// x: [B, C, H, W] float activations -> [B, out, Ho, Wo].
   Tensor forward(const Tensor& x);
@@ -79,7 +92,7 @@ class PimConv {
 class PimLinear {
  public:
   PimLinear(HybridCore& core, Linear& linear, NmConfig cfg, PeKind target,
-            f32 activation_scale);
+            f32 activation_scale, const QuantizedNmMatrix* preset = nullptr);
 
   /// x: [B, in] -> [B, out].
   Tensor forward(const Tensor& x);

@@ -1,0 +1,38 @@
+#include "runtime/admission.h"
+
+#include <algorithm>
+
+namespace msh {
+
+TokenBucket::TokenBucket(f64 rate_per_s, f64 burst, f64 now_us)
+    : rate_per_us_(rate_per_s / 1e6), burst_(burst), tokens_(burst),
+      last_us_(now_us) {
+  MSH_REQUIRE(rate_per_s >= 0.0);
+  MSH_REQUIRE(rate_per_s == 0.0 || burst >= 1.0);
+}
+
+bool TokenBucket::try_acquire(f64 now_us) {
+  if (rate_per_us_ <= 0.0) return true;
+  const std::lock_guard<std::mutex> guard(mutex_);
+  tokens_ = std::min(burst_, tokens_ + (now_us - last_us_) * rate_per_us_);
+  last_us_ = now_us;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionGate::AdmissionGate(const AdmissionOptions& options, f64 now_us)
+    : buckets_{TokenBucket(options.per_class[0].rate_per_s,
+                           options.per_class[0].burst, now_us),
+               TokenBucket(options.per_class[1].rate_per_s,
+                           options.per_class[1].burst, now_us),
+               TokenBucket(options.per_class[2].rate_per_s,
+                           options.per_class[2].burst, now_us)} {
+  static_assert(kPriorityClasses == 3);
+}
+
+bool AdmissionGate::admit(Priority priority, f64 now_us) {
+  return buckets_[static_cast<size_t>(priority)].try_acquire(now_us);
+}
+
+}  // namespace msh

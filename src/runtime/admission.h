@@ -1,0 +1,62 @@
+// Priority-class admission control for the serving engine: a token
+// bucket per class gates sustained offered load before it ever touches
+// the request queue. The bucket is the standard shape (refill at
+// `rate_per_s`, cap at `burst`): short bursts ride the bucket depth,
+// sustained overload drains it and the excess is shed at submit — the
+// cheapest possible point, before any queue slot or PIM cycle is spent.
+#pragma once
+
+#include <array>
+#include <mutex>
+
+#include "runtime/request.h"
+
+namespace msh {
+
+struct ClassAdmission {
+  /// Sustained admit rate for the class (requests/s). 0 = unlimited.
+  f64 rate_per_s = 0.0;
+  /// Bucket depth: how large a burst is admitted at once.
+  f64 burst = 16.0;
+  /// Queue budget for the class (see RequestQueueOptions::class_budget).
+  /// 0 = bounded only by the queue's global capacity.
+  i64 queue_budget = 0;
+};
+
+struct AdmissionOptions {
+  /// Indexed by Priority. Defaults admit everything (rate 0), so the
+  /// engine behaves exactly like the pre-admission design until a class
+  /// is given a rate or budget.
+  std::array<ClassAdmission, kPriorityClasses> per_class = {};
+};
+
+/// One refillable token bucket. Thread-safe; try_acquire is a handful of
+/// arithmetic ops under a mutex.
+class TokenBucket {
+ public:
+  /// rate 0 disables the bucket (every acquire succeeds).
+  TokenBucket(f64 rate_per_s, f64 burst, f64 now_us);
+
+  bool try_acquire(f64 now_us);
+
+ private:
+  const f64 rate_per_us_;  ///< tokens per microsecond; 0 = unlimited
+  const f64 burst_;
+  std::mutex mutex_;
+  f64 tokens_;
+  f64 last_us_;
+};
+
+/// Per-class token buckets; the engine's submit-side admission gate.
+class AdmissionGate {
+ public:
+  AdmissionGate(const AdmissionOptions& options, f64 now_us);
+
+  /// True if `priority` may admit one request at `now_us`.
+  bool admit(Priority priority, f64 now_us);
+
+ private:
+  std::array<TokenBucket, kPriorityClasses> buckets_;
+};
+
+}  // namespace msh

@@ -7,8 +7,9 @@
 
 namespace msh {
 
-DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherOptions options)
-    : queue_(queue), options_(options) {
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherOptions options,
+                               ShedPolicy shed)
+    : queue_(queue), options_(options), shed_(std::move(shed)) {
   MSH_REQUIRE(options_.max_batch_rows > 0);
   MSH_REQUIRE(options_.max_wait_us >= 0);
 }
@@ -38,6 +39,7 @@ Tensor concat_request_images(
 std::optional<MicroBatch> DynamicBatcher::next(f64 idle_timeout_us) {
   auto first = queue_.pop(idle_timeout_us);
   if (!first) return std::nullopt;
+  if (shed_ && shed_(*first, monotonic_now_us())) return std::nullopt;
 
   MicroBatch batch;
   batch.rows = first->rows;
@@ -52,6 +54,7 @@ std::optional<MicroBatch> DynamicBatcher::next(f64 idle_timeout_us) {
     if (remaining <= 0) break;
     auto follower = queue_.pop(remaining);
     if (!follower) break;  // deadline hit, or queue closed and drained
+    if (shed_ && shed_(*follower, monotonic_now_us())) continue;
     batch.rows += follower->rows;
     batch.requests.push_back(std::move(*follower));
   }

@@ -3,8 +3,14 @@
 // holds `max_batch_rows` images or when `max_wait_us` has elapsed since
 // its first request was picked up — latency-bounded batching, the same
 // policy knob every serving system exposes (cf. TF-Serving / Triton).
+//
+// The batcher is also the pre-dispatch shed point: an optional ShedPolicy
+// inspects every request as it is picked up, and requests whose deadline
+// is already unmeetable are resolved (kShed/kTimedOut) by the policy
+// instead of burning a queue slot and PIM cycles on doomed work.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -25,14 +31,21 @@ struct MicroBatch {
   f64 formed_us = 0.0;  ///< monotonic timestamp when the batch closed
 };
 
+/// Returns true if the request was consumed (resolved as shed/timed-out)
+/// and must not be batched. Called with the pickup timestamp.
+using ShedPolicy = std::function<bool(detail::PendingRequest&, f64 now_us)>;
+
 class DynamicBatcher {
  public:
-  DynamicBatcher(RequestQueue& queue, BatcherOptions options);
+  DynamicBatcher(RequestQueue& queue, BatcherOptions options,
+                 ShedPolicy shed = {});
 
   /// Blocks up to `idle_timeout_us` for a first request, then coalesces
   /// followers until the batch is full or `max_wait_us` expires. Returns
-  /// nullopt when nothing arrived (idle tick or closed-and-drained
-  /// queue). Requests are never split across batches and never reordered.
+  /// nullopt when nothing arrived (idle tick, closed-and-drained queue,
+  /// or every picked-up request was shed). Requests are never split
+  /// across batches; dequeue order (class priority, EDF within class,
+  /// FIFO otherwise) is preserved inside the batch.
   std::optional<MicroBatch> next(f64 idle_timeout_us);
 
   const BatcherOptions& options() const { return options_; }
@@ -40,6 +53,7 @@ class DynamicBatcher {
  private:
   RequestQueue& queue_;
   BatcherOptions options_;
+  ShedPolicy shed_;
 };
 
 /// Concatenates request images along the batch dimension. All requests

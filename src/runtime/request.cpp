@@ -14,6 +14,20 @@ const char* to_string(RequestStatus status) {
       return "failed";
     case RequestStatus::kTimedOut:
       return "timed_out";
+    case RequestStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
   }
   return "unknown";
 }

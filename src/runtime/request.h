@@ -1,6 +1,7 @@
 // Request/response types for the serving runtime: what a client submits
-// (a batch of images), what it gets back (logits + timings + status), and
-// the future-style handle connecting the two across threads.
+// (a batch of images plus a priority class and deadline), what it gets
+// back (logits + timings + status), and the future-style handle
+// connecting the two across threads.
 #pragma once
 
 #include <condition_variable>
@@ -19,9 +20,33 @@ enum class RequestStatus {
   kRejected,  ///< backpressure: the queue was full (or the engine stopped)
   kFailed,    ///< the executor threw and the retry budget is spent
   kTimedOut,  ///< per-request deadline expired before a healthy dispatch
+  kShed,      ///< overload control dropped the request before dispatch
 };
 
 const char* to_string(RequestStatus status);
+
+/// Priority class of a request. Under overload, load is shed from the
+/// bottom of this ordering first: best-effort traffic absorbs the
+/// pressure so interactive p99 stays bounded.
+enum class Priority {
+  kInteractive = 0,  ///< user-facing, tight deadline, served first
+  kBatch = 1,        ///< background batch work
+  kBestEffort = 2,   ///< speculative / free-tier; first to shed
+};
+
+inline constexpr i64 kPriorityClasses = 3;
+
+const char* to_string(Priority priority);
+
+/// Per-request knobs accepted by ServingEngine::submit.
+struct SubmitOptions {
+  Priority priority = Priority::kInteractive;
+  /// Relative deadline (microseconds from submit). The engine resolves a
+  /// request kShed/kTimedOut rather than dispatching it once the deadline
+  /// is unmeetable. 0 = use the engine default (`request_deadline_us`);
+  /// an engine default of 0 too means no deadline.
+  f64 deadline_us = 0.0;
+};
 
 /// What the client submits: [B, C, H, W] images (B >= 1).
 struct InferenceRequest {
@@ -32,8 +57,9 @@ struct InferenceRequest {
 struct InferenceResponse {
   RequestStatus status = RequestStatus::kPending;
   Tensor logits;      ///< [B, classes]; empty unless status == kOk
-  std::string error;  ///< set when status is kRejected/kFailed
+  std::string error;  ///< set when status is kRejected/kFailed/kShed
   u64 id = 0;         ///< engine-assigned, monotonically increasing
+  Priority priority = Priority::kInteractive;
   i64 worker = -1;    ///< replica index that served the request
   i64 batch_rows = 0; ///< total rows of the hardware batch it rode in
   i64 retries = 0;    ///< failed dispatches survived before resolving
@@ -86,6 +112,7 @@ struct PendingRequest {
   u64 id = 0;
   Tensor images;
   i64 rows = 0;
+  Priority priority = Priority::kInteractive;
   f64 submit_us = 0.0;
   f64 deadline_us = 0.0;  ///< absolute; 0 = no deadline
   i64 attempts = 0;       ///< failed dispatches so far (retry accounting)

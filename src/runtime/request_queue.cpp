@@ -1,40 +1,76 @@
 #include "runtime/request_queue.h"
 
 #include <chrono>
+#include <limits>
 
 namespace msh {
 
-RequestQueue::RequestQueue(i64 capacity) : capacity_(capacity) {
-  MSH_REQUIRE(capacity_ > 0);
+RequestQueue::RequestQueue(RequestQueueOptions options) : options_(options) {
+  MSH_REQUIRE(options_.capacity > 0);
+  for (const i64 budget : options_.class_budget) MSH_REQUIRE(budget >= 0);
 }
 
-bool RequestQueue::try_push(detail::PendingRequest&& request) {
+PushResult RequestQueue::push(detail::PendingRequest&& request) {
+  const auto cls = static_cast<size_t>(request.priority);
+  MSH_REQUIRE(cls < static_cast<size_t>(kPriorityClasses));
   {
     const std::lock_guard<std::mutex> guard(mutex_);
-    if (closed_ || static_cast<i64>(items_.size()) >= capacity_) return false;
-    items_.push_back(std::move(request));
+    if (closed_) return PushResult::kClosed;
+    if (total_ >= options_.capacity) return PushResult::kFull;
+    const i64 budget = options_.class_budget[cls];
+    if (budget > 0 && static_cast<i64>(items_[cls].size()) >= budget)
+      return PushResult::kOverClassBudget;
+    items_[cls].push_back(std::move(request));
+    ++total_;
   }
   ready_.notify_one();
-  return true;
+  return PushResult::kOk;
 }
 
 void RequestQueue::push_front(detail::PendingRequest&& request) {
+  const auto cls = static_cast<size_t>(request.priority);
+  MSH_REQUIRE(cls < static_cast<size_t>(kPriorityClasses));
   {
     const std::lock_guard<std::mutex> guard(mutex_);
-    items_.push_front(std::move(request));
+    items_[cls].push_front(std::move(request));
+    ++total_;
   }
   ready_.notify_one();
+}
+
+detail::PendingRequest RequestQueue::take_next_locked() {
+  for (auto& queue : items_) {
+    if (queue.empty()) continue;
+    // EDF within the class: earliest absolute deadline wins; requests
+    // without a deadline (0 = +inf) and equal deadlines keep FIFO order
+    // (strict < on the scan, so the first seen wins ties).
+    size_t best = 0;
+    f64 best_deadline = queue.front().deadline_us;
+    if (best_deadline <= 0.0) best_deadline = std::numeric_limits<f64>::max();
+    for (size_t i = 1; i < queue.size(); ++i) {
+      f64 deadline = queue[i].deadline_us;
+      if (deadline <= 0.0) deadline = std::numeric_limits<f64>::max();
+      if (deadline < best_deadline) {
+        best = i;
+        best_deadline = deadline;
+      }
+    }
+    detail::PendingRequest request = std::move(queue[best]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+    --total_;
+    return request;
+  }
+  MSH_ENSURE(false && "take_next_locked on an empty queue");
+  return {};
 }
 
 std::optional<detail::PendingRequest> RequestQueue::pop(f64 timeout_us) {
   std::unique_lock<std::mutex> lock(mutex_);
   ready_.wait_for(lock,
                   std::chrono::microseconds(static_cast<i64>(timeout_us)),
-                  [&] { return !items_.empty() || closed_; });
-  if (items_.empty()) return std::nullopt;
-  detail::PendingRequest request = std::move(items_.front());
-  items_.pop_front();
-  return request;
+                  [&] { return total_ > 0 || closed_; });
+  if (total_ == 0) return std::nullopt;
+  return take_next_locked();
 }
 
 void RequestQueue::close() {
@@ -52,7 +88,12 @@ bool RequestQueue::closed() const {
 
 i64 RequestQueue::depth() const {
   const std::lock_guard<std::mutex> guard(mutex_);
-  return static_cast<i64>(items_.size());
+  return total_;
+}
+
+i64 RequestQueue::depth(Priority priority) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return static_cast<i64>(items_[static_cast<size_t>(priority)].size());
 }
 
 }  // namespace msh

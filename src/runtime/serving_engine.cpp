@@ -1,5 +1,6 @@
 #include "runtime/serving_engine.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.h"
@@ -7,16 +8,35 @@
 
 namespace msh {
 
+namespace {
+
+RequestQueueOptions queue_options(const ServingEngineOptions& options) {
+  RequestQueueOptions queue;
+  queue.capacity = options.queue_capacity;
+  for (i64 c = 0; c < kPriorityClasses; ++c) {
+    queue.class_budget[static_cast<size_t>(c)] =
+        options.admission.per_class[static_cast<size_t>(c)].queue_budget;
+  }
+  return queue;
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
                              ServingEngineOptions options)
     : options_(options),
+      model_(model),
       replicas_(make_executor_replicas(model, calibration, options.workers,
                                        options.executor)),
-      queue_(options.queue_capacity) {
+      queue_(queue_options(options)),
+      admission_(options.admission, monotonic_now_us()) {
   MSH_REQUIRE(options_.idle_poll_us > 0);
   MSH_REQUIRE(options_.max_retries >= 0);
   MSH_REQUIRE(options_.request_deadline_us >= 0.0);
   MSH_REQUIRE(options_.scrub_every_batches >= 0);
+  MSH_REQUIRE(options_.breaker.failure_threshold > 0);
+  MSH_REQUIRE(options_.breaker.cooldown_us >= 0.0);
+  input_amax_ = replicas_[0]->input_amax();
   expected_image_ = calibration.batch_images(0, 1).shape();
   states_.reserve(static_cast<size_t>(workers()));
   for (i64 i = 0; i < workers(); ++i)
@@ -49,20 +69,38 @@ void ServingEngine::reject(detail::PendingRequest& request, const char* why) {
   InferenceResponse response;
   response.status = RequestStatus::kRejected;
   response.error = why;
+  response.priority = request.priority;
   response.total_us = monotonic_now_us() - request.submit_us;
   detail::resolve(request, std::move(response));
 }
 
-ResponseFuture ServingEngine::submit(Tensor images) {
+void ServingEngine::shed(detail::PendingRequest& request,
+                         const std::string& why) {
+  InferenceResponse response;
+  response.status = RequestStatus::kShed;
+  response.error = why;
+  response.priority = request.priority;
+  response.retries = request.attempts;
+  response.total_us = monotonic_now_us() - request.submit_us;
+  detail::resolve(request, std::move(response));
+}
+
+ResponseFuture ServingEngine::submit(Tensor images,
+                                     SubmitOptions submit_options) {
   MSH_REQUIRE(images.shape().rank() == 4);
   MSH_REQUIRE(images.shape()[0] > 0);
+  MSH_REQUIRE(submit_options.deadline_us >= 0.0);
   detail::PendingRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.rows = images.shape()[0];
   request.images = std::move(images);
+  request.priority = submit_options.priority;
   request.submit_us = monotonic_now_us();
-  if (options_.request_deadline_us > 0.0)
-    request.deadline_us = request.submit_us + options_.request_deadline_us;
+  const f64 relative_deadline = submit_options.deadline_us > 0.0
+                                    ? submit_options.deadline_us
+                                    : options_.request_deadline_us;
+  if (relative_deadline > 0.0)
+    request.deadline_us = request.submit_us + relative_deadline;
   request.state = std::make_shared<detail::ResponseState>();
   ResponseFuture future(request.state);
 
@@ -77,19 +115,39 @@ ResponseFuture ServingEngine::submit(Tensor images) {
                             std::to_string(expected_image_[1]) + ", " +
                             std::to_string(expected_image_[2]) + ", " +
                             std::to_string(expected_image_[3]) + "]";
+    metrics_.record_rejected(request.priority);
     reject(request, why.c_str());
-    metrics_.record_rejected();
     return future;
   }
 
-  if (!queue_.try_push(std::move(request))) {
-    // try_push leaves the request intact on failure.
-    reject(request, queue_.closed() ? "engine is shut down"
-                                    : "request queue full");
-    metrics_.record_rejected();
+  // Admission gate: sustained per-class overload is shed here, before it
+  // costs a queue slot.
+  if (!admission_.admit(request.priority, request.submit_us)) {
+    metrics_.record_shed(request.priority, request.rows);
+    shed(request, std::string("admission rate limit exceeded for class ") +
+                      to_string(request.priority));
     return future;
   }
-  metrics_.sample_queue_depth(queue_.depth());
+
+  switch (queue_.push(std::move(request))) {
+    case PushResult::kOk:
+      metrics_.sample_queue_depth(queue_.depth());
+      break;
+    case PushResult::kOverClassBudget:
+      // push leaves the request intact on failure.
+      metrics_.record_shed(request.priority, request.rows);
+      shed(request, std::string("class queue budget exhausted for ") +
+                        to_string(request.priority));
+      break;
+    case PushResult::kFull:
+      metrics_.record_rejected(request.priority);
+      reject(request, "request queue full");
+      break;
+    case PushResult::kClosed:
+      metrics_.record_rejected(request.priority);
+      reject(request, "engine is shut down");
+      break;
+  }
   return future;
 }
 
@@ -137,15 +195,205 @@ void ServingEngine::heal(i64 index, const std::string& why) {
   WorkerState& state = *states_[static_cast<size_t>(index)];
   state.healthy.store(false, std::memory_order_release);
   log_warn("worker ", index, " quarantined: ", why, "; redeploying replica");
-  // clone() rebuilds the replica from the shared golden model + the
-  // original calibration — read-only on the model, so the other workers
-  // keep serving while this one re-programs its arrays.
+  // clone() rebuilds the replica from its deployment source — the shared
+  // golden model, or the swapped-in image — read-only on the model, so
+  // the other workers keep serving while this one re-programs its
+  // arrays.
   replicas_[static_cast<size_t>(index)] =
       replicas_[static_cast<size_t>(index)]->clone();
   state.batches_since_scrub = 0;
   metrics_.record_heal();
-  state.healthy.store(true, std::memory_order_release);
+  state.healthy.store(
+      state.breaker == BreakerState::kClosed || !options_.breaker.enabled,
+      std::memory_order_release);
   log_info("worker ", index, " healed, back in service");
+}
+
+void ServingEngine::service_swap(i64 index) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  const std::lock_guard<std::mutex> guard(state.mutex);
+  if (!state.incoming) return;
+  // Install between batches: the in-flight batch already finished on the
+  // old replica, so the handoff fails no request.
+  state.outgoing = std::move(replicas_[static_cast<size_t>(index)]);
+  replicas_[static_cast<size_t>(index)] = std::move(state.incoming);
+  state.batches_since_scrub = 0;
+  state.swap_cv.notify_all();
+}
+
+bool ServingEngine::hand_replica_to_worker(
+    i64 index, std::unique_ptr<PimRepNetExecutor> replica,
+    std::unique_ptr<PimRepNetExecutor>* previous, f64 timeout_us) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.incoming = std::move(replica);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<i64>(timeout_us));
+  while (state.outgoing == nullptr) {
+    if (state.swap_cv.wait_until(lock, deadline) ==
+            std::cv_status::timeout &&
+        state.outgoing == nullptr) {
+      // The worker never picked it up (e.g. shutdown raced the roll).
+      state.incoming.reset();
+      return false;
+    }
+  }
+  *previous = std::move(state.outgoing);
+  return true;
+}
+
+bool ServingEngine::swap_model(std::shared_ptr<const DeploymentImage> image,
+                               SwapOptions swap) {
+  MSH_REQUIRE(image != nullptr);
+  MSH_REQUIRE(swap.worker_timeout_us > 0.0);
+  const std::lock_guard<std::mutex> roll_guard(swap_mutex_);
+  if (!running_.load(std::memory_order_acquire) ||
+      shut_down_.load(std::memory_order_acquire)) {
+    log_error("model swap refused: engine is not running");
+    metrics_.record_swap(false, 0, 0);
+    return false;
+  }
+
+  std::vector<std::unique_ptr<PimRepNetExecutor>> stash(
+      static_cast<size_t>(workers()));
+  i64 swapped = 0;
+  std::string failure;
+  for (i64 w = 0; w < workers(); ++w) {
+    // Deploy: a fresh replica programmed from the image's codes, built
+    // on this thread — no worker is disturbed yet.
+    std::unique_ptr<PimRepNetExecutor> candidate;
+    try {
+      candidate = PimRepNetExecutor::deploy_from_image(
+          model_, options_.executor, input_amax_, image);
+    } catch (const std::exception& e) {
+      failure =
+          "worker " + std::to_string(w) + " deploy failed: " + e.what();
+      break;
+    }
+    if (swap.deploy_fault_ber > 0.0) {
+      Rng rng(swap.deploy_fault_seed + static_cast<u64>(w));
+      candidate->inject_nvm_faults(
+          MtjFaultModel::symmetric(swap.deploy_fault_ber), rng);
+    }
+    // Verify: physical probe read-back against the image before any
+    // traffic can reach the candidate.
+    const std::string verify_error = candidate->verify_against(*image);
+    if (!verify_error.empty()) {
+      failure =
+          "worker " + std::to_string(w) + " verify failed: " + verify_error;
+      break;
+    }
+    // Promote: the worker installs it between batches; its old replica
+    // lands in the stash, drained but intact, in case we must roll back.
+    if (!hand_replica_to_worker(w, std::move(candidate),
+                                &stash[static_cast<size_t>(w)],
+                                swap.worker_timeout_us)) {
+      failure = "worker " + std::to_string(w) +
+                " did not pick up the new replica";
+      break;
+    }
+    ++swapped;
+    log_info("model swap: worker ", w, " promoted (", swapped, "/",
+             workers(), ")");
+  }
+
+  if (swapped == workers()) {
+    metrics_.record_swap(true, swapped, 0);
+    log_info("model swap complete: ", swapped, " worker(s) promoted");
+    return true;
+  }
+
+  i64 rollbacks = 0;
+  for (i64 w = 0; w < swapped; ++w) {
+    std::unique_ptr<PimRepNetExecutor> discarded;
+    if (hand_replica_to_worker(w, std::move(stash[static_cast<size_t>(w)]),
+                               &discarded, swap.worker_timeout_us))
+      ++rollbacks;
+  }
+  log_error("model swap aborted: ", failure, "; rolled back ", rollbacks,
+            " of ", swapped, " promoted worker(s)");
+  metrics_.record_swap(false, swapped, rollbacks);
+  return false;
+}
+
+bool ServingEngine::breaker_admits(i64 index) {
+  if (!options_.breaker.enabled) return true;
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  if (state.breaker == BreakerState::kClosed) return true;
+  // Shutdown drain must finish even with every breaker open: open gates
+  // live traffic, and close() already stopped admission.
+  if (queue_.closed()) return true;
+  if (state.breaker == BreakerState::kOpen) {
+    if (monotonic_now_us() < state.open_until_us) return false;
+    state.breaker = BreakerState::kHalfOpen;
+    metrics_.record_breaker_half_open();
+    log_info("worker ", index, ": circuit breaker half-open, probing");
+  }
+  return true;
+}
+
+void ServingEngine::breaker_failure(i64 index) {
+  if (!options_.breaker.enabled) return;
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  ++state.consecutive_failures;
+  const bool trip =
+      state.breaker == BreakerState::kHalfOpen ||
+      (state.breaker == BreakerState::kClosed &&
+       state.consecutive_failures >= options_.breaker.failure_threshold);
+  if (!trip) return;
+  state.breaker = BreakerState::kOpen;
+  state.open_until_us = monotonic_now_us() + options_.breaker.cooldown_us;
+  state.healthy.store(false, std::memory_order_release);
+  metrics_.record_breaker_open();
+  log_warn("worker ", index, ": circuit breaker open after ",
+           state.consecutive_failures, " consecutive failure signal(s), ",
+           "cooling down ", options_.breaker.cooldown_us, " us");
+}
+
+void ServingEngine::breaker_success(i64 index) {
+  if (!options_.breaker.enabled) return;
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  state.consecutive_failures = 0;
+  if (state.breaker == BreakerState::kClosed) return;
+  state.breaker = BreakerState::kClosed;
+  state.healthy.store(true, std::memory_order_release);
+  metrics_.record_breaker_close();
+  log_info("worker ", index, ": circuit breaker closed");
+}
+
+bool ServingEngine::shed_or_expire(detail::PendingRequest& request,
+                                   f64 now_us) {
+  if (request.deadline_us <= 0.0) return false;
+  const f64 queued_us = now_us - request.submit_us;
+  if (now_us >= request.deadline_us) {
+    InferenceResponse response;
+    response.status = RequestStatus::kTimedOut;
+    response.error = "deadline expired before dispatch";
+    response.priority = request.priority;
+    response.retries = request.attempts;
+    response.queue_us = queued_us;
+    response.total_us = queued_us;
+    metrics_.record_timed_out(request.priority, request.rows);
+    detail::resolve(request, std::move(response));
+    return true;
+  }
+  const f64 est_per_row = est_us_per_row_.load(std::memory_order_relaxed);
+  if (est_per_row <= 0.0) return false;  // no estimate yet: give it a shot
+  const f64 service_us = est_per_row * static_cast<f64>(request.rows);
+  if (now_us + service_us <= request.deadline_us) return false;
+  // Unmeetable but not yet expired: shed now, with attribution, instead
+  // of burning PIM cycles on a result nobody will wait for.
+  metrics_.record_shed(request.priority, request.rows);
+  shed(request,
+       "deadline unmeetable: queued " +
+           std::to_string(static_cast<i64>(queued_us)) +
+           " us, estimated service " +
+           std::to_string(static_cast<i64>(service_us)) +
+           " us exceeds remaining budget " +
+           std::to_string(static_cast<i64>(request.deadline_us - now_us)) +
+           " us");
+  return true;
 }
 
 void ServingEngine::scrub_and_heal(i64 index) {
@@ -171,6 +419,7 @@ void ServingEngine::scrub_and_heal(i64 index) {
                 totals.detected_uncorrectable, " uncorrectable + ",
                 totals.silent, " silent corrupt word(s); self-heal is off");
     }
+    breaker_failure(index);
   }
 }
 
@@ -180,8 +429,10 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
 
   // Deadline gate: requests whose budget expired while queued (or while
   // bouncing between failed replicas) resolve kTimedOut before burning
-  // hardware time; the rest of the batch is rebuilt and served.
-  if (options_.request_deadline_us > 0.0) {
+  // hardware time; the rest of the batch is rebuilt and served. The
+  // batcher's shed hook already caught most of these at pickup; this is
+  // the last line, right before dispatch.
+  {
     const f64 now = monotonic_now_us();
     std::vector<detail::PendingRequest> live;
     live.reserve(batch.requests.size());
@@ -190,10 +441,11 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
         InferenceResponse response;
         response.status = RequestStatus::kTimedOut;
         response.error = "deadline expired before dispatch";
+        response.priority = request.priority;
         response.worker = index;
         response.retries = request.attempts;
         response.total_us = now - request.submit_us;
-        metrics_.record_timed_out(request.rows);
+        metrics_.record_timed_out(request.priority, request.rows);
         detail::resolve(request, std::move(response));
       } else {
         live.push_back(std::move(request));
@@ -211,6 +463,7 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
   }
 
   metrics_.record_batch(batch.rows);
+  const f64 dispatch_start_us = monotonic_now_us();
   Tensor logits;
   std::string error;
   bool ok = true;
@@ -233,6 +486,7 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
 
   if (!ok) {
     if (options_.self_heal) heal(index, error);
+    breaker_failure(index);
     // Retry in-flight requests at the head of the queue (they already
     // paid admission); the budget bounds how many failures one request
     // may ride through. Reverse order keeps FIFO intact.
@@ -247,11 +501,12 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
         InferenceResponse response;
         response.status = RequestStatus::kFailed;
         response.error = error + " (retry budget exhausted)";
+        response.priority = request.priority;
         response.worker = index;
         response.batch_rows = batch.rows;
         response.retries = request.attempts;
         response.total_us = monotonic_now_us() - request.submit_us;
-        metrics_.record_failed(request.rows);
+        metrics_.record_failed(request.priority, request.rows);
         detail::resolve(request, std::move(response));
       }
     }
@@ -262,9 +517,18 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
   const f64 done_us = monotonic_now_us();
   const i64 classes = logits.shape()[1];
 
+  // Feed the shed policy's service-time model. Relaxed: a lost update
+  // just means a slightly staler estimate.
+  const f64 per_row =
+      (done_us - dispatch_start_us) / static_cast<f64>(batch.rows);
+  const f64 prev = est_us_per_row_.load(std::memory_order_relaxed);
+  est_us_per_row_.store(prev <= 0.0 ? per_row : 0.8 * prev + 0.2 * per_row,
+                        std::memory_order_relaxed);
+
   i64 row = 0;
   for (auto& request : batch.requests) {
     InferenceResponse response;
+    response.priority = request.priority;
     response.worker = index;
     response.batch_rows = batch.rows;
     response.retries = request.attempts;
@@ -276,10 +540,19 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
     response.logits = Tensor(Shape{request.rows, classes});
     std::memcpy(response.logits.data(), logits.data() + row * classes,
                 sizeof(f32) * static_cast<size_t>(request.rows * classes));
-    metrics_.record_completed(request.rows, response.queue_us,
-                              response.total_us);
+    metrics_.record_completed(request.priority, request.rows,
+                              response.queue_us, response.total_us);
     row += request.rows;
     detail::resolve(request, std::move(response));
+  }
+
+  // Breaker signals from a served batch: a latency outlier is a strike,
+  // anything else is a success (which also closes a half-open probe).
+  if (options_.breaker.latency_outlier_us > 0.0 &&
+      done_us - dispatch_start_us > options_.breaker.latency_outlier_us) {
+    breaker_failure(index);
+  } else {
+    breaker_success(index);
   }
 
   if (options_.scrub_every_batches > 0 &&
@@ -290,15 +563,35 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
 }
 
 void ServingEngine::worker_loop(i64 index) {
-  DynamicBatcher batcher(queue_, options_.batcher);
+  DynamicBatcher batcher(queue_, options_.batcher,
+                         [this](detail::PendingRequest& request, f64 now) {
+                           return shed_or_expire(request, now);
+                         });
   while (true) {
+    service_swap(index);
+    if (!breaker_admits(index)) {
+      // Open breaker: stay out of dequeue, let the others take the load.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<i64>(options_.idle_poll_us)));
+      continue;
+    }
     auto batch = batcher.next(options_.idle_poll_us);
     if (!batch) {
       // nullopt on a closed queue means closed *and* drained: done.
       if (queue_.closed()) break;
-      continue;  // idle tick
+      continue;  // idle tick, or every picked-up request was shed
     }
     serve_batch(index, *batch);
+  }
+  service_swap(index);  // don't strand a replica parked by a late swap
+  // Finalize the breaker: open only gates traffic, the replica behind it
+  // was already healed, and there is no traffic left — the engine ends
+  // fully in service.
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  if (state.breaker != BreakerState::kClosed) {
+    state.breaker = BreakerState::kClosed;
+    state.healthy.store(true, std::memory_order_release);
+    metrics_.record_breaker_close();
   }
 }
 
@@ -310,8 +603,8 @@ void ServingEngine::shutdown() {
   running_.store(false, std::memory_order_release);
   // Never-started engine: resolve whatever was staged in the queue.
   while (auto leftover = queue_.pop(0.0)) {
+    metrics_.record_rejected(leftover->priority);
     reject(*leftover, "engine shut down before serving");
-    metrics_.record_rejected();
   }
 }
 

@@ -7,35 +7,94 @@
 // single-threaded, exactly as the executor requires. The trained
 // RepNetModel is shared read-only across replicas. Requests flow:
 //
-//   submit() -> RequestQueue (bounded, reject-on-full)
+//   submit() -> admission gate (per-class token buckets)
+//            -> RequestQueue (bounded; per-class budgets; EDF within
+//               class, strict priority across classes)
 //            -> DynamicBatcher (per worker: coalesce up to
-//               max_batch_rows / max_wait_us)
+//               max_batch_rows / max_wait_us; unmeetable deadlines shed)
 //            -> replica forward() -> per-request logits -> ResponseFuture
 //
-// FIFO dispatch order is preserved; per-sample results are bit-identical
-// to calling PimRepNetExecutor::forward sequentially on the same inputs,
-// regardless of worker count or how requests were coalesced (every
-// operator in the hardware path is per-sample).
+// Overload control (status semantics):
+//   kRejected — backpressure: global queue capacity exhausted, or the
+//               engine is shut down. The client should retry with jitter.
+//   kShed     — overload policy dropped the request: admission rate limit,
+//               class queue budget, or a deadline the current service-time
+//               estimate says cannot be met. Retrying immediately is
+//               pointless; back off or lower the offered load.
+//   kTimedOut — the request's deadline expired while it waited.
+// Under overload, best-effort traffic sheds first (strict-priority
+// dequeue + per-class budgets), keeping interactive goodput intact.
+//
+// Each worker also runs a circuit breaker (closed -> open -> half-open):
+// consecutive dispatch failures, scrub-detected corruption, or latency
+// outliers open it, taking the worker out of dequeue for a cooldown
+// while the remaining workers absorb the load; a half-open probe batch
+// closes it again. Breakers gate traffic only — the PR2 self-heal path
+// still quarantines and redeploys the replica on every failure.
+//
+// Model lifecycle: swap_model() rolls a new DeploymentImage across the
+// workers one at a time with a deploy -> verify -> promote handshake
+// (never taking more than one worker out of rotation), so serving
+// capacity never drops to zero and no accepted request is failed by the
+// swap. A failed verify rolls already-promoted workers back.
+//
+// Per-sample results are bit-identical to calling
+// PimRepNetExecutor::forward sequentially on the same inputs, regardless
+// of worker count or how requests were coalesced (every operator in the
+// hardware path is per-sample).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "deploy/pim_executor.h"
+#include "runtime/admission.h"
 #include "runtime/dynamic_batcher.h"
 #include "runtime/request_queue.h"
 #include "runtime/serving_metrics.h"
 
 namespace msh {
 
+/// Per-worker circuit breaker policy. The breaker is a traffic gate: an
+/// open breaker stops its worker from dequeuing (other workers absorb
+/// the load) until the cooldown elapses, then a single half-open probe
+/// batch decides between closing and re-opening.
+struct BreakerOptions {
+  bool enabled = true;
+  /// Consecutive failure signals (dispatch failure, scrub corruption,
+  /// latency outlier) that trip a closed breaker.
+  i64 failure_threshold = 3;
+  /// How long an open breaker holds its worker out of dequeue.
+  f64 cooldown_us = 20000.0;
+  /// Batch service times above this count as failure signals (a slow
+  /// replica is a suspect replica). 0 disables the latency signal.
+  f64 latency_outlier_us = 0.0;
+};
+
+/// Knobs for one swap_model() roll.
+struct SwapOptions {
+  /// How long to wait for a worker to pick up its new replica (workers
+  /// check between batches and on every idle tick).
+  f64 worker_timeout_us = 5e6;
+  /// Test hook: corrupt the candidate replica's MRAM cells with this
+  /// symmetric bit-error rate after deployment, modeling failed array
+  /// programming — the verify step must catch it and roll back.
+  f64 deploy_fault_ber = 0.0;
+  u64 deploy_fault_seed = 1;
+};
+
 struct ServingEngineOptions {
   i64 workers = 2;           ///< executor replicas == worker threads
   i64 queue_capacity = 64;   ///< admission bound (requests, not rows)
   BatcherOptions batcher = {};
   PimExecutorOptions executor = {};
+  /// Per-class token buckets + queue budgets. Defaults admit everything.
+  AdmissionOptions admission = {};
+  BreakerOptions breaker = {};
   /// When false the engine is built stopped: submissions queue up (or
   /// reject) until start(). Lets tests stage deterministic backlogs.
   bool autostart = true;
@@ -44,8 +103,11 @@ struct ServingEngineOptions {
   /// Extra dispatch attempts per accepted request after a replica
   /// failure; exhausting the budget resolves kFailed.
   i64 max_retries = 2;
-  /// Absolute per-request budget (submit -> dispatch); a request still
-  /// undispatched past it resolves kTimedOut. 0 disables deadlines.
+  /// Default per-request budget (submit -> dispatch) for requests that
+  /// do not carry their own SubmitOptions::deadline_us; a request still
+  /// undispatched past it resolves kTimedOut (or kShed, if the engine
+  /// can tell early that the deadline is unmeetable). 0 disables the
+  /// default deadline.
   f64 request_deadline_us = 0.0;
   /// Quarantine + redeploy a replica after a serving failure or an
   /// uncorrectable-ECC scrub signal.
@@ -78,10 +140,18 @@ class ServingEngine {
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// Enqueues a request. Never blocks: when the queue is full or the
-  /// engine is shut down, the returned future resolves immediately with
-  /// RequestStatus::kRejected. `images` must be [B, C, H, W], B >= 1.
-  ResponseFuture submit(Tensor images);
+  /// Enqueues a request. Never blocks and never throws on overload; the
+  /// returned future is always valid and always resolves:
+  ///   - admission rate limit / class budget exceeded, or the deadline
+  ///     already unmeetable      -> kShed (immediately)
+  ///   - global queue full       -> kRejected (immediately)
+  ///   - engine shut down (before, during, or after this call) ->
+  ///     kRejected with error "engine is shut down". Submitting to a
+  ///     shut-down engine is well-defined and safe — a cheap, final
+  ///     rejection ticket, not UB and not a hang.
+  /// `images` must be [B, C, H, W], B >= 1 (shape is contract-checked;
+  /// a channel/spatial mismatch with the deployed model rejects).
+  ResponseFuture submit(Tensor images, SubmitOptions options = {});
 
   /// Launches the worker pool (no-op when already running).
   void start();
@@ -90,6 +160,21 @@ class ServingEngine {
   /// Requests still queued when the engine never ran (autostart off,
   /// start() never called) resolve as kRejected. Idempotent.
   void shutdown();
+
+  /// Zero-downtime model replacement: rolls `image` across the workers
+  /// one at a time. For each worker the engine deploys a fresh replica
+  /// from the image, physically verifies it (probe matvec through the PE
+  /// arrays against the image's reference results), and only then hands
+  /// it to the worker, which installs it between batches — in-flight
+  /// requests finish on the old replica, and at most one worker is ever
+  /// out of rotation. On a deploy/verify failure the roll stops and
+  /// already-promoted workers are rolled back to their old (still
+  /// intact) replicas. Returns true when every worker was promoted.
+  /// Thread-safe; one swap runs at a time. Requires a running engine.
+  /// After a successful swap, self-heal redeploys from `image` (the
+  /// image becomes the replicas' deployment provenance).
+  bool swap_model(std::shared_ptr<const DeploymentImage> image,
+                  SwapOptions options = {});
 
   i64 workers() const { return static_cast<i64>(replicas_.size()); }
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -110,7 +195,8 @@ class ServingEngine {
   void inject_worker_fault(i64 worker, WorkerFault fault,
                            MtjFaultModel model = {}, u64 seed = 1);
 
-  /// Workers currently in service (not quarantined mid-heal).
+  /// Workers currently in service (not quarantined mid-heal, circuit
+  /// breaker not open).
   i64 healthy_workers() const;
 
  private:
@@ -119,14 +205,25 @@ class ServingEngine {
     MtjFaultModel model;
     u64 seed = 1;
   };
-  /// Per-worker mutable state. `pending` is the cross-thread handoff
-  /// (guarded); `crash_next` / `batches_since_scrub` are owner-thread
-  /// only; `healthy` is read by observers.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  /// Per-worker mutable state. `pending` and the swap handoff slots are
+  /// the cross-thread channels (guarded by `mutex`); breaker fields and
+  /// `crash_next` / `batches_since_scrub` are owner-thread only;
+  /// `healthy` is read by observers.
   struct WorkerState {
     std::mutex mutex;
     std::vector<PendingFault> pending;
+    /// swap_model -> worker handoff: the coordinator parks the verified
+    /// replica in `incoming`; the worker installs it between batches and
+    /// parks the old one in `outgoing`, signalling `swap_cv`.
+    std::unique_ptr<PimRepNetExecutor> incoming;
+    std::unique_ptr<PimRepNetExecutor> outgoing;
+    std::condition_variable swap_cv;
     bool crash_next = false;
     i64 batches_since_scrub = 0;
+    BreakerState breaker = BreakerState::kClosed;
+    i64 consecutive_failures = 0;
+    f64 open_until_us = 0.0;
     std::atomic<bool> healthy{true};
   };
 
@@ -134,18 +231,44 @@ class ServingEngine {
   void serve_batch(i64 index, MicroBatch& batch);
   void apply_pending_faults(i64 index);
   void scrub_and_heal(i64 index);
-  /// Quarantines worker `index` and redeploys its replica from the
-  /// shared golden model. Runs on the owning worker thread.
+  /// Quarantines worker `index` and redeploys its replica from its
+  /// deployment source (the shared golden model, or the swapped image).
+  /// Runs on the owning worker thread.
   void heal(i64 index, const std::string& why);
+  /// Installs a pending swapped-in replica, if any (owner thread).
+  void service_swap(i64 index);
+  /// Breaker gate: false while open and cooling down (owner thread).
+  bool breaker_admits(i64 index);
+  void breaker_failure(i64 index);
+  void breaker_success(i64 index);
+  /// Batcher shed hook: resolves expired (kTimedOut) or unmeetable
+  /// (kShed) requests at pickup; true when the request was consumed.
+  bool shed_or_expire(detail::PendingRequest& request, f64 now_us);
+  /// Parks `replica` for worker `index` and waits for the handoff;
+  /// stores the replaced replica in `*previous`.
+  bool hand_replica_to_worker(i64 index,
+                              std::unique_ptr<PimRepNetExecutor> replica,
+                              std::unique_ptr<PimRepNetExecutor>* previous,
+                              f64 timeout_us);
   static void reject(detail::PendingRequest& request, const char* why);
+  static void shed(detail::PendingRequest& request, const std::string& why);
 
   ServingEngineOptions options_;
+  RepNetModel& model_;
   std::vector<std::unique_ptr<PimRepNetExecutor>> replicas_;
   RequestQueue queue_;
+  AdmissionGate admission_;
   ServingMetrics metrics_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<WorkerState>> states_;
+  /// Calibration ranges, copied from replica 0: lets swap_model deploy
+  /// image candidates without touching any worker-owned replica.
+  std::unordered_map<const void*, f32> input_amax_;
   Shape expected_image_;  ///< [1, C, H, W] the deployment was built for
+  std::mutex swap_mutex_;  ///< one swap_model roll at a time
+  /// EWMA of per-row batch service time, written by workers and read by
+  /// the shed policy. Relaxed atomics: an estimate, not an invariant.
+  std::atomic<f64> est_us_per_row_{0.0};
   std::atomic<bool> running_{false};
   std::atomic<bool> shut_down_{false};
   std::atomic<u64> next_id_{1};

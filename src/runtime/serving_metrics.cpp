@@ -42,29 +42,43 @@ f64 LatencyHistogram::percentile_us(f64 p) const {
 
 ServingMetrics::ServingMetrics() : start_us_(monotonic_now_us()) {}
 
-void ServingMetrics::record_completed(i64 rows, f64 queue_us, f64 total_us) {
+void ServingMetrics::record_completed(Priority priority, i64 rows,
+                                      f64 queue_us, f64 total_us) {
   const std::lock_guard<std::mutex> guard(mutex_);
   completed_requests_ += 1;
   completed_rows_ += rows;
   queue_latency_.record(queue_us);
   total_latency_.record(total_us);
+  ClassCounters& cls = classes_[static_cast<size_t>(priority)];
+  cls.completed += 1;
+  cls.total_latency.record(total_us);
 }
 
-void ServingMetrics::record_rejected() {
+void ServingMetrics::record_rejected(Priority priority) {
   const std::lock_guard<std::mutex> guard(mutex_);
   rejected_requests_ += 1;
+  classes_[static_cast<size_t>(priority)].rejected += 1;
 }
 
-void ServingMetrics::record_failed(i64 rows) {
+void ServingMetrics::record_shed(Priority priority, i64 rows) {
+  (void)rows;
+  const std::lock_guard<std::mutex> guard(mutex_);
+  shed_requests_ += 1;
+  classes_[static_cast<size_t>(priority)].shed += 1;
+}
+
+void ServingMetrics::record_failed(Priority priority, i64 rows) {
   (void)rows;
   const std::lock_guard<std::mutex> guard(mutex_);
   failed_requests_ += 1;
+  classes_[static_cast<size_t>(priority)].failed += 1;
 }
 
-void ServingMetrics::record_timed_out(i64 rows) {
+void ServingMetrics::record_timed_out(Priority priority, i64 rows) {
   (void)rows;
   const std::lock_guard<std::mutex> guard(mutex_);
   timed_out_requests_ += 1;
+  classes_[static_cast<size_t>(priority)].timed_out += 1;
 }
 
 void ServingMetrics::record_retry() {
@@ -102,12 +116,41 @@ void ServingMetrics::sample_queue_depth(i64 depth) {
   queue_depth_max_ = std::max(queue_depth_max_, depth);
 }
 
+void ServingMetrics::record_breaker_open() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  breaker_opens_ += 1;
+}
+
+void ServingMetrics::record_breaker_half_open() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  breaker_half_opens_ += 1;
+}
+
+void ServingMetrics::record_breaker_close() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  breaker_closes_ += 1;
+}
+
+void ServingMetrics::record_swap(bool ok, i64 workers_swapped,
+                                 i64 rollbacks) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  swaps_attempted_ += 1;
+  if (ok) {
+    swaps_completed_ += 1;
+  } else {
+    swaps_failed_ += 1;
+  }
+  swap_workers_swapped_ += workers_swapped;
+  swap_rollbacks_ += rollbacks;
+}
+
 MetricsSnapshot ServingMetrics::snapshot() const {
   const std::lock_guard<std::mutex> guard(mutex_);
   MetricsSnapshot s;
   s.completed_requests = completed_requests_;
   s.completed_rows = completed_rows_;
   s.rejected_requests = rejected_requests_;
+  s.shed_requests = shed_requests_;
   s.failed_requests = failed_requests_;
   s.timed_out_requests = timed_out_requests_;
   s.batches = batches_;
@@ -117,6 +160,14 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   s.ecc_corrected = ecc_corrected_;
   s.ecc_detected_uncorrectable = ecc_detected_uncorrectable_;
   s.ecc_silent = ecc_silent_;
+  s.breaker_opens = breaker_opens_;
+  s.breaker_half_opens = breaker_half_opens_;
+  s.breaker_closes = breaker_closes_;
+  s.swaps_attempted = swaps_attempted_;
+  s.swaps_completed = swaps_completed_;
+  s.swaps_failed = swaps_failed_;
+  s.swap_workers_swapped = swap_workers_swapped_;
+  s.swap_rollbacks = swap_rollbacks_;
   s.elapsed_s = (monotonic_now_us() - start_us_) / 1e6;
   if (s.elapsed_s > 0.0) {
     s.throughput_rps = completed_requests_ / s.elapsed_s;
@@ -124,6 +175,7 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   }
   s.queue_latency = queue_latency_;
   s.total_latency = total_latency_;
+  s.classes = classes_;
   s.batch_rows_histogram = batch_rows_histogram_;
   s.queue_depth_samples = queue_depth_samples_;
   s.queue_depth_mean =
@@ -136,12 +188,38 @@ MetricsSnapshot ServingMetrics::snapshot() const {
 namespace {
 
 void append_latency_json(std::ostringstream& os, const char* key,
-                         const LatencyHistogram& h) {
+                         const LatencyHistogram& h,
+                         bool include_buckets = false) {
   os << '"' << key << "\":{\"count\":" << h.count()
      << ",\"mean_us\":" << h.mean_us() << ",\"max_us\":" << h.max_us()
      << ",\"p50_us\":" << h.percentile_us(50.0)
      << ",\"p95_us\":" << h.percentile_us(95.0)
-     << ",\"p99_us\":" << h.percentile_us(99.0) << '}';
+     << ",\"p99_us\":" << h.percentile_us(99.0);
+  if (include_buckets) {
+    // Trailing zero buckets are trimmed; bucket i spans
+    // [bucket_bound_us(i-1), bucket_bound_us(i)).
+    i64 last = -1;
+    for (i64 i = 0; i < LatencyHistogram::kBuckets; ++i)
+      if (h.buckets()[static_cast<size_t>(i)] > 0) last = i;
+    os << ",\"buckets\":[";
+    for (i64 i = 0; i <= last; ++i) {
+      if (i) os << ',';
+      os << h.buckets()[static_cast<size_t>(i)];
+    }
+    os << ']';
+  }
+  os << '}';
+}
+
+void append_class_json(std::ostringstream& os, const char* key,
+                       const ClassCounters& cls) {
+  os << '"' << key << "\":{\"completed\":" << cls.completed
+     << ",\"rejected\":" << cls.rejected << ",\"shed\":" << cls.shed
+     << ",\"failed\":" << cls.failed << ",\"timed_out\":" << cls.timed_out
+     << ',';
+  append_latency_json(os, "total_latency_us", cls.total_latency,
+                      /*include_buckets=*/true);
+  os << '}';
 }
 
 }  // namespace
@@ -151,6 +229,7 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
   os << "{\"elapsed_s\":" << s.elapsed_s
      << ",\"requests\":{\"completed\":" << s.completed_requests
      << ",\"rejected\":" << s.rejected_requests
+     << ",\"shed\":" << s.shed_requests
      << ",\"failed\":" << s.failed_requests
      << ",\"timed_out\":" << s.timed_out_requests << '}'
      << ",\"resilience\":{\"retries\":" << s.retries
@@ -158,13 +237,28 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
      << ",\"ecc_corrected\":" << s.ecc_corrected
      << ",\"ecc_detected_uncorrectable\":" << s.ecc_detected_uncorrectable
      << ",\"ecc_silent\":" << s.ecc_silent << '}'
+     << ",\"breaker\":{\"opens\":" << s.breaker_opens
+     << ",\"half_opens\":" << s.breaker_half_opens
+     << ",\"closes\":" << s.breaker_closes << '}'
+     << ",\"swaps\":{\"attempted\":" << s.swaps_attempted
+     << ",\"completed\":" << s.swaps_completed
+     << ",\"failed\":" << s.swaps_failed
+     << ",\"workers_swapped\":" << s.swap_workers_swapped
+     << ",\"rollbacks\":" << s.swap_rollbacks << '}'
      << ",\"images\":" << s.completed_rows
      << ",\"throughput\":{\"requests_per_s\":" << s.throughput_rps
      << ",\"images_per_s\":" << s.throughput_images_per_s << '}'
      << ",\"latency_us\":{";
   append_latency_json(os, "queue", s.queue_latency);
   os << ',';
-  append_latency_json(os, "total", s.total_latency);
+  append_latency_json(os, "total", s.total_latency,
+                      /*include_buckets=*/true);
+  os << "},\"classes\":{";
+  for (i64 c = 0; c < kPriorityClasses; ++c) {
+    if (c) os << ',';
+    append_class_json(os, to_string(static_cast<Priority>(c)),
+                      s.classes[static_cast<size_t>(c)]);
+  }
   os << "},\"batches\":{\"count\":" << s.batches << ",\"rows_histogram\":[";
   for (size_t i = 0; i < s.batch_rows_histogram.size(); ++i) {
     if (i) os << ',';

@@ -1,9 +1,11 @@
 // Serving observability: per-request latency percentiles from a
-// fixed-bucket histogram, throughput counters, batch-size distribution,
-// queue-depth samples and rejection counts. All entry points are
-// thread-safe (one mutex; recording is a handful of integer bumps).
-// Snapshots are plain structs; to_json() emits a stable, documented
-// schema (see DESIGN.md §"Serving runtime") for offline analysis.
+// fixed-bucket histogram (overall and per priority class), throughput
+// counters, batch-size distribution, queue-depth samples, rejection /
+// shed counts, circuit-breaker transitions and model-swap outcomes. All
+// entry points are thread-safe (one mutex; recording is a handful of
+// integer bumps). Snapshots are plain structs; to_json() emits a stable,
+// documented schema (see DESIGN.md §"Serving runtime" and §5d) for
+// offline analysis and tools/metrics_view.
 #pragma once
 
 #include <array>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/request.h"
 
 namespace msh {
 
@@ -46,11 +49,22 @@ class LatencyHistogram {
   f64 max_us_ = 0.0;
 };
 
+/// Request outcomes and end-to-end latency for one priority class.
+struct ClassCounters {
+  i64 completed = 0;
+  i64 rejected = 0;
+  i64 shed = 0;
+  i64 failed = 0;
+  i64 timed_out = 0;
+  LatencyHistogram total_latency;
+};
+
 /// One coherent view of the counters, taken under the lock.
 struct MetricsSnapshot {
   i64 completed_requests = 0;
   i64 completed_rows = 0;  ///< images served
   i64 rejected_requests = 0;
+  i64 shed_requests = 0;
   i64 failed_requests = 0;
   i64 timed_out_requests = 0;
   i64 batches = 0;
@@ -61,11 +75,22 @@ struct MetricsSnapshot {
   i64 ecc_corrected = 0;  ///< single-bit errors repaired by scrubs
   i64 ecc_detected_uncorrectable = 0;
   i64 ecc_silent = 0;
+  // Circuit-breaker transitions (overload control).
+  i64 breaker_opens = 0;
+  i64 breaker_half_opens = 0;
+  i64 breaker_closes = 0;
+  // Model-swap lifecycle.
+  i64 swaps_attempted = 0;
+  i64 swaps_completed = 0;
+  i64 swaps_failed = 0;
+  i64 swap_workers_swapped = 0;  ///< replicas promoted to the new image
+  i64 swap_rollbacks = 0;        ///< replicas rolled back after a failure
   f64 elapsed_s = 0.0;  ///< since construction/reset
   f64 throughput_rps = 0.0;
   f64 throughput_images_per_s = 0.0;
   LatencyHistogram queue_latency;
   LatencyHistogram total_latency;
+  std::array<ClassCounters, kPriorityClasses> classes;
   std::vector<i64> batch_rows_histogram;  ///< index = rows in batch
   i64 queue_depth_samples = 0;
   f64 queue_depth_mean = 0.0;
@@ -76,16 +101,25 @@ class ServingMetrics {
  public:
   ServingMetrics();
 
-  void record_completed(i64 rows, f64 queue_us, f64 total_us);
-  void record_rejected();
-  void record_failed(i64 rows);
-  void record_timed_out(i64 rows);
+  void record_completed(Priority priority, i64 rows, f64 queue_us,
+                        f64 total_us);
+  void record_rejected(Priority priority);
+  void record_shed(Priority priority, i64 rows);
+  void record_failed(Priority priority, i64 rows);
+  void record_timed_out(Priority priority, i64 rows);
   void record_retry();
   void record_heal();
   /// One scrub pass: corrected / detected-uncorrectable / silent totals.
   void record_scrub(i64 corrected, i64 detected_uncorrectable, i64 silent);
   void record_batch(i64 rows);
   void sample_queue_depth(i64 depth);
+  /// One breaker edge: closed->open, open->half-open, or ->closed.
+  void record_breaker_open();
+  void record_breaker_half_open();
+  void record_breaker_close();
+  /// One swap_model() outcome; `workers_swapped` replicas were promoted
+  /// and `rollbacks` restored after a mid-roll failure.
+  void record_swap(bool ok, i64 workers_swapped, i64 rollbacks);
 
   MetricsSnapshot snapshot() const;
 
@@ -99,6 +133,7 @@ class ServingMetrics {
   i64 completed_requests_ = 0;
   i64 completed_rows_ = 0;
   i64 rejected_requests_ = 0;
+  i64 shed_requests_ = 0;
   i64 failed_requests_ = 0;
   i64 timed_out_requests_ = 0;
   i64 batches_ = 0;
@@ -108,8 +143,17 @@ class ServingMetrics {
   i64 ecc_corrected_ = 0;
   i64 ecc_detected_uncorrectable_ = 0;
   i64 ecc_silent_ = 0;
+  i64 breaker_opens_ = 0;
+  i64 breaker_half_opens_ = 0;
+  i64 breaker_closes_ = 0;
+  i64 swaps_attempted_ = 0;
+  i64 swaps_completed_ = 0;
+  i64 swaps_failed_ = 0;
+  i64 swap_workers_swapped_ = 0;
+  i64 swap_rollbacks_ = 0;
   LatencyHistogram queue_latency_;
   LatencyHistogram total_latency_;
+  std::array<ClassCounters, kPriorityClasses> classes_;
   std::vector<i64> batch_rows_histogram_;
   i64 queue_depth_samples_ = 0;
   f64 queue_depth_sum_ = 0.0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "arch/accelerator.h"
@@ -109,6 +110,88 @@ TEST(DeploymentImage, TruncationRejected) {
              static_cast<std::streamsize>(contents.size() / 2));
   }
   EXPECT_THROW(DeploymentImage::load(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+TEST(DeploymentImage, PayloadCorruptionRejectedByCrc) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(256, 8, kSparse1of4, 9));
+  const std::string path = temp_path("crc");
+  image.save(path);
+  // Flip one payload byte in the middle: structurally still a perfectly
+  // parseable file, so only the integrity footer can catch it.
+  std::string contents = slurp(path);
+  contents[contents.size() / 2] ^= 0x01;
+  spit(path, contents);
+  try {
+    DeploymentImage::load(path);
+    FAIL() << "corrupt image deployed";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, FooterCorruptionRejectedByCrc) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(64, 4, kSparse1of4, 10));
+  const std::string path = temp_path("crcfooter");
+  image.save(path);
+  std::string contents = slurp(path);
+  contents.back() ^= 0xFF;  // corrupt the stored CRC itself
+  spit(path, contents);
+  EXPECT_THROW(DeploymentImage::load(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, Version1ImageWithoutFooterStillLoads) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(128, 8, kSparse1of4, 11));
+  const std::string path = temp_path("v1");
+  image.save(path);
+  // Rewrite as a v1 image: patch the version field and drop the footer —
+  // images flashed before the integrity footer must stay deployable.
+  std::string contents = slurp(path);
+  const u32 v1 = 1;
+  std::memcpy(contents.data() + 4, &v1, sizeof(v1));
+  contents.resize(contents.size() - sizeof(u32));
+  spit(path, contents);
+
+  const DeploymentImage loaded = DeploymentImage::load(path);
+  ASSERT_TRUE(loaded.contains("layer"));
+  EXPECT_EQ(loaded.get("layer").to_dense_int8(),
+            image.get("layer").to_dense_int8());
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, SaveIsAtomicAndReplacesExisting) {
+  DeploymentImage first;
+  first.add("a", random_matrix(64, 4, kSparse1of4, 12));
+  const std::string path = temp_path("atomic");
+  first.save(path);
+  // The temp staging file was renamed away, not left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  DeploymentImage second;
+  second.add("b", random_matrix(128, 4, kSparse1of4, 13));
+  second.save(path);  // overwrite via rename: readers never see a mix
+  const DeploymentImage loaded = DeploymentImage::load(path);
+  EXPECT_EQ(loaded.size(), 1);
+  EXPECT_TRUE(loaded.contains("b"));
+  EXPECT_FALSE(loaded.contains("a"));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
   std::remove(path.c_str());
 }
 

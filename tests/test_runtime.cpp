@@ -90,6 +90,148 @@ TEST(DynamicBatcher, ClosesFullBatchWithoutWaitingOutDeadline) {
   EXPECT_EQ(queue.depth(), 1);
 }
 
+detail::PendingRequest make_classed(u64 id, Priority priority,
+                                    f64 deadline_abs_us = 0.0) {
+  auto request = make_pending(id, tiny_images(1, id));
+  request.priority = priority;
+  request.deadline_us = deadline_abs_us;
+  return request;
+}
+
+TEST(RequestQueue, StrictPriorityAcrossClasses) {
+  RequestQueue queue(8);
+  ASSERT_EQ(queue.push(make_classed(1, Priority::kBestEffort)),
+            PushResult::kOk);
+  ASSERT_EQ(queue.push(make_classed(2, Priority::kBatch)), PushResult::kOk);
+  ASSERT_EQ(queue.push(make_classed(3, Priority::kInteractive)),
+            PushResult::kOk);
+  EXPECT_EQ(queue.depth(Priority::kBestEffort), 1);
+  // Dequeue order ignores arrival order across classes.
+  EXPECT_EQ(queue.pop(0.0)->id, 3u);
+  EXPECT_EQ(queue.pop(0.0)->id, 2u);
+  EXPECT_EQ(queue.pop(0.0)->id, 1u);
+}
+
+TEST(RequestQueue, EdfWithinClassFifoBehindDeadlinedPeers) {
+  const f64 now = monotonic_now_us();
+  RequestQueue queue(8);
+  // Same class: two no-deadline requests bracketing two deadlined ones,
+  // pushed with the later deadline first.
+  ASSERT_TRUE(queue.try_push(make_classed(1, Priority::kBatch)));
+  ASSERT_TRUE(queue.try_push(make_classed(2, Priority::kBatch, now + 5e6)));
+  ASSERT_TRUE(queue.try_push(make_classed(3, Priority::kBatch, now + 1e6)));
+  ASSERT_TRUE(queue.try_push(make_classed(4, Priority::kBatch)));
+  // EDF: earliest deadline first; no-deadline requests queue FIFO behind
+  // every deadlined peer of their class.
+  EXPECT_EQ(queue.pop(0.0)->id, 3u);
+  EXPECT_EQ(queue.pop(0.0)->id, 2u);
+  EXPECT_EQ(queue.pop(0.0)->id, 1u);
+  EXPECT_EQ(queue.pop(0.0)->id, 4u);
+}
+
+TEST(RequestQueue, PerClassBudgetShedsWithoutTouchingOtherClasses) {
+  RequestQueueOptions options;
+  options.capacity = 3;
+  options.class_budget[static_cast<size_t>(Priority::kBestEffort)] = 1;
+  RequestQueue queue(options);
+  ASSERT_EQ(queue.push(make_classed(1, Priority::kBestEffort)),
+            PushResult::kOk);
+  // Budget exhausted: the class sheds while the queue still has room...
+  auto over = make_classed(2, Priority::kBestEffort);
+  EXPECT_EQ(queue.push(std::move(over)), PushResult::kOverClassBudget);
+  EXPECT_NE(over.state, nullptr);  // left intact for the caller to resolve
+  // ...and other classes are unaffected by the best-effort budget.
+  ASSERT_EQ(queue.push(make_classed(3, Priority::kInteractive)),
+            PushResult::kOk);
+  ASSERT_EQ(queue.push(make_classed(4, Priority::kBatch)), PushResult::kOk);
+  EXPECT_EQ(queue.push(make_classed(5, Priority::kInteractive)),
+            PushResult::kFull);  // global capacity, not a budget
+  queue.close();
+  EXPECT_EQ(queue.push(make_classed(6, Priority::kInteractive)),
+            PushResult::kClosed);
+}
+
+/// Engine-equivalent shed policy: consume (resolve kTimedOut) requests
+/// whose deadline has passed at pickup; zero deadline = no deadline.
+bool shed_expired(detail::PendingRequest& request, f64 now_us) {
+  if (request.deadline_us <= 0.0 || now_us < request.deadline_us)
+    return false;
+  InferenceResponse response;
+  response.status = RequestStatus::kTimedOut;
+  detail::resolve(request, std::move(response));
+  return true;
+}
+
+TEST(DynamicBatcher, ShedsFollowerExpiredAtBatchCloseInstant) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_classed(1, Priority::kInteractive)));
+  // Deadline == push instant: already unmeetable the moment the batcher
+  // picks it up (the boundary case — expiry lands exactly at/under the
+  // batch-close instant, so `now >= deadline` must count as expired).
+  // Lower class, so it is picked up as a follower mid-batch-formation.
+  ASSERT_TRUE(queue.try_push(
+      make_classed(2, Priority::kBatch, monotonic_now_us())));
+  ASSERT_TRUE(queue.try_push(make_classed(3, Priority::kInteractive)));
+  DynamicBatcher batcher(queue, {.max_batch_rows = 3, .max_wait_us = 5000.0},
+                         shed_expired);
+  auto batch = batcher.next(1e6);
+  ASSERT_TRUE(batch);
+  // The expired follower was resolved by the shed policy, not batched;
+  // the batch closes with the live requests only.
+  EXPECT_EQ(batch->rows, 2);
+  ASSERT_EQ(batch->requests.size(), 2u);
+  EXPECT_EQ(batch->requests[0].id, 1u);
+  EXPECT_EQ(batch->requests[1].id, 3u);
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+TEST(DynamicBatcher, ShedFirstPickupYieldsNulloptNotEmptyBatch) {
+  RequestQueue queue(8);
+  const f64 past = monotonic_now_us();
+  ASSERT_TRUE(queue.try_push(make_classed(1, Priority::kBatch, past)));
+  ASSERT_TRUE(queue.try_push(make_classed(2, Priority::kBatch, past)));
+  DynamicBatcher batcher(queue, {.max_batch_rows = 4, .max_wait_us = 1000.0},
+                         shed_expired);
+  // A shed first pickup ends the round with no batch (the worker loops
+  // straight back into next()); each call consumes one expired request.
+  EXPECT_FALSE(batcher.next(20000.0));
+  EXPECT_EQ(queue.depth(), 1);
+  EXPECT_FALSE(batcher.next(20000.0));
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+TEST(DynamicBatcher, ZeroDeadlineRequestsAreNeverShed) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_classed(1, Priority::kBestEffort, 0.0)));
+  ASSERT_TRUE(queue.try_push(make_classed(2, Priority::kBestEffort, 0.0)));
+  DynamicBatcher batcher(queue, {.max_batch_rows = 2, .max_wait_us = 5000.0},
+                         shed_expired);
+  auto batch = batcher.next(1e6);
+  ASSERT_TRUE(batch);
+  // deadline 0 means "no deadline": immune to expiry shedding no matter
+  // how long the requests sat queued.
+  EXPECT_EQ(batch->rows, 2);
+}
+
+TEST(DynamicBatcher, MixedPriorityBatchPreservesFifoWithinClass) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_classed(1, Priority::kBestEffort)));
+  ASSERT_TRUE(queue.try_push(make_classed(2, Priority::kInteractive)));
+  ASSERT_TRUE(queue.try_push(make_classed(3, Priority::kBatch)));
+  ASSERT_TRUE(queue.try_push(make_classed(4, Priority::kInteractive)));
+  ASSERT_TRUE(queue.try_push(make_classed(5, Priority::kBestEffort)));
+  DynamicBatcher batcher(queue, {.max_batch_rows = 5, .max_wait_us = 5000.0});
+  auto batch = batcher.next(1e6);
+  ASSERT_TRUE(batch);
+  ASSERT_EQ(batch->requests.size(), 5u);
+  // Strict priority across classes, FIFO within each class.
+  EXPECT_EQ(batch->requests[0].id, 2u);
+  EXPECT_EQ(batch->requests[1].id, 4u);
+  EXPECT_EQ(batch->requests[2].id, 3u);
+  EXPECT_EQ(batch->requests[3].id, 1u);
+  EXPECT_EQ(batch->requests[4].id, 5u);
+}
+
 TEST(LatencyHistogram, PercentilesAndBounds) {
   LatencyHistogram h;
   for (i64 i = 1; i <= 100; ++i) h.record(static_cast<f64>(i * 100));
@@ -389,6 +531,274 @@ TEST_F(ServingEngineTest, UncorrectableScrubTriggersRedeploy) {
   const std::string json = ServingMetrics::to_json(snapshot);
   EXPECT_NE(json.find("\"resilience\""), std::string::npos);
   EXPECT_NE(json.find("\"timed_out\""), std::string::npos);
+}
+
+TEST_F(ServingEngineTest, AdmissionRateLimitShedsAtSubmit) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.autostart = false;  // staged: admission is a submit-side gate
+  options.admission.per_class[static_cast<size_t>(Priority::kInteractive)] =
+      {.rate_per_s = 0.001, .burst = 1.0};  // one token, ~no refill
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture first = engine.submit(data_.test.batch_images(0, 1));
+  EXPECT_FALSE(first.poll());  // rode the bucket's one token: queued
+  ResponseFuture second = engine.submit(data_.test.batch_images(1, 1));
+  ASSERT_TRUE(second.poll());  // shed immediately, no queue slot spent
+  const InferenceResponse shed = second.get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  EXPECT_NE(shed.error.find("admission rate limit exceeded"),
+            std::string::npos)
+      << shed.error;
+  EXPECT_NE(shed.error.find("interactive"), std::string::npos);
+  EXPECT_EQ(engine.queue_depth(), 1);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.shed_requests, 1);
+  const auto& cls =
+      snapshot.classes[static_cast<size_t>(Priority::kInteractive)];
+  EXPECT_EQ(cls.shed, 1);
+  EXPECT_EQ(cls.rejected, 1);  // `first`, drained by the never-run engine
+}
+
+TEST_F(ServingEngineTest, ClassQueueBudgetShedsBestEffortOnly) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.autostart = false;
+  options.admission.per_class[static_cast<size_t>(Priority::kBestEffort)]
+      .queue_budget = 1;
+  ServingEngine engine(*model_, data_.train, options);
+
+  const SubmitOptions best_effort{.priority = Priority::kBestEffort};
+  ResponseFuture a =
+      engine.submit(data_.test.batch_images(0, 1), best_effort);
+  ResponseFuture b =
+      engine.submit(data_.test.batch_images(1, 1), best_effort);
+  EXPECT_FALSE(a.poll());
+  ASSERT_TRUE(b.poll());
+  const InferenceResponse shed = b.get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  EXPECT_EQ(shed.priority, Priority::kBestEffort);
+  EXPECT_NE(shed.error.find("class queue budget exhausted"),
+            std::string::npos)
+      << shed.error;
+  // Interactive traffic is not constrained by the best-effort budget.
+  ResponseFuture c = engine.submit(data_.test.batch_images(2, 1));
+  EXPECT_FALSE(c.poll());
+  engine.shutdown();
+  EXPECT_EQ(engine.metrics().snapshot().shed_requests, 1);
+}
+
+TEST_F(ServingEngineTest, UnmeetableDeadlineShedsWithAttribution) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.batcher = {.max_batch_rows = 16, .max_wait_us = 0.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  // Warm the engine's per-row service-time estimate with one request.
+  const InferenceResponse warm =
+      engine.submit(data_.test.batch_images(0, 1)).get();
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  const f64 service_us = warm.total_us - warm.queue_us;
+  ASSERT_GT(service_us, 0.0);
+
+  // 16 rows need ~16x the per-row estimate; a deadline of 4 single-row
+  // service times is comfortably in the future at pickup (no expiry) yet
+  // provably unmeetable, so the shed path — not the timeout path — fires.
+  const SubmitOptions doomed{.priority = Priority::kBestEffort,
+                             .deadline_us = 4.0 * service_us};
+  const InferenceResponse shed =
+      engine.submit(data_.test.batch_images(0, 16), doomed).get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  EXPECT_NE(shed.error.find("deadline unmeetable"), std::string::npos)
+      << shed.error;
+  EXPECT_NE(shed.error.find("estimated service"), std::string::npos);
+  EXPECT_TRUE(shed.logits.empty());
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.shed_requests, 1);
+  EXPECT_EQ(
+      snapshot.classes[static_cast<size_t>(Priority::kBestEffort)].shed, 1);
+  EXPECT_EQ(snapshot.completed_requests, 1);
+}
+
+TEST_F(ServingEngineTest, BreakerOpensOnFailureProbesAndRecloses) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.max_retries = 3;
+  options.breaker.failure_threshold = 1;  // any failure trips it
+  options.breaker.cooldown_us = 5000.0;
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture future = engine.submit(data_.test.batch_images(0, 1));
+  engine.inject_worker_fault(0, WorkerFault::kCrashNextBatch);
+  engine.start();
+
+  // Crash -> breaker opens -> cooldown -> half-open probe batch serves
+  // the retried request -> breaker closes.
+  const InferenceResponse response = future.get();
+  EXPECT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(response.retries, 1);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.breaker_opens, 1);
+  EXPECT_EQ(snapshot.breaker_half_opens, 1);
+  EXPECT_EQ(snapshot.breaker_closes, 1);
+  EXPECT_EQ(snapshot.heals, 1);  // the self-heal path still ran
+  EXPECT_EQ(engine.healthy_workers(), 1);
+  const std::string json = ServingMetrics::to_json(snapshot);
+  EXPECT_NE(json.find("\"breaker\""), std::string::npos);
+}
+
+TEST_F(ServingEngineTest, BreakerDisabledKeepsLegacyBehavior) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;
+  options.max_retries = 2;
+  options.breaker.enabled = false;
+  ServingEngine engine(*model_, data_.train, options);
+
+  ResponseFuture future = engine.submit(data_.test.batch_images(0, 1));
+  engine.inject_worker_fault(0, WorkerFault::kCrashNextBatch);
+  engine.start();
+  EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.breaker_opens, 0);
+  EXPECT_EQ(engine.healthy_workers(), 1);
+}
+
+TEST_F(ServingEngineTest, SwapModelRollsEveryWorkerWithoutFailures) {
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  options.batcher = {.max_batch_rows = 2, .max_wait_us = 500.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  // The image to roll out: a fresh deployment of the trained model,
+  // exported in the on-flash format.
+  auto image = std::make_shared<DeploymentImage>(
+      PimRepNetExecutor(*model_, data_.train, options.executor)
+          .export_image());
+
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 4; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i, 1)));
+  ASSERT_TRUE(engine.swap_model(image));
+  for (i64 i = 4; i < 8; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i, 1)));
+  for (auto& future : futures)
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+
+  // Post-swap outputs are bit-identical to a standalone deploy of the
+  // same image.
+  const Tensor probe = data_.test.batch_images(0, 2);
+  const Tensor swapped = engine.submit(probe).get().logits;
+  auto reference = PimRepNetExecutor::deploy_from_image(
+      *model_, options.executor,
+      PimRepNetExecutor(*model_, data_.train, options.executor).input_amax(),
+      image);
+  EXPECT_EQ(max_abs_diff(swapped, reference->forward(probe)), 0.0f);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.swaps_attempted, 1);
+  EXPECT_EQ(snapshot.swaps_completed, 1);
+  EXPECT_EQ(snapshot.swap_workers_swapped, 2);
+  EXPECT_EQ(snapshot.swap_rollbacks, 0);
+  EXPECT_EQ(snapshot.failed_requests, 0);
+  // The image is now the replicas' deployment provenance (heal-after-swap
+  // redeploys the swapped weights, not the original model's).
+  EXPECT_EQ(engine.replica(0).source_image(), image);
+  EXPECT_EQ(engine.replica(1).source_image(), image);
+}
+
+TEST_F(ServingEngineTest, SwapVerifyFailureRollsBackAndKeepsServing) {
+  PimRepNetExecutor reference(*model_, data_.train);
+
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  auto image = std::make_shared<DeploymentImage>(
+      PimRepNetExecutor(*model_, data_.train, options.executor)
+          .export_image());
+
+  // Corrupt the candidate replicas after deployment (failed array
+  // programming). The (ber, seed) pair is chosen so worker 0's injection
+  // lands harmlessly (candidate verifies, worker promoted) while worker
+  // 1's corrupts a live cell: the deploy->verify gate must catch it,
+  // abort the roll, and roll the already-promoted worker 0 back.
+  SwapOptions faulty;
+  faulty.deploy_fault_ber = 1e-4;
+  faulty.deploy_fault_seed = 50;
+  EXPECT_FALSE(engine.swap_model(image, faulty));
+
+  // The engine kept its old (intact) replicas and serves on, bit-exact.
+  const Tensor probe = data_.test.batch_images(0, 1);
+  const InferenceResponse response = engine.submit(probe).get();
+  ASSERT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(max_abs_diff(response.logits, reference.forward(probe)), 0.0f);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.swaps_attempted, 1);
+  EXPECT_EQ(snapshot.swaps_failed, 1);
+  EXPECT_EQ(snapshot.swaps_completed, 0);
+  // Worker 0 was promoted before worker 1's verify failed, then rolled
+  // back; nobody is left on the rejected image.
+  EXPECT_EQ(snapshot.swap_workers_swapped, 1);
+  EXPECT_EQ(snapshot.swap_rollbacks, 1);
+  EXPECT_EQ(snapshot.failed_requests, 0);
+  EXPECT_EQ(engine.replica(0).source_image(), nullptr);
+  EXPECT_EQ(engine.replica(1).source_image(), nullptr);
+  EXPECT_EQ(engine.healthy_workers(), 2);
+}
+
+TEST_F(ServingEngineTest, SwapRefusedWhenNotRunning) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  ServingEngine engine(*model_, data_.train, options);
+  auto image = std::make_shared<DeploymentImage>(
+      PimRepNetExecutor(*model_, data_.train, options.executor)
+          .export_image());
+  EXPECT_FALSE(engine.swap_model(image));  // no workers to hand off to
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.swaps_attempted, 1);
+  EXPECT_EQ(snapshot.swaps_failed, 1);
+}
+
+TEST_F(ServingEngineTest, SubmitAfterShutdownIsWellDefined) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  ServingEngine engine(*model_, data_.train, options);
+  EXPECT_EQ(engine.submit(data_.test.batch_images(0, 1)).get().status,
+            RequestStatus::kOk);
+  engine.shutdown();
+
+  // Contract: submitting to a shut-down engine is safe and well-defined —
+  // a valid future that is already resolved kRejected, never UB or a hang.
+  for (int i = 0; i < 2; ++i) {
+    ResponseFuture late = engine.submit(data_.test.batch_images(0, 1));
+    ASSERT_TRUE(late.valid());
+    ASSERT_TRUE(late.poll());
+    const InferenceResponse response = late.get();
+    EXPECT_EQ(response.status, RequestStatus::kRejected);
+    EXPECT_EQ(response.error, "engine is shut down");
+  }
+  EXPECT_EQ(engine.metrics().snapshot().rejected_requests, 2);
 }
 
 }  // namespace

@@ -1,0 +1,358 @@
+// metrics_view — renders the serving runtime's metrics JSON (the schema
+// emitted by ServingMetrics::to_json and printed by the serving benches)
+// as human-readable tables with per-class latency histograms.
+//
+//   metrics_view <metrics.json>     read from a file
+//   metrics_view -                  read from stdin (pipe a bench's
+//                                   "metrics JSON" line into it)
+//
+// Self-contained: ships its own minimal JSON reader (objects, arrays,
+// numbers, strings, bools) so the tool adds no dependency. Unknown keys
+// are ignored, so newer schema additions never break older viewers.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/types.h"
+#include "runtime/serving_metrics.h"
+
+namespace msh {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader. Enough for the metrics schema; throws
+// SimulationError with a byte offset on malformed input.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  f64 number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  /// Object member lookup; a static null stands in for missing keys so
+  /// chained lookups on older/partial files degrade to zeros.
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue null;
+    const auto it = object.find(key);
+    return it == object.end() ? null : it->second;
+  }
+  f64 num(const std::string& key) const { return at(key).number; }
+  i64 count(const std::string& key) const {
+    return static_cast<i64>(at(key).number);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the first complete JSON value; trailing text is ignored so a
+  /// bench report with prose after the JSON block still renders.
+  JsonValue parse() { return parse_value(); }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SimulationError("metrics_view: JSON error at byte " +
+                          std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return value; }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      value.object[key.string] = parse_value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return value; }
+    while (true) {
+      value.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      value.string.push_back(c);
+    }
+    ++pos_;
+    return value;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return value;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Rendering.
+
+std::string format_us(f64 us) {
+  if (us >= 1e6) return AsciiTable::num(us / 1e6, 2) + " s";
+  if (us >= 1e3) return AsciiTable::num(us / 1e3, 2) + " ms";
+  return AsciiTable::num(us, 0) + " us";
+}
+
+void print_requests(const JsonValue& root) {
+  const JsonValue& requests = root.at("requests");
+  AsciiTable table({"outcome", "count"});
+  table.add_row({"completed", std::to_string(requests.count("completed"))});
+  table.add_row({"rejected", std::to_string(requests.count("rejected"))});
+  table.add_row({"shed", std::to_string(requests.count("shed"))});
+  table.add_row({"timed out", std::to_string(requests.count("timed_out"))});
+  table.add_row({"failed", std::to_string(requests.count("failed"))});
+  std::printf("requests (%.1f s, %.1f req/s, %.1f img/s)\n%s\n",
+              root.num("elapsed_s"),
+              root.at("throughput").num("requests_per_s"),
+              root.at("throughput").num("images_per_s"),
+              table.render().c_str());
+}
+
+void print_classes(const JsonValue& root) {
+  const JsonValue& classes = root.at("classes");
+  if (classes.object.empty()) return;
+  AsciiTable table({"class", "completed", "rejected", "shed", "timed out",
+                    "failed", "mean", "p50", "p95", "p99"});
+  for (const char* name : {"interactive", "batch", "best_effort"}) {
+    if (!classes.has(name)) continue;
+    const JsonValue& cls = classes.at(name);
+    const JsonValue& latency = cls.at("total_latency_us");
+    table.add_row({name, std::to_string(cls.count("completed")),
+                   std::to_string(cls.count("rejected")),
+                   std::to_string(cls.count("shed")),
+                   std::to_string(cls.count("timed_out")),
+                   std::to_string(cls.count("failed")),
+                   format_us(latency.num("mean_us")),
+                   format_us(latency.num("p50_us")),
+                   format_us(latency.num("p95_us")),
+                   format_us(latency.num("p99_us"))});
+  }
+  std::printf("priority classes\n%s\n", table.render().c_str());
+}
+
+/// One histogram row: bucket upper bound, count, and a proportional bar.
+void print_histogram(const char* title, const JsonValue& latency) {
+  const JsonValue& buckets = latency.at("buckets");
+  if (buckets.array.empty()) return;
+  i64 peak = 0;
+  for (const JsonValue& b : buckets.array)
+    peak = std::max(peak, static_cast<i64>(b.number));
+  if (peak == 0) return;
+  std::printf("%s latency histogram (count %lld, max %s)\n", title,
+              static_cast<long long>(latency.count("count")),
+              format_us(latency.num("max_us")).c_str());
+  constexpr i64 kBarWidth = 40;
+  for (size_t i = 0; i < buckets.array.size(); ++i) {
+    const i64 count = static_cast<i64>(buckets.array[i].number);
+    if (count == 0) continue;
+    const i64 width =
+        std::max<i64>(1, count * kBarWidth / std::max<i64>(peak, 1));
+    std::printf("  <= %9s | %-*s %lld\n",
+                format_us(LatencyHistogram::bucket_bound_us(
+                              static_cast<i64>(i)))
+                    .c_str(),
+                static_cast<int>(kBarWidth),
+                std::string(static_cast<size_t>(width), '#').c_str(),
+                static_cast<long long>(count));
+  }
+  std::printf("\n");
+}
+
+void print_resilience(const JsonValue& root) {
+  const JsonValue& resilience = root.at("resilience");
+  const JsonValue& breaker = root.at("breaker");
+  const JsonValue& swaps = root.at("swaps");
+  AsciiTable table({"counter", "value"});
+  table.add_row({"retries", std::to_string(resilience.count("retries"))});
+  table.add_row({"heals", std::to_string(resilience.count("heals"))});
+  table.add_row({"scrubs", std::to_string(resilience.count("scrubs"))});
+  table.add_row(
+      {"ecc corrected", std::to_string(resilience.count("ecc_corrected"))});
+  table.add_row({"ecc uncorrectable",
+                 std::to_string(
+                     resilience.count("ecc_detected_uncorrectable"))});
+  table.add_row(
+      {"ecc silent", std::to_string(resilience.count("ecc_silent"))});
+  table.add_row(
+      {"breaker opens", std::to_string(breaker.count("opens"))});
+  table.add_row(
+      {"breaker half-opens", std::to_string(breaker.count("half_opens"))});
+  table.add_row(
+      {"breaker closes", std::to_string(breaker.count("closes"))});
+  table.add_row(
+      {"swaps attempted", std::to_string(swaps.count("attempted"))});
+  table.add_row(
+      {"swaps completed", std::to_string(swaps.count("completed"))});
+  table.add_row({"swap workers promoted",
+                 std::to_string(swaps.count("workers_swapped"))});
+  table.add_row(
+      {"swap rollbacks", std::to_string(swaps.count("rollbacks"))});
+  std::printf("resilience & lifecycle\n%s\n", table.render().c_str());
+}
+
+int view(const std::string& text) {
+  // The benches print the JSON embedded in a report; tolerate that by
+  // starting at the first '{'.
+  const size_t brace = text.find('{');
+  if (brace == std::string::npos) {
+    std::fprintf(stderr, "metrics_view: no JSON object in input\n");
+    return 2;
+  }
+  JsonValue root = JsonParser(text.substr(brace)).parse();
+
+  print_requests(root);
+  print_classes(root);
+  print_resilience(root);
+  print_histogram("overall", root.at("latency_us").at("total"));
+  const JsonValue& classes = root.at("classes");
+  for (const char* name : {"interactive", "batch", "best_effort"}) {
+    if (classes.has(name))
+      print_histogram(name, classes.at(name).at("total_latency_us"));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: metrics_view <metrics.json>  (or '-' for stdin)\n");
+    return 2;
+  }
+  std::string text;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream sink;
+    sink << std::cin.rdbuf();
+    text = sink.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "metrics_view: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream sink;
+    sink << file.rdbuf();
+    text = sink.str();
+  }
+  try {
+    return msh::view(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
