@@ -1,0 +1,397 @@
+// Kernel microbenchmark + CI perf-regression gate. Sweeps the three hot
+// compute kernels of the stack over threads {1,2,4,8} x batch {1,8,32},
+// verifies every parallel configuration is bit-identical to its
+// sequential reference, and writes BENCH_kernels.json.
+//
+// Two kinds of numbers per configuration:
+//   ns_op   - measured wall-clock nanoseconds per batch row. Honest but
+//             host-dependent (a single-core CI runner shows no wall-clock
+//             win); recorded for humans, never gated.
+//   speedup - for the PE-emulation kernels (linear_matvec, mram_matvec):
+//             the MODELED cycle speedup, sequential makespan sum divided
+//             by the busiest parallel lane's makespan. A deterministic
+//             function of the workload and the lane chunking, identical
+//             on every host — this is what the CI gate compares against
+//             bench/baselines/kernels_baseline.json. For the host-side
+//             kernels (csc_vecmat, quantized_matmul) it is the wall-clock
+//             ratio, informational only.
+//
+//   usage: bench_kernels [--out FILE] [--check BASELINE] [--smoke]
+// --check exits 1 when any gated speedup falls more than the baseline's
+// tolerance_pct below its recorded value (or when bit-exactness fails,
+// tolerance zero).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "deploy/pim_layer.h"
+#include "mapping/quantized_nm.h"
+#include "sparse/csc.h"
+#include "sparse/nm_mask.h"
+
+namespace msh {
+namespace {
+
+const i64 kThreadSweep[] = {1, 2, 4, 8};
+const i64 kBatchSweep[] = {1, 8, 32};
+
+struct BenchResult {
+  std::string kernel;
+  i64 threads = 0;
+  i64 batch = 0;
+  f64 ns_op = 0.0;    ///< wall-clock ns per batch row
+  f64 speedup = 1.0;  ///< modeled (gated kernels) or wall-clock ratio
+  bool gated = false; ///< compared against the checked-in baseline
+};
+
+/// Wall-clock ns per batch row for `iters` repetitions of `fn`.
+template <typename F>
+f64 time_ns_per_row(i64 iters, i64 batch, F&& fn) {
+  fn();  // warm-up (first-touch, lazy allocs)
+  Stopwatch watch;
+  for (i64 i = 0; i < iters; ++i) fn();
+  return watch.elapsed_us() * 1e3 / static_cast<f64>(iters * batch);
+}
+
+/// A [rows x cols] matrix satisfying 1:4 along the row direction, the
+/// layout both the CSC and the PE-packing kernels consume.
+Tensor sparse_rows_matrix(i64 rows, i64 cols, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{rows, cols}, rng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kRows);
+  apply_mask(w, mask);
+  return w;
+}
+
+bool equal_f32(const std::vector<f32>& a, const std::vector<f32>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+// --- csc_vecmat: host CSC column-dot kernel, one batch row per lane ----
+
+BenchResult run_csc_vecmat(i64 threads, i64 batch, bool smoke) {
+  const i64 rows = 256, cols = 64;
+  const Tensor dense = sparse_rows_matrix(rows, cols, 101);
+  const CscMatrix csc = CscMatrix::from_dense(dense);
+
+  Rng rng(103);
+  std::vector<std::vector<f32>> xs(static_cast<size_t>(batch));
+  for (auto& x : xs) {
+    x.resize(static_cast<size_t>(rows));
+    for (f32& v : x) v = static_cast<f32>(rng.gaussian());
+  }
+
+  std::vector<std::vector<f32>> seq(static_cast<size_t>(batch));
+  for (i64 b = 0; b < batch; ++b) seq[static_cast<size_t>(b)] = csc.vecmat(xs[static_cast<size_t>(b)]);
+
+  ThreadPool pool(threads);
+  ThreadPool* p = threads > 1 ? &pool : nullptr;
+  std::vector<std::vector<f32>> par(static_cast<size_t>(batch));
+  const auto run = [&]() {
+    parallel_for(p, batch, [&](i64 begin, i64 end) {
+      for (i64 b = begin; b < end; ++b) {
+        par[static_cast<size_t>(b)] = csc.vecmat(xs[static_cast<size_t>(b)]);
+      }
+    });
+  };
+
+  const i64 iters = smoke ? 10 : 50;
+  const f64 seq_ns = time_ns_per_row(iters, batch, [&]() {
+    for (i64 b = 0; b < batch; ++b) {
+      par[static_cast<size_t>(b)] = csc.vecmat(xs[static_cast<size_t>(b)]);
+    }
+  });
+  const f64 par_ns = time_ns_per_row(iters, batch, run);
+
+  for (i64 b = 0; b < batch; ++b) {
+    if (!equal_f32(par[static_cast<size_t>(b)], seq[static_cast<size_t>(b)])) {
+      std::fprintf(stderr, "csc_vecmat: parallel result diverged\n");
+      std::exit(1);
+    }
+  }
+  return {"csc_vecmat", threads, batch, par_ns, seq_ns / par_ns, false};
+}
+
+// --- quantized_matmul: INT8 reference matvec over packed slots ---------
+
+BenchResult run_quantized_matmul(i64 threads, i64 batch, bool smoke) {
+  const i64 rows = 256, cols = 64;
+  const Tensor dense = sparse_rows_matrix(rows, cols, 211);
+  const NmPackedMatrix packed = NmPackedMatrix::pack(dense, kSparse1of4);
+  const QuantizedNmMatrix q = QuantizedNmMatrix::from_packed(packed);
+
+  Rng rng(223);
+  std::vector<i8> acts(static_cast<size_t>(batch * rows));
+  for (i8& a : acts) a = static_cast<i8>(rng.uniform_int(-127, 127));
+
+  std::vector<std::vector<i32>> seq(static_cast<size_t>(batch));
+  for (i64 b = 0; b < batch; ++b) {
+    seq[static_cast<size_t>(b)] = q.reference_matvec(
+        std::span<const i8>(acts.data() + b * rows, static_cast<size_t>(rows)));
+  }
+
+  ThreadPool pool(threads);
+  ThreadPool* p = threads > 1 ? &pool : nullptr;
+  std::vector<std::vector<i32>> par(static_cast<size_t>(batch));
+  const auto run = [&]() {
+    parallel_for(p, batch, [&](i64 begin, i64 end) {
+      for (i64 b = begin; b < end; ++b) {
+        par[static_cast<size_t>(b)] = q.reference_matvec(std::span<const i8>(
+            acts.data() + b * rows, static_cast<size_t>(rows)));
+      }
+    });
+  };
+
+  const i64 iters = smoke ? 10 : 50;
+  const f64 seq_ns = time_ns_per_row(iters, batch, [&]() {
+    for (i64 b = 0; b < batch; ++b) {
+      par[static_cast<size_t>(b)] = q.reference_matvec(std::span<const i8>(
+          acts.data() + b * rows, static_cast<size_t>(rows)));
+    }
+  });
+  const f64 par_ns = time_ns_per_row(iters, batch, run);
+
+  for (i64 b = 0; b < batch; ++b) {
+    if (par[static_cast<size_t>(b)] != seq[static_cast<size_t>(b)]) {
+      std::fprintf(stderr, "quantized_matmul: parallel result diverged\n");
+      std::exit(1);
+    }
+  }
+  return {"quantized_matmul", threads, batch, par_ns, seq_ns / par_ns, false};
+}
+
+// --- linear_matvec / mram_matvec: PE emulation through the core --------
+
+BenchResult run_pe_matvec(PeKind kind, i64 threads, i64 batch, bool smoke) {
+  const i64 out = 6, k = 64;
+  Rng wrng(307);
+  Tensor w = Tensor::randn(Shape{out, k}, wrng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kCols);
+  apply_mask(w, mask);
+
+  HybridCore seq_core;
+  PimMatmulLayer seq_layer(seq_core, w, kSparse1of4, kind, 0.05f);
+
+  HybridCore par_core;
+  ThreadPool pool(threads);
+  par_core.set_intra_op_pool(&pool);
+  PimMatmulLayer par_layer(par_core, w, kSparse1of4, kind, 0.05f);
+
+  Rng rng(311);
+  const Tensor x = Tensor::randn(Shape{batch, k}, rng, 0.0f, 1.0f);
+
+  // Bit-exactness: the whole point of the lane design.
+  const Tensor y_seq = seq_layer.matmul(x);
+  const Tensor y_par = par_layer.matmul(x);
+  for (i64 i = 0; i < y_seq.numel(); ++i) {
+    if (y_seq[i] != y_par[i]) {
+      std::fprintf(stderr, "%s: parallel result diverged at %lld\n",
+                   kind == PeKind::kSram ? "linear_matvec" : "mram_matvec",
+                   static_cast<long long>(i));
+      std::exit(1);
+    }
+  }
+
+  // Modeled cycle speedup: sequential makespan sum over the batch vs the
+  // busiest lane's sum. Deterministic — this is the gated number.
+  const f64 modeled = static_cast<f64>(seq_core.last_makespan()) /
+                      static_cast<f64>(par_core.last_makespan());
+
+  const i64 iters = smoke ? 5 : 20;
+  const f64 par_ns =
+      time_ns_per_row(iters, batch, [&]() { (void)par_layer.matmul(x); });
+
+  return {kind == PeKind::kSram ? "linear_matvec" : "mram_matvec", threads,
+          batch, par_ns, modeled, true};
+}
+
+// --- JSON out + baseline gate ------------------------------------------
+
+std::string to_json(const std::vector<BenchResult>& results) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"msh-bench-kernels-v1\",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"kernel\": \"%s\", \"threads\": %lld, "
+                  "\"batch\": %lld, \"ns_op\": %.1f, \"speedup\": %.4f, "
+                  "\"gated\": %s}%s\n",
+                  r.kernel.c_str(), static_cast<long long>(r.threads),
+                  static_cast<long long>(r.batch), r.ns_op, r.speedup,
+                  r.gated ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    os << line;
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+/// Minimal field scanners for the baseline file (we control its format;
+/// no JSON library in the repo). Both return false when the key is
+/// missing from `block`.
+bool find_number(const std::string& block, const std::string& key, f64* out) {
+  const size_t at = block.find("\"" + key + "\"");
+  if (at == std::string::npos) return false;
+  const size_t colon = block.find(':', at);
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(block.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+bool find_string(const std::string& block, const std::string& key,
+                 std::string* out) {
+  const size_t at = block.find("\"" + key + "\"");
+  if (at == std::string::npos) return false;
+  const size_t open = block.find('"', block.find(':', at));
+  if (open == std::string::npos) return false;
+  const size_t close = block.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *out = block.substr(open + 1, close - open - 1);
+  return true;
+}
+
+/// Compares gated results against the baseline; returns the number of
+/// regressions (speedup below baseline * (1 - tolerance_pct/100)).
+int check_baseline(const std::vector<BenchResult>& results,
+                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  f64 tolerance_pct = 20.0;
+  find_number(text, "tolerance_pct", &tolerance_pct);
+
+  int regressions = 0;
+  int gates = 0;
+  size_t pos = 0;
+  while ((pos = text.find("{\"kernel\"", pos)) != std::string::npos) {
+    const size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string block = text.substr(pos, end - pos + 1);
+    pos = end + 1;
+
+    std::string kernel;
+    f64 threads = 0, batch = 0, base_speedup = 0;
+    if (!find_string(block, "kernel", &kernel) ||
+        !find_number(block, "threads", &threads) ||
+        !find_number(block, "batch", &batch) ||
+        !find_number(block, "speedup", &base_speedup)) {
+      std::fprintf(stderr, "malformed baseline entry: %s\n", block.c_str());
+      return 1;
+    }
+    ++gates;
+
+    const BenchResult* match = nullptr;
+    for (const BenchResult& r : results) {
+      if (r.kernel == kernel && r.threads == static_cast<i64>(threads) &&
+          r.batch == static_cast<i64>(batch)) {
+        match = &r;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "baseline gate %s t=%d b=%d: no measurement\n",
+                   kernel.c_str(), static_cast<int>(threads),
+                   static_cast<int>(batch));
+      ++regressions;
+      continue;
+    }
+    const f64 floor = base_speedup * (1.0 - tolerance_pct / 100.0);
+    if (match->speedup < floor) {
+      std::fprintf(stderr,
+                   "REGRESSION %s t=%d b=%d: speedup %.3f < floor %.3f "
+                   "(baseline %.3f, tolerance %.0f%%)\n",
+                   kernel.c_str(), static_cast<int>(threads),
+                   static_cast<int>(batch), match->speedup, floor,
+                   base_speedup, tolerance_pct);
+      ++regressions;
+    }
+  }
+  std::printf("baseline check: %d gates, %d regression(s), tolerance %.0f%%\n",
+              gates, regressions, tolerance_pct);
+  if (gates == 0) {
+    std::fprintf(stderr, "baseline %s contains no gates\n", path.c_str());
+    return 1;
+  }
+  return regressions;
+}
+
+}  // namespace
+}  // namespace msh
+
+int main(int argc, char** argv) {
+  using namespace msh;
+
+  std::string out_path = "BENCH_kernels.json";
+  std::string baseline_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_kernels [--out FILE] [--check BASELINE] "
+                   "[--smoke]\n");
+      return 1;
+    }
+  }
+
+  std::vector<BenchResult> results;
+  for (const i64 threads : kThreadSweep) {
+    for (const i64 batch : kBatchSweep) {
+      results.push_back(run_csc_vecmat(threads, batch, smoke));
+      results.push_back(run_quantized_matmul(threads, batch, smoke));
+      results.push_back(run_pe_matvec(PeKind::kSram, threads, batch, smoke));
+      results.push_back(run_pe_matvec(PeKind::kMram, threads, batch, smoke));
+    }
+  }
+
+  std::printf("%-18s %7s %5s %12s %9s %6s\n", "kernel", "threads", "batch",
+              "ns/row", "speedup", "gated");
+  for (const BenchResult& r : results) {
+    std::printf("%-18s %7lld %5lld %12.1f %9.4f %6s\n", r.kernel.c_str(),
+                static_cast<long long>(r.threads),
+                static_cast<long long>(r.batch), r.ns_op, r.speedup,
+                r.gated ? "yes" : "no");
+  }
+  std::printf("\nbit-exactness: every parallel configuration matched its "
+              "sequential reference exactly.\n");
+
+  const std::string json = to_json(results);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("wrote %s (%zu results)\n", out_path.c_str(), results.size());
+
+  if (!baseline_path.empty()) {
+    return check_baseline(results, baseline_path) == 0 ? 0 : 1;
+  }
+  return 0;
+}

@@ -7,10 +7,13 @@
 // Deterministic load: arrivals and fault points are drawn from the
 // repo's own Rng with an explicit seed; the arrival rate is fixed (not
 // measured) so the trace is reproducible across hosts.
-//   usage: bench_serving_chaos [seed] [requests] [rate_img_s]
+//   usage: bench_serving_chaos [--smoke] [seed] [requests] [rate_img_s]
+// --smoke shrinks the request count for the CI perf job (artifact
+// collection + sanity, not steady-state measurement).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,15 +96,27 @@ ChaosResult run(RepNetModel& model, const Dataset& calibration,
 int main(int argc, char** argv) {
   using namespace msh;
 
-  const u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  const i64 total = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 96;
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  const u64 seed = nargs > 0 ? std::strtoull(args[0], nullptr, 10) : 42;
+  const i64 total =
+      nargs > 1 ? std::strtoll(args[1], nullptr, 10) : (smoke ? 24 : 96);
   // Default offered load sits just under what two replicas sustain on a
   // typical host, so latency reflects service + heal pauses, not a
   // saturated queue; pass a rate to pin the trace on faster machines.
-  const f64 rate = argc > 3 ? std::strtod(argv[3], nullptr) : 20.0;
+  const f64 rate = nargs > 2 ? std::strtod(args[2], nullptr) : 20.0;
   if (total <= 0 || rate <= 0.0) {
     std::fprintf(stderr,
-                 "usage: bench_serving_chaos [seed] [requests] [rate_img_s]\n"
+                 "usage: bench_serving_chaos [--smoke] [seed] [requests] "
+                 "[rate_img_s]\n"
                  "requests and rate_img_s must be >= 1\n");
     return 1;
   }

@@ -9,11 +9,15 @@
 // repo's own Rng with an explicit seed. The arrival *rate* defaults to
 // 1.2x the measured 1-worker closed-loop rate; pass it explicitly to
 // make the whole trace reproducible across hosts (CI).
-//   usage: bench_serving_throughput [seed] [requests_per_config] [rate_img_s]
+//   usage: bench_serving_throughput [--smoke] [seed] [requests_per_config]
+//          [rate_img_s]
+// --smoke shrinks the request count for the CI perf job (artifact
+// collection + sanity, not steady-state measurement).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <string>
 #include <thread>
@@ -110,14 +114,26 @@ LoadResult run_open_loop(RepNetModel& model, const Dataset& calibration,
 int main(int argc, char** argv) {
   using namespace msh;
 
-  const u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  const i64 total = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 64;
-  const f64 fixed_rate = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
-  if (total <= 0 || (argc > 3 && fixed_rate <= 0.0)) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  const u64 seed = nargs > 0 ? std::strtoull(args[0], nullptr, 10) : 42;
+  const i64 total =
+      nargs > 1 ? std::strtoll(args[1], nullptr, 10) : (smoke ? 16 : 64);
+  const f64 fixed_rate = nargs > 2 ? std::strtod(args[2], nullptr) : 0.0;
+  if (total <= 0 || (nargs > 2 && fixed_rate <= 0.0)) {
     std::fprintf(
         stderr,
-        "usage: bench_serving_throughput [seed] [requests_per_config] "
-        "[rate_img_s]\nrequests_per_config and rate_img_s must be >= 1\n");
+        "usage: bench_serving_throughput [--smoke] [seed] "
+        "[requests_per_config] [rate_img_s]\n"
+        "requests_per_config and rate_img_s must be >= 1\n");
     return 1;
   }
 

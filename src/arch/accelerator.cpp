@@ -1,5 +1,7 @@
 #include "arch/accelerator.h"
 
+#include <algorithm>
+
 namespace msh {
 
 HybridCore::HybridCore(Options options)
@@ -96,6 +98,78 @@ bool HybridCore::deployment_is_sram(i64 handle) const {
   return deployments_[static_cast<size_t>(handle)].is_sram;
 }
 
+HybridCore::RowCompute HybridCore::compute_row(
+    const Deployment& dep, std::span<const i8> activations) const {
+  RowCompute row;
+  std::vector<i64> acc(static_cast<size_t>(dep.cols), 0);
+  std::vector<u8> touched(static_cast<size_t>(dep.cols), 0);
+  row.pe_events.resize(static_cast<size_t>(dep.pe_count()));
+  row.tile_cycles.reserve(row.pe_events.size());
+
+  auto merge = [&](const std::vector<i32>& ids,
+                   const std::vector<i64>& values) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const size_t c = static_cast<size_t>(ids[i]);
+      MSH_ENSURE(c < acc.size());
+      if (touched[c]) ++row.shared_acc_ops;  // cross-PE partial-sum merge
+      acc[c] += values[i];
+      touched[c] = 1;
+    }
+  };
+
+  if (dep.is_sram) {
+    for (size_t i = 0; i < dep.sram_pes.size(); ++i) {
+      const SramPeOutput out =
+          dep.sram_pes[i]->matvec_compute(activations, row.pe_events[i]);
+      row.tile_cycles.push_back(row.pe_events[i].cycles);
+      merge(out.output_ids, out.values);
+    }
+  } else {
+    for (size_t i = 0; i < dep.mram_pes.size(); ++i) {
+      const MramPeOutput out =
+          dep.mram_pes[i]->matvec_compute(activations, row.pe_events[i]);
+      row.tile_cycles.push_back(row.pe_events[i].cycles);
+      merge(out.output_ids, out.values);
+    }
+  }
+
+  // SIMT schedule over the physical PE pool (one pool per tile lane).
+  const i64 pe_pool = dep.is_sram
+                          ? options_.sram_pe_pool
+                          : options_.topology.mram_pes_per_core();
+  const ScheduleResult sched = Scheduler(pe_pool).schedule(row.tile_cycles);
+  row.makespan = sched.makespan;
+  row.utilization = sched.utilization();
+
+  row.result.resize(static_cast<size_t>(dep.cols));
+  for (size_t c = 0; c < row.result.size(); ++c)
+    row.result[c] = static_cast<i32>(acc[c]);
+  return row;
+}
+
+void HybridCore::absorb_row(Deployment& dep, std::span<const i8> activations,
+                            const RowCompute& row) {
+  // Activations arrive over the bus into the core buffer once
+  // (row-stationary: every PE pass reuses the buffered copy).
+  bus_.transfer(static_cast<i64>(activations.size()) * 8);
+  MSH_REQUIRE(buffer_.load(activations));
+  if (dep.is_sram) {
+    for (size_t i = 0; i < dep.sram_pes.size(); ++i) {
+      dep.sram_pes[i]->absorb_events(row.pe_events[i]);
+      buffer_.record_read(dep.sram_pes[i]->tile().rows);
+    }
+  } else {
+    for (size_t i = 0; i < dep.mram_pes.size(); ++i) {
+      dep.mram_pes[i]->absorb_events(row.pe_events[i]);
+      buffer_.record_read(
+          static_cast<i64>(dep.mram_pes[i]->tile().rows.size()));
+    }
+  }
+  shared_acc_ops_ += row.shared_acc_ops;
+  // Results leave over the bus.
+  bus_.transfer(dep.cols * 32);
+}
+
 std::vector<i32> HybridCore::matvec(i64 handle,
                                     std::span<const i8> activations) {
   MSH_REQUIRE(handle >= 0 &&
@@ -103,59 +177,11 @@ std::vector<i32> HybridCore::matvec(i64 handle,
   Deployment& dep = deployments_[static_cast<size_t>(handle)];
   MSH_REQUIRE(static_cast<i64>(activations.size()) == dep.dense_rows);
 
-  // Activations arrive over the bus into the core buffer once
-  // (row-stationary: every PE pass reuses the buffered copy).
-  bus_.transfer(static_cast<i64>(activations.size()) * 8);
-  MSH_REQUIRE(buffer_.load(activations));
-
-  std::vector<i64> acc(static_cast<size_t>(dep.cols), 0);
-  std::vector<u8> touched(static_cast<size_t>(dep.cols), 0);
-  std::vector<i64> tile_cycles;
-
-  auto merge = [&](const std::vector<i32>& ids,
-                   const std::vector<i64>& values) {
-    for (size_t i = 0; i < ids.size(); ++i) {
-      const size_t c = static_cast<size_t>(ids[i]);
-      MSH_ENSURE(c < acc.size());
-      if (touched[c]) ++shared_acc_ops_;  // cross-PE partial-sum merge
-      acc[c] += values[i];
-      touched[c] = 1;
-    }
-  };
-
-  if (dep.is_sram) {
-    for (auto& pe : dep.sram_pes) {
-      const i64 before = pe->events().cycles;
-      const SramPeOutput out = pe->matvec(buffer_.contents());
-      tile_cycles.push_back(pe->events().cycles - before);
-      buffer_.record_read(pe->tile().rows);
-      merge(out.output_ids, out.values);
-    }
-  } else {
-    for (auto& pe : dep.mram_pes) {
-      const i64 before = pe->events().cycles;
-      const MramPeOutput out = pe->matvec(buffer_.contents());
-      tile_cycles.push_back(pe->events().cycles - before);
-      buffer_.record_read(static_cast<i64>(pe->tile().rows.size()));
-      merge(out.output_ids, out.values);
-    }
-  }
-
-  // SIMT schedule over the physical PE pool.
-  const i64 pool = dep.is_sram
-                       ? options_.sram_pe_pool
-                       : options_.topology.mram_pes_per_core();
-  const ScheduleResult sched = Scheduler(pool).schedule(tile_cycles);
-  last_makespan_ = sched.makespan;
-  last_utilization_ = sched.utilization();
-
-  // Results leave over the bus.
-  bus_.transfer(dep.cols * 32);
-
-  std::vector<i32> result(static_cast<size_t>(dep.cols));
-  for (size_t c = 0; c < result.size(); ++c)
-    result[c] = static_cast<i32>(acc[c]);
-  return result;
+  RowCompute row = compute_row(dep, activations);
+  absorb_row(dep, activations, row);
+  last_makespan_ = row.makespan;
+  last_utilization_ = row.utilization;
+  return std::move(row.result);
 }
 
 std::vector<i32> HybridCore::matmul(i64 handle,
@@ -163,19 +189,67 @@ std::vector<i32> HybridCore::matmul(i64 handle,
                                     i64 batch) {
   MSH_REQUIRE(handle >= 0 &&
               handle < static_cast<i64>(deployments_.size()));
-  const Deployment& dep = deployments_[static_cast<size_t>(handle)];
+  Deployment& dep = deployments_[static_cast<size_t>(handle)];
   MSH_REQUIRE(static_cast<i64>(activations.size()) ==
               batch * dep.dense_rows);
-  std::vector<i32> out;
-  out.reserve(static_cast<size_t>(batch * dep.cols));
-  i64 makespan = 0;
+
+  ThreadPool* pool = intra_pool_;
+  if (pool == nullptr || pool->size() <= 1 || batch <= 1) {
+    std::vector<i32> out;
+    out.reserve(static_cast<size_t>(batch * dep.cols));
+    i64 makespan = 0;
+    for (i64 b = 0; b < batch; ++b) {
+      const auto row = activations.subspan(
+          static_cast<size_t>(b * dep.dense_rows),
+          static_cast<size_t>(dep.dense_rows));
+      const auto y = matvec(handle, row);
+      makespan += last_makespan_;
+      out.insert(out.end(), y.begin(), y.end());
+    }
+    last_makespan_ = makespan;
+    return out;
+  }
+
+  // Intra-batch parallel path: contiguous row lanes, each modeling (and
+  // running on) a clone of the deployment's tiles. Rows are independent
+  // (private accumulators, fixed output offsets, lane-local event
+  // counters), so the outputs are bit-identical to the sequential walk.
+  std::vector<RowCompute> rows(static_cast<size_t>(batch));
+  std::vector<i32> out(static_cast<size_t>(batch * dep.cols));
+  pool->parallel_for(batch, [&](i64 begin, i64 end) {
+    for (i64 b = begin; b < end; ++b) {
+      const auto acts = activations.subspan(
+          static_cast<size_t>(b * dep.dense_rows),
+          static_cast<size_t>(dep.dense_rows));
+      RowCompute row = compute_row(dep, acts);
+      std::copy(row.result.begin(), row.result.end(),
+                out.begin() + static_cast<size_t>(b * dep.cols));
+      rows[static_cast<size_t>(b)] = std::move(row);
+    }
+  });
+
+  // Deterministic accounting replay, in row order: the final bus, buffer
+  // and PE event state is exactly the sequential path's.
   for (i64 b = 0; b < batch; ++b) {
-    const auto row = activations.subspan(
+    const auto acts = activations.subspan(
         static_cast<size_t>(b * dep.dense_rows),
         static_cast<size_t>(dep.dense_rows));
-    const auto y = matvec(handle, row);
-    makespan += last_makespan_;
-    out.insert(out.end(), y.begin(), y.end());
+    absorb_row(dep, acts, rows[static_cast<size_t>(b)]);
+  }
+  last_utilization_ = rows.back().utilization;
+
+  // Modeled time: lanes run concurrently on their tile clones, so the
+  // batch finishes when the busiest lane does. Lane boundaries are the
+  // same contiguous chunks parallel_for dispatched.
+  const i64 lanes = pool->shards(batch);
+  const i64 per_lane = (batch + lanes - 1) / lanes;
+  i64 makespan = 0;
+  for (i64 lane = 0; lane < lanes; ++lane) {
+    i64 lane_cycles = 0;
+    const i64 end = std::min(batch, (lane + 1) * per_lane);
+    for (i64 b = lane * per_lane; b < end; ++b)
+      lane_cycles += rows[static_cast<size_t>(b)].makespan;
+    makespan = std::max(makespan, lane_cycles);
   }
   last_makespan_ = makespan;
   return out;

@@ -12,6 +12,7 @@
 #include "arch/bus.h"
 #include "arch/scheduler.h"
 #include "arch/topology.h"
+#include "common/thread_pool.h"
 #include "mapping/csc_mapper.h"
 #include "pim/mram_pe.h"
 #include "pim/sram_pe.h"
@@ -49,9 +50,23 @@ class HybridCore {
   /// (length = cols).
   std::vector<i32> matvec(i64 handle, std::span<const i8> activations);
 
-  /// Batched version: x is row-major [batch x dense_rows].
+  /// Batched version: x is row-major [batch x dense_rows]. With an
+  /// intra-op pool attached (see set_intra_op_pool), batch rows are
+  /// sharded into contiguous lanes and executed concurrently, each lane
+  /// modeling a clone of the deployment's PE tiles: outputs, PE event
+  /// totals, and bus/buffer accounting are bit-identical to the
+  /// sequential walk (row results land at fixed offsets; per-lane event
+  /// counters merge in deterministic order), while last_makespan()
+  /// becomes the busiest lane's cycle sum — the modeled time of the
+  /// tile-parallel execution.
   std::vector<i32> matmul(i64 handle, std::span<const i8> activations,
                           i64 batch);
+
+  /// Attaches a host thread pool for intra-batch (row-level) parallel
+  /// matmul. Non-owning; nullptr (the default) keeps every path
+  /// sequential. The pool must outlive the core or be detached first.
+  void set_intra_op_pool(ThreadPool* pool) { intra_pool_ = pool; }
+  ThreadPool* intra_op_pool() const { return intra_pool_; }
 
   /// Pointer view over one deployment's PE-resident compressed codes —
   /// the physical surface where NVM faults land and ECC scrubs repair.
@@ -91,12 +106,35 @@ class HybridCore {
     i64 dense_rows = 0;
     std::vector<std::unique_ptr<SramSparsePe>> sram_pes;
     std::vector<std::unique_ptr<MramSparsePe>> mram_pes;
+    i64 pe_count() const {
+      return static_cast<i64>(is_sram ? sram_pes.size() : mram_pes.size());
+    }
   };
+
+  /// One activation row's walk over a deployment's PE tiles, with no
+  /// side effects on the core or the PEs: results plus the event deltas
+  /// the sequential path would have produced. The unit of work each
+  /// parallel lane executes.
+  struct RowCompute {
+    std::vector<i32> result;               ///< merged accumulators [cols]
+    std::vector<PeEventCounts> pe_events;  ///< per PE, deploy order
+    std::vector<i64> tile_cycles;          ///< per PE cycle cost
+    i64 shared_acc_ops = 0;                ///< cross-PE partial-sum merges
+    i64 makespan = 0;                      ///< SIMT schedule over the pool
+    f64 utilization = 0.0;
+  };
+  RowCompute compute_row(const Deployment& dep,
+                         std::span<const i8> activations) const;
+  /// Replays one row's bus/buffer traffic and merges its event deltas
+  /// into the core — the accounting half of matvec, applied in row order.
+  void absorb_row(Deployment& dep, std::span<const i8> activations,
+                  const RowCompute& row);
 
   Options options_;
   Bus bus_;
   ActivationBuffer buffer_;
   std::vector<Deployment> deployments_;
+  ThreadPool* intra_pool_ = nullptr;
   i64 last_makespan_ = 0;
   f64 last_utilization_ = 0.0;
   i64 shared_acc_ops_ = 0;

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace msh {
+
+ThreadPool::ThreadPool(i64 threads) {
+  MSH_REQUIRE(threads >= 0);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (i64 i = 0; i < threads; ++i)
+    workers_.emplace_back([this]() { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  // Inline pool (no workers) never queues; with workers, the loop drains
+  // the queue before exiting, so nothing is left here.
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // degenerate pool: run on the caller, future already ready
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MSH_REQUIRE(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+i64 ThreadPool::shards(i64 n) const {
+  if (n <= 1) return 1;
+  const i64 workers = std::max<i64>(size(), 1);
+  return std::min(workers, n);
+}
+
+void ThreadPool::parallel_for(i64 n,
+                              const std::function<void(i64, i64)>& body) {
+  if (n <= 0) return;
+  const i64 chunks = shards(n);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  const i64 per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<size_t>(chunks - 1));
+  for (i64 c = 1; c < chunks; ++c) {
+    const i64 begin = c * per_chunk;
+    const i64 end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    pending.push_back(submit([&body, begin, end]() { body(begin, end); }));
+  }
+  std::exception_ptr first;
+  try {
+    body(0, std::min(n, per_chunk));  // caller takes chunk 0
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void parallel_for(ThreadPool* pool, i64 n,
+                  const std::function<void(i64, i64)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    body(0, n);
+    return;
+  }
+  pool->parallel_for(n, body);
+}
+
+}  // namespace msh

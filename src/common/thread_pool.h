@@ -1,0 +1,79 @@
+// Fixed-size worker pool for intra-op parallelism (batch-row sharding in
+// the deploy layer, parallel bench harnesses). Deliberately small: tasks
+// are submitted as type-erased thunks, results and exceptions travel
+// through std::future, and shutdown drains everything that was accepted.
+//
+// Concurrency contract:
+//  - submit() and parallel_for() may be called from any thread, including
+//    from inside a pool task (parallel_for runs its share inline, so
+//    nesting cannot deadlock the pool).
+//  - The destructor stops accepting new work, runs every task still
+//    queued, then joins the workers — a pending future is never broken.
+//  - size() == 0 is the degenerate inline pool: submit() runs the task on
+//    the calling thread before returning (the future is already ready).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+class ThreadPool {
+ public:
+  /// `threads` fixed workers; 0 builds the inline (degenerate) pool.
+  explicit ThreadPool(i64 threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  i64 size() const { return static_cast<i64>(workers_.size()); }
+
+  /// Schedules `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured and rethrown from future::get().
+  template <typename F>
+  std::future<std::invoke_result_t<F&>> submit(F&& fn) {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Shards [0, n) into `shards()` contiguous chunks and runs
+  /// `body(begin, end)` on each — the first chunk inline on the calling
+  /// thread, the rest on workers — then waits for all of them. The chunk
+  /// boundaries depend only on n and size(), never on scheduling, so a
+  /// body writing disjoint ranges is deterministic. The first exception
+  /// (in chunk order) is rethrown after every chunk finished.
+  void parallel_for(i64 n, const std::function<void(i64, i64)>& body);
+
+  /// Chunks parallel_for uses for `n` items: min(size(), n), at least 1.
+  i64 shards(i64 n) const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper: `pool` may be null (or the inline pool), in which
+/// case the body runs sequentially as body(0, n) on the calling thread.
+void parallel_for(ThreadPool* pool, i64 n,
+                  const std::function<void(i64, i64)>& body);
+
+}  // namespace msh

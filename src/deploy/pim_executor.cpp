@@ -49,6 +49,10 @@ PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
                                      const Dataset& calibration,
                                      PimExecutorOptions options)
     : model_(model), options_(options), core_(options.core) {
+  if (options_.intra_op_threads > 1) {
+    intra_pool_ = std::make_unique<ThreadPool>(options_.intra_op_threads);
+    core_.set_intra_op_pool(intra_pool_.get());
+  }
   calibrate(calibration);
   deploy();
 }
@@ -62,6 +66,10 @@ PimRepNetExecutor::PimRepNetExecutor(
       core_(options.core),
       input_amax_(amax),
       source_image_(std::move(image)) {
+  if (options_.intra_op_threads > 1) {
+    intra_pool_ = std::make_unique<ThreadPool>(options_.intra_op_threads);
+    core_.set_intra_op_pool(intra_pool_.get());
+  }
   deploy();
 }
 

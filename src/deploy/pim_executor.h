@@ -39,6 +39,11 @@ struct PimExecutorOptions {
   /// words on weight bytes + even parity on index cells (spare array
   /// columns), parity-only on both, or raw.
   EccMode ecc = EccMode::kNone;
+  /// Host threads for intra-batch (row-level) parallel PIM compute.
+  /// <= 1 keeps every layer sequential (the default); N > 1 gives the
+  /// executor a private N-thread pool that shards batch rows across PE
+  /// tile lanes. Outputs stay bit-identical to sequential execution.
+  i64 intra_op_threads = 1;
 };
 
 class PimRepNetExecutor {
@@ -50,12 +55,19 @@ class PimRepNetExecutor {
 
   /// Hardware inference: [B, C, H, W] images -> [B, classes] logits.
   ///
-  /// Thread-safety contract: an executor is single-threaded internally
-  /// (it mutates its own HybridCore event counters), but hardware-mode
-  /// forward treats the shared RepNetModel as strictly read-only. Several
-  /// replicas deployed from the same model may therefore run forward()
-  /// concurrently, one thread per replica — the serving runtime's
-  /// concurrency model (see src/runtime).
+  /// Thread-safety contract: an executor is externally single-threaded —
+  /// at most one thread may call into it at a time (it mutates its own
+  /// HybridCore event counters). Internally, forward() may fan batch rows
+  /// out across `intra_op_threads` host threads on a pool this executor
+  /// owns; those lanes touch only lane-local state plus read-only tile
+  /// cells, and their event deltas merge back deterministically before
+  /// forward() returns, so the option changes neither results nor the
+  /// externally visible contract. Hardware-mode forward treats the shared
+  /// RepNetModel as strictly read-only. Several replicas deployed from
+  /// the same model may therefore run forward() concurrently, one
+  /// (external) thread per replica — the serving runtime's concurrency
+  /// model (see src/runtime). Replica- and row-level parallelism compose:
+  /// total host threads = workers x intra_op_threads.
   Tensor forward(const Tensor& images);
 
   /// Top-1 accuracy over a dataset, computed on the hardware.
@@ -183,6 +195,9 @@ class PimRepNetExecutor {
   RepNetModel& model_;
   PimExecutorOptions options_;
   HybridCore core_;
+  /// Private intra-op worker pool (null when intra_op_threads <= 1);
+  /// attached to core_ so every deployed layer's matmul can shard rows.
+  std::unique_ptr<ThreadPool> intra_pool_;
   std::unordered_map<const void*, f32> input_amax_;
   std::unordered_map<const Conv2d*, std::unique_ptr<PimConv>> convs_;
   std::unique_ptr<PimLinear> classifier_;

@@ -103,25 +103,39 @@ void PimMatmulLayer::set_activation_scale(f32 scale) {
   act_params_.scale = scale;
 }
 
-Tensor PimMatmulLayer::matmul(const Tensor& x) {
+Tensor PimMatmulLayer::matmul(const Tensor& x, const Tensor* bias) {
   MSH_REQUIRE(x.shape().rank() == 2);
   MSH_REQUIRE(x.shape()[1] == k_);
+  MSH_REQUIRE(bias == nullptr || bias->empty() ||
+              static_cast<i64>(bias->numel()) == out_);
   const i64 batch = x.shape()[0];
+  const bool add_bias = bias != nullptr && !bias->empty();
+  ThreadPool* pool = core_.intra_op_pool();
 
-  // Quantize activations into the padded INT8 layout.
+  // Quantize activations into the padded INT8 layout, row-sharded: each
+  // row's codes are written by exactly one lane.
   std::vector<i8> codes(static_cast<size_t>(batch * padded_k_), 0);
-  for (i64 b = 0; b < batch; ++b) {
-    for (i64 i = 0; i < k_; ++i) {
-      codes[static_cast<size_t>(b * padded_k_ + i)] =
-          static_cast<i8>(act_params_.quantize(x[b * k_ + i]));
+  parallel_for(pool, batch, [&](i64 begin, i64 end) {
+    for (i64 b = begin; b < end; ++b) {
+      for (i64 i = 0; i < k_; ++i) {
+        codes[static_cast<size_t>(b * padded_k_ + i)] =
+            static_cast<i8>(act_params_.quantize(x[b * k_ + i]));
+      }
     }
-  }
+  });
 
   const std::vector<i32> raw = core_.matmul(handle_, codes, batch);
   Tensor y(Shape{batch, out_});
   const f32 scale = act_params_.scale * weight_scale_;
-  for (i64 i = 0; i < batch * out_; ++i)
-    y[i] = scale * static_cast<f32>(raw[static_cast<size_t>(i)]);
+  parallel_for(pool, batch, [&](i64 begin, i64 end) {
+    for (i64 b = begin; b < end; ++b) {
+      for (i64 j = 0; j < out_; ++j) {
+        const i64 i = b * out_ + j;
+        const f32 v = scale * static_cast<f32>(raw[static_cast<size_t>(i)]);
+        y[i] = add_bias ? v + (*bias)[j] : v;
+      }
+    }
+  });
   return y;
 }
 
@@ -147,15 +161,20 @@ Tensor PimConv::forward(const Tensor& x) {
   const i64 out_ch = geom_.out_channels;
   Tensor y(Shape{n, out_ch, ho, wo});
   const i64 spatial = ho * wo;
-  for (i64 img = 0; img < n; ++img) {
-    for (i64 oc = 0; oc < out_ch; ++oc) {
+  // Scatter + bias, sharded over (image, output channel) planes: each
+  // plane is written by exactly one lane, so the parallel result is
+  // bit-identical to the sequential loop.
+  parallel_for(matmul_.intra_op_pool(), n * out_ch,
+               [&](i64 begin, i64 end) {
+    for (i64 p = begin; p < end; ++p) {
+      const i64 img = p / out_ch, oc = p % out_ch;
       const f32 b = bias_.empty() ? 0.0f : bias_[oc];
       for (i64 s = 0; s < spatial; ++s) {
         y[(img * out_ch + oc) * spatial + s] =
             flat[(img * spatial + s) * out_ch + oc] + b;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -168,14 +187,10 @@ PimLinear::PimLinear(HybridCore& core, Linear& linear, NmConfig cfg,
 }
 
 Tensor PimLinear::forward(const Tensor& x) {
-  Tensor y = matmul_.matmul(x);
-  const i64 batch = y.shape()[0], out = y.shape()[1];
-  if (!bias_.empty()) {
-    for (i64 b = 0; b < batch; ++b) {
-      for (i64 j = 0; j < out; ++j) y[b * out + j] += bias_[j];
-    }
-  }
-  return y;
+  // Bias rides inside the dequantization loop (one write per output
+  // element, every batch row handled in its own lane) instead of a
+  // second read-modify-write sweep after the batch loop.
+  return matmul_.matmul(x, &bias_);
 }
 
 }  // namespace msh

@@ -32,8 +32,21 @@ class PimMatmulLayer {
                  PeKind target, f32 activation_scale,
                  const QuantizedNmMatrix* preset = nullptr);
 
-  /// y[B x out] = dequant( PE( quant(x[B x K]) ) ).
-  Tensor matmul(const Tensor& x);
+  /// y[B x out] = dequant( PE( quant(x[B x K]) ) ) [+ bias].
+  ///
+  /// `bias` (length out, optional) is fused into the dequantization loop
+  /// so every output element is written exactly once — numerically
+  /// identical to dequantizing first and adding bias after (the same two
+  /// FP32 roundings in the same order), but parallel-safe: rows never
+  /// need a second read-modify-write pass.
+  ///
+  /// Quantize and dequantize shard across the core's intra-op pool when
+  /// one is attached; both loops are element-independent, so the result
+  /// is bit-identical to the sequential walk.
+  Tensor matmul(const Tensor& x, const Tensor* bias = nullptr);
+
+  /// The core's intra-op pool (null when execution is sequential).
+  ThreadPool* intra_op_pool() const { return core_.intra_op_pool(); }
 
   /// Rewrites the deployment with updated weights (same shape; the N:M
   /// pattern must still hold if the layer deployed sparse). SRAM

@@ -18,7 +18,7 @@ i64 changed_bits(const MramPeTile::RowEntry& a,
 }
 }  // namespace
 
-MramSparsePe::MramSparsePe() : tree_(64) {}
+MramSparsePe::MramSparsePe() {}
 
 void MramSparsePe::program(MramPeTile tile) {
   MSH_REQUIRE(!tile.empty());
@@ -48,8 +48,18 @@ void MramSparsePe::program(MramPeTile tile) {
 }
 
 MramPeOutput MramSparsePe::matvec(std::span<const i8> activations) {
+  return matvec_compute(activations, events_, &last_pipeline_);
+}
+
+MramPeOutput MramSparsePe::matvec_compute(std::span<const i8> activations,
+                                          PeEventCounts& events,
+                                          MramPipelineStats* pipeline) const {
   MSH_REQUIRE(loaded());
   MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
+
+  // The adder tree is stateless between matvecs; a lane-local instance
+  // keeps this function const and race-free under sharing.
+  AdderTree tree(64);
 
   const i32 m = tile_.cfg.m;
   const i32 n = tile_.cfg.n;
@@ -60,7 +70,7 @@ MramPeOutput MramSparsePe::matvec(std::span<const i8> activations) {
   for (const auto& row : tile_.rows) {
     if (row.output_id < 0) continue;
     // S1: sense the row (weights + indices).
-    events_.mram_row_reads += 1;
+    events.mram_row_reads += 1;
     products.clear();
     for (size_t e = 0; e < row.entries.size(); ++e) {
       const auto& entry = row.entries[e];
@@ -70,32 +80,30 @@ MramPeOutput MramSparsePe::matvec(std::span<const i8> activations) {
       const i64 dense_row =
           (packed_row / n) * m + static_cast<i64>(entry.index);
       MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
-      events_.buffer_bits_read += 8;
+      events.buffer_bits_read += 8;
       // S3: parallel shift-and-accumulate forms the 8b x 8b product.
       products.push_back(static_cast<i32>(entry.weight) *
                          static_cast<i32>(
                              activations[static_cast<size_t>(dense_row)]));
     }
-    events_.mram_shift_acc_ops += 1;
-    const i32 row_sum = tree_.reduce(products);
-    events_.mram_adder_tree_ops += 1;
+    events.mram_shift_acc_ops += 1;
+    const i32 row_sum = tree.reduce(products);
+    events.mram_adder_tree_ops += 1;
     acc[row.output_id] += row_sum;
   }
 
-  last_pipeline_ = MramPipelineStats{
-      .rows = events_.mram_row_reads,  // cumulative; delta computed below
-  };
-  // Recompute rows used in this call only.
+  MramPipelineStats stats;
   i64 used_rows = 0;
   for (const auto& row : tile_.rows) used_rows += (row.output_id >= 0);
-  last_pipeline_.rows = used_rows;
-  events_.cycles += last_pipeline_.total_cycles();
+  stats.rows = used_rows;
+  events.cycles += stats.total_cycles();
+  if (pipeline != nullptr) *pipeline = stats;
 
   MramPeOutput out;
   for (const auto& [id, value] : acc) {
     out.output_ids.push_back(id);
     out.values.push_back(value);
-    events_.buffer_bits_written += 32;
+    events.buffer_bits_written += 32;
   }
   return out;
 }

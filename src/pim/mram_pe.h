@@ -62,6 +62,19 @@ class MramSparsePe {
   /// w.r.t. the quantized reference.
   MramPeOutput matvec(std::span<const i8> activations);
 
+  /// Read-only matvec: identical arithmetic and event accounting, but
+  /// events land in `events` (and pipeline stats in `*pipeline`, when
+  /// given) instead of the member counters. Safe to call concurrently on
+  /// the same PE with per-caller counters — the intra-batch parallel
+  /// path, where each lane acts as a clone of this tile's periphery.
+  MramPeOutput matvec_compute(std::span<const i8> activations,
+                              PeEventCounts& events,
+                              MramPipelineStats* pipeline = nullptr) const;
+
+  /// Merges a lane's event counter back into this PE's counters (the
+  /// deterministic post-join step of the parallel path).
+  void absorb_events(const PeEventCounts& events) { events_ += events; }
+
   /// Pipeline stats of the last matvec.
   const MramPipelineStats& last_pipeline() const { return last_pipeline_; }
 
@@ -70,7 +83,6 @@ class MramSparsePe {
 
  private:
   MramPeTile tile_;
-  AdderTree tree_;
   MramPipelineStats last_pipeline_;
   PeEventCounts events_;
   bool programmed_once_ = false;

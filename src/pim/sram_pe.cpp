@@ -5,7 +5,7 @@
 
 namespace msh {
 
-SramSparsePe::SramSparsePe() : tree_(128), comparators_(128) {}
+SramSparsePe::SramSparsePe() {}
 
 void SramSparsePe::load(SramPeTile tile) {
   MSH_REQUIRE(!tile.empty());
@@ -26,8 +26,18 @@ void SramSparsePe::load(SramPeTile tile) {
 }
 
 SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
+  return matvec_compute(activations, events_);
+}
+
+SramPeOutput SramSparsePe::matvec_compute(std::span<const i8> activations,
+                                          PeEventCounts& events) const {
   MSH_REQUIRE(loaded());
   MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
+
+  // The datapath blocks are stateless between matvecs; lane-local
+  // instances keep this function const and race-free under sharing.
+  AdderTree tree(128);
+  ComparatorColumn comparators(128);
 
   const i64 rows = tile_.rows;
   const i64 groups = tile_.groups;
@@ -50,7 +60,7 @@ SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
     // Step 2: all groups' comparators evaluate this phase's index once.
     std::vector<std::vector<u8>> match(static_cast<size_t>(groups));
     for (i64 g = 0; g < groups; ++g) {
-      match[static_cast<size_t>(g)] = comparators_.compare(
+      match[static_cast<size_t>(g)] = comparators.compare(
           std::span<const u8>(tile_.indices)
               .subspan(static_cast<size_t>(g * rows),
                        static_cast<size_t>(rows)),
@@ -58,15 +68,15 @@ SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
               .subspan(static_cast<size_t>(g * rows),
                        static_cast<size_t>(rows)),
           gen_index);
-      events_.sram_index_compares += 1;
+      events.sram_index_compares += 1;
     }
 
     for (i32 bit = 0; bit < input_bits; ++bit) {
       // Step 1: one array cycle — every row's compute cells AND the
       // shared input bit with the stored weight bits.
-      events_.sram_array_cycles += 1;
-      events_.sram_decoder_cycles += 1;
-      events_.cycles += 1;
+      events.sram_array_cycles += 1;
+      events.sram_decoder_cycles += 1;
+      events.cycles += 1;
 
       for (i64 g = 0; g < groups; ++g) {
         bool group_active = false;
@@ -91,21 +101,21 @@ SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
             // row contributes its full signed weight to this bit plane.
             partials[static_cast<size_t>(r)] =
                 tile_.weights[static_cast<size_t>(g * rows + row)];
-            events_.buffer_bits_read += 1;
+            events.buffer_bits_read += 1;
           }
           // Step 3: subtree reduction + shift accumulate.
-          const i32 seg_sum = tree_.reduce(partials);
+          const i32 seg_sum = tree.reduce(partials);
           seg_acc[static_cast<size_t>(seg_idx)].accumulate(seg_sum, bit);
-          events_.sram_shift_acc_ops += 1;
+          events.sram_shift_acc_ops += 1;
         }
         // The physical tree fires once per group per cycle; taps are free.
-        if (group_active) events_.sram_adder_tree_ops += 1;
+        if (group_active) events.sram_adder_tree_ops += 1;
       }
     }
     generator.step();
   }
   // Adder-tree pipeline drain.
-  events_.cycles += tree_.depth();
+  events.cycles += tree.depth();
 
   // Row-wise accumulator: merge segments sharing a logical output column.
   std::map<i32, i64> merged;
@@ -116,7 +126,7 @@ SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
     auto [it, inserted] = merged.emplace(id, value);
     if (!inserted) {
       it->second += value;
-      events_.sram_row_acc_ops += 1;
+      events.sram_row_acc_ops += 1;
     }
   }
 
@@ -124,7 +134,7 @@ SramPeOutput SramSparsePe::matvec(std::span<const i8> activations) {
   for (const auto& [id, value] : merged) {
     out.output_ids.push_back(id);
     out.values.push_back(value);
-    events_.buffer_bits_written += 32;  // accumulator write-back
+    events.buffer_bits_written += 32;  // accumulator write-back
   }
   return out;
 }

@@ -20,16 +20,24 @@ RequestQueueOptions queue_options(const ServingEngineOptions& options) {
   return queue;
 }
 
+/// Folds the engine-level intra_op_threads override into the executor
+/// options every replica (and every heal/swap redeploy) is built from.
+ServingEngineOptions resolve_intra_op(ServingEngineOptions options) {
+  if (options.intra_op_threads >= 1)
+    options.executor.intra_op_threads = options.intra_op_threads;
+  return options;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
                              ServingEngineOptions options)
-    : options_(options),
+    : options_(resolve_intra_op(std::move(options))),
       model_(model),
-      replicas_(make_executor_replicas(model, calibration, options.workers,
-                                       options.executor)),
-      queue_(queue_options(options)),
-      admission_(options.admission, monotonic_now_us()) {
+      replicas_(make_executor_replicas(model, calibration, options_.workers,
+                                       options_.executor)),
+      queue_(queue_options(options_)),
+      admission_(options_.admission, monotonic_now_us()) {
   MSH_REQUIRE(options_.idle_poll_us > 0);
   MSH_REQUIRE(options_.max_retries >= 0);
   MSH_REQUIRE(options_.request_deadline_us >= 0.0);

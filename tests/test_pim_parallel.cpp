@@ -1,0 +1,269 @@
+// Bit-exactness of the intra-batch parallel PIM compute path: a
+// HybridCore with an attached thread pool must produce outputs, PE event
+// totals, and bus/buffer accounting identical to the sequential walk at
+// every batch x thread combination — the determinism contract that lets
+// serving replicas turn on intra_op_threads without changing results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "deploy/pim_executor.h"
+#include "deploy/pim_layer.h"
+#include "sparse/nm_mask.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+/// Every counter the parallel path merges back, compared field by field.
+void expect_events_equal(const PeEventCounts& a, const PeEventCounts& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.buffer_bits_read, b.buffer_bits_read);
+  EXPECT_EQ(a.buffer_bits_written, b.buffer_bits_written);
+  EXPECT_EQ(a.sram_array_cycles, b.sram_array_cycles);
+  EXPECT_EQ(a.sram_decoder_cycles, b.sram_decoder_cycles);
+  EXPECT_EQ(a.sram_adder_tree_ops, b.sram_adder_tree_ops);
+  EXPECT_EQ(a.sram_shift_acc_ops, b.sram_shift_acc_ops);
+  EXPECT_EQ(a.sram_index_compares, b.sram_index_compares);
+  EXPECT_EQ(a.sram_row_acc_ops, b.sram_row_acc_ops);
+  EXPECT_EQ(a.sram_weight_bits_written, b.sram_weight_bits_written);
+  EXPECT_EQ(a.sram_write_row_ops, b.sram_write_row_ops);
+  EXPECT_EQ(a.mram_row_reads, b.mram_row_reads);
+  EXPECT_EQ(a.mram_shift_acc_ops, b.mram_shift_acc_ops);
+  EXPECT_EQ(a.mram_adder_tree_ops, b.mram_adder_tree_ops);
+  EXPECT_EQ(a.mram_set_reset_bits, b.mram_set_reset_bits);
+  EXPECT_EQ(a.mram_write_row_ops, b.mram_write_row_ops);
+}
+
+/// A sparse weight matrix both PE kinds can deploy with 1:4 packing.
+Tensor sparse_weight(i64 out, i64 k, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{out, k}, rng);
+  NmMask mask = select_nm_mask(w, kSparse1of4, GroupAxis::kCols);
+  apply_mask(w, mask);
+  return w;
+}
+
+struct LayerParallelCase {
+  PeKind kind;
+  i64 batch;
+  i64 threads;
+};
+
+class PimParallelTest : public ::testing::TestWithParam<LayerParallelCase> {};
+
+// The ISSUE acceptance grid: batch {1, 7, 32} x threads {1, 3, 8}, both
+// PE kinds. Two independent cores run the same layer on the same input;
+// only one has a pool attached.
+TEST_P(PimParallelTest, MatchesSequentialBitExactly) {
+  const LayerParallelCase& tc = GetParam();
+  const i64 out = 6, k = 64;
+  const Tensor w = sparse_weight(out, k, 11);
+
+  HybridCore seq_core;
+  PimMatmulLayer seq_layer(seq_core, w, kSparse1of4, tc.kind, 0.05f);
+  ASSERT_TRUE(seq_layer.deployed_sparse());
+
+  HybridCore par_core;
+  ThreadPool pool(tc.threads);
+  par_core.set_intra_op_pool(&pool);
+  PimMatmulLayer par_layer(par_core, w, kSparse1of4, tc.kind, 0.05f);
+
+  Rng rng(23);
+  const Tensor x = Tensor::randn(Shape{tc.batch, k}, rng, 0.0f, 1.0f);
+  const Tensor y_seq = seq_layer.matmul(x);
+  const Tensor y_par = par_layer.matmul(x);
+
+  ASSERT_EQ(y_seq.shape(), y_par.shape());
+  for (i64 i = 0; i < y_seq.numel(); ++i) {
+    ASSERT_EQ(y_seq[i], y_par[i]) << "output element " << i;
+  }
+
+  // Accounting is replayed in row order after the parallel compute, so
+  // every externally visible counter matches the sequential core.
+  expect_events_equal(par_core.pe_events(), seq_core.pe_events());
+  EXPECT_EQ(par_core.shared_accumulator_ops(),
+            seq_core.shared_accumulator_ops());
+  EXPECT_EQ(par_core.bus().bits_moved(), seq_core.bus().bits_moved());
+  EXPECT_EQ(par_core.bus().busy_cycles(), seq_core.bus().busy_cycles());
+  EXPECT_EQ(par_core.buffer().bytes_loaded(),
+            seq_core.buffer().bytes_loaded());
+  EXPECT_EQ(par_core.buffer().bytes_read(), seq_core.buffer().bytes_read());
+
+  EXPECT_EQ(par_core.last_utilization(), seq_core.last_utilization());
+  // Modeled time: the parallel makespan is the busiest lane's cycle sum
+  // — never more than sequential, and equal when only one lane runs.
+  EXPECT_LE(par_core.last_makespan(), seq_core.last_makespan());
+  EXPECT_GT(par_core.last_makespan(), 0);
+  if (pool.shards(tc.batch) <= 1) {
+    EXPECT_EQ(par_core.last_makespan(), seq_core.last_makespan());
+  }
+
+  // A second pass accumulates on top of the first identically.
+  const Tensor y_seq2 = seq_layer.matmul(x);
+  const Tensor y_par2 = par_layer.matmul(x);
+  for (i64 i = 0; i < y_seq2.numel(); ++i) {
+    ASSERT_EQ(y_seq2[i], y_par2[i]);
+  }
+  expect_events_equal(par_core.pe_events(), seq_core.pe_events());
+}
+
+std::vector<LayerParallelCase> parallel_grid() {
+  std::vector<LayerParallelCase> cases;
+  for (PeKind kind : {PeKind::kSram, PeKind::kMram}) {
+    for (i64 batch : {1, 7, 32}) {
+      for (i64 threads : {1, 3, 8}) {
+        cases.push_back({kind, batch, threads});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PimParallelTest, ::testing::ValuesIn(parallel_grid()),
+    [](const ::testing::TestParamInfo<LayerParallelCase>& info) {
+      const LayerParallelCase& tc = info.param;
+      return std::string(tc.kind == PeKind::kSram ? "sram" : "mram") +
+             "_b" + std::to_string(tc.batch) + "_t" +
+             std::to_string(tc.threads);
+    });
+
+TEST(PimParallel, ModeledMakespanReflectsLaneParallelism) {
+  // 8 lanes over 32 rows: the busiest lane carries ceil(32/8) = 4 rows,
+  // so the modeled makespan lands near 1/8 of the sequential row sum.
+  const i64 out = 6, k = 64, batch = 32;
+  const Tensor w = sparse_weight(out, k, 31);
+
+  HybridCore seq_core;
+  PimMatmulLayer seq_layer(seq_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+
+  HybridCore par_core;
+  ThreadPool pool(8);
+  par_core.set_intra_op_pool(&pool);
+  PimMatmulLayer par_layer(par_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+
+  Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{batch, k}, rng, 0.0f, 1.0f);
+  seq_layer.matmul(x);
+  par_layer.matmul(x);
+
+  const f64 speedup = static_cast<f64>(seq_core.last_makespan()) /
+                      static_cast<f64>(par_core.last_makespan());
+  // ceil(32/8) = 4 rows on the critical lane -> ~8x modeled speedup.
+  EXPECT_GE(speedup, 2.5);
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST(PimParallel, BiasAppliedOncePerOutputWithBatch) {
+  // Regression for the hoisted bias loop: with batch > 1 and a pool
+  // attached, the fused dequant+bias write must add the bias exactly
+  // once per output element and stay bit-identical to sequential.
+  const i64 out = 5, k = 64, batch = 7;
+  const Tensor w = sparse_weight(out, k, 47);
+  Rng rng(53);
+  Tensor bias = Tensor::randn(Shape{out}, rng);
+
+  HybridCore seq_core;
+  PimMatmulLayer seq_layer(seq_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+  HybridCore par_core;
+  ThreadPool pool(3);
+  par_core.set_intra_op_pool(&pool);
+  PimMatmulLayer par_layer(par_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+
+  const Tensor x = Tensor::randn(Shape{batch, k}, rng, 0.0f, 1.0f);
+  const Tensor y_seq = seq_layer.matmul(x, &bias);
+  const Tensor y_par = par_layer.matmul(x, &bias);
+  const Tensor y_nobias = par_layer.matmul(x);
+
+  for (i64 b = 0; b < batch; ++b) {
+    for (i64 j = 0; j < out; ++j) {
+      const i64 i = b * out + j;
+      ASSERT_EQ(y_seq[i], y_par[i]);
+      // Exactly one bias addition, fused into the dequant rounding.
+      ASSERT_EQ(y_par[i], y_nobias[i] + bias[j]);
+    }
+  }
+}
+
+TEST(PimParallel, InlinePoolMatchesNullPool) {
+  // size() == 0 and size() == 1 pools must take the sequential path —
+  // identical makespan accounting, not just identical outputs.
+  const i64 out = 4, k = 64, batch = 5;
+  const Tensor w = sparse_weight(out, k, 61);
+  Rng rng(67);
+  const Tensor x = Tensor::randn(Shape{batch, k}, rng, 0.0f, 1.0f);
+
+  HybridCore ref_core;
+  PimMatmulLayer ref_layer(ref_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+  const Tensor y_ref = ref_layer.matmul(x);
+
+  for (i64 threads : {0, 1}) {
+    HybridCore core;
+    ThreadPool pool(threads);
+    core.set_intra_op_pool(&pool);
+    PimMatmulLayer layer(core, w, kSparse1of4, PeKind::kSram, 0.05f);
+    const Tensor y = layer.matmul(x);
+    for (i64 i = 0; i < y.numel(); ++i) ASSERT_EQ(y[i], y_ref[i]);
+    EXPECT_EQ(core.last_makespan(), ref_core.last_makespan());
+    expect_events_equal(core.pe_events(), ref_core.pe_events());
+  }
+}
+
+TEST(PimParallel, ExecutorKnobKeepsForwardBitIdentical) {
+  // The intra_op_threads option threaded through PimRepNetExecutor: a
+  // whole-model forward with a private 4-thread pool must match the
+  // sequential executor's logits bit for bit, and a clone must inherit
+  // the option (its own pool) and still match.
+  SyntheticSpec spec;
+  spec.name = "parallel-exec";
+  spec.classes = 2;
+  spec.train_per_class = 8;
+  spec.test_per_class = 4;
+  spec.image_size = 10;
+  spec.noise = 0.2f;
+  spec.seed = 71;
+  TrainTestSplit data = make_synthetic_dataset(spec);
+
+  BackboneConfig backbone;
+  backbone.stem_channels = 8;
+  backbone.stage_channels = {8};
+  backbone.blocks_per_stage = {1};
+  backbone.stage_strides = {1};
+  Rng model_rng(73);
+  RepNetModel model(backbone,
+                    RepNetConfig{.bottleneck_divisor = 8,
+                                 .min_bottleneck = 8},
+                    2, model_rng);
+
+  PimExecutorOptions seq_options;
+  seq_options.calibration_batch = 8;
+  seq_options.calibration_batches = 1;
+  PimRepNetExecutor seq_exec(model, data.train, seq_options);
+
+  PimExecutorOptions par_options = seq_options;
+  par_options.intra_op_threads = 4;
+  PimRepNetExecutor par_exec(model, data.train, par_options);
+
+  const Tensor images = data.test.batch_images(0, 4);
+  const Tensor y_seq = seq_exec.forward(images);
+  const Tensor y_par = par_exec.forward(images);
+  ASSERT_EQ(y_seq.shape(), y_par.shape());
+  for (i64 i = 0; i < y_seq.numel(); ++i) {
+    ASSERT_EQ(y_seq[i], y_par[i]) << "logit " << i;
+  }
+
+  // clone() copies the options, so the replica gets its own pool.
+  std::unique_ptr<PimRepNetExecutor> replica = par_exec.clone();
+  const Tensor y_clone = replica->forward(images);
+  for (i64 i = 0; i < y_seq.numel(); ++i) {
+    ASSERT_EQ(y_seq[i], y_clone[i]);
+  }
+}
+
+}  // namespace
+}  // namespace msh

@@ -1,0 +1,209 @@
+// ThreadPool unit tests: future-based result and exception transport,
+// the drain-on-shutdown guarantee, the zero-thread inline degenerate
+// pool, and deterministic parallel_for chunking — the contracts the
+// parallel PIM compute path (HybridCore::matmul row sharding) relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace msh {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  auto future = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  // The pool is destroyed (joining its workers) before the exception is
+  // inspected: the join orders the worker's release of its task-state
+  // reference before our reads, so TSan sees the free/read ordering that
+  // libstdc++'s (uninstrumented) atomic refcounts already guarantee.
+  std::future<int> future;
+  {
+    ThreadPool pool(2);
+    future = pool.submit(
+        []() -> int { throw std::runtime_error("boom in task"); });
+  }
+  try {
+    future.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom in task");
+  }
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingQueue) {
+  // One worker, a slow head-of-line task, then a burst of quick tasks:
+  // destroying the pool must run everything that was accepted — a
+  // pending future is never broken.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    futures.push_back(pool.submit([&ran]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ran.fetch_add(1);
+    }));
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([&ran]() { ran.fetch_add(1); }));
+    }
+  }  // destructor: stop accepting, drain, join
+  EXPECT_EQ(ran.load(), 17);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, ZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  std::thread::id task_thread;
+  auto future = pool.submit([&task_thread]() {
+    task_thread = std::this_thread::get_id();
+    return 7;
+  });
+  // Inline pool: the task already ran, on the calling thread.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+  EXPECT_EQ(future.get(), 7);
+
+  int calls = 0;
+  pool.parallel_for(10, [&calls](i64 begin, i64 end) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ShardsClampToWorkAndWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.shards(0), 1);
+  EXPECT_EQ(pool.shards(1), 1);
+  EXPECT_EQ(pool.shards(3), 3);
+  EXPECT_EQ(pool.shards(4), 4);
+  EXPECT_EQ(pool.shards(100), 4);
+  ThreadPool inline_pool(0);
+  EXPECT_EQ(inline_pool.shards(100), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const i64 n = 103;  // not a multiple of the worker count
+  std::vector<int> touched(static_cast<size_t>(n), 0);
+  std::mutex chunk_mutex;
+  std::vector<std::pair<i64, i64>> chunks;
+  pool.parallel_for(n, [&](i64 begin, i64 end) {
+    {
+      std::lock_guard<std::mutex> lock(chunk_mutex);
+      chunks.emplace_back(begin, end);
+    }
+    for (i64 i = begin; i < end; ++i) ++touched[static_cast<size_t>(i)];
+  });
+  for (i64 i = 0; i < n; ++i) EXPECT_EQ(touched[static_cast<size_t>(i)], 1);
+  // Chunk boundaries are a pure function of (n, size()): contiguous tiles.
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(static_cast<i64>(chunks.size()), pool.shards(n));
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, n);
+  for (size_t c = 1; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, chunks[c - 1].second);
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstChunkException) {
+  // 4 chunks of 2; every chunk past the caller's throws, tagged by its
+  // begin index. The contract picks the first failing chunk in chunk
+  // order — deterministically "2" — regardless of scheduling. The
+  // exception is only captured while the pool lives and inspected after
+  // its workers joined (see ExceptionPropagatesThroughFuture).
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    std::exception_ptr thrown;
+    {
+      ThreadPool pool(4);
+      try {
+        pool.parallel_for(8, [](i64 begin, i64 /*end*/) {
+          if (begin > 0) throw std::runtime_error(std::to_string(begin));
+        });
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+    }
+    ASSERT_TRUE(thrown) << "expected a chunk exception";
+    try {
+      std::rethrow_exception(thrown);
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "2");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForCallerChunkExceptionWins) {
+  std::exception_ptr thrown;
+  {
+    ThreadPool pool(2);
+    try {
+      pool.parallel_for(4, [](i64 begin, i64 /*end*/) {
+        throw std::runtime_error(std::to_string(begin));
+      });
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+  }
+  ASSERT_TRUE(thrown) << "expected a chunk exception";
+  try {
+    std::rethrow_exception(thrown);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");  // caller runs chunk 0 inline
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A body that itself calls parallel_for on the same pool: the nested
+  // call's share runs inline on the worker, so it cannot starve.
+  for (i64 workers : {1, 2}) {
+    ThreadPool pool(workers);
+    std::atomic<i64> sum{0};
+    pool.parallel_for(4, [&](i64 begin, i64 end) {
+      for (i64 i = begin; i < end; ++i) {
+        pool.parallel_for(3, [&](i64 b, i64 e) { sum.fetch_add(e - b); });
+      }
+    });
+    EXPECT_EQ(sum.load(), 4 * 3);
+  }
+}
+
+TEST(ThreadPool, FreeFunctionHandlesNullAndInlinePools) {
+  int calls = 0;
+  parallel_for(nullptr, 5, [&calls](i64 begin, i64 end) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+  });
+  EXPECT_EQ(calls, 1);
+  parallel_for(nullptr, 0, [&calls](i64, i64) { ++calls; });
+  EXPECT_EQ(calls, 1);  // empty range: body never invoked
+
+  ThreadPool single(1);
+  parallel_for(&single, 5, [&calls](i64 begin, i64 end) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);  // size() <= 1: sequential on the caller
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace msh
