@@ -61,13 +61,17 @@ Tensor PimLinearTrainer::propagate_error(const Tensor& error) {
 }
 
 f64 PimLinearTrainer::train_step(const Tensor& x,
-                                 std::span<const i32> labels) {
+                                 std::span<const i32> labels,
+                                 Tensor* propagated_error) {
   const Tensor logits = forward(x);  // hardware forward
+  modeled_cycles_ += core_.last_makespan();
   LossResult loss = softmax_cross_entropy(logits, labels);
 
   // eq. 1: error propagation through the transposed PE (the upstream
   // error is what a deeper network would consume).
-  propagate_error(loss.grad_logits);
+  Tensor ex = propagate_error(loss.grad_logits);
+  modeled_cycles_ += core_.last_makespan();
+  if (propagated_error) *propagated_error = std::move(ex);
 
   // eq. 2: gradient = error^T x, digital.
   const Tensor dw = matmul_ta(loss.grad_logits, x);
@@ -86,6 +90,15 @@ f64 PimLinearTrainer::train_step(const Tensor& x,
   redeploy();
   ++steps_;
   return loss.loss;
+}
+
+void PimLinearTrainer::set_state(const Tensor& weight, const Tensor& bias) {
+  MSH_REQUIRE(weight.shape() == (Shape{classes_, features_}));
+  MSH_REQUIRE(bias.shape() == (Shape{classes_}));
+  weight_ = weight;
+  if (mask_) apply_mask(weight_, *mask_);
+  bias_ = bias;
+  redeploy();
 }
 
 void PimLinearTrainer::redeploy() {

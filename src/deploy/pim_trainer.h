@@ -36,8 +36,12 @@ class PimLinearTrainer {
                    PimTrainerOptions options = {});
 
   /// One SGD step on a batch; returns the mean cross-entropy loss.
-  /// x: [B, features] float inputs; labels: B class ids.
-  f64 train_step(const Tensor& x, std::span<const i32> labels);
+  /// x: [B, features] float inputs; labels: B class ids. When
+  /// `propagated_error` is non-null it receives the transposed-PE error
+  /// batch e_x [B, features] (eq. 1) — the gradient a deeper learnable
+  /// path (e.g. the Rep modules) consumes from this head.
+  f64 train_step(const Tensor& x, std::span<const i32> labels,
+                 Tensor* propagated_error = nullptr);
 
   /// Hardware forward pass (for evaluation).
   Tensor forward(const Tensor& x);
@@ -47,10 +51,21 @@ class PimLinearTrainer {
   /// when this head sits on top of further learnable layers.
   Tensor propagate_error(const Tensor& error);
 
+  /// Replaces weights and bias (shape-checked) and rewrites both PE
+  /// deployments — warm-starting the head from an already-trained
+  /// classifier instead of the constructor's random init. With an N:M
+  /// mask attached, the mask is re-applied to the new weights.
+  void set_state(const Tensor& weight, const Tensor& bias);
+
   const Tensor& weights() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
   i64 steps() const { return steps_; }
   /// Compressed weight slots rewritten per step (both deployments).
   i64 slots_rewritten_per_step() const;
+  /// Accumulated modeled PE cycles of every train_step's hardware ops
+  /// (forward matmul + transposed error propagation) — the training
+  /// lane's share of SRAM array time in the cycle model.
+  i64 modeled_cycles() const { return modeled_cycles_; }
 
  private:
   void redeploy();
@@ -65,6 +80,7 @@ class PimLinearTrainer {
   std::unique_ptr<PimMatmulLayer> forward_pe_;
   std::unique_ptr<PimMatmulLayer> transposed_pe_;
   i64 steps_ = 0;
+  i64 modeled_cycles_ = 0;
 };
 
 }  // namespace msh

@@ -160,4 +160,11 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 
 std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
 
+void BatchNorm2d::set_running_stats(const Tensor& mean, const Tensor& var) {
+  MSH_REQUIRE(mean.shape() == running_mean_.shape());
+  MSH_REQUIRE(var.shape() == running_var_.shape());
+  running_mean_ = mean;
+  running_var_ = var;
+}
+
 }  // namespace msh

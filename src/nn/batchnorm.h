@@ -31,6 +31,11 @@ class BatchNorm2d : public Layer {
   void set_frozen_stats(bool frozen) { frozen_stats_ = frozen; }
   bool frozen_stats() const { return frozen_stats_; }
 
+  /// Overwrites the running statistics (shape-checked). Used to mirror a
+  /// trained model's BN state into a second model instance — e.g. the
+  /// continual-learning lane's dedicated trainer model.
+  void set_running_stats(const Tensor& mean, const Tensor& var);
+
  private:
   i64 channels_;
   f32 momentum_;

@@ -79,21 +79,26 @@ void Backbone::set_trainable(bool trainable) {
   set_batchnorm_frozen(!trainable);
 }
 
-void Backbone::set_batchnorm_frozen(bool frozen) {
+std::vector<BatchNorm2d*> Backbone::batchnorm_layers() {
+  std::vector<BatchNorm2d*> all;
   for (i64 i = 0; i < stem_.size(); ++i) {
     if (auto* bn = dynamic_cast<BatchNorm2d*>(&stem_.layer(i)))
-      bn->set_frozen_stats(frozen);
+      all.push_back(bn);
   }
   for (auto& stage : stages_) {
     for (i64 b = 0; b < stage->size(); ++b) {
       auto* block = dynamic_cast<ResidualBlock*>(&stage->layer(b));
       MSH_ENSURE(block != nullptr);
-      block->bn1().set_frozen_stats(frozen);
-      block->bn2().set_frozen_stats(frozen);
-      if (block->has_projection())
-        block->projection_bn().set_frozen_stats(frozen);
+      all.push_back(&block->bn1());
+      all.push_back(&block->bn2());
+      if (block->has_projection()) all.push_back(&block->projection_bn());
     }
   }
+  return all;
+}
+
+void Backbone::set_batchnorm_frozen(bool frozen) {
+  for (BatchNorm2d* bn : batchnorm_layers()) bn->set_frozen_stats(frozen);
 }
 
 bool Backbone::batchnorm_frozen() const {

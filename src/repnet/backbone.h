@@ -39,6 +39,13 @@ class Backbone {
   Sequential& stage(i64 i);
   i64 blocks_in_stage(i64 stage) const;
 
+  /// Every BatchNorm2d in the backbone, in deterministic structural order
+  /// (stem, then stages block by block). Used to mirror running
+  /// statistics into a second model instance (RepNetModel::
+  /// copy_state_from) — running stats are buffers, not params, so the
+  /// param walk alone cannot carry them.
+  std::vector<BatchNorm2d*> batchnorm_layers();
+
   /// Channels produced by a given stage.
   i64 stage_out_channels(i64 stage) const;
   i64 stage_stride(i64 stage) const;

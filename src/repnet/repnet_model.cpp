@@ -26,7 +26,7 @@ RepModule& RepNetModel::rep_module(i64 i) {
   return *reps_[static_cast<size_t>(i)];
 }
 
-Tensor RepNetModel::forward(const Tensor& x, bool training) {
+Tensor RepNetModel::forward_features(const Tensor& x, bool training) {
   Tensor a = backbone_.forward_stem(x, training);
   Tensor r;  // empty means "no rep contribution yet"
   for (i64 s = 0; s < backbone_.num_stages(); ++s) {
@@ -37,13 +37,15 @@ Tensor RepNetModel::forward(const Tensor& x, bool training) {
   }
   Tensor merged = a;
   merged += r;
-  Tensor f = flatten_.forward(gap_.forward(merged, training), training);
-  return classifier_->forward(f, training);
+  return flatten_.forward(gap_.forward(merged, training), training);
 }
 
-void RepNetModel::backward(const Tensor& grad_logits) {
-  Tensor g = classifier_->backward(grad_logits);
-  Tensor g_merged = gap_.backward(flatten_.backward(g));
+Tensor RepNetModel::forward(const Tensor& x, bool training) {
+  return classifier_->forward(forward_features(x, training), training);
+}
+
+void RepNetModel::backward_features(const Tensor& grad_features) {
+  Tensor g_merged = gap_.backward(flatten_.backward(grad_features));
 
   // a_S + r_S both receive g_merged.
   Tensor g_a = g_merged;
@@ -58,12 +60,24 @@ void RepNetModel::backward(const Tensor& grad_logits) {
   backbone_.backward_stem(g_a);
 }
 
+void RepNetModel::backward(const Tensor& grad_logits) {
+  backward_features(classifier_->backward(grad_logits));
+}
+
 std::vector<Param*> RepNetModel::learnable_params() {
   std::vector<Param*> all;
   for (auto& rep : reps_) {
     for (Param* p : rep->params()) all.push_back(p);
   }
   for (Param* p : classifier_->params()) all.push_back(p);
+  return all;
+}
+
+std::vector<Param*> RepNetModel::rep_params() {
+  std::vector<Param*> all;
+  for (auto& rep : reps_) {
+    for (Param* p : rep->params()) all.push_back(p);
+  }
   return all;
 }
 
@@ -76,6 +90,27 @@ std::vector<Param*> RepNetModel::rep_conv_params() {
     }
   }
   return all;
+}
+
+void RepNetModel::copy_state_from(RepNetModel& other) {
+  const auto copy = [](std::vector<Param*> dst, std::vector<Param*> src) {
+    MSH_REQUIRE(dst.size() == src.size());
+    for (size_t i = 0; i < dst.size(); ++i) {
+      MSH_REQUIRE(dst[i]->value.shape() == src[i]->value.shape());
+      dst[i]->value = src[i]->value;
+      dst[i]->zero_grad();
+    }
+  };
+  copy(backbone_params(), other.backbone_params());
+  copy(learnable_params(), other.learnable_params());
+  auto dst_bn = backbone_.batchnorm_layers();
+  auto src_bn = other.backbone().batchnorm_layers();
+  MSH_REQUIRE(dst_bn.size() == src_bn.size());
+  for (size_t i = 0; i < dst_bn.size(); ++i) {
+    dst_bn[i]->set_running_stats(src_bn[i]->running_mean(),
+                                 src_bn[i]->running_var());
+    dst_bn[i]->set_frozen_stats(src_bn[i]->frozen_stats());
+  }
 }
 
 void RepNetModel::start_new_task(i64 num_classes, Rng& rng) {

@@ -31,6 +31,17 @@ class RepNetModel {
   /// Backpropagates from the logits gradient through both paths.
   void backward(const Tensor& grad_logits);
 
+  /// Forward up to the pooled feature vector [B, feature_dim()] —
+  /// everything except the classifier. Caches state for
+  /// backward_features when training. forward() == classifier applied to
+  /// forward_features().
+  Tensor forward_features(const Tensor& x, bool training);
+  /// Backpropagates from a feature-vector gradient [B, feature_dim()]
+  /// through the Rep path and the (frozen) backbone — the software half
+  /// of hardware-in-the-loop training, where the classifier head lives
+  /// on SRAM PEs and hands its propagated error (eq. 1) back here.
+  void backward_features(const Tensor& grad_features);
+
   Backbone& backbone() { return backbone_; }
   const Backbone& backbone_const() const { return backbone_; }
   i64 num_rep_modules() const { return static_cast<i64>(reps_.size()); }
@@ -41,11 +52,20 @@ class RepNetModel {
   std::vector<Param*> backbone_params() { return backbone_.params(); }
   /// Parameters updated during on-device learning: Rep path + classifier.
   std::vector<Param*> learnable_params();
+  /// Rep-path parameters only (no classifier) — what the software side of
+  /// hardware-in-the-loop training updates while the head trains in-PIM.
+  std::vector<Param*> rep_params();
   /// Rep-path conv parameters only (the N:M-sparsified set).
   std::vector<Param*> rep_conv_params();
 
   /// Swaps in a freshly initialized classifier head for a new task.
   void start_new_task(i64 num_classes, Rng& rng);
+
+  /// Copies every parameter value and BatchNorm running statistic from
+  /// `other`, which must have the identical architecture (same configs
+  /// and class count). Used to stand up a dedicated trainer model that
+  /// mirrors a serving model bit-exactly without retraining.
+  void copy_state_from(RepNetModel& other);
 
   i64 feature_dim() const { return backbone_.config().feature_channels(); }
 

@@ -1,0 +1,34 @@
+#include "runtime/continual/task_stream.h"
+
+namespace msh {
+
+TaskStream::TaskStream(TrainTestSplit split, u64 seed)
+    : split_(std::move(split)), rng_(seed) {
+  MSH_REQUIRE(split_.train.size() > 0);
+  MSH_REQUIRE(split_.train.images.shape().rank() == 4);
+  split_.train.shuffle(rng_);
+}
+
+void TaskStream::next_batch(i64 rows, Tensor* x, std::vector<i32>* labels) {
+  MSH_REQUIRE(rows > 0 && x != nullptr && labels != nullptr);
+  const Shape& s = split_.train.images.shape();
+  const i64 sample = s[1] * s[2] * s[3];
+  *x = Tensor(Shape{rows, s[1], s[2], s[3]});
+  labels->resize(static_cast<size_t>(rows));
+  for (i64 r = 0; r < rows; ++r) {
+    if (cursor_ == split_.train.size()) {
+      split_.train.shuffle(rng_);
+      cursor_ = 0;
+      ++epochs_completed_;
+    }
+    const f32* src = split_.train.images.data() + cursor_ * sample;
+    f32* dst = x->data() + r * sample;
+    for (i64 k = 0; k < sample; ++k) dst[k] = src[k];
+    (*labels)[static_cast<size_t>(r)] =
+        split_.train.labels[static_cast<size_t>(cursor_)];
+    ++cursor_;
+  }
+  samples_streamed_ += rows;
+}
+
+}  // namespace msh

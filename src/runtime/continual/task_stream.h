@@ -1,0 +1,44 @@
+// Deterministic streaming source of labeled adaptation samples for the
+// continual-learning lane. Wraps a task's train/test split: next_batch()
+// hands out rows in a seeded per-epoch shuffle order with wraparound, so
+// a fixed (seed, batch size, step count) always yields the identical
+// sample sequence — the bedrock of the lane's bit-identical publish
+// guarantee. The test split is held out for candidate gating and never
+// enters the training stream.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/dataset.h"
+
+namespace msh {
+
+class TaskStream {
+ public:
+  /// Takes ownership of the split; the train side is reshuffled with a
+  /// stream-local Rng(seed) before the first batch and at every epoch
+  /// boundary.
+  TaskStream(TrainTestSplit split, u64 seed);
+
+  /// Assembles the next `rows` samples into x [rows, C, H, W] and
+  /// `labels` (resized to rows), crossing epoch boundaries as needed.
+  void next_batch(i64 rows, Tensor* x, std::vector<i32>* labels);
+
+  /// The held-out evaluation split (never streamed).
+  const Dataset& holdout() const { return split_.test; }
+
+  i64 samples_streamed() const { return samples_streamed_; }
+  i64 epochs_completed() const { return epochs_completed_; }
+  i32 classes() const { return split_.train.classes; }
+  i64 train_size() const { return split_.train.size(); }
+
+ private:
+  TrainTestSplit split_;
+  Rng rng_;
+  i64 cursor_ = 0;  ///< next unread row of the current epoch
+  i64 samples_streamed_ = 0;
+  i64 epochs_completed_ = 0;
+};
+
+}  // namespace msh

@@ -192,7 +192,20 @@ class ServingEngine {
   i64 queue_capacity() const { return queue_.capacity(); }
 
   const ServingMetrics& metrics() const { return metrics_; }
+  /// Mutable metrics handle for co-located recorders (the
+  /// continual-learning lane writes its training_lane section here).
+  /// ServingMetrics is internally synchronized.
+  ServingMetrics& metrics() { return metrics_; }
   std::string metrics_json() const { return metrics_.to_json(); }
+
+  /// The options the engine was built with (e.g. so a continual-learning
+  /// lane can calibrate its trainer replica identically).
+  const ServingEngineOptions& options() const { return options_; }
+  /// The shared trained model the replicas were deployed from. Workers
+  /// treat it as strictly read-only; so must callers while the engine
+  /// runs — mutate a *separate* mirrored model instead (see
+  /// runtime/continual).
+  RepNetModel& model() { return model_; }
 
   /// Replica inspection (e.g. PE event counts per worker). Not valid
   /// while the engine is running with self-heal enabled — a heal swaps

@@ -144,6 +144,60 @@ void ServingMetrics::record_swap(bool ok, i64 workers_swapped,
   swap_rollbacks_ += rollbacks;
 }
 
+void ServingMetrics::record_training_baseline(f64 accuracy) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  lane_.baseline_accuracy = accuracy;
+  lane_.last_accuracy = accuracy;
+  lane_.best_accuracy = accuracy;
+}
+
+void ServingMetrics::record_training_step(f64 loss, i64 samples) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  lane_.steps += 1;
+  lane_.samples += samples;
+  lane_.last_loss = loss;
+}
+
+void ServingMetrics::record_training_round(f64 mean_loss,
+                                           f64 holdout_accuracy,
+                                           i64 pe_cycles,
+                                           i64 slots_written) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  lane_.rounds += 1;
+  lane_.last_accuracy = holdout_accuracy;
+  lane_.best_accuracy = std::max(lane_.best_accuracy, holdout_accuracy);
+  lane_.train_pe_cycles += pe_cycles;
+  lane_.slots_written += slots_written;
+  lane_.loss_trajectory.push_back(mean_loss);
+  lane_.accuracy_trajectory.push_back(holdout_accuracy);
+}
+
+void ServingMetrics::record_training_publish(bool ok) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  if (ok) {
+    lane_.publishes += 1;
+  } else {
+    lane_.publish_failures += 1;
+  }
+}
+
+void ServingMetrics::record_training_rollback() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  lane_.rollbacks += 1;
+}
+
+void ServingMetrics::record_training_slice(f64 busy_us, f64 idle_us) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lane_.active = true;
+  lane_.busy_us += busy_us;
+  lane_.idle_us += idle_us;
+}
+
 MetricsSnapshot ServingMetrics::snapshot() const {
   const std::lock_guard<std::mutex> guard(mutex_);
   MetricsSnapshot s;
@@ -182,6 +236,7 @@ MetricsSnapshot ServingMetrics::snapshot() const {
       queue_depth_samples_ == 0 ? 0.0
                                 : queue_depth_sum_ / queue_depth_samples_;
   s.queue_depth_max = queue_depth_max_;
+  s.training_lane = lane_;
   return s;
 }
 
@@ -266,7 +321,31 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
   }
   os << "]},\"queue_depth\":{\"samples\":" << s.queue_depth_samples
      << ",\"mean\":" << s.queue_depth_mean << ",\"max\":" << s.queue_depth_max
-     << "}}";
+     << '}';
+  const TrainingLaneCounters& lane = s.training_lane;
+  os << ",\"training_lane\":{\"active\":" << (lane.active ? "true" : "false")
+     << ",\"steps\":" << lane.steps << ",\"samples\":" << lane.samples
+     << ",\"rounds\":" << lane.rounds << ",\"last_loss\":" << lane.last_loss
+     << ",\"baseline_accuracy\":" << lane.baseline_accuracy
+     << ",\"last_accuracy\":" << lane.last_accuracy
+     << ",\"best_accuracy\":" << lane.best_accuracy
+     << ",\"publishes\":" << lane.publishes
+     << ",\"publish_failures\":" << lane.publish_failures
+     << ",\"rollbacks\":" << lane.rollbacks
+     << ",\"train_pe_cycles\":" << lane.train_pe_cycles
+     << ",\"slots_written\":" << lane.slots_written
+     << ",\"busy_us\":" << lane.busy_us << ",\"idle_us\":" << lane.idle_us
+     << ",\"steal_ratio\":" << lane.steal_ratio() << ",\"loss_trajectory\":[";
+  for (size_t i = 0; i < lane.loss_trajectory.size(); ++i) {
+    if (i) os << ',';
+    os << lane.loss_trajectory[i];
+  }
+  os << "],\"accuracy_trajectory\":[";
+  for (size_t i = 0; i < lane.accuracy_trajectory.size(); ++i) {
+    if (i) os << ',';
+    os << lane.accuracy_trajectory[i];
+  }
+  os << "]}}";
   return os.str();
 }
 

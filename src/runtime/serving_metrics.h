@@ -59,6 +59,34 @@ struct ClassCounters {
   LatencyHistogram total_latency;
 };
 
+/// Continual-learning lane activity (see runtime/continual): training
+/// progress, gate outcomes, modeled hardware cost, and the lane's
+/// wall-time split between training and yielding to inference.
+struct TrainingLaneCounters {
+  bool active = false;  ///< any lane activity recorded
+  i64 steps = 0;
+  i64 samples = 0;  ///< labeled samples consumed
+  i64 rounds = 0;   ///< train-evaluate-gate cycles
+  f64 last_loss = 0.0;
+  f64 baseline_accuracy = 0.0;  ///< holdout accuracy before adaptation
+  f64 last_accuracy = 0.0;
+  f64 best_accuracy = 0.0;
+  i64 publishes = 0;         ///< gated images promoted via swap_model
+  i64 publish_failures = 0;  ///< gate passed but the swap roll failed
+  i64 rollbacks = 0;         ///< regressing candidates rolled back
+  i64 train_pe_cycles = 0;   ///< modeled SRAM PE cycles spent training
+  i64 slots_written = 0;     ///< PE weight slots rewritten by updates
+  f64 busy_us = 0.0;  ///< lane wall time spent training
+  f64 idle_us = 0.0;  ///< lane wall time yielded to inference
+  std::vector<f64> loss_trajectory;      ///< per-round mean loss
+  std::vector<f64> accuracy_trajectory;  ///< per-round holdout accuracy
+  /// Fraction of lane wall time stolen from inference for training.
+  f64 steal_ratio() const {
+    const f64 total = busy_us + idle_us;
+    return total > 0.0 ? busy_us / total : 0.0;
+  }
+};
+
 /// One coherent view of the counters, taken under the lock.
 struct MetricsSnapshot {
   i64 completed_requests = 0;
@@ -95,6 +123,7 @@ struct MetricsSnapshot {
   i64 queue_depth_samples = 0;
   f64 queue_depth_mean = 0.0;
   i64 queue_depth_max = 0;
+  TrainingLaneCounters training_lane;
 };
 
 class ServingMetrics {
@@ -120,6 +149,23 @@ class ServingMetrics {
   /// One swap_model() outcome; `workers_swapped` replicas were promoted
   /// and `rollbacks` restored after a mid-roll failure.
   void record_swap(bool ok, i64 workers_swapped, i64 rollbacks);
+
+  // Continual-learning lane (training_lane section).
+  /// Holdout accuracy of the served weights before any adaptation.
+  void record_training_baseline(f64 accuracy);
+  /// One hardware-in-the-loop SGD step over `samples` labeled samples.
+  void record_training_step(f64 loss, i64 samples);
+  /// One train-evaluate-gate round: mean step loss, holdout accuracy of
+  /// the candidate, and the round's modeled hardware cost deltas.
+  void record_training_round(f64 mean_loss, f64 holdout_accuracy,
+                             i64 pe_cycles, i64 slots_written);
+  /// A gate-passing candidate was handed to swap_model (`ok` = the roll
+  /// promoted every worker).
+  void record_training_publish(bool ok);
+  /// A regressing candidate was rolled back (never promoted).
+  void record_training_rollback();
+  /// One lane duty-cycle slice: wall time trained vs. slept.
+  void record_training_slice(f64 busy_us, f64 idle_us);
 
   MetricsSnapshot snapshot() const;
 
@@ -158,6 +204,7 @@ class ServingMetrics {
   i64 queue_depth_samples_ = 0;
   f64 queue_depth_sum_ = 0.0;
   i64 queue_depth_max_ = 0;
+  TrainingLaneCounters lane_;
 };
 
 }  // namespace msh

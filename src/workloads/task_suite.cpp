@@ -78,4 +78,12 @@ std::vector<SyntheticSpec> downstream_task_specs(u64 seed) {
   };
 }
 
+SyntheticSpec adaptation_task_spec(const SyntheticSpec& served, u64 seed) {
+  SyntheticSpec drifted = served;
+  drifted.name = served.name + "-drift";
+  drifted.seed = seed;  // new prototypes: same classes, new appearance
+  drifted.noise = served.noise + 0.05f;
+  return drifted;
+}
+
 }  // namespace msh

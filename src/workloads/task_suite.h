@@ -18,4 +18,12 @@ SyntheticSpec base_task_spec(u64 seed = 101);
 /// to reproduce the paper's overfitting observation.
 std::vector<SyntheticSpec> downstream_task_specs(u64 seed = 202);
 
+/// A personalization drift of `served`: identical class count and image
+/// geometry, but shifted class prototypes (fresh seed) under heavier
+/// noise. This is the stream the continual-learning lane fine-tunes on
+/// while the engine keeps serving the original task — the class count
+/// must match so the deployed classifier head keeps its shape.
+SyntheticSpec adaptation_task_spec(const SyntheticSpec& served,
+                                   u64 seed = 303);
+
 }  // namespace msh

@@ -303,6 +303,68 @@ void print_resilience(const JsonValue& root) {
   std::printf("resilience & lifecycle\n%s\n", table.render().c_str());
 }
 
+/// Min-max scaled ASCII sparkline over a numeric JSON array (same glyph
+/// ramp the train-while-serve bench prints, lowest to highest).
+std::string sparkline(const JsonValue& series) {
+  static const char kLevels[] = "_.-=*#";
+  if (series.array.empty()) return "(empty)";
+  f64 lo = series.array.front().number;
+  f64 hi = lo;
+  for (const JsonValue& v : series.array) {
+    lo = std::min(lo, v.number);
+    hi = std::max(hi, v.number);
+  }
+  const f64 span = hi - lo;
+  std::string out;
+  for (const JsonValue& v : series.array) {
+    const f64 t = span <= 0.0 ? 0.0 : (v.number - lo) / span;
+    const size_t level = std::min<size_t>(
+        sizeof(kLevels) - 2, static_cast<size_t>(t * (sizeof(kLevels) - 1)));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+void print_training_lane(const JsonValue& root) {
+  const JsonValue& lane = root.at("training_lane");
+  if (lane.object.empty()) return;  // pre-lane metrics file
+  if (!lane.at("active").boolean && lane.count("rounds") == 0) {
+    std::printf("training lane: inactive\n\n");
+    return;
+  }
+  AsciiTable table({"counter", "value"});
+  table.add_row({"active", lane.at("active").boolean ? "yes" : "no"});
+  table.add_row({"steps", std::to_string(lane.count("steps"))});
+  table.add_row({"samples", std::to_string(lane.count("samples"))});
+  table.add_row({"rounds", std::to_string(lane.count("rounds"))});
+  table.add_row({"last loss", AsciiTable::num(lane.num("last_loss"), 4)});
+  table.add_row({"baseline accuracy",
+                 AsciiTable::num(lane.num("baseline_accuracy"), 3)});
+  table.add_row(
+      {"last accuracy", AsciiTable::num(lane.num("last_accuracy"), 3)});
+  table.add_row(
+      {"best accuracy", AsciiTable::num(lane.num("best_accuracy"), 3)});
+  table.add_row({"publishes", std::to_string(lane.count("publishes"))});
+  table.add_row(
+      {"publish failures", std::to_string(lane.count("publish_failures"))});
+  table.add_row({"rollbacks", std::to_string(lane.count("rollbacks"))});
+  table.add_row(
+      {"train PE cycles", std::to_string(lane.count("train_pe_cycles"))});
+  table.add_row(
+      {"PE slots written", std::to_string(lane.count("slots_written"))});
+  table.add_row({"busy", format_us(lane.num("busy_us"))});
+  table.add_row({"idle (duty-cycle)", format_us(lane.num("idle_us"))});
+  table.add_row(
+      {"steal ratio", AsciiTable::num(lane.num("steal_ratio"), 3)});
+  std::printf("training lane\n%s\n", table.render().c_str());
+  const JsonValue& loss = lane.at("loss_trajectory");
+  const JsonValue& accuracy = lane.at("accuracy_trajectory");
+  if (!loss.array.empty() || !accuracy.array.empty()) {
+    std::printf("  loss / round      %s\n", sparkline(loss).c_str());
+    std::printf("  accuracy / round  %s\n\n", sparkline(accuracy).c_str());
+  }
+}
+
 int view(const std::string& text) {
   // The benches print the JSON embedded in a report; tolerate that by
   // starting at the first '{'.
@@ -316,6 +378,7 @@ int view(const std::string& text) {
   print_requests(root);
   print_classes(root);
   print_resilience(root);
+  print_training_lane(root);
   print_histogram("overall", root.at("latency_us").at("total"));
   const JsonValue& classes = root.at("classes");
   for (const char* name : {"interactive", "batch", "best_effort"}) {
