@@ -5,6 +5,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 
 #include "common/types.h"
 
@@ -16,6 +17,18 @@ inline f64 monotonic_now_us() {
   return static_cast<f64>(
              std::chrono::duration_cast<std::chrono::nanoseconds>(t).count()) /
          1e3;
+}
+
+/// f64-microsecond timeout -> std::chrono duration, rounding *up* to the
+/// next whole microsecond. Truncating (the obvious
+/// `microseconds(static_cast<i64>(us))`) silently turns any sub-microsecond
+/// timeout into 0 — an immediate-timeout busy spin on every wait path that
+/// takes a fractional budget. Zero (and negative) stay zero, preserving the
+/// non-blocking `pop(0.0)` contract.
+inline std::chrono::microseconds microseconds_ceil(f64 timeout_us) {
+  if (timeout_us <= 0.0) return std::chrono::microseconds(0);
+  return std::chrono::microseconds(
+      static_cast<i64>(std::ceil(timeout_us)));
 }
 
 /// Elapsed-time meter around monotonic_now_us().

@@ -6,15 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace msh {
 
 namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'H', 'I'};
-// v1: no integrity footer. v2 appends a CRC-32 of every preceding byte;
-// load still accepts v1 images (no footer to check).
-constexpr u32 kVersion = 2;
-constexpr u32 kOldestReadableVersion = 1;
 
 /// Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320).
 u32 crc32(const char* data, size_t len) {
@@ -39,34 +37,69 @@ void write_pod(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw SimulationError("DeploymentImage: truncated file");
-  return value;
-}
-
-template <typename T>
-void write_vec(std::ostream& os, std::span<const T> data) {
-  os.write(reinterpret_cast<const char*>(data.data()),
-           static_cast<std::streamsize>(data.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& is, size_t count) {
-  std::vector<T> data(count);
-  is.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  if (!is) throw SimulationError("DeploymentImage: truncated payload");
-  return data;
-}
-
 std::string hex32(u32 value) {
   char buf[11];
   std::snprintf(buf, sizeof(buf), "0x%08x", value);
   return buf;
 }
+
+/// Bounded little-endian reader over the in-memory blob. Every read
+/// checks `remaining()` up front, so a short-read file fails with an
+/// explicit "truncated <what>" error naming the field it ran out in —
+/// it can never alias as a CRC failure or trigger a giant allocation
+/// from a half-read length field.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size, const std::string& context)
+      : data_(data), size_(size), context_(context) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  template <typename T>
+  T pod(const char* what) {
+    T value{};
+    bytes(&value, sizeof(T), what);
+    return value;
+  }
+
+  void bytes(void* dst, size_t n, const char* what) {
+    if (remaining() < n) {
+      throw SimulationError("DeploymentImage: truncated " +
+                            std::string(what) + " in " + context_ +
+                            " (short read: need " + std::to_string(n) +
+                            " byte(s), " + std::to_string(remaining()) +
+                            " left)");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  std::vector<T> vec(size_t count, const char* what) {
+    std::vector<T> out;
+    // Reserve only what the blob can actually back: a corrupt count is
+    // caught by the bounds check before it becomes a huge allocation.
+    if (remaining() < count * sizeof(T)) {
+      throw SimulationError("DeploymentImage: truncated " +
+                            std::string(what) + " in " + context_ +
+                            " (short read: need " +
+                            std::to_string(count * sizeof(T)) +
+                            " byte(s), " + std::to_string(remaining()) +
+                            " left)");
+    }
+    out.resize(count);
+    std::memcpy(out.data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return out;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  const std::string& context_;
+};
 
 }  // namespace
 
@@ -100,12 +133,13 @@ i64 DeploymentImage::payload_bytes() const {
   return bytes;
 }
 
-void DeploymentImage::save(const std::string& path) const {
-  // Serialize to memory first: the CRC footer covers the whole body, and
-  // the temp-file + rename publish below needs a single complete write.
+std::string DeploymentImage::serialize(u32 version) const {
+  MSH_REQUIRE(version >= kOldestReadableVersion &&
+              version <= kCurrentVersion);
   std::ostringstream buf(std::ios::binary);
   buf.write(kMagic, 4);
-  write_pod(buf, kVersion);
+  write_pod(buf, version);
+  if (version >= 3) write_pod(buf, generation_);
   write_pod(buf, static_cast<u64>(entries_.size()));
   for (const auto& [name, matrix] : entries_) {
     write_pod(buf, static_cast<u64>(name.size()));
@@ -115,13 +149,117 @@ void DeploymentImage::save(const std::string& path) const {
     write_pod(buf, matrix.dense_rows());
     write_pod(buf, matrix.cols());
     write_pod(buf, matrix.scale());
-    write_vec(buf, matrix.raw_values());
-    write_vec(buf, matrix.raw_indices());
-    write_vec(buf, matrix.raw_valid());
+    const auto values = matrix.raw_values();
+    const auto indices = matrix.raw_indices();
+    const auto valid = matrix.raw_valid();
+    buf.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size()));
+    buf.write(reinterpret_cast<const char*>(indices.data()),
+              static_cast<std::streamsize>(indices.size()));
+    buf.write(reinterpret_cast<const char*>(valid.data()),
+              static_cast<std::streamsize>(valid.size()));
   }
   std::string body = buf.str();
-  const u32 crc = crc32(body.data(), body.size());
-  body.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (version >= 2) {
+    const u32 crc = crc32(body.data(), body.size());
+    body.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  return body;
+}
+
+DeploymentImage DeploymentImage::deserialize(const std::string& blob,
+                                             const std::string& context) {
+  if (blob.size() < 4 + sizeof(u32)) {
+    throw SimulationError("DeploymentImage: truncated header in " + context +
+                          " (short read: " + std::to_string(blob.size()) +
+                          " byte(s))");
+  }
+  if (std::memcmp(blob.data(), kMagic, 4) != 0)
+    throw SimulationError("DeploymentImage: bad magic in " + context);
+  u32 version = 0;
+  std::memcpy(&version, blob.data() + 4, sizeof(version));
+  if (version < kOldestReadableVersion || version > kCurrentVersion)
+    throw SimulationError("DeploymentImage: unsupported version " +
+                          std::to_string(version) + " in " + context);
+
+  // Structural parse first, with a bounded cursor over everything except
+  // the (v2+) CRC footer; only a file that parses clean with exactly zero
+  // leftover bytes reaches the CRC check. This is what keeps the three
+  // corruption classes distinct: truncation trips the cursor, surplus
+  // bytes trip the trailing-garbage check, and bit-rot in a structurally
+  // intact file trips the CRC.
+  const size_t footer = version >= 2 ? sizeof(u32) : 0;
+  if (blob.size() < 4 + sizeof(u32) + footer) {
+    throw SimulationError("DeploymentImage: truncated footer in " + context +
+                          " (short read)");
+  }
+  Cursor cur(blob.data(), blob.size() - footer, context);
+  cur.pod<u32>("magic");  // magic + version, validated above
+  cur.pod<u32>("version");
+
+  DeploymentImage image;
+  if (version >= 3) image.generation_ = cur.pod<u64>("generation");
+  const u64 count = cur.pod<u64>("entry count");
+  for (u64 e = 0; e < count; ++e) {
+    const u64 name_len = cur.pod<u64>("entry name length");
+    if (name_len == 0 || name_len > 4096)
+      throw SimulationError("DeploymentImage: implausible name length in " +
+                            context);
+    std::string name(name_len, '\0');
+    cur.bytes(name.data(), name_len, "entry name");
+
+    NmConfig cfg;
+    cfg.n = cur.pod<i32>("entry header");
+    cfg.m = cur.pod<i32>("entry header");
+    const i64 dense_rows = cur.pod<i64>("entry header");
+    const i64 cols = cur.pod<i64>("entry header");
+    const f32 scale = cur.pod<f32>("entry header");
+    if (!cfg.valid() || dense_rows <= 0 || cols <= 0 ||
+        dense_rows % cfg.m != 0) {
+      throw SimulationError("DeploymentImage: corrupt entry header in " +
+                            context);
+    }
+    const size_t total =
+        static_cast<size_t>(dense_rows / cfg.m * cfg.n * cols);
+    auto values = cur.vec<i8>(total, "values payload");
+    auto indices = cur.vec<u8>(total, "indices payload");
+    auto valid = cur.vec<u8>(total, "valid payload");
+    image.add(name,
+              QuantizedNmMatrix::from_raw(cfg, dense_rows, cols, scale,
+                                          std::move(values),
+                                          std::move(indices),
+                                          std::move(valid)));
+  }
+  if (cur.remaining() != 0) {
+    throw SimulationError(
+        "DeploymentImage: trailing garbage in " + context + " (" +
+        std::to_string(cur.remaining()) +
+        " byte(s) past the last entry): refusing a tampered image");
+  }
+
+  if (version >= 2) {
+    u32 stored = 0;
+    std::memcpy(&stored, blob.data() + blob.size() - sizeof(stored),
+                sizeof(stored));
+    const u32 computed =
+        crc32(blob.data(), blob.size() - sizeof(stored));
+    if (stored != computed) {
+      throw SimulationError(
+          "DeploymentImage: CRC mismatch in " + context + " (stored " +
+          hex32(stored) + ", computed " + hex32(computed) +
+          "): refusing to deploy a corrupt image");
+    }
+  }
+  log_debug("DeploymentImage: parsed v", version, " image from ", context,
+            " (", image.size(), " entries, generation ", image.generation_,
+            version >= 2 ? ", CRC ok)" : ", no CRC footer)");
+  return image;
+}
+
+void DeploymentImage::save(const std::string& path, u32 version) const {
+  // Serialize to memory first: the CRC footer covers the whole body, and
+  // the temp-file + rename publish below needs a single complete write.
+  const std::string body = serialize(version);
 
   // Atomic publish: write a sibling temp file, then rename over the
   // target. A crash mid-save leaves the old image intact; readers never
@@ -148,68 +286,7 @@ DeploymentImage DeploymentImage::load(const std::string& path) {
   if (!file) throw SimulationError("DeploymentImage: cannot open " + path);
   std::ostringstream sink(std::ios::binary);
   sink << file.rdbuf();
-  std::string blob = sink.str();
-
-  if (blob.size() < 4 + sizeof(u32) + sizeof(u64) ||
-      std::memcmp(blob.data(), kMagic, 4) != 0)
-    throw SimulationError("DeploymentImage: bad magic in " + path);
-  u32 version = 0;
-  std::memcpy(&version, blob.data() + 4, sizeof(version));
-  if (version < kOldestReadableVersion || version > kVersion)
-    throw SimulationError("DeploymentImage: unsupported version " +
-                          std::to_string(version));
-  if (version >= 2) {
-    // The last 4 bytes are the CRC-32 of everything before them.
-    if (blob.size() < 4 + sizeof(u32) + sizeof(u64) + sizeof(u32))
-      throw SimulationError("DeploymentImage: truncated file");
-    u32 stored = 0;
-    std::memcpy(&stored, blob.data() + blob.size() - sizeof(stored),
-                sizeof(stored));
-    blob.resize(blob.size() - sizeof(stored));
-    const u32 computed = crc32(blob.data(), blob.size());
-    if (stored != computed) {
-      throw SimulationError(
-          "DeploymentImage: CRC mismatch in " + path + " (stored " +
-          hex32(stored) + ", computed " + hex32(computed) +
-          "): refusing to deploy a corrupt image");
-    }
-  }
-
-  std::istringstream is(blob, std::ios::binary);
-  is.ignore(4 + sizeof(u32));  // magic + version, validated above
-
-  DeploymentImage image;
-  const u64 count = read_pod<u64>(is);
-  for (u64 e = 0; e < count; ++e) {
-    const u64 name_len = read_pod<u64>(is);
-    if (name_len > 4096)
-      throw SimulationError("DeploymentImage: implausible name length");
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!is) throw SimulationError("DeploymentImage: truncated name");
-
-    NmConfig cfg;
-    cfg.n = read_pod<i32>(is);
-    cfg.m = read_pod<i32>(is);
-    const i64 dense_rows = read_pod<i64>(is);
-    const i64 cols = read_pod<i64>(is);
-    const f32 scale = read_pod<f32>(is);
-    if (!cfg.valid() || dense_rows <= 0 || cols <= 0 ||
-        dense_rows % cfg.m != 0) {
-      throw SimulationError("DeploymentImage: corrupt entry header");
-    }
-    const size_t total =
-        static_cast<size_t>(dense_rows / cfg.m * cfg.n * cols);
-    auto values = read_vec<i8>(is, total);
-    auto indices = read_vec<u8>(is, total);
-    auto valid = read_vec<u8>(is, total);
-    image.add(name,
-              QuantizedNmMatrix::from_raw(cfg, dense_rows, cols, scale,
-                                          std::move(values),
-                                          std::move(indices),
-                                          std::move(valid)));
-  }
-  return image;
+  return deserialize(sink.str(), path);
 }
 
 }  // namespace msh

@@ -1,0 +1,59 @@
+// Crash-consistent append-only journal: the durable log the continual
+// learner's round/optimizer checkpoints ride in across power
+// interruptions (see src/runtime/recovery). Each record is framed
+//
+//   u32 magic "MSHJ" | u32 payload_len | u32 crc32(payload) | payload
+//
+// and appended with a single write. Recovery replays the longest prefix
+// of intact frames and discards the tail from the first frame that is
+// short, mis-magicked, or fails its CRC — a torn append can therefore
+// lose at most the record being written when power died, never a record
+// that was fully on the medium before it.
+//
+// append() takes a `torn_after_bytes` test hook that simulates exactly
+// that crash: only the first N bytes of the frame reach the file, and
+// the reader must prove it lands on the last intact prefix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+/// What replay() recovered and what it had to throw away.
+struct JournalReplay {
+  std::vector<std::string> records;  ///< intact payloads, append order
+  i64 bytes_replayed = 0;            ///< bytes of intact frames consumed
+  i64 bytes_dropped = 0;             ///< torn/corrupt tail discarded
+  bool tail_torn = false;            ///< a bad frame ended the replay
+};
+
+class Journal {
+ public:
+  explicit Journal(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one framed record (one write + flush). With
+  /// `torn_after_bytes` >= 0, simulates a power loss mid-append: only
+  /// that many frame bytes reach the file. Values past the frame size
+  /// behave like a clean append. Throws SimulationError on I/O failure.
+  void append(std::string_view payload, i64 torn_after_bytes = -1);
+
+  /// Truncates the journal to empty (a fresh epoch, e.g. after the
+  /// checkpointed state was folded into a full snapshot).
+  void reset();
+
+  /// Replays the longest intact prefix of `path`. A missing file is an
+  /// empty journal, not an error — cold boot and first boot look alike.
+  static JournalReplay replay(const std::string& path);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace msh

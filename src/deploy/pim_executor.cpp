@@ -266,6 +266,95 @@ FaultStats PimRepNetExecutor::inject_nvm_faults(const MtjFaultModel& model,
   return total;
 }
 
+PimRepNetExecutor::PowerLossStats PimRepNetExecutor::power_fail(
+    f64 outage_s, u64 seed, f64 retention_tau_s) {
+  MSH_REQUIRE(outage_s >= 0.0);
+  PowerLossStats stats;
+  Rng rng(seed ^ 0xdeadbeefcafef00dull);
+  const MtjFaultModel drift =
+      MtjFaultModel::retention_only(outage_s, retention_tau_s);
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    ArrayProtection& p = protections_[static_cast<size_t>(h)];
+    if (view.is_sram) {
+      // CMOS arrays power up in an undefined state: scramble every cell,
+      // including the spare check columns — nothing volatile survives.
+      const u8 idx_mask = static_cast<u8>(
+          (1u << static_cast<u32>(std::max(1, view.index_bits))) - 1u);
+      for (i8* w : view.weights)
+        *w = static_cast<i8>(rng.next_u64() & 0xFFu);
+      for (u8* idx : view.indices)
+        *idx = static_cast<u8>(rng.next_u64()) & idx_mask;
+      for (u8& check : p.weight_checks)
+        check = static_cast<u8>(rng.next_u64() & 0x1Fu);
+      for (u8& parity : p.index_parity)
+        parity = static_cast<u8>(rng.next_u64() & 1u);
+      const i64 cells =
+          static_cast<i64>(view.weights.size() + view.indices.size() +
+                           p.weight_checks.size() + p.index_parity.size());
+      stats.sram_cells_wiped += cells;
+      stats.sram_bytes_wiped +=
+          static_cast<i64>(view.weights.size() + view.indices.size());
+    } else {
+      // MRAM holds its state, minus thermal relaxation over the outage.
+      const i32 idx_bits = std::max(1, view.index_bits);
+      stats.mram_drift += inject_bit_errors(view.weights, drift, rng, 8);
+      stats.mram_drift += inject_bit_errors(view.indices, drift, rng,
+                                            idx_bits);
+      if (options_.ecc != EccMode::kNone) {
+        const i32 check_bits =
+            options_.ecc == EccMode::kSecDed ? kSecDedCheckBits : 1;
+        stats.mram_drift += inject_bit_errors(
+            std::span<u8>(p.weight_checks), drift, rng, check_bits);
+        stats.mram_drift += inject_bit_errors(std::span<u8>(p.index_parity),
+                                              drift, rng, 1);
+      }
+    }
+  }
+  return stats;
+}
+
+PimRepNetExecutor::WarmRestartStats PimRepNetExecutor::warm_restart() {
+  WarmRestartStats stats;
+  // Re-program the volatile arrays from the golden copy — the host-side
+  // image this deployment was flashed from — and re-derive their check
+  // cells, exactly like the original protect_arrays() pass.
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    if (!view.is_sram) continue;
+    ArrayProtection& p = protections_[static_cast<size_t>(h)];
+    const i32 idx_bits = std::max(1, view.index_bits);
+    for (size_t i = 0; i < view.weights.size(); ++i)
+      *view.weights[i] = p.golden_weights[i];
+    for (size_t i = 0; i < view.indices.size(); ++i)
+      *view.indices[i] = p.golden_indices[i];
+    if (options_.ecc != EccMode::kNone) {
+      for (size_t i = 0; i < p.weight_checks.size(); ++i) {
+        p.weight_checks[i] =
+            options_.ecc == EccMode::kSecDed
+                ? secded_encode(static_cast<u8>(p.golden_weights[i]))
+                : parity_bit(static_cast<u8>(p.golden_weights[i]), 8);
+      }
+      for (size_t i = 0; i < p.index_parity.size(); ++i)
+        p.index_parity[i] = parity_bit(p.golden_indices[i], idx_bits);
+    }
+    stats.sram_cells_restored +=
+        static_cast<i64>(view.weights.size() + view.indices.size());
+  }
+  // Repairing scrub over the drifted MRAM (the SRAM arrays were just
+  // restored and scrub clean). SEC-DED corrects single-bit relaxation in
+  // place; detected-uncorrectable words re-fetch from golden. Whatever
+  // the code missed stays behind as silent_remaining for the caller's
+  // verify gate to judge.
+  for (const ScrubReport& report : scrub(/*repair_detected_from_golden=*/true)) {
+    stats.ecc_corrected += report.weights.corrected + report.indices.corrected;
+    stats.ecc_refetched += report.weights.detected_uncorrectable +
+                           report.indices.detected_uncorrectable;
+    stats.silent_remaining += report.weights.silent + report.indices.silent;
+  }
+  return stats;
+}
+
 std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
     bool repair_detected_from_golden) {
   std::vector<ScrubReport> reports;

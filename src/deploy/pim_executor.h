@@ -96,6 +96,42 @@ class PimRepNetExecutor {
   /// Deterministic in `rng`.
   FaultStats inject_nvm_faults(const MtjFaultModel& model, Rng& rng);
 
+  /// What a simulated power interruption did to the arrays.
+  struct PowerLossStats {
+    i64 sram_cells_wiped = 0;  ///< weight + index + check cells scrambled
+    i64 sram_bytes_wiped = 0;  ///< payload bytes (weights + indices)
+    FaultStats mram_drift;     ///< retention relaxation over the outage
+  };
+
+  /// Simulates a power interruption of `outage_s` seconds at the array
+  /// level: every SRAM-deployed cell (weights, indices, and their
+  /// check/parity spare columns — all CMOS, all volatile) is scrambled to
+  /// the undefined power-up state, and every MRAM cell takes retention
+  /// drift proportional to the outage duration (AP->P relaxation, plus
+  /// its check cells — non-volatile but not immortal). Deterministic in
+  /// `seed`. `retention_tau_s` <= 0 keeps the device default. The
+  /// executor must not forward() again until warm_restart().
+  PowerLossStats power_fail(f64 outage_s, u64 seed,
+                            f64 retention_tau_s = 0.0);
+
+  /// What warm_restart() rebuilt.
+  struct WarmRestartStats {
+    i64 sram_cells_restored = 0;  ///< re-programmed from the golden image
+    i64 ecc_corrected = 0;        ///< MRAM single-bit drift fixed by SEC-DED
+    i64 ecc_refetched = 0;        ///< detected-uncorrectable, golden re-fetch
+    i64 silent_remaining = 0;     ///< drift the code missed (verify catches)
+  };
+
+  /// Warm restart after power_fail(): re-programs every SRAM array from
+  /// the executor's golden copy (the host/flash image the deployment was
+  /// programmed from — exactly what boot firmware re-fetches), re-encodes
+  /// the SRAM check cells, then runs a repairing ECC scrub over the
+  /// drifted MRAM arrays. With EccMode::kNone or kParity some drift may
+  /// survive as `silent_remaining`; the caller's verify-then-promote
+  /// gate (verify_against) decides whether the replica re-enters service
+  /// or gets a cold redeploy.
+  WarmRestartStats warm_restart();
+
   /// Decode/correct/re-encode pass over every deployed array.
   /// kSecDed corrects single-bit errors in place; kParity only detects.
   /// With `repair_detected_from_golden`, detected-uncorrectable words

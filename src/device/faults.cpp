@@ -58,6 +58,14 @@ MtjFaultModel MtjFaultModel::symmetric(f64 ber) {
   return model;
 }
 
+MtjFaultModel MtjFaultModel::retention_only(f64 elapsed_s, f64 tau_s) {
+  MSH_REQUIRE(elapsed_s >= 0.0);
+  MtjFaultModel model;
+  model.retention_elapsed_s = elapsed_s;
+  if (tau_s > 0.0) model.retention_tau_s = tau_s;
+  return model;
+}
+
 MtjFaultModel MtjFaultModel::from_device(const MtjParams& params, f64 elapsed_s,
                                          f64 stuck_at_fraction) {
   MtjFaultModel model;

@@ -52,6 +52,12 @@ struct MtjFaultModel {
   /// Symmetric BER, no stuck cells, no drift — the legacy behavior.
   static MtjFaultModel symmetric(f64 ber);
 
+  /// Pure retention drift over an unpowered interval: no write errors, no
+  /// stuck cells, just AP->P thermal relaxation for `elapsed_s` seconds —
+  /// what MRAM cells experience while the device sits through a power
+  /// outage. `tau_s` <= 0 keeps the default relaxation constant.
+  static MtjFaultModel retention_only(f64 elapsed_s, f64 tau_s = 0.0);
+
   /// Sources the per-direction write-error rates and retention constant
   /// from the MTJ device model.
   static MtjFaultModel from_device(const MtjParams& params,

@@ -34,4 +34,20 @@ void Sgd::zero_grad() {
   for (Param* p : params_) p->zero_grad();
 }
 
+std::vector<Tensor> Sgd::velocity_snapshot() const {
+  std::vector<Tensor> out;
+  out.reserve(params_.size());
+  for (Param* p : params_) out.push_back(velocity_.at(p));
+  return out;
+}
+
+void Sgd::restore_velocity(const std::vector<Tensor>& velocity) {
+  MSH_REQUIRE(velocity.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& v = velocity_.at(params_[i]);
+    MSH_REQUIRE(velocity[i].shape() == v.shape());
+    v = velocity[i];
+  }
+}
+
 }  // namespace msh

@@ -32,6 +32,13 @@ class Sgd {
   /// model's weight-write accounting for continual learning (Fig 8).
   i64 elements_updated() const { return elements_updated_; }
 
+  /// Momentum state in params order — what a checkpoint must carry for a
+  /// resumed run to take bit-identical steps (see runtime/recovery).
+  std::vector<Tensor> velocity_snapshot() const;
+  /// Restores momentum captured by velocity_snapshot() from an optimizer
+  /// over the same parameter list (shape-checked per param).
+  void restore_velocity(const std::vector<Tensor>& velocity);
+
  private:
   std::vector<Param*> params_;
   SgdOptions options_;

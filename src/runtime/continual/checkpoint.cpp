@@ -1,0 +1,130 @@
+#include "runtime/continual/checkpoint.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace msh {
+
+namespace {
+
+constexpr u32 kMagic = 0x4348534Du;  // "MSHC" little-endian
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void put(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void put_tensors(std::string& out, const std::vector<Tensor>& tensors) {
+  put(out, static_cast<u64>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    put(out, static_cast<u32>(t.shape().rank()));
+    for (const i64 d : t.shape().dims()) put(out, d);
+    out.append(reinterpret_cast<const char*>(t.data()),
+               static_cast<size_t>(t.numel()) * sizeof(f32));
+  }
+}
+
+class Cursor {
+ public:
+  Cursor(const std::string& blob, const std::string& context)
+      : blob_(blob), context_(context) {}
+
+  template <typename T>
+  T pod(const char* what) {
+    T value{};
+    if (blob_.size() - pos_ < sizeof(T))
+      throw SimulationError("LearnerCheckpoint: truncated " +
+                            std::string(what) + " in " + context_);
+    std::memcpy(&value, blob_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::vector<Tensor> tensors(const char* what) {
+    const u64 count = pod<u64>(what);
+    if (count > 1u << 20)
+      throw SimulationError("LearnerCheckpoint: implausible tensor count in " +
+                            context_);
+    std::vector<Tensor> out;
+    out.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+      const u32 rank = pod<u32>(what);
+      if (rank > 8)
+        throw SimulationError("LearnerCheckpoint: implausible rank in " +
+                              context_);
+      std::vector<i64> dims(rank);
+      for (u32 d = 0; d < rank; ++d) {
+        dims[d] = pod<i64>(what);
+        if (dims[d] <= 0 || dims[d] > (i64{1} << 32))
+          throw SimulationError("LearnerCheckpoint: implausible dim in " +
+                                context_);
+      }
+      Tensor t{Shape(dims)};
+      const size_t bytes = static_cast<size_t>(t.numel()) * sizeof(f32);
+      if (blob_.size() - pos_ < bytes)
+        throw SimulationError("LearnerCheckpoint: truncated " +
+                              std::string(what) + " payload in " + context_);
+      std::memcpy(t.data(), blob_.data() + pos_, bytes);
+      pos_ += bytes;
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  size_t remaining() const { return blob_.size() - pos_; }
+
+ private:
+  const std::string& blob_;
+  const std::string& context_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string LearnerCheckpoint::serialize() const {
+  std::string out;
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, rounds);
+  put(out, steps);
+  put(out, samples_streamed);
+  put(out, publishes);
+  put(out, rollbacks);
+  put(out, baseline_accuracy);
+  put(out, best_accuracy);
+  put(out, last_accuracy);
+  put(out, image_generation);
+  put_tensors(out, params);
+  put_tensors(out, velocity);
+  return out;
+}
+
+LearnerCheckpoint LearnerCheckpoint::deserialize(
+    const std::string& blob, const std::string& context) {
+  Cursor cur(blob, context);
+  if (cur.pod<u32>("magic") != kMagic)
+    throw SimulationError("LearnerCheckpoint: bad magic in " + context);
+  const u32 version = cur.pod<u32>("version");
+  if (version != kVersion)
+    throw SimulationError("LearnerCheckpoint: unsupported version " +
+                          std::to_string(version) + " in " + context);
+  LearnerCheckpoint cp;
+  cp.rounds = cur.pod<i64>("rounds");
+  cp.steps = cur.pod<i64>("steps");
+  cp.samples_streamed = cur.pod<i64>("samples_streamed");
+  cp.publishes = cur.pod<i64>("publishes");
+  cp.rollbacks = cur.pod<i64>("rollbacks");
+  cp.baseline_accuracy = cur.pod<f64>("baseline_accuracy");
+  cp.best_accuracy = cur.pod<f64>("best_accuracy");
+  cp.last_accuracy = cur.pod<f64>("last_accuracy");
+  cp.image_generation = cur.pod<u64>("image_generation");
+  cp.params = cur.tensors("params");
+  cp.velocity = cur.tensors("velocity");
+  if (cur.remaining() != 0)
+    throw SimulationError("LearnerCheckpoint: trailing garbage in " +
+                          context);
+  return cp;
+}
+
+}  // namespace msh

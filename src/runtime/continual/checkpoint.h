@@ -1,0 +1,49 @@
+// Continual-learner checkpoint: everything the lane needs to resume
+// training after a power interruption exactly where (and exactly *as*)
+// it left off — round/step counters, gate state, the full learnable
+// parameter set, and the SGD momentum buffers. Serialized as a flat
+// little-endian record; integrity is the enclosing journal frame's CRC
+// (see deploy/journal.h), so a torn append can never replay as a
+// half-written checkpoint.
+//
+// Determinism contract: restoring a checkpoint and fast-forwarding the
+// TaskStream by samples_streamed reproduces the crashed lane's state
+// bit-for-bit, so two same-seed runs interrupted at the same round
+// publish byte-identical images after recovery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msh {
+
+struct LearnerCheckpoint {
+  // Lane counters at checkpoint time.
+  i64 rounds = 0;
+  i64 steps = 0;
+  i64 samples_streamed = 0;  ///< TaskStream::skip() amount on resume
+  i64 publishes = 0;
+  i64 rollbacks = 0;
+  // Gate state.
+  f64 baseline_accuracy = 0.0;
+  f64 best_accuracy = 0.0;
+  f64 last_accuracy = 0.0;
+  /// Durable-image generation the engine was serving when this
+  /// checkpoint was taken (0 = the boot image). Lets recovery report the
+  /// training rounds lost between the last checkpoint and the outage.
+  u64 image_generation = 0;
+  /// Learnable params (RepNetModel::learnable_params() order) and SGD
+  /// momentum (rep_params() order) — bit-exact f32 payloads.
+  std::vector<Tensor> params;
+  std::vector<Tensor> velocity;
+
+  std::string serialize() const;
+  /// Throws SimulationError on a malformed record. `context` names the
+  /// source in error messages.
+  static LearnerCheckpoint deserialize(const std::string& blob,
+                                       const std::string& context);
+};
+
+}  // namespace msh

@@ -26,12 +26,21 @@ ContinualLearner::ContinualLearner(ServingEngine& engine,
   // Mirror the served weights, then deploy the trainer-side executor
   // with the engine's options and calibration data so its activation
   // scales — and therefore every exported image — match what the engine
-  // would produce from the same weights.
+  // would produce from the same weights. On resume the calibration walk
+  // still runs on the *mirrored* (pre-adaptation) weights, exactly as
+  // the crashed lane's did, so the recorded ranges — and every future
+  // exported image — stay bit-identical to an uninterrupted run; the
+  // checkpointed params are restored only afterwards.
   trainer_model_.copy_state_from(engine_.model());
   trainer_exec_ = std::make_unique<PimRepNetExecutor>(
       trainer_model_, calibration, engine_.options().executor);
+  if (options_.resume)
+    restore_params(trainer_model_.learnable_params(),
+                   options_.resume->params);
 
-  // In-PIM classifier head, warm-started from the served classifier.
+  // In-PIM classifier head, warm-started from the served classifier (on
+  // resume: the checkpointed classifier, restored just above — the
+  // crashed head's exact state, since every round ends head-synced).
   head_ = std::make_unique<PimLinearTrainer>(
       head_core_, trainer_model_.feature_dim(), stream_.classes(),
       PimTrainerOptions{.lr = options_.head_lr, .seed = options_.seed});
@@ -45,14 +54,32 @@ ContinualLearner::ContinualLearner(ServingEngine& engine,
                  .momentum = options_.rep_momentum,
                  .weight_decay = options_.rep_weight_decay});
 
-  // Pre-adaptation holdout accuracy of the (quantized) served weights:
-  // the gate's starting bar and the bench's improvement reference.
-  baseline_accuracy_ = trainer_exec_->clone()->evaluate(
-      stream_.holdout(), options_.holdout_batch);
-  best_accuracy_.store(baseline_accuracy_, std::memory_order_relaxed);
-  last_accuracy_.store(baseline_accuracy_, std::memory_order_relaxed);
+  if (options_.resume) {
+    const LearnerCheckpoint& cp = *options_.resume;
+    sgd_->restore_velocity(cp.velocity);
+    // Fast-forward the stream so the sample (and reshuffle) sequence
+    // continues exactly where the crashed lane left off.
+    stream_.skip(cp.samples_streamed);
+    steps_.store(cp.steps, std::memory_order_relaxed);
+    rounds_.store(cp.rounds, std::memory_order_relaxed);
+    publishes_.store(cp.publishes, std::memory_order_relaxed);
+    rollbacks_.store(cp.rollbacks, std::memory_order_relaxed);
+    // Gate state is checkpointed, not re-measured: re-evaluating the
+    // baseline here would double-count hardware time and could drift
+    // the gate's bar across a crash.
+    baseline_accuracy_ = cp.baseline_accuracy;
+    best_accuracy_.store(cp.best_accuracy, std::memory_order_relaxed);
+    last_accuracy_.store(cp.last_accuracy, std::memory_order_relaxed);
+  } else {
+    // Pre-adaptation holdout accuracy of the (quantized) served weights:
+    // the gate's starting bar and the bench's improvement reference.
+    baseline_accuracy_ = trainer_exec_->clone()->evaluate(
+        stream_.holdout(), options_.holdout_batch);
+    best_accuracy_.store(baseline_accuracy_, std::memory_order_relaxed);
+    last_accuracy_.store(baseline_accuracy_, std::memory_order_relaxed);
+    engine_.metrics().record_training_baseline(baseline_accuracy_);
+  }
   last_good_ = snapshot_params(trainer_model_.learnable_params());
-  engine_.metrics().record_training_baseline(baseline_accuracy_);
 }
 
 ContinualLearner::~ContinualLearner() { stop(); }
@@ -175,6 +202,22 @@ void ContinualLearner::run_round() {
     engine_.metrics().record_training_rollback();
   }
   rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LearnerCheckpoint ContinualLearner::checkpoint(u64 image_generation) {
+  LearnerCheckpoint cp;
+  cp.rounds = rounds_.load(std::memory_order_relaxed);
+  cp.steps = steps_.load(std::memory_order_relaxed);
+  cp.samples_streamed = stream_.samples_streamed();
+  cp.publishes = publishes_.load(std::memory_order_relaxed);
+  cp.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  cp.baseline_accuracy = baseline_accuracy_;
+  cp.best_accuracy = best_accuracy_.load(std::memory_order_relaxed);
+  cp.last_accuracy = last_accuracy_.load(std::memory_order_relaxed);
+  cp.image_generation = image_generation;
+  cp.params = snapshot_params(trainer_model_.learnable_params());
+  cp.velocity = sgd_->velocity_snapshot();
+  return cp;
 }
 
 }  // namespace msh

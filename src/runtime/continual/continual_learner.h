@@ -44,6 +44,7 @@
 
 #include "deploy/pim_trainer.h"
 #include "nn/optimizer.h"
+#include "runtime/continual/checkpoint.h"
 #include "runtime/continual/task_stream.h"
 #include "runtime/serving_engine.h"
 
@@ -81,6 +82,15 @@ struct ContinualLearnerOptions {
   /// gate must reject the candidate and roll it back.
   i64 poison_round = -1;
   f32 poison_stddev = 0.5f;
+  /// Resume from a durable checkpoint instead of starting fresh — the
+  /// power-loss recovery path (see runtime/recovery). Restores counters,
+  /// gate state, the learnable params, the SGD momentum buffers, and
+  /// skips the baseline holdout evaluation (the checkpointed value is
+  /// authoritative). The caller must construct the TaskStream with the
+  /// original seed; the learner fast-forwards it by samples_streamed so
+  /// the sample sequence continues exactly where the crashed lane left
+  /// off. Null starts a fresh lane.
+  std::shared_ptr<const LearnerCheckpoint> resume;
 };
 
 class ContinualLearner {
@@ -106,6 +116,14 @@ class ContinualLearner {
   /// One synchronous train-evaluate-gate round on the calling thread.
   /// For deterministic tests; do not mix with a running lane thread.
   void run_round();
+
+  /// Snapshots the lane into a durable checkpoint (counters, gate state,
+  /// params, momentum). `image_generation` stamps the durable image
+  /// generation being served, so recovery can report lost rounds. Call
+  /// between rounds (or after stop()); never while the lane thread runs.
+  /// Note: a rollback after resume restores the *checkpointed* params —
+  /// the last-good anchor re-bases to the resume point.
+  LearnerCheckpoint checkpoint(u64 image_generation = 0);
 
   // Lane state, safe to read from any thread.
   i64 steps() const { return steps_.load(std::memory_order_relaxed); }

@@ -31,4 +31,19 @@ void TaskStream::next_batch(i64 rows, Tensor* x, std::vector<i32>* labels) {
   samples_streamed_ += rows;
 }
 
+void TaskStream::skip(i64 rows) {
+  MSH_REQUIRE(rows >= 0);
+  for (i64 r = 0; r < rows; ++r) {
+    if (cursor_ == split_.train.size()) {
+      // Same reshuffle the skipped next_batch calls would have drawn, so
+      // the RNG stays in lockstep with an uninterrupted run.
+      split_.train.shuffle(rng_);
+      cursor_ = 0;
+      ++epochs_completed_;
+    }
+    ++cursor_;
+  }
+  samples_streamed_ += rows;
+}
+
 }  // namespace msh

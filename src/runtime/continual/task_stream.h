@@ -25,6 +25,13 @@ class TaskStream {
   /// `labels` (resized to rows), crossing epoch boundaries as needed.
   void next_batch(i64 rows, Tensor* x, std::vector<i32>* labels);
 
+  /// Fast-forwards the stream past `rows` samples without materializing
+  /// them — identical cursor/shuffle evolution to next_batch, so a
+  /// resumed learner (see runtime/recovery) skipping its checkpoint's
+  /// samples_streamed() sees exactly the sample sequence the crashed run
+  /// would have seen next.
+  void skip(i64 rows);
+
   /// The held-out evaluation split (never streamed).
   const Dataset& holdout() const { return split_.test; }
 

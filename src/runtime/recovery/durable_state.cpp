@@ -1,0 +1,151 @@
+#include "runtime/recovery/durable_state.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace msh {
+
+namespace fs = std::filesystem;
+
+DurableState::DurableState(std::string dir) : dir_(std::move(dir)) {
+  MSH_REQUIRE(!dir_.empty());
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  MSH_REQUIRE(!ec && "DurableState: cannot create durable directory");
+}
+
+std::string DurableState::journal_path() const {
+  return (fs::path(dir_) / "learner.journal").string();
+}
+
+std::string DurableState::image_filename(u64 generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "image-%08llu.msh",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+std::string DurableState::image_path(u64 generation) const {
+  return (fs::path(dir_) / image_filename(generation)).string();
+}
+
+void DurableState::publish_image(const DeploymentImage& image,
+                                 TornMode torn, i64 torn_after_bytes) {
+  const std::string path = image_path(image.generation());
+  switch (torn) {
+    case TornMode::kNone:
+      image.save(path);  // serialize + write temp + atomic rename
+      return;
+    case TornMode::kCrashBeforeRename: {
+      // The temp file made it to the medium in full; the rename — the
+      // commit point — never happened. The previous generation is still
+      // the durable truth and this stray must not be mistaken for it.
+      const std::string blob = image.serialize();
+      std::ofstream os(path + ".tmp", std::ios::binary | std::ios::trunc);
+      MSH_REQUIRE(os.good() && "DurableState: cannot write torn temp");
+      os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      return;
+    }
+    case TornMode::kPartialPublish: {
+      // No atomic rename on this medium: the crash left a prefix of the
+      // new snapshot under the final name. The loader must reject it
+      // and roll back to the previous generation.
+      const std::string blob = image.serialize();
+      MSH_REQUIRE(torn_after_bytes >= 0 &&
+                  torn_after_bytes <= static_cast<i64>(blob.size()));
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      MSH_REQUIRE(os.good() && "DurableState: cannot write torn snapshot");
+      os.write(blob.data(), static_cast<std::streamsize>(torn_after_bytes));
+      return;
+    }
+  }
+}
+
+DurableState::LoadResult DurableState::load_last_good() {
+  LoadResult result;
+  struct Candidate {
+    u64 generation;
+    fs::path path;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      // A crashed publish never reached its rename; the temp is garbage
+      // by definition (the commit point is the rename itself).
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+      log_info("durable state: removed stray temp ", name);
+      continue;
+    }
+    // image-%08llu.msh
+    if (name.rfind("image-", 0) != 0 || name.size() < 11 ||
+        name.substr(name.size() - 4) != ".msh")
+      continue;
+    const std::string digits = name.substr(6, name.size() - 10);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    candidates.push_back({std::stoull(digits), entry.path()});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.generation > b.generation;
+            });
+  for (const Candidate& candidate : candidates) {
+    try {
+      auto image = std::make_shared<DeploymentImage>(
+          DeploymentImage::load(candidate.path.string()));
+      if (image->generation() != candidate.generation)
+        throw SimulationError(
+            "generation mismatch: filename says " +
+            std::to_string(candidate.generation) + ", header says " +
+            std::to_string(image->generation()));
+      result.image = std::move(image);
+      result.generation = candidate.generation;
+      return result;
+    } catch (const std::exception& e) {
+      // Corrupt or torn: roll back to the next-newest generation.
+      ++result.candidates_skipped;
+      result.skipped.push_back(candidate.path.filename().string() + ": " +
+                               e.what());
+      log_warn("durable state: skipping ", candidate.path.filename().string(),
+               " (", e.what(), ")");
+    }
+  }
+  return result;  // nothing durable (or nothing intact): first boot
+}
+
+void DurableState::append_checkpoint(const LearnerCheckpoint& checkpoint,
+                                     i64 torn_after_bytes) {
+  Journal journal(journal_path());
+  journal.append(checkpoint.serialize(), torn_after_bytes);
+}
+
+DurableState::CheckpointReplay DurableState::replay_last_checkpoint() {
+  CheckpointReplay result;
+  const JournalReplay replay = Journal::replay(journal_path());
+  result.records_replayed = static_cast<i64>(replay.records.size());
+  result.bytes_dropped = replay.bytes_dropped;
+  result.tail_torn = replay.tail_torn;
+  for (auto it = replay.records.rbegin(); it != replay.records.rend();
+       ++it) {
+    try {
+      result.checkpoint = std::make_shared<LearnerCheckpoint>(
+          LearnerCheckpoint::deserialize(*it, journal_path()));
+      return result;
+    } catch (const std::exception& e) {
+      log_warn("durable state: journal record failed checkpoint "
+               "validation despite an intact CRC (",
+               e.what(), "); trying the previous record");
+    }
+  }
+  return result;
+}
+
+}  // namespace msh

@@ -1,0 +1,91 @@
+// Crash-consistent durable state for the serving stack: a directory of
+// generation-numbered DeploymentImage snapshots (each published with an
+// atomic write-temp-then-rename) plus the continual learner's
+// checkpoint journal (CRC-framed append-only log, deploy/journal.h).
+//
+// The invariant the loader enforces: recovery NEVER lands on a
+// half-written artifact. A crash mid-publish leaves either a stray
+// *.tmp (ignored and cleaned) or — on media without atomic rename — a
+// truncated/corrupt candidate, which the versioned image loader rejects
+// with a distinct error; load_last_good() then rolls back to the newest
+// generation that parses clean. Both torn shapes are injectable as test
+// hooks so the exhaustive truncation-corpus tests can prove it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deploy/image_io.h"
+#include "deploy/journal.h"
+#include "runtime/continual/checkpoint.h"
+
+namespace msh {
+
+class DurableState {
+ public:
+  /// Opens (creating if needed) the durable directory.
+  explicit DurableState(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string journal_path() const;
+  /// Snapshot filename for a generation (relative to dir()).
+  static std::string image_filename(u64 generation);
+  std::string image_path(u64 generation) const;
+
+  /// How a simulated crash tears the next publish_image().
+  enum class TornMode {
+    kNone,               ///< normal atomic publish
+    kCrashBeforeRename,  ///< full temp file written, rename never ran
+    /// First `torn_after_bytes` bytes land directly in the final path —
+    /// media without atomic rename, or a torn sector.
+    kPartialPublish,
+  };
+
+  /// Publishes `image` as its generation's snapshot. With a torn mode
+  /// the publish "crashes" as described and the previous generation must
+  /// stay the durable truth.
+  void publish_image(const DeploymentImage& image,
+                     TornMode torn = TornMode::kNone,
+                     i64 torn_after_bytes = 0);
+
+  struct LoadResult {
+    /// Newest snapshot that parses clean; null when nothing durable
+    /// exists yet (first boot).
+    std::shared_ptr<const DeploymentImage> image;
+    u64 generation = 0;
+    i64 candidates_skipped = 0;        ///< corrupt/torn files rolled past
+    std::vector<std::string> skipped;  ///< one reason per skipped file
+  };
+
+  /// Scans the directory newest-generation-first and returns the first
+  /// snapshot that loads clean (magic, structure, CRC, and a
+  /// filename/header generation cross-check). Stray *.tmp files from a
+  /// crashed publish are deleted. Never throws on a corrupt candidate —
+  /// corruption means "roll back further", not "fail recovery".
+  LoadResult load_last_good();
+
+  /// Appends a learner checkpoint frame to the journal (same
+  /// torn_after_bytes test hook as Journal::append).
+  void append_checkpoint(const LearnerCheckpoint& checkpoint,
+                         i64 torn_after_bytes = -1);
+
+  struct CheckpointReplay {
+    /// Newest intact checkpoint; null when the journal has none.
+    std::shared_ptr<const LearnerCheckpoint> checkpoint;
+    i64 records_replayed = 0;  ///< intact frames in the journal
+    i64 bytes_dropped = 0;     ///< torn tail discarded
+    bool tail_torn = false;
+  };
+
+  /// Replays the journal's longest intact prefix and deserializes the
+  /// last checkpoint. A frame whose CRC passed but whose payload fails
+  /// checkpoint validation is skipped (next-newest wins) — belt and
+  /// suspenders.
+  CheckpointReplay replay_last_checkpoint();
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace msh

@@ -1,0 +1,65 @@
+// Orchestrates cold-boot recovery after a power interruption: load the
+// newest intact durable snapshot (rolling back past torn publishes),
+// replay the learner journal's last intact checkpoint, warm-restart the
+// engine onto the recovered image with verify-then-promote, and account
+// for recovery time and data loss. The MRAM half of the hybrid core is
+// what makes the warm path cheap: the non-volatile arrays come back with
+// only retention drift (scrubbed by SEC-DED), so recovery re-programs
+// just the volatile SRAM arrays unless verification demands more.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/recovery/durable_state.h"
+#include "runtime/serving_engine.h"
+
+namespace msh {
+
+struct RecoveryOptions {
+  /// Recovery-time objective: wall-time budget for recover() (load +
+  /// replay + restart). 0 disables the check. Exceeding it does NOT
+  /// fail the recovery (the engine is back up either way) — it clears
+  /// `within_rto_budget` for the caller's gate.
+  f64 rto_budget_us = 0.0;
+};
+
+struct RecoveryReport {
+  bool ok = false;    ///< engine is serving again
+  std::string error;  ///< empty when ok
+  f64 rto_us = 0.0;   ///< end-to-end recover() wall time
+  bool within_rto_budget = true;
+  /// Durable image generation recovered onto (0 + !booted_from_image
+  /// when the store was empty and replicas recovered onto their own
+  /// provenance).
+  u64 image_generation = 0;
+  bool booted_from_image = false;
+  i64 snapshots_skipped = 0;  ///< torn/corrupt generations rolled past
+  ServingEngine::RestartReport engine;  ///< per-worker warm/cold detail
+  // Journal replay (training-lane data loss).
+  i64 journal_records_replayed = 0;
+  i64 journal_bytes_dropped = 0;
+  bool journal_tail_torn = false;
+  /// Newest intact learner checkpoint — hand it to a fresh
+  /// ContinualLearner via ContinualLearnerOptions::resume. Null when the
+  /// journal held none (the lane restarts from scratch; everything since
+  /// the boot image is the data loss).
+  std::shared_ptr<const LearnerCheckpoint> checkpoint;
+};
+
+class RecoveryManager {
+ public:
+  /// `durable` must outlive the manager.
+  explicit RecoveryManager(DurableState& durable) : durable_(durable) {}
+
+  /// Full recovery of a powered-off engine. Safe to call again with the
+  /// store repaired if it fails (the engine stays down on failure).
+  /// Records recovery + journal-replay metrics on the engine.
+  RecoveryReport recover(ServingEngine& engine,
+                         const RecoveryOptions& options = {});
+
+ private:
+  DurableState& durable_;
+};
+
+}  // namespace msh

@@ -1,5 +1,7 @@
 #include "runtime/request.h"
 
+#include "common/stopwatch.h"
+
 namespace msh {
 
 const char* to_string(RequestStatus status) {
@@ -16,6 +18,8 @@ const char* to_string(RequestStatus status) {
       return "timed_out";
     case RequestStatus::kShed:
       return "shed";
+    case RequestStatus::kPowerLoss:
+      return "power_loss";
   }
   return "unknown";
 }
@@ -48,9 +52,8 @@ InferenceResponse ResponseFuture::get() const {
 bool ResponseFuture::wait_for_us(f64 timeout_us) const {
   MSH_REQUIRE(state_ != nullptr);
   std::unique_lock<std::mutex> lock(state_->mutex);
-  return state_->cv.wait_for(
-      lock, std::chrono::microseconds(static_cast<i64>(timeout_us)),
-      [&] { return state_->done; });
+  return state_->cv.wait_for(lock, microseconds_ceil(timeout_us),
+                             [&] { return state_->done; });
 }
 
 namespace detail {

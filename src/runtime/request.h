@@ -21,6 +21,7 @@ enum class RequestStatus {
   kFailed,    ///< the executor threw and the retry budget is spent
   kTimedOut,  ///< per-request deadline expired before a healthy dispatch
   kShed,      ///< overload control dropped the request before dispatch
+  kPowerLoss, ///< a power interruption killed the request in flight
 };
 
 const char* to_string(RequestStatus status);

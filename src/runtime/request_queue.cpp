@@ -3,6 +3,8 @@
 #include <chrono>
 #include <limits>
 
+#include "common/stopwatch.h"
+
 namespace msh {
 
 RequestQueue::RequestQueue(RequestQueueOptions options) : options_(options) {
@@ -66,8 +68,10 @@ detail::PendingRequest RequestQueue::take_next_locked() {
 
 std::optional<detail::PendingRequest> RequestQueue::pop(f64 timeout_us) {
   std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait_for(lock,
-                  std::chrono::microseconds(static_cast<i64>(timeout_us)),
+  // Round the budget *up*: truncation would turn a fractional-microsecond
+  // timeout into 0, silently degrading every sub-us pop into a
+  // busy-spinning immediate timeout. pop(0.0) stays non-blocking.
+  ready_.wait_for(lock, microseconds_ceil(timeout_us),
                   [&] { return total_ > 0 || closed_; });
   if (total_ == 0) return std::nullopt;
   return take_next_locked();
@@ -79,6 +83,12 @@ void RequestQueue::close() {
     closed_ = true;
   }
   ready_.notify_all();
+}
+
+void RequestQueue::reopen() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  MSH_REQUIRE(total_ == 0 && "reopen() over undrained requests");
+  closed_ = false;
 }
 
 bool RequestQueue::closed() const {

@@ -71,6 +71,13 @@ class RequestQueue {
   /// nullopt without waiting out their timeout.
   void close();
 
+  /// Re-arms a closed queue for admission — the power-loss restart path
+  /// (ServingEngine::restart), after the outage drained and resolved
+  /// every queued request. Requires the queue to be empty: reopening over
+  /// stranded requests would resurrect futures their clients already saw
+  /// resolve.
+  void reopen();
+
   bool closed() const;
   i64 depth() const;
   i64 depth(Priority priority) const;

@@ -112,6 +112,15 @@ ResponseFuture ServingEngine::submit(Tensor images,
   request.state = std::make_shared<detail::ResponseState>();
   ResponseFuture future(request.state);
 
+  // A powered-off engine cannot accept anything; give the client a more
+  // actionable signal than the generic shutdown rejection. (Benign race:
+  // a submit that slips past this check lands on the closed queue.)
+  if (powered_off_.load(std::memory_order_acquire)) {
+    metrics_.record_rejected(request.priority);
+    reject(request, "power interruption: engine is down until restart");
+    return future;
+  }
+
   // Validate against the deployed model up front: a shape mismatch must
   // resolve here with a descriptive error, not blow up a worker
   // mid-batch (and take its batchmates down with it).
@@ -235,9 +244,9 @@ bool ServingEngine::hand_replica_to_worker(
   WorkerState& state = *states_[static_cast<size_t>(index)];
   std::unique_lock<std::mutex> lock(state.mutex);
   state.incoming = std::move(replica);
+  // Ceil, not truncate: a sub-microsecond timeout must still wait.
   const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::microseconds(static_cast<i64>(timeout_us));
+      std::chrono::steady_clock::now() + microseconds_ceil(timeout_us);
   while (state.outgoing == nullptr) {
     if (state.swap_cv.wait_until(lock, deadline) ==
             std::cv_status::timeout &&
@@ -323,6 +332,142 @@ bool ServingEngine::swap_model(std::shared_ptr<const DeploymentImage> image,
             " of ", swapped, " promoted worker(s)");
   metrics_.record_swap(false, swapped, rollbacks);
   return false;
+}
+
+ServingEngine::PowerFailureReport ServingEngine::power_fail(
+    const PowerFailureSpec& spec) {
+  MSH_REQUIRE(spec.outage_s >= 0.0);
+  // Serialize with swap_model: a mid-roll swap finishes (or times out)
+  // before the lights go out, so no replica is lost in handoff limbo.
+  const std::lock_guard<std::mutex> roll_guard(swap_mutex_);
+  PowerFailureReport report;
+  if (powered_off_.exchange(true, std::memory_order_acq_rel))
+    return report;  // already dark
+  // Order matters: flag first (workers abandon instead of draining),
+  // then close the queue (stops admission, wakes blocked pops), then
+  // join.
+  queue_.close();
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  running_.store(false, std::memory_order_release);
+  // Whatever the workers left behind dies with the power.
+  while (auto victim = queue_.pop(0.0)) {
+    power_kill(*victim, /*worker=*/-1);
+    ++report.requests_killed;
+  }
+  // Array-level damage, one deterministic stream per replica.
+  for (i64 w = 0; w < workers(); ++w) {
+    const auto stats = replicas_[static_cast<size_t>(w)]->power_fail(
+        spec.outage_s,
+        spec.seed + static_cast<u64>(w) * 0x9e3779b97f4a7c15ull,
+        spec.retention_tau_s);
+    report.sram_bytes_wiped += stats.sram_bytes_wiped;
+    report.mram_bits_drifted += stats.mram_drift.bits_flipped;
+  }
+  // Replicas parked mid-swap are CMOS state too — gone with the power.
+  for (auto& state : states_) {
+    const std::lock_guard<std::mutex> guard(state->mutex);
+    state->incoming.reset();
+    state->outgoing.reset();
+    state->pending.clear();
+    state->crash_next = false;
+    state->healthy.store(false, std::memory_order_release);
+  }
+  metrics_.record_outage(report.sram_bytes_wiped, report.mram_bits_drifted);
+  log_warn("power interruption: ", spec.outage_s, " s outage killed ",
+           report.requests_killed, " queued request(s), wiped ",
+           report.sram_bytes_wiped, " SRAM byte(s), drifted ",
+           report.mram_bits_drifted, " MRAM bit(s)");
+  return report;
+}
+
+ServingEngine::RestartReport ServingEngine::restart(
+    const RestartOptions& options) {
+  const std::lock_guard<std::mutex> roll_guard(swap_mutex_);
+  RestartReport report;
+  const f64 start_us = monotonic_now_us();
+  if (!powered_off_.load(std::memory_order_acquire)) {
+    report.error = "restart() without a preceding power_fail()";
+    return report;
+  }
+  if (shut_down_.load(std::memory_order_acquire)) {
+    report.error = "engine was shut down; cannot restart";
+    return report;
+  }
+  for (i64 w = 0; w < workers(); ++w) {
+    auto& replica = replicas_[static_cast<size_t>(w)];
+    const auto warm = replica->warm_restart();
+    report.sram_cells_restored += warm.sram_cells_restored;
+    report.ecc_corrected += warm.ecc_corrected;
+    report.ecc_refetched += warm.ecc_refetched;
+    // Verify-then-promote, the same physical read-back gate as a model
+    // swap: recovered arrays must match the recovery image bit-exactly.
+    // With no image given, a replica verifies against its own deployment
+    // provenance (source image, or the golden codes it was programmed
+    // with) — that still catches any MRAM drift the scrub missed.
+    const DeploymentImage* reference = options.image.get();
+    DeploymentImage own;
+    if (reference == nullptr) {
+      if (replica->source_image()) {
+        reference = replica->source_image().get();
+      } else {
+        own = replica->export_image();
+        reference = &own;
+      }
+    }
+    std::string verify_error = replica->verify_against(*reference);
+    if (verify_error.empty()) {
+      ++report.workers_warm;
+    } else {
+      // Cold path: the replica was serving a generation the durable
+      // store lost (rollback), or drift beat the code. Re-program the
+      // arrays from the recovery image and verify again.
+      log_warn("restart: worker ", w, " warm verify failed (", verify_error,
+               "); cold redeploy");
+      try {
+        replica = options.image
+                      ? PimRepNetExecutor::deploy_from_image(
+                            model_, options_.executor, input_amax_,
+                            options.image)
+                      : replica->clone();
+      } catch (const std::exception& e) {
+        report.error = "worker " + std::to_string(w) +
+                       " cold redeploy failed: " + e.what();
+        return report;
+      }
+      verify_error = replica->verify_against(*reference);
+      if (!verify_error.empty()) {
+        report.error = "worker " + std::to_string(w) +
+                       " failed verify even after cold redeploy: " +
+                       verify_error;
+        return report;
+      }
+      ++report.workers_cold;
+    }
+  }
+  // All replicas verified: reset per-worker state (threads are joined,
+  // so plain writes are safe), re-arm the queue, relight the pool.
+  for (auto& state : states_) {
+    state->batches_since_scrub = 0;
+    state->consecutive_failures = 0;
+    state->breaker = BreakerState::kClosed;
+    state->open_until_us = 0.0;
+    state->healthy.store(true, std::memory_order_release);
+  }
+  queue_.reopen();
+  powered_off_.store(false, std::memory_order_release);
+  start();
+  report.ok = true;
+  report.rto_us = monotonic_now_us() - start_us;
+  metrics_.record_recovery(report.rto_us, report.workers_warm,
+                           report.workers_cold, report.sram_cells_restored,
+                           report.ecc_corrected, report.ecc_refetched);
+  log_info("restart complete in ", report.rto_us / 1000.0, " ms: ",
+           report.workers_warm, " warm + ", report.workers_cold,
+           " cold worker(s), ", report.ecc_corrected,
+           " drifted bit(s) corrected, ", report.ecc_refetched,
+           " word(s) re-fetched");
+  return report;
 }
 
 bool ServingEngine::breaker_admits(i64 index) {
@@ -431,7 +576,24 @@ void ServingEngine::scrub_and_heal(i64 index) {
   }
 }
 
+void ServingEngine::power_kill(detail::PendingRequest& request, i64 worker) {
+  InferenceResponse response;
+  response.status = RequestStatus::kPowerLoss;
+  response.error = "power interruption killed the request in flight";
+  response.priority = request.priority;
+  response.worker = worker;
+  response.retries = request.attempts;
+  response.total_us = monotonic_now_us() - request.submit_us;
+  metrics_.record_power_loss(request.priority);
+  detail::resolve(request, std::move(response));
+}
+
 void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
+  // The outage beat this batch to the arrays: nothing was computed.
+  if (powered_off_.load(std::memory_order_acquire)) {
+    for (auto& request : batch.requests) power_kill(request, index);
+    return;
+  }
   apply_pending_faults(index);
   WorkerState& state = *states_[static_cast<size_t>(index)];
 
@@ -490,6 +652,15 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
       log_error("worker ", index, ": batch of ", batch.rows,
                 " rows failed: ", error);
     }
+  }
+
+  // The outage hit while the batch was on the arrays (or between forward
+  // and resolve): the responses never left the device. Kill them rather
+  // than hand out results computed on dying hardware — and never heal or
+  // retry into a powered-off engine.
+  if (powered_off_.load(std::memory_order_acquire)) {
+    for (auto& request : batch.requests) power_kill(request, index);
+    return;
   }
 
   if (!ok) {
@@ -576,11 +747,13 @@ void ServingEngine::worker_loop(i64 index) {
                            return shed_or_expire(request, now);
                          });
   while (true) {
+    // Power loss: stop dead — no draining, the backlog dies with the
+    // power (power_fail resolves it as kPowerLoss).
+    if (powered_off_.load(std::memory_order_acquire)) break;
     service_swap(index);
     if (!breaker_admits(index)) {
       // Open breaker: stay out of dequeue, let the others take the load.
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          static_cast<i64>(options_.idle_poll_us)));
+      std::this_thread::sleep_for(microseconds_ceil(options_.idle_poll_us));
       continue;
     }
     auto batch = batcher.next(options_.idle_poll_us);

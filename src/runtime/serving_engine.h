@@ -186,6 +186,72 @@ class ServingEngine {
   bool swap_model(std::shared_ptr<const DeploymentImage> image,
                   SwapOptions options = {});
 
+  /// Parameters of one simulated power interruption.
+  struct PowerFailureSpec {
+    f64 outage_s = 1.0;  ///< how long the device stays dark
+    u64 seed = 1;        ///< SRAM scramble + MRAM drift randomness
+    /// MRAM retention time constant; <= 0 keeps the device default.
+    f64 retention_tau_s = 0.0;
+  };
+  /// What the outage destroyed.
+  struct PowerFailureReport {
+    /// Accepted-but-unserved requests drained from the queue and killed
+    /// (workers additionally kill their in-flight batch; every victim is
+    /// counted in metrics().recovery.power_loss_requests).
+    i64 requests_killed = 0;
+    i64 sram_bytes_wiped = 0;    ///< volatile PE payload bytes scrambled
+    i64 mram_bits_drifted = 0;   ///< retention flips across all replicas
+  };
+
+  /// Simulates a power interruption: admission stops, workers abandon
+  /// (not drain) their work — every in-flight and queued request
+  /// resolves kPowerLoss — threads join, and the replica arrays take
+  /// physical damage (SRAM scrambled, MRAM retention drift; see
+  /// PimRepNetExecutor::power_fail). The engine stays down until
+  /// restart(); submit() during the outage rejects. Deterministic in
+  /// `spec.seed`. Idempotent while already powered off. Serialized with
+  /// swap_model — an in-progress roll finishes (or times out) first.
+  PowerFailureReport power_fail(const PowerFailureSpec& spec);
+  PowerFailureReport power_fail() { return power_fail(PowerFailureSpec{}); }
+
+  /// Knobs for one restart() recovery.
+  struct RestartOptions {
+    /// Durable last-good image to recover onto (the RecoveryManager
+    /// passes what DurableState::load_last_good found). Null: each
+    /// replica recovers onto its own deployment provenance (its source
+    /// image, or the golden model).
+    std::shared_ptr<const DeploymentImage> image;
+  };
+  /// Recovery outcome + cost accounting.
+  struct RestartReport {
+    bool ok = false;
+    std::string error;  ///< empty when ok
+    f64 rto_us = 0.0;   ///< restart() wall time (recovery time objective)
+    i64 workers_warm = 0;  ///< warm-restart verified, no redeploy needed
+    i64 workers_cold = 0;  ///< failed warm verify, fully re-programmed
+    i64 sram_cells_restored = 0;
+    i64 ecc_corrected = 0;  ///< MRAM drift fixed by the recovery scrub
+    i64 ecc_refetched = 0;  ///< detected-uncorrectable, golden re-fetch
+  };
+
+  /// Cold-boot recovery after power_fail(): per worker, warm-restart the
+  /// replica (SRAM re-programmed from golden, repairing MRAM scrub) and
+  /// physically verify it against the recovery image — the same
+  /// verify-then-promote gate as a model swap. A replica that fails the
+  /// warm verify (e.g. it was serving a generation the durable store
+  /// lost, or drift beat the ECC) is cold-redeployed from the image and
+  /// verified again. On success the queue reopens and the worker pool
+  /// relaunches; on failure the engine stays down (safe to retry with a
+  /// different image). No request is ever served by an unverified
+  /// replica.
+  RestartReport restart(const RestartOptions& options);
+  RestartReport restart() { return restart(RestartOptions{}); }
+
+  /// True between power_fail() and a successful restart().
+  bool powered_off() const {
+    return powered_off_.load(std::memory_order_acquire);
+  }
+
   i64 workers() const { return static_cast<i64>(replicas_.size()); }
   bool running() const { return running_.load(std::memory_order_acquire); }
   i64 queue_depth() const { return queue_.depth(); }
@@ -275,6 +341,8 @@ class ServingEngine {
                               f64 timeout_us);
   static void reject(detail::PendingRequest& request, const char* why);
   static void shed(detail::PendingRequest& request, const std::string& why);
+  /// Resolves a request as kPowerLoss (outage victim) and records it.
+  void power_kill(detail::PendingRequest& request, i64 worker);
 
   ServingEngineOptions options_;
   RepNetModel& model_;
@@ -294,6 +362,9 @@ class ServingEngine {
   std::atomic<f64> est_us_per_row_{0.0};
   std::atomic<bool> running_{false};
   std::atomic<bool> shut_down_{false};
+  /// Set by power_fail(), cleared by a successful restart(). Workers
+  /// abandon (never drain) their work while set.
+  std::atomic<bool> powered_off_{false};
   std::atomic<u64> next_id_{1};
 };
 

@@ -144,6 +144,43 @@ void ServingMetrics::record_swap(bool ok, i64 workers_swapped,
   swap_rollbacks_ += rollbacks;
 }
 
+void ServingMetrics::record_power_loss(Priority priority) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  recovery_.power_loss_requests += 1;
+  classes_[static_cast<size_t>(priority)].power_loss += 1;
+}
+
+void ServingMetrics::record_outage(i64 sram_bytes_wiped,
+                                   i64 mram_bits_drifted) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  recovery_.outages += 1;
+  recovery_.sram_bytes_wiped += sram_bytes_wiped;
+  recovery_.mram_bits_drifted += mram_bits_drifted;
+}
+
+void ServingMetrics::record_recovery(f64 rto_us, i64 workers_warm,
+                                     i64 workers_cold,
+                                     i64 sram_cells_restored,
+                                     i64 ecc_corrected, i64 ecc_refetched) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  recovery_.recoveries += 1;
+  recovery_.workers_warm += workers_warm;
+  recovery_.workers_cold += workers_cold;
+  recovery_.last_rto_us = rto_us;
+  recovery_.max_rto_us = std::max(recovery_.max_rto_us, rto_us);
+  recovery_.total_rto_us += rto_us;
+  recovery_.sram_cells_restored += sram_cells_restored;
+  recovery_.ecc_corrected += ecc_corrected;
+  recovery_.ecc_refetched += ecc_refetched;
+}
+
+void ServingMetrics::record_journal_replay(i64 records, i64 bytes_dropped) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  recovery_.journal_replays += 1;
+  recovery_.journal_records_replayed += records;
+  recovery_.journal_bytes_dropped += bytes_dropped;
+}
+
 void ServingMetrics::record_training_baseline(f64 accuracy) {
   const std::lock_guard<std::mutex> guard(mutex_);
   lane_.active = true;
@@ -237,6 +274,7 @@ MetricsSnapshot ServingMetrics::snapshot() const {
                                 : queue_depth_sum_ / queue_depth_samples_;
   s.queue_depth_max = queue_depth_max_;
   s.training_lane = lane_;
+  s.recovery = recovery_;
   return s;
 }
 
@@ -271,7 +309,7 @@ void append_class_json(std::ostringstream& os, const char* key,
   os << '"' << key << "\":{\"completed\":" << cls.completed
      << ",\"rejected\":" << cls.rejected << ",\"shed\":" << cls.shed
      << ",\"failed\":" << cls.failed << ",\"timed_out\":" << cls.timed_out
-     << ',';
+     << ",\"power_loss\":" << cls.power_loss << ',';
   append_latency_json(os, "total_latency_us", cls.total_latency,
                       /*include_buckets=*/true);
   os << '}';
@@ -286,7 +324,8 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
      << ",\"rejected\":" << s.rejected_requests
      << ",\"shed\":" << s.shed_requests
      << ",\"failed\":" << s.failed_requests
-     << ",\"timed_out\":" << s.timed_out_requests << '}'
+     << ",\"timed_out\":" << s.timed_out_requests
+     << ",\"power_loss\":" << s.recovery.power_loss_requests << '}'
      << ",\"resilience\":{\"retries\":" << s.retries
      << ",\"heals\":" << s.heals << ",\"scrubs\":" << s.scrubs
      << ",\"ecc_corrected\":" << s.ecc_corrected
@@ -300,6 +339,24 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
      << ",\"failed\":" << s.swaps_failed
      << ",\"workers_swapped\":" << s.swap_workers_swapped
      << ",\"rollbacks\":" << s.swap_rollbacks << '}'
+     << ",\"recovery\":{\"outages\":" << s.recovery.outages
+     << ",\"power_loss_requests\":" << s.recovery.power_loss_requests
+     << ",\"recoveries\":" << s.recovery.recoveries
+     << ",\"workers_warm\":" << s.recovery.workers_warm
+     << ",\"workers_cold\":" << s.recovery.workers_cold
+     << ",\"last_rto_us\":" << s.recovery.last_rto_us
+     << ",\"max_rto_us\":" << s.recovery.max_rto_us
+     << ",\"total_rto_us\":" << s.recovery.total_rto_us
+     << ",\"sram_bytes_wiped\":" << s.recovery.sram_bytes_wiped
+     << ",\"sram_cells_restored\":" << s.recovery.sram_cells_restored
+     << ",\"mram_bits_drifted\":" << s.recovery.mram_bits_drifted
+     << ",\"ecc_corrected\":" << s.recovery.ecc_corrected
+     << ",\"ecc_refetched\":" << s.recovery.ecc_refetched
+     << ",\"journal_replays\":" << s.recovery.journal_replays
+     << ",\"journal_records_replayed\":"
+     << s.recovery.journal_records_replayed
+     << ",\"journal_bytes_dropped\":" << s.recovery.journal_bytes_dropped
+     << '}'
      << ",\"images\":" << s.completed_rows
      << ",\"throughput\":{\"requests_per_s\":" << s.throughput_rps
      << ",\"images_per_s\":" << s.throughput_images_per_s << '}'

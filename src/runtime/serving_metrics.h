@@ -56,7 +56,30 @@ struct ClassCounters {
   i64 shed = 0;
   i64 failed = 0;
   i64 timed_out = 0;
+  i64 power_loss = 0;  ///< killed in flight by a power interruption
   LatencyHistogram total_latency;
+};
+
+/// Power-interruption lifecycle: outages taken, requests lost, warm vs
+/// cold recoveries, recovery-time objective, and what the durable-state
+/// replay recovered (see runtime/recovery).
+struct RecoveryCounters {
+  i64 outages = 0;
+  i64 power_loss_requests = 0;  ///< in-flight + queued requests killed
+  i64 recoveries = 0;           ///< successful restart() completions
+  i64 workers_warm = 0;         ///< warm-restart verified
+  i64 workers_cold = 0;         ///< cold-redeployed after failed verify
+  f64 last_rto_us = 0.0;        ///< most recent recovery wall time
+  f64 max_rto_us = 0.0;
+  f64 total_rto_us = 0.0;  ///< summed downtime spent recovering
+  i64 sram_bytes_wiped = 0;
+  i64 sram_cells_restored = 0;
+  i64 mram_bits_drifted = 0;
+  i64 ecc_corrected = 0;  ///< drift fixed by the recovery scrub
+  i64 ecc_refetched = 0;  ///< detected-uncorrectable, golden re-fetch
+  i64 journal_replays = 0;
+  i64 journal_records_replayed = 0;
+  i64 journal_bytes_dropped = 0;  ///< torn tail bytes discarded
 };
 
 /// Continual-learning lane activity (see runtime/continual): training
@@ -124,6 +147,7 @@ struct MetricsSnapshot {
   f64 queue_depth_mean = 0.0;
   i64 queue_depth_max = 0;
   TrainingLaneCounters training_lane;
+  RecoveryCounters recovery;
 };
 
 class ServingMetrics {
@@ -149,6 +173,19 @@ class ServingMetrics {
   /// One swap_model() outcome; `workers_swapped` replicas were promoted
   /// and `rollbacks` restored after a mid-roll failure.
   void record_swap(bool ok, i64 workers_swapped, i64 rollbacks);
+
+  // Power-interruption lifecycle (recovery section).
+  /// One request killed in flight (or in queue) by an outage.
+  void record_power_loss(Priority priority);
+  /// One power interruption and its array-level damage.
+  void record_outage(i64 sram_bytes_wiped, i64 mram_bits_drifted);
+  /// One successful restart(): recovery wall time and what it rebuilt.
+  void record_recovery(f64 rto_us, i64 workers_warm, i64 workers_cold,
+                       i64 sram_cells_restored, i64 ecc_corrected,
+                       i64 ecc_refetched);
+  /// One durable-journal replay: intact records recovered, torn tail
+  /// bytes discarded.
+  void record_journal_replay(i64 records, i64 bytes_dropped);
 
   // Continual-learning lane (training_lane section).
   /// Holdout accuracy of the served weights before any adaptation.
@@ -205,6 +242,7 @@ class ServingMetrics {
   f64 queue_depth_sum_ = 0.0;
   i64 queue_depth_max_ = 0;
   TrainingLaneCounters lane_;
+  RecoveryCounters recovery_;
 };
 
 }  // namespace msh

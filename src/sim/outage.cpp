@@ -1,0 +1,56 @@
+#include "sim/outage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msh {
+
+std::vector<OutageEvent> make_outage_schedule(
+    const OutageScheduleOptions& options) {
+  MSH_REQUIRE(options.outages >= 0);
+  MSH_REQUIRE(options.horizon_us > 0.0);
+  MSH_REQUIRE(options.min_gap_us >= 0.0);
+  MSH_REQUIRE(options.min_outage_s >= 0.0);
+  MSH_REQUIRE(options.max_outage_s >= options.min_outage_s);
+  // Feasibility: n events with pairwise gap g need (n-1)*g of horizon.
+  MSH_REQUIRE(static_cast<f64>(options.outages - 1) * options.min_gap_us <
+                  options.horizon_us &&
+              "outage schedule cannot fit the horizon");
+
+  Rng rng(options.seed);
+  std::vector<f64> times;
+  times.reserve(static_cast<size_t>(options.outages));
+  // Rejection-sample fire times until the spacing constraint holds.
+  // Feasibility was checked above, so this terminates (the acceptance
+  // region is non-empty); the attempt bound turns a pathologically tight
+  // schedule into a loud contract failure instead of a silent hang.
+  i64 attempts = 0;
+  while (static_cast<i64>(times.size()) < options.outages) {
+    MSH_REQUIRE(++attempts < 100000 * std::max<i64>(options.outages, 1) &&
+                "outage schedule rejection sampling did not converge; "
+                "loosen min_gap_us or widen horizon_us");
+    const f64 t = rng.uniform(0.0, options.horizon_us);
+    bool ok = true;
+    for (const f64 other : times) {
+      if (std::abs(t - other) < options.min_gap_us) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+
+  std::vector<OutageEvent> schedule;
+  schedule.reserve(times.size());
+  for (const f64 t : times) {
+    OutageEvent event;
+    event.at_us = t;
+    event.outage_s = rng.uniform(options.min_outage_s, options.max_outage_s);
+    event.seed = rng.next_u64();
+    schedule.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace msh

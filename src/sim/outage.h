@@ -1,0 +1,46 @@
+// Seeded power-outage schedules for resilience experiments: when the
+// lights go out during a serving run, and for how long. Pure and
+// deterministic — the same seed always yields the same storm, so two
+// runs of an outage bench are byte-comparable (the recovery-determinism
+// gate of bench_power_outage relies on this).
+//
+// Schedules are generated, not sampled online: the bench walks its
+// traffic clock past each event's fire time and triggers the injection
+// (see runtime/recovery/outage_injector.h for the engine coupling).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace msh {
+
+/// One planned power interruption.
+struct OutageEvent {
+  f64 at_us = 0.0;    ///< fire time on the experiment clock
+  f64 outage_s = 0.0; ///< how long the device stays dark (drives drift)
+  u64 seed = 0;       ///< per-event randomness (SRAM scramble, drift)
+};
+
+struct OutageScheduleOptions {
+  u64 seed = 42;
+  i64 outages = 3;         ///< events in the storm
+  f64 horizon_us = 10e6;   ///< schedule window [0, horizon)
+  /// Minimum spacing between consecutive fire times — recovery needs
+  /// room to finish before the next blackout (an outage landing inside
+  /// recovery is a valid scenario, but not the default one).
+  f64 min_gap_us = 1e6;
+  /// Simulated outage duration range (uniform). Durations are simulated
+  /// time for the retention-drift model, not bench wall time.
+  f64 min_outage_s = 0.5;
+  f64 max_outage_s = 30.0;
+};
+
+/// Draws `outages` fire times uniformly over the horizon (rejection-
+/// sampled to honor `min_gap_us`, then sorted) with per-event durations
+/// and seeds. Throws ContractError when the horizon cannot fit the
+/// requested events at the requested spacing.
+std::vector<OutageEvent> make_outage_schedule(
+    const OutageScheduleOptions& options = {});
+
+}  // namespace msh

@@ -217,6 +217,44 @@ TEST_F(ContinualLearnerTest, PublishedImagesBitIdenticalAtFixedSeed) {
   EXPECT_EQ(bytes_a, file_bytes(b));
 }
 
+TEST_F(ContinualLearnerTest, CheckpointResumeMatchesUninterruptedRun) {
+  // The recovery-determinism contract (see runtime/recovery): a lane
+  // that crashes after round K and resumes from its checkpoint must end
+  // round N in exactly the state of a lane that never crashed — same
+  // counters, same gate state, same adapted params, same momentum.
+  auto fresh_stream = [&] {
+    return TaskStream(make_synthetic_dataset(adaptation_spec()), 5);
+  };
+  auto make_learner_state = [&](ContinualLearnerOptions options,
+                                i64 rounds) {
+    auto model = make_model(17);
+    auto trainer = make_model(99);
+    ServingEngineOptions engine_options;
+    engine_options.workers = 1;
+    ServingEngine engine(*model, data_.train, engine_options);
+    ContinualLearner learner(engine, *trainer, fresh_stream(), data_.train,
+                             options);
+    for (i64 r = 0; r < rounds; ++r) learner.run_round();
+    auto checkpoint = learner.checkpoint(/*image_generation=*/3);
+    engine.shutdown();
+    return checkpoint.serialize();
+  };
+
+  // Reference: six uninterrupted rounds.
+  const std::string uninterrupted = make_learner_state(lane_options(), 6);
+
+  // Interrupted: three rounds, checkpoint (what DurableState journaled
+  // before the outage), then a *fresh* engine + models + stream resumed
+  // from that checkpoint for the remaining three.
+  const std::string mid_blob = make_learner_state(lane_options(), 3);
+  ContinualLearnerOptions resumed_options = lane_options();
+  resumed_options.resume = std::make_shared<LearnerCheckpoint>(
+      LearnerCheckpoint::deserialize(mid_blob, "resume test"));
+  const std::string resumed = make_learner_state(resumed_options, 3);
+
+  EXPECT_EQ(uninterrupted, resumed);
+}
+
 TEST_F(ContinualLearnerTest, LaneThreadRunsUnderLiveTrafficAndStops) {
   auto engine = make_engine();
   ContinualLearnerOptions options = lane_options();

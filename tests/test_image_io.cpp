@@ -160,20 +160,77 @@ TEST(DeploymentImage, Version1ImageWithoutFooterStillLoads) {
   DeploymentImage image;
   image.add("layer", random_matrix(128, 8, kSparse1of4, 11));
   const std::string path = temp_path("v1");
-  image.save(path);
-  // Rewrite as a v1 image: patch the version field and drop the footer —
+  // Write in the v1 wire format (no CRC footer, no generation field) —
   // images flashed before the integrity footer must stay deployable.
-  std::string contents = slurp(path);
-  const u32 v1 = 1;
-  std::memcpy(contents.data() + 4, &v1, sizeof(v1));
-  contents.resize(contents.size() - sizeof(u32));
-  spit(path, contents);
+  image.save(path, /*version=*/1);
 
   const DeploymentImage loaded = DeploymentImage::load(path);
   ASSERT_TRUE(loaded.contains("layer"));
   EXPECT_EQ(loaded.get("layer").to_dense_int8(),
             image.get("layer").to_dense_int8());
   std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, Version2ImageWithoutGenerationStillLoads) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(128, 8, kSparse1of4, 17));
+  image.set_generation(9);  // v2 cannot carry it; must round-trip as 0
+  const std::string path = temp_path("v2");
+  image.save(path, /*version=*/2);
+
+  const DeploymentImage loaded = DeploymentImage::load(path);
+  ASSERT_TRUE(loaded.contains("layer"));
+  EXPECT_EQ(loaded.generation(), 0u);
+  EXPECT_EQ(loaded.get("layer").to_dense_int8(),
+            image.get("layer").to_dense_int8());
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, Version3CarriesGeneration) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(64, 4, kSparse1of4, 18));
+  image.set_generation(41);
+  const std::string path = temp_path("v3gen");
+  image.save(path);
+  const DeploymentImage loaded = DeploymentImage::load(path);
+  EXPECT_EQ(loaded.generation(), 41u);
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentImage, TrailingGarbageRejectedDistinctly) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(64, 4, kSparse1of4, 19));
+  for (const u32 version : {1u, 2u, 3u}) {
+    std::string blob = image.serialize(version);
+    blob.append("XY");  // two stray bytes past the last entry
+    try {
+      DeploymentImage::deserialize(blob, "garbage test");
+      FAIL() << "trailing garbage accepted at version " << version;
+    } catch (const SimulationError& e) {
+      // Must be attributed as trailing garbage, not aliased to a CRC
+      // failure (v1 has no CRC to alias to).
+      EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+                std::string::npos)
+          << "version " << version << ": " << e.what();
+    }
+  }
+}
+
+TEST(DeploymentImage, ShortReadRejectedDistinctly) {
+  DeploymentImage image;
+  image.add("layer", random_matrix(64, 4, kSparse1of4, 20));
+  const std::string blob = image.serialize();
+  // Chop mid-payload: far past the header, well short of the footer.
+  const std::string torn = blob.substr(0, blob.size() / 2);
+  try {
+    DeploymentImage::deserialize(torn, "short-read test");
+    FAIL() << "short read accepted";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << "short read must not alias as a CRC failure: " << e.what();
+  }
 }
 
 TEST(DeploymentImage, SaveIsAtomicAndReplacesExisting) {

@@ -801,5 +801,170 @@ TEST_F(ServingEngineTest, SubmitAfterShutdownIsWellDefined) {
   EXPECT_EQ(engine.metrics().snapshot().rejected_requests, 2);
 }
 
+TEST_F(ServingEngineTest, PowerFailKillsQueuedRequestsAndRejectsDuringOutage) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.autostart = false;  // backlog stays queued: deterministic victims
+  ServingEngine engine(*model_, data_.train, options);
+
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 4; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i, 1)));
+
+  const auto report = engine.power_fail({.outage_s = 2.0, .seed = 7});
+  EXPECT_EQ(report.requests_killed, 4);
+  EXPECT_GT(report.sram_bytes_wiped, 0);
+  EXPECT_TRUE(engine.powered_off());
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    EXPECT_EQ(response.status, RequestStatus::kPowerLoss);
+    EXPECT_NE(response.error.find("power interruption"), std::string::npos);
+  }
+  // Submitting during the outage rejects immediately, with attribution.
+  const InferenceResponse dark =
+      engine.submit(data_.test.batch_images(0, 1)).get();
+  EXPECT_EQ(dark.status, RequestStatus::kRejected);
+  EXPECT_NE(dark.error.find("power interruption"), std::string::npos);
+  // A second blackout while already dark is a no-op, not double damage.
+  EXPECT_EQ(engine.power_fail().requests_killed, 0);
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.recovery.outages, 1);
+  EXPECT_EQ(snapshot.recovery.power_loss_requests, 4);
+  EXPECT_EQ(snapshot.classes[0].power_loss, 4);
+}
+
+TEST_F(ServingEngineTest, PowerFailResolvesInFlightRequestsAsPowerLoss) {
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  // Race the outage against live traffic: each request must resolve as
+  // exactly kOk (finished before the lights went out) or kPowerLoss —
+  // never hang, never any other status.
+  std::vector<ResponseFuture> futures;
+  for (i64 i = 0; i < 16; ++i)
+    futures.push_back(engine.submit(data_.test.batch_images(i % 8, 1)));
+  engine.power_fail({.outage_s = 1.0, .seed = 5});
+
+  i64 ok = 0, killed = 0;
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    if (response.status == RequestStatus::kOk)
+      ++ok;
+    else if (response.status == RequestStatus::kPowerLoss)
+      ++killed;
+    else
+      ADD_FAILURE() << "unexpected status " << to_string(response.status);
+  }
+  EXPECT_EQ(ok + killed, 16);
+  EXPECT_EQ(engine.metrics().snapshot().recovery.power_loss_requests, killed);
+}
+
+TEST_F(ServingEngineTest, RestartRecoversAndServesBitExact) {
+  PimRepNetExecutor reference(*model_, data_.train);
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  ServingEngine engine(*model_, data_.train, options);
+  ASSERT_EQ(engine.submit(data_.test.batch_images(0, 1)).get().status,
+            RequestStatus::kOk);
+
+  engine.power_fail({.outage_s = 10.0, .seed = 3});
+  const auto report = engine.restart();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_FALSE(engine.powered_off());
+  EXPECT_TRUE(engine.running());
+  EXPECT_EQ(report.workers_warm + report.workers_cold, 2);
+  EXPECT_GT(report.rto_us, 0.0);
+  EXPECT_GT(report.sram_cells_restored, 0);
+
+  // Post-recovery serving is bit-identical to an undamaged executor:
+  // the outage left no silent corruption behind.
+  const Tensor probe = data_.test.batch_images(1, 2);
+  const InferenceResponse response = engine.submit(probe).get();
+  ASSERT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(max_abs_diff(response.logits, reference.forward(probe)), 0.0f);
+  engine.shutdown();
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_EQ(snapshot.recovery.outages, 1);
+  EXPECT_EQ(snapshot.recovery.recoveries, 1);
+  EXPECT_EQ(snapshot.recovery.workers_warm + snapshot.recovery.workers_cold,
+            2);
+  EXPECT_GT(snapshot.recovery.last_rto_us, 0.0);
+  EXPECT_EQ(snapshot.failed_requests, 0);
+}
+
+TEST_F(ServingEngineTest, RestartOntoDurableImageRollsGenerationsBack) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  ServingEngine engine(*model_, data_.train, options);
+
+  // The durable last-good image (what DurableState would have loaded).
+  auto image = std::make_shared<DeploymentImage>(
+      PimRepNetExecutor(*model_, data_.train, options.executor)
+          .export_image());
+  image->set_generation(1);
+
+  engine.power_fail({.outage_s = 1.0, .seed = 9});
+  const auto report = engine.restart({.image = image});
+  ASSERT_TRUE(report.ok) << report.error;
+  // Recovery pinned the replicas to the image: it is now their
+  // deployment provenance, exactly like a completed swap.
+  const Tensor probe = data_.test.batch_images(2, 1);
+  const InferenceResponse response = engine.submit(probe).get();
+  ASSERT_EQ(response.status, RequestStatus::kOk);
+  auto deployed = PimRepNetExecutor::deploy_from_image(
+      *model_, options.executor,
+      PimRepNetExecutor(*model_, data_.train, options.executor).input_amax(),
+      image);
+  EXPECT_EQ(max_abs_diff(response.logits, deployed->forward(probe)), 0.0f);
+}
+
+TEST_F(ServingEngineTest, RestartRefusedUnlessPoweredOff) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  ServingEngine engine(*model_, data_.train, options);
+  const auto report = engine.restart();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("power_fail"), std::string::npos);
+  // The healthy engine was not disturbed.
+  EXPECT_TRUE(engine.running());
+  EXPECT_EQ(engine.submit(data_.test.batch_images(0, 1)).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(engine.metrics().snapshot().recovery.recoveries, 0);
+}
+
+TEST_F(ServingEngineTest, PowerFailDamageIsSeedDeterministic) {
+  ServingEngineOptions options;
+  options.workers = 2;
+  options.autostart = false;
+  ServingEngine a(*model_, data_.train, options);
+  ServingEngine b(*model_, data_.train, options);
+  const ServingEngine::PowerFailureSpec spec{.outage_s = 20.0, .seed = 123};
+  const auto ra = a.power_fail(spec);
+  const auto rb = b.power_fail(spec);
+  EXPECT_EQ(ra.sram_bytes_wiped, rb.sram_bytes_wiped);
+  EXPECT_EQ(ra.mram_bits_drifted, rb.mram_bits_drifted);
+  // And recovery from identical damage makes identical repairs.
+  const auto rra = a.restart();
+  const auto rrb = b.restart();
+  ASSERT_TRUE(rra.ok) << rra.error;
+  ASSERT_TRUE(rrb.ok) << rrb.error;
+  EXPECT_EQ(rra.sram_cells_restored, rrb.sram_cells_restored);
+  EXPECT_EQ(rra.ecc_corrected, rrb.ecc_corrected);
+  EXPECT_EQ(rra.ecc_refetched, rrb.ecc_refetched);
+  EXPECT_EQ(rra.workers_warm, rrb.workers_warm);
+  EXPECT_EQ(rra.workers_cold, rrb.workers_cold);
+}
+
 }  // namespace
 }  // namespace msh

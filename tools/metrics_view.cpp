@@ -303,6 +303,44 @@ void print_resilience(const JsonValue& root) {
   std::printf("resilience & lifecycle\n%s\n", table.render().c_str());
 }
 
+void print_recovery(const JsonValue& root) {
+  if (!root.has("recovery")) return;  // pre-recovery-layer metrics file
+  const JsonValue& recovery = root.at("recovery");
+  if (recovery.count("outages") == 0 && recovery.count("recoveries") == 0)
+    return;  // no power interruption ever recorded; skip the section
+  AsciiTable table({"counter", "value"});
+  table.add_row({"outages", std::to_string(recovery.count("outages"))});
+  table.add_row({"requests killed (power loss)",
+                 std::to_string(recovery.count("power_loss_requests"))});
+  table.add_row(
+      {"recoveries", std::to_string(recovery.count("recoveries"))});
+  table.add_row(
+      {"workers warm", std::to_string(recovery.count("workers_warm"))});
+  table.add_row(
+      {"workers cold", std::to_string(recovery.count("workers_cold"))});
+  table.add_row({"last RTO", format_us(recovery.num("last_rto_us"))});
+  table.add_row({"max RTO", format_us(recovery.num("max_rto_us"))});
+  table.add_row(
+      {"total recovery time", format_us(recovery.num("total_rto_us"))});
+  table.add_row({"SRAM bytes wiped",
+                 std::to_string(recovery.count("sram_bytes_wiped"))});
+  table.add_row({"SRAM cells restored",
+                 std::to_string(recovery.count("sram_cells_restored"))});
+  table.add_row({"MRAM bits drifted",
+                 std::to_string(recovery.count("mram_bits_drifted"))});
+  table.add_row({"ecc corrected (recovery scrub)",
+                 std::to_string(recovery.count("ecc_corrected"))});
+  table.add_row({"ecc refetched from golden",
+                 std::to_string(recovery.count("ecc_refetched"))});
+  table.add_row({"journal replays",
+                 std::to_string(recovery.count("journal_replays"))});
+  table.add_row({"journal records replayed",
+                 std::to_string(recovery.count("journal_records_replayed"))});
+  table.add_row({"journal bytes dropped (torn)",
+                 std::to_string(recovery.count("journal_bytes_dropped"))});
+  std::printf("power-interruption recovery\n%s\n", table.render().c_str());
+}
+
 /// Min-max scaled ASCII sparkline over a numeric JSON array (same glyph
 /// ramp the train-while-serve bench prints, lowest to highest).
 std::string sparkline(const JsonValue& series) {
@@ -378,6 +416,7 @@ int view(const std::string& text) {
   print_requests(root);
   print_classes(root);
   print_resilience(root);
+  print_recovery(root);
   print_training_lane(root);
   print_histogram("overall", root.at("latency_us").at("total"));
   const JsonValue& classes = root.at("classes");
