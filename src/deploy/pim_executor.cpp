@@ -43,6 +43,14 @@ Tensor avg_pool_eval(const Tensor& x, i64 kernel, i64 stride) {
   return y;
 }
 
+// Wear-tracker array keys: one surface per physical cell column group of
+// a deployed layer. Keyed by stable layer name so the keys survive
+// executor rebuilds (same banks, fresh HybridCore).
+std::string wear_key_weights(const std::string& name) { return name + "/w"; }
+std::string wear_key_indices(const std::string& name) { return name + "/i"; }
+std::string wear_key_checks(const std::string& name) { return name + "/c"; }
+std::string wear_key_parity(const std::string& name) { return name + "/p"; }
+
 }  // namespace
 
 PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
@@ -79,6 +87,15 @@ std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone() const {
   // ranges: bit-identical to this executor's as-programmed state.
   return std::unique_ptr<PimRepNetExecutor>(
       new PimRepNetExecutor(model_, options_, input_amax_, source_image_));
+}
+
+std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone_with_wear(
+    std::shared_ptr<MramWearTracker> wear, WearPath path) const {
+  PimExecutorOptions options = options_;
+  options.wear = std::move(wear);
+  options.wear_path = path;
+  return std::unique_ptr<PimRepNetExecutor>(
+      new PimRepNetExecutor(model_, options, input_amax_, source_image_));
 }
 
 std::unique_ptr<PimRepNetExecutor> PimRepNetExecutor::clone_with_image(
@@ -164,6 +181,88 @@ void PimRepNetExecutor::deploy() {
   named_layers_.emplace_back("classifier", &classifier_->matmul_layer());
 
   protect_arrays();
+  handle_names_.assign(static_cast<size_t>(core_.num_deployments()), "");
+  for (const auto& [name, layer] : named_layers_)
+    handle_names_[static_cast<size_t>(layer->handle())] = name;
+  // Protection snapshots the intended (golden) codes first; the physical
+  // programming pass below may then leave achieved != desired on worn or
+  // verify-failed words, which scrub/verify judge against that intent.
+  program_nvm_wear(options_.wear_path);
+}
+
+void PimRepNetExecutor::program_nvm_wear(WearPath path) {
+  if (!options_.wear) return;
+  MramWearTracker& wear = *options_.wear;
+  for (i64 h = 0; h < core_.num_deployments(); ++h) {
+    const HybridCore::NvmCodeView view = core_.nvm_codes(h);
+    if (view.is_sram) continue;  // CMOS arrays do not wear
+    ArrayProtection& p = protections_[static_cast<size_t>(h)];
+    const std::string& name = handle_names_[static_cast<size_t>(h)];
+    const i32 idx_bits = std::max(1, view.index_bits);
+
+    std::vector<u8> desired(p.golden_weights.size());
+    std::vector<u8> achieved(p.golden_weights.size());
+    for (size_t i = 0; i < desired.size(); ++i)
+      desired[i] = static_cast<u8>(p.golden_weights[i]);
+    wear.program(wear_key_weights(name), desired, achieved, 8, path);
+    for (size_t i = 0; i < achieved.size(); ++i)
+      *view.weights[i] = static_cast<i8>(achieved[i]);
+
+    desired.assign(p.golden_indices.begin(), p.golden_indices.end());
+    achieved.resize(desired.size());
+    wear.program(wear_key_indices(name), desired, achieved, idx_bits, path);
+    for (size_t i = 0; i < achieved.size(); ++i)
+      *view.indices[i] = achieved[i];
+
+    if (options_.ecc != EccMode::kNone) {
+      // Check/parity cells share the imperfect medium. Desired values
+      // re-derive from golden (p.weight_checks holds the *achieved*
+      // state once programming goes through the tracker).
+      desired.resize(p.golden_weights.size());
+      achieved.resize(desired.size());
+      for (size_t i = 0; i < desired.size(); ++i) {
+        desired[i] = options_.ecc == EccMode::kSecDed
+                         ? secded_encode(static_cast<u8>(p.golden_weights[i]))
+                         : parity_bit(static_cast<u8>(p.golden_weights[i]), 8);
+      }
+      const i32 check_bits =
+          options_.ecc == EccMode::kSecDed ? kSecDedCheckBits : 1;
+      wear.program(wear_key_checks(name), desired, achieved, check_bits,
+                   path);
+      p.weight_checks.assign(achieved.begin(), achieved.end());
+
+      desired.resize(p.golden_indices.size());
+      achieved.resize(desired.size());
+      for (size_t i = 0; i < desired.size(); ++i)
+        desired[i] = parity_bit(p.golden_indices[i], idx_bits);
+      wear.program(wear_key_parity(name), desired, achieved, 1, path);
+      p.index_parity.assign(achieved.begin(), achieved.end());
+    }
+  }
+}
+
+void PimRepNetExecutor::reprogram_nvm(WearPath path) {
+  program_nvm_wear(path);
+}
+
+void PimRepNetExecutor::sync_wear_resident(i64 handle) {
+  if (!options_.wear) return;
+  const HybridCore::NvmCodeView view = core_.nvm_codes(handle);
+  if (view.is_sram) return;
+  MramWearTracker& wear = *options_.wear;
+  const ArrayProtection& p = protections_[static_cast<size_t>(handle)];
+  const std::string& name = handle_names_[static_cast<size_t>(handle)];
+  std::vector<u8> values(view.weights.size());
+  for (size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<u8>(*view.weights[i]);
+  wear.absorb_disturbance(wear_key_weights(name), values);
+  values.resize(view.indices.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = *view.indices[i];
+  wear.absorb_disturbance(wear_key_indices(name), values);
+  if (options_.ecc != EccMode::kNone) {
+    wear.absorb_disturbance(wear_key_checks(name), p.weight_checks);
+    wear.absorb_disturbance(wear_key_parity(name), p.index_parity);
+  }
 }
 
 std::vector<std::string> PimRepNetExecutor::layer_names() const {
@@ -262,6 +361,9 @@ FaultStats PimRepNetExecutor::inject_nvm_faults(const MtjFaultModel& model,
                                  check_bits);
       total += inject_bit_errors(std::span<u8>(p.index_parity), model, rng, 1);
     }
+    // Faults change what the cells hold without write pulses; keep the
+    // wear tracker's resident view (and thus delta programming) honest.
+    sync_wear_resident(h);
   }
   return total;
 }
@@ -309,6 +411,7 @@ PimRepNetExecutor::PowerLossStats PimRepNetExecutor::power_fail(
         stats.mram_drift += inject_bit_errors(std::span<u8>(p.index_parity),
                                               drift, rng, 1);
       }
+      sync_wear_resident(h);  // drift moved cells without write pulses
     }
   }
   return stats;
@@ -346,7 +449,8 @@ PimRepNetExecutor::WarmRestartStats PimRepNetExecutor::warm_restart() {
   // place; detected-uncorrectable words re-fetch from golden. Whatever
   // the code missed stays behind as silent_remaining for the caller's
   // verify gate to judge.
-  for (const ScrubReport& report : scrub(/*repair_detected_from_golden=*/true)) {
+  for (const ScrubReport& report : scrub(/*repair_detected_from_golden=*/true,
+                                         WearPath::kRecovery)) {
     stats.ecc_corrected += report.weights.corrected + report.indices.corrected;
     stats.ecc_refetched += report.weights.detected_uncorrectable +
                            report.indices.detected_uncorrectable;
@@ -356,13 +460,28 @@ PimRepNetExecutor::WarmRestartStats PimRepNetExecutor::warm_restart() {
 }
 
 std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
-    bool repair_detected_from_golden) {
+    bool repair_detected_from_golden, WearPath wear_path) {
   std::vector<ScrubReport> reports;
   reports.reserve(static_cast<size_t>(core_.num_deployments()));
   for (i64 h = 0; h < core_.num_deployments(); ++h) {
     const HybridCore::NvmCodeView view = core_.nvm_codes(h);
     ArrayProtection& p = protections_[static_cast<size_t>(h)];
     const i32 idx_bits = std::max(1, view.index_bits);
+    // Repair writes on MRAM are physical programming pulses: route them
+    // through the wear tracker, one *word* at a time — a scrub must never
+    // amplify wear by rewriting a whole span for one bad word (and
+    // read-before-write makes a repair that matches the resident value
+    // free). Without a tracker (or on SRAM) the write is ideal.
+    const bool wear_writes = options_.wear != nullptr && !view.is_sram;
+    const std::string& lname = handle_names_[static_cast<size_t>(h)];
+    const i32 check_bits =
+        options_.ecc == EccMode::kSecDed ? kSecDedCheckBits : 1;
+    auto mram_write = [&](const std::string& key, size_t word, u8 desired,
+                          i32 bits) -> u8 {
+      if (!wear_writes) return desired;
+      return options_.wear->write_word(key, static_cast<i64>(word), desired,
+                                       bits, wear_path);
+    };
     ScrubReport report;
     report.handle = h;
     report.is_sram = view.is_sram;
@@ -380,8 +499,12 @@ std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
             detected = true;
             ++report.weights.detected_uncorrectable;
             if (repair_detected_from_golden) {
-              cell = p.golden_weights[i];
-              p.weight_checks[i] = parity_bit(static_cast<u8>(cell), 8);
+              cell = static_cast<i8>(
+                  mram_write(wear_key_weights(lname), i,
+                             static_cast<u8>(p.golden_weights[i]), 8));
+              p.weight_checks[i] = mram_write(
+                  wear_key_checks(lname), i,
+                  parity_bit(static_cast<u8>(p.golden_weights[i]), 8), 1);
             }
           }
           break;
@@ -394,16 +517,22 @@ std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
               break;
             case SecDedOutcome::kCorrectedSingle:
               ++report.weights.corrected;
-              cell = static_cast<i8>(data);
-              p.weight_checks[i] = check;
+              cell = static_cast<i8>(
+                  mram_write(wear_key_weights(lname), i, data, 8));
+              p.weight_checks[i] =
+                  mram_write(wear_key_checks(lname), i, check, check_bits);
               break;
             case SecDedOutcome::kDetectedDouble:
               detected = true;
               ++report.weights.detected_uncorrectable;
               if (repair_detected_from_golden) {
-                cell = p.golden_weights[i];
-                p.weight_checks[i] =
-                    secded_encode(static_cast<u8>(cell));
+                cell = static_cast<i8>(
+                    mram_write(wear_key_weights(lname), i,
+                               static_cast<u8>(p.golden_weights[i]), 8));
+                p.weight_checks[i] = mram_write(
+                    wear_key_checks(lname), i,
+                    secded_encode(static_cast<u8>(p.golden_weights[i])),
+                    check_bits);
               }
               break;
           }
@@ -426,8 +555,11 @@ std::vector<PimRepNetExecutor::ScrubReport> PimRepNetExecutor::scrub(
         if (repair_detected_from_golden) {
           // Re-fetch repairs either a flipped index bit or a flipped
           // parity cell — both land back at the programmed state.
-          cell = p.golden_indices[i];
-          p.index_parity[i] = parity_bit(cell, idx_bits);
+          cell = mram_write(wear_key_indices(lname), i, p.golden_indices[i],
+                            idx_bits);
+          p.index_parity[i] =
+              mram_write(wear_key_parity(lname), i,
+                         parity_bit(p.golden_indices[i], idx_bits), 1);
         }
       }
       if (!detected && cell != p.golden_indices[i]) ++report.indices.silent;
@@ -560,16 +692,25 @@ f64 PimRepNetExecutor::evaluate(const Dataset& test, i64 batch) {
 
 std::vector<std::unique_ptr<PimRepNetExecutor>> make_executor_replicas(
     RepNetModel& model, const Dataset& calibration, i64 count,
-    PimExecutorOptions options) {
+    PimExecutorOptions options,
+    const std::vector<std::shared_ptr<MramWearTracker>>& wear) {
   MSH_REQUIRE(count > 0);
+  MSH_REQUIRE(wear.empty() || static_cast<i64>(wear.size()) == count);
   std::vector<std::unique_ptr<PimRepNetExecutor>> replicas;
   replicas.reserve(static_cast<size_t>(count));
+  if (!wear.empty()) options.wear = wear[0];
   replicas.push_back(
       std::make_unique<PimRepNetExecutor>(model, calibration, options));
   // Remaining replicas clone the first: one calibration walk total, and
   // every clone is bit-identical to a directly constructed executor
-  // (deploy() quantizes from the same recorded ranges).
-  for (i64 i = 1; i < count; ++i) replicas.push_back(replicas[0]->clone());
+  // (deploy() quantizes from the same recorded ranges). With wear
+  // tracking, each replica programs its own physical medium.
+  for (i64 i = 1; i < count; ++i) {
+    replicas.push_back(
+        wear.empty() ? replicas[0]->clone()
+                     : replicas[0]->clone_with_wear(
+                           wear[static_cast<size_t>(i)], options.wear_path));
+  }
   return replicas;
 }
 

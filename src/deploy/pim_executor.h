@@ -22,6 +22,7 @@
 #include "deploy/image_io.h"
 #include "deploy/pim_layer.h"
 #include "device/faults.h"
+#include "device/wear.h"
 #include "repnet/repnet_model.h"
 #include "workloads/dataset.h"
 
@@ -44,6 +45,18 @@ struct PimExecutorOptions {
   /// executor a private N-thread pool that shards batch rows across PE
   /// tile lanes. Outputs stay bit-identical to sequential execution.
   i64 intra_op_threads = 1;
+  /// Endurance model of the physical MRAM medium this executor programs.
+  /// Null (the default) keeps programming ideal and free. Non-null, every
+  /// MRAM array write — deploy, redeploy, scrub repair — routes through
+  /// the tracker: same-value words are skipped (delta programming),
+  /// pulses verify-and-retry with the MTJ error rates, worn-out words pin
+  /// (achieved != desired; the verify gates catch it). The tracker
+  /// outlives executor rebuilds — heal/swap/publish replace the executor
+  /// but reprogram the *same* banks — so replicas sharing a physical
+  /// accelerator must share one tracker (see ServingEngine).
+  std::shared_ptr<MramWearTracker> wear;
+  /// Metrics attribution for this deployment's programming pulses.
+  WearPath wear_path = WearPath::kDeploy;
 };
 
 class PimRepNetExecutor {
@@ -139,8 +152,11 @@ class PimRepNetExecutor {
   /// model image every deployment was programmed from). `silent` counts
   /// corruption the code missed or miscorrected, measured against that
   /// same golden copy. Reports are also retained in
-  /// last_scrub_reports().
-  std::vector<ScrubReport> scrub(bool repair_detected_from_golden = false);
+  /// last_scrub_reports(). With a wear tracker, MRAM repair writes go
+  /// through it word by word (`wear_path` attributes them) — only the
+  /// corrected words cost pulses, never the whole span.
+  std::vector<ScrubReport> scrub(bool repair_detected_from_golden = false,
+                                 WearPath wear_path = WearPath::kScrub);
   const std::vector<ScrubReport>& last_scrub_reports() const {
     return last_scrub_reports_;
   }
@@ -153,6 +169,25 @@ class PimRepNetExecutor {
   /// from that same image: heal-after-swap restores the swapped weights,
   /// not the original model's.
   std::unique_ptr<PimRepNetExecutor> clone() const;
+
+  /// clone() with a different wear tracker and/or pulse attribution —
+  /// how the serving engine gives each worker's redeploys their own
+  /// physical medium (heal -> kHeal, recovery -> kRecovery). A null
+  /// tracker clones without endurance modeling.
+  std::unique_ptr<PimRepNetExecutor> clone_with_wear(
+      std::shared_ptr<MramWearTracker> wear, WearPath path) const;
+
+  /// Re-programs every MRAM array to its golden (intended) state through
+  /// the wear tracker — the physical cost of restoring a stashed replica
+  /// after a failed swap roll. No-op without a tracker. Delta
+  /// programming makes an undisturbed restore nearly free.
+  void reprogram_nvm(WearPath path);
+
+  /// The physical-medium model this executor programs through (null =
+  /// ideal programming).
+  const std::shared_ptr<MramWearTracker>& wear_tracker() const {
+    return options_.wear;
+  }
 
   /// Like clone(), but programs the PE arrays from `image`'s quantized
   /// codes instead of re-quantizing the model — the model-swap path.
@@ -215,6 +250,14 @@ class PimRepNetExecutor {
   void calibrate(const Dataset& calibration);
   void deploy();
   void protect_arrays();
+  /// Programs every MRAM array's golden codes into the physical medium
+  /// via the wear tracker; the *achieved* values land in the live cells
+  /// (golden keeps the intent). No-op without a tracker.
+  void program_nvm_wear(WearPath path);
+  /// Tells the tracker what the live MRAM cells hold after an external
+  /// disturbance (fault injection, retention drift) — keeps its
+  /// read-before-write diffing honest. No-op without a tracker.
+  void sync_wear_resident(i64 handle);
   f32 scale_for(const void* layer) const;
 
   /// Check/parity cells plus the golden (as-programmed) code image of
@@ -241,6 +284,8 @@ class PimRepNetExecutor {
   std::vector<ScrubReport> last_scrub_reports_;
   /// (stable name, deployed layer), in deploy-walk order.
   std::vector<std::pair<std::string, const PimMatmulLayer*>> named_layers_;
+  /// Stable layer name per core handle — the wear tracker's array keys.
+  std::vector<std::string> handle_names_;
   std::shared_ptr<const DeploymentImage> source_image_;
 };
 
@@ -250,8 +295,12 @@ class PimRepNetExecutor {
 /// Construction is sequential (it walks the model in software); the
 /// returned replicas may then forward() concurrently. Deterministic:
 /// every replica is bit-identical to a directly constructed executor.
+/// `wear` (when non-empty) must hold one tracker per replica: each
+/// replica programs its own physical medium, and its heals/swaps keep
+/// writing through the same tracker.
 std::vector<std::unique_ptr<PimRepNetExecutor>> make_executor_replicas(
     RepNetModel& model, const Dataset& calibration, i64 count,
-    PimExecutorOptions options = {});
+    PimExecutorOptions options = {},
+    const std::vector<std::shared_ptr<MramWearTracker>>& wear = {});
 
 }  // namespace msh

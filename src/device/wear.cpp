@@ -1,0 +1,337 @@
+#include "device/wear.h"
+
+#include <algorithm>
+
+namespace msh {
+
+namespace {
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+u64 fnv1a(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u8 word_mask(i32 bits) {
+  return static_cast<u8>((1u << static_cast<u32>(bits)) - 1u);
+}
+
+}  // namespace
+
+const char* to_string(WearPath path) {
+  switch (path) {
+    case WearPath::kDeploy:   return "deploy";
+    case WearPath::kSwap:     return "swap";
+    case WearPath::kHeal:     return "heal";
+    case WearPath::kScrub:    return "scrub";
+    case WearPath::kPublish:  return "publish";
+    case WearPath::kRecovery: return "recovery";
+  }
+  return "unknown";
+}
+
+WearProgramStats& WearProgramStats::operator+=(const WearProgramStats& o) {
+  words_considered += o.words_considered;
+  words_written += o.words_written;
+  words_skipped += o.words_skipped;
+  pulses += o.pulses;
+  retries += o.retries;
+  verify_failures += o.verify_failures;
+  stuck_writes += o.stuck_writes;
+  banks_remapped += o.banks_remapped;
+  energy_pj += o.energy_pj;
+  return *this;
+}
+
+i64 WearTotals::words_written_total() const {
+  i64 total = 0;
+  for (const i64 count : words_written_by_path) total += count;
+  return total;
+}
+
+f64 WearTotals::delta_savings_ratio() const {
+  const f64 denom =
+      static_cast<f64>(words_skipped + words_written_total());
+  return denom > 0.0 ? static_cast<f64>(words_skipped) / denom : 0.0;
+}
+
+WearTotals& WearTotals::operator+=(const WearTotals& o) {
+  words_tracked += o.words_tracked;
+  for (i64 p = 0; p < kWearPaths; ++p) {
+    words_written_by_path[static_cast<size_t>(p)] +=
+        o.words_written_by_path[static_cast<size_t>(p)];
+  }
+  words_skipped += o.words_skipped;
+  pulses += o.pulses;
+  retries += o.retries;
+  if (attempts_histogram.size() < o.attempts_histogram.size())
+    attempts_histogram.resize(o.attempts_histogram.size(), 0);
+  for (size_t i = 0; i < o.attempts_histogram.size(); ++i)
+    attempts_histogram[i] += o.attempts_histogram[i];
+  verify_failures += o.verify_failures;
+  stuck_writes += o.stuck_writes;
+  broken_words += o.broken_words;
+  banks_remapped += o.banks_remapped;
+  banks_degraded += o.banks_degraded;
+  max_word_writes = std::max(max_word_writes, o.max_word_writes);
+  max_wear_fraction = std::max(max_wear_fraction, o.max_wear_fraction);
+  energy_pj += o.energy_pj;
+  return *this;
+}
+
+MramWearTracker::MramWearTracker(WearOptions options)
+    : options_(options) {
+  MSH_REQUIRE(options_.endurance_writes > 0);
+  MSH_REQUIRE(options_.words_per_bank > 0);
+  MSH_REQUIRE(options_.remap_budget_fraction > 0.0);
+  MSH_REQUIRE(options_.spare_banks >= 0);
+  MSH_REQUIRE(options_.write_retry_budget >= 0);
+  attempts_histogram_.assign(
+      static_cast<size_t>(options_.write_retry_budget) + 1, 0);
+}
+
+MramWearTracker::ArrayState& MramWearTracker::registered(
+    const std::string& array, std::span<const u8> desired,
+    i32 bits_per_word) {
+  auto it = arrays_.find(array);
+  if (it == arrays_.end()) {
+    ArrayState state;
+    state.bits = bits_per_word;
+    state.salt = splitmix64(options_.seed ^ fnv1a(array));
+    state.resident.assign(desired.size(), 0);
+    state.formed.assign(desired.size(), 0);
+    state.writes.assign(desired.size(), 0);
+    state.broken.assign(desired.size(), 0);
+    const i64 banks =
+        (static_cast<i64>(desired.size()) + options_.words_per_bank - 1) /
+        options_.words_per_bank;
+    state.bank_lives.assign(static_cast<size_t>(std::max<i64>(1, banks)), 0);
+    it = arrays_.emplace(array, std::move(state)).first;
+  }
+  ArrayState& state = it->second;
+  MSH_REQUIRE(state.resident.size() == desired.size());
+  MSH_REQUIRE(state.bits == bits_per_word);
+  return state;
+}
+
+f64 MramWearTracker::pulse_draw(const ArrayState& state, i64 word,
+                                u64 ordinal) const {
+  u64 h = state.salt;
+  h = splitmix64(h ^ static_cast<u64>(word) * 0xd6e8feb86659fd93ull);
+  h = splitmix64(h ^ ordinal * 0xa0761d6478bd642full);
+  return static_cast<f64>(h >> 11) * 0x1.0p-53;
+}
+
+void MramWearTracker::break_word(ArrayState& state, i64 word) {
+  state.broken[static_cast<size_t>(word)] = 1;
+  // The dying cell group pins to an arbitrary (but deterministic) state —
+  // not the in-flight value: wear-out destroys data, it does not store it.
+  const u64 h = splitmix64(state.salt ^
+                           (static_cast<u64>(word) + 0x51ed270b9ull) *
+                               0x2545f4914f6cdd1dull);
+  state.resident[static_cast<size_t>(word)] =
+      static_cast<u8>(h) & word_mask(state.bits);
+}
+
+void MramWearTracker::maybe_remap(ArrayState& state, i64 word,
+                                  WearProgramStats& stats) {
+  if (options_.spare_banks <= 0) return;
+  const f64 budget = options_.remap_budget_fraction *
+                     static_cast<f64>(options_.endurance_writes);
+  if (static_cast<f64>(state.writes[static_cast<size_t>(word)] + 1) < budget)
+    return;
+  const i64 bank = word / options_.words_per_bank;
+  if (state.bank_lives[static_cast<size_t>(bank)] >= options_.spare_banks)
+    return;  // out of spares: ride to failure
+  ++state.bank_lives[static_cast<size_t>(bank)];
+  // Copy the bank onto a fresh spare: one pulse per word, counters reset.
+  // Broken words get live cells again — the remap heals the *medium*;
+  // their (lost) content copies over as-is for a later scrub to repair.
+  const i64 begin = bank * options_.words_per_bank;
+  const i64 end = std::min(begin + options_.words_per_bank,
+                           static_cast<i64>(state.resident.size()));
+  const f64 pulse_pj = static_cast<f64>(state.bits) *
+                       options_.device.write_energy_per_bit.as_pj();
+  for (i64 v = begin; v < end; ++v) {
+    state.writes[static_cast<size_t>(v)] = 1;
+    state.broken[static_cast<size_t>(v)] = 0;
+    ++stats.pulses;
+    stats.energy_pj += pulse_pj;
+  }
+  ++stats.banks_remapped;
+}
+
+u8 MramWearTracker::write_locked(ArrayState& state, i64 word, u8 desired,
+                                 WearPath path, WearProgramStats& stats) {
+  (void)path;
+  const size_t w = static_cast<size_t>(word);
+  desired &= word_mask(state.bits);
+  ++stats.words_considered;
+  if (state.broken[w]) {
+    // Worn out: the write is refused, the pinned value stands.
+    ++stats.stuck_writes;
+    return state.resident[w];
+  }
+  if (options_.read_before_write && state.formed[w] &&
+      state.resident[w] == desired) {
+    ++stats.words_skipped;
+    return state.resident[w];
+  }
+  maybe_remap(state, word, stats);
+
+  const f64 pulse_pj = static_cast<f64>(state.bits) *
+                       options_.device.write_energy_per_bit.as_pj();
+  const i64 max_attempts = options_.write_retry_budget + 1;
+  i64 attempts = 0;
+  bool success = false;
+  while (attempts < max_attempts) {
+    ++attempts;
+    ++stats.pulses;
+    stats.energy_pj += pulse_pj;
+    ++state.writes[w];
+    if (state.writes[w] >= options_.endurance_writes) {
+      // This pulse crossed endurance: the word breaks mid-programming.
+      break_word(state, word);
+      ++stats.stuck_writes;
+      break;
+    }
+    // Verify: the pulse succeeds unless one of the switching bits failed
+    // (per-direction MTJ error rates; same-value bits cannot fail).
+    f64 p_ok = 1.0;
+    const u8 diff = static_cast<u8>(state.resident[w] ^ desired);
+    for (i32 b = 0; b < state.bits; ++b) {
+      if (!((diff >> b) & 1u)) continue;
+      const MtjState target = ((desired >> b) & 1u)
+                                  ? MtjState::kAntiParallel
+                                  : MtjState::kParallel;
+      p_ok *= 1.0 - options_.device.write_error_rate_to(target);
+    }
+    if (pulse_draw(state, word, state.writes[w]) < p_ok) {
+      state.resident[w] = desired;
+      success = true;
+      break;
+    }
+  }
+  state.formed[w] = 1;
+  ++stats.words_written;
+  stats.retries += attempts - 1;
+  if (!success && !state.broken[w]) ++stats.verify_failures;
+  if (static_cast<size_t>(attempts) > attempts_histogram_.size())
+    attempts_histogram_.resize(static_cast<size_t>(attempts), 0);
+  ++attempts_histogram_[static_cast<size_t>(attempts - 1)];
+  return state.resident[w];
+}
+
+void MramWearTracker::account(const WearProgramStats& stats, WearPath path) {
+  words_written_by_path_[static_cast<size_t>(path)] += stats.words_written;
+  words_skipped_ += stats.words_skipped;
+  pulses_ += stats.pulses;
+  retries_ += stats.retries;
+  verify_failures_ += stats.verify_failures;
+  stuck_writes_ += stats.stuck_writes;
+  banks_remapped_ += stats.banks_remapped;
+  energy_pj_ += stats.energy_pj;
+}
+
+WearProgramStats MramWearTracker::program(const std::string& array,
+                                          std::span<const u8> desired,
+                                          std::span<u8> achieved,
+                                          i32 bits_per_word, WearPath path) {
+  MSH_REQUIRE(desired.size() == achieved.size());
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  ArrayState& state = registered(array, desired, bits_per_word);
+  WearProgramStats stats;
+  for (size_t w = 0; w < desired.size(); ++w) {
+    achieved[w] = write_locked(state, static_cast<i64>(w), desired[w], path,
+                               stats);
+  }
+  account(stats, path);
+  return stats;
+}
+
+u8 MramWearTracker::write_word(const std::string& array, i64 word,
+                               u8 desired, i32 bits_per_word, WearPath path) {
+  MSH_REQUIRE(bits_per_word >= 1 && bits_per_word <= 8);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = arrays_.find(array);
+  MSH_REQUIRE(it != arrays_.end());
+  ArrayState& state = it->second;
+  MSH_REQUIRE(word >= 0 &&
+              word < static_cast<i64>(state.resident.size()));
+  MSH_REQUIRE(state.bits == bits_per_word);
+  WearProgramStats stats;
+  const u8 achieved = write_locked(state, word, desired, path, stats);
+  account(stats, path);
+  return achieved;
+}
+
+void MramWearTracker::absorb_disturbance(const std::string& array,
+                                         std::span<const u8> values) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = arrays_.find(array);
+  MSH_REQUIRE(it != arrays_.end());
+  ArrayState& state = it->second;
+  MSH_REQUIRE(state.resident.size() == values.size());
+  const u8 mask = word_mask(state.bits);
+  for (size_t w = 0; w < values.size(); ++w) {
+    if (state.broken[w]) continue;  // pinned cells do not drift
+    state.resident[w] = values[w] & mask;
+  }
+}
+
+bool MramWearTracker::word_broken(const std::string& array, i64 word) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = arrays_.find(array);
+  MSH_REQUIRE(it != arrays_.end());
+  MSH_REQUIRE(word >= 0 &&
+              word < static_cast<i64>(it->second.broken.size()));
+  return it->second.broken[static_cast<size_t>(word)] != 0;
+}
+
+WearTotals MramWearTracker::totals() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  WearTotals totals;
+  totals.words_written_by_path = words_written_by_path_;
+  totals.words_skipped = words_skipped_;
+  totals.pulses = pulses_;
+  totals.retries = retries_;
+  totals.attempts_histogram = attempts_histogram_;
+  totals.verify_failures = verify_failures_;
+  totals.stuck_writes = stuck_writes_;
+  totals.banks_remapped = banks_remapped_;
+  totals.energy_pj = energy_pj_;
+  for (const auto& [name, state] : arrays_) {
+    totals.words_tracked += static_cast<i64>(state.resident.size());
+    const i64 bank_count = static_cast<i64>(state.bank_lives.size());
+    std::vector<u8> bank_degraded(static_cast<size_t>(bank_count), 0);
+    for (size_t w = 0; w < state.writes.size(); ++w) {
+      totals.max_word_writes =
+          std::max(totals.max_word_writes, state.writes[w]);
+      if (state.broken[w]) {
+        ++totals.broken_words;
+        const i64 bank = static_cast<i64>(w) / options_.words_per_bank;
+        bank_degraded[static_cast<size_t>(
+            std::min(bank, bank_count - 1))] = 1;
+      }
+    }
+    for (const u8 degraded : bank_degraded)
+      if (degraded) ++totals.banks_degraded;
+  }
+  totals.max_wear_fraction =
+      static_cast<f64>(totals.max_word_writes) /
+      static_cast<f64>(options_.endurance_writes);
+  return totals;
+}
+
+}  // namespace msh

@@ -1,0 +1,203 @@
+// MRAM endurance management: the physical-medium model every programming
+// path writes through.
+//
+// STT-MRAM cells survive a finite number of write pulses (~1e12; see
+// MtjParams::endurance_writes). Above the device layer, every heal
+// redeploy, model swap, scrub repair and continual-learning publish
+// rewrites PE-resident codes — so the runtime needs a per-accelerator
+// ledger of what each word has endured. MramWearTracker models one
+// worker's MRAM medium:
+//
+//   * Resident state + per-word write counters. Executors are rebuilt
+//     wholesale on heal/swap/publish (fresh HybridCore, same physical
+//     banks), so the tracker — shared across those rebuilds via
+//     PimExecutorOptions::wear — is what makes the medium persistent.
+//   * Read-before-write (delta programming): a word that already holds
+//     the desired value costs no pulse. Because the tracker knows the
+//     resident generation, full-image deploys collapse into deltas for
+//     free; disabling the policy gives the naive full-rewrite baseline.
+//   * Write-verify-retry: each pulse fails with the per-direction
+//     MtjParams switching error rates; failed pulses retry up to a
+//     bounded budget, converting write errors into retries instead of
+//     latent corruption. Retries are counted (histogram) and costed.
+//   * Endurance wear-out: the pulse that crosses endurance_writes breaks
+//     the word — its bits pin to a deterministic random state and later
+//     writes are refused. The caller observes achieved != desired and
+//     must verify (the swap/heal gates already do).
+//   * Wear leveling: words group into banks; when a bank's wear crosses
+//     remap_budget_fraction x endurance and spare banks remain, the bank
+//     remaps onto a fresh spare (counters reset, one copy pulse per live
+//     word). Broken words get fresh cells too — the medium heals, the
+//     lost data does not (a repairing scrub re-fetches it from golden).
+//     Out of spares, the bank rides to failure and is reported degraded.
+//
+// Determinism: pulse outcomes hash (seed, array, word, pulse-ordinal) —
+// independent of interleaving across arrays and threads, so same-seed
+// runs produce byte-identical wear state. Thread-safe (one mutex): a
+// swap coordinator may program a candidate while the worker scrubs.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/mtj.h"
+
+namespace msh {
+
+/// Which runtime path issued a programming pulse (metrics attribution).
+enum class WearPath : u8 {
+  kDeploy = 0,  ///< initial replica deployment
+  kSwap,        ///< swap_model candidate programming / rollback restore
+  kHeal,        ///< quarantine + redeploy after a serving failure
+  kScrub,       ///< ECC repair writes (in-place corrections + re-fetch)
+  kPublish,     ///< continual-learning lane publish
+  kRecovery,    ///< post-outage warm/cold restart programming
+};
+inline constexpr i64 kWearPaths = 6;
+const char* to_string(WearPath path);
+
+struct WearOptions {
+  /// Engine-level switch: ServingEngine builds per-worker trackers only
+  /// when set. The tracker itself ignores it.
+  bool enabled = false;
+  /// Pulses a word survives before it breaks (accelerated-aging tests
+  /// and benches shrink this from the device-realistic default).
+  u64 endurance_writes = 1'000'000'000'000ull;
+  /// Wear-leveling granularity: words per remappable bank.
+  i64 words_per_bank = 256;
+  /// Remap a bank when any of its words would cross this fraction of
+  /// endurance_writes on the next pulse. >= 1.0 never remaps early.
+  f64 remap_budget_fraction = 0.75;
+  /// Fresh banks each logical bank may remap onto before riding to
+  /// failure. 0 disables wear leveling.
+  i64 spare_banks = 2;
+  /// Extra verify-retry pulses after the first failed attempt.
+  i64 write_retry_budget = 3;
+  /// Delta programming: skip pulses for words that already hold the
+  /// desired value. False models a naive full-rewrite controller (every
+  /// word takes a pulse on every programming pass).
+  bool read_before_write = true;
+  /// Per-direction switching error rates + write energy per bit.
+  MtjParams device = {};
+  /// Seeds the (hash-derived) pulse-outcome randomness.
+  u64 seed = 1;
+};
+
+/// What one program()/write_word() call did to the medium.
+struct WearProgramStats {
+  i64 words_considered = 0;
+  i64 words_written = 0;   ///< took >= 1 pulse
+  i64 words_skipped = 0;   ///< read-before-write: already held the value
+  i64 pulses = 0;          ///< programming pulses incl. retries + copies
+  i64 retries = 0;         ///< pulses beyond the first, per word
+  i64 verify_failures = 0; ///< left wrong after the retry budget
+  i64 stuck_writes = 0;    ///< refused or broken by worn-out cells
+  i64 banks_remapped = 0;
+  f64 energy_pj = 0.0;
+  WearProgramStats& operator+=(const WearProgramStats& other);
+};
+
+/// Cumulative tracker state for metrics (see ServingMetrics "wear").
+struct WearTotals {
+  i64 words_tracked = 0;
+  std::array<i64, kWearPaths> words_written_by_path{};
+  i64 words_skipped = 0;
+  i64 pulses = 0;
+  i64 retries = 0;
+  /// attempts_histogram[i] = words whose write completed in i+1 pulses.
+  std::vector<i64> attempts_histogram;
+  i64 verify_failures = 0;
+  i64 stuck_writes = 0;   ///< writes refused/broken (cumulative)
+  i64 broken_words = 0;   ///< words currently worn out (pinned)
+  i64 banks_remapped = 0; ///< remaps performed (spare lives consumed)
+  i64 banks_degraded = 0; ///< banks currently holding a broken word
+  u64 max_word_writes = 0;
+  f64 max_wear_fraction = 0.0;  ///< max_word_writes / endurance
+  f64 energy_pj = 0.0;
+
+  i64 words_written_total() const;
+  /// Pulse-suppression ratio of delta programming:
+  /// skipped / (skipped + written).
+  f64 delta_savings_ratio() const;
+  /// Merges another tracker's totals (fleet-wide aggregation): sums
+  /// counters, maxes the wear peaks.
+  WearTotals& operator+=(const WearTotals& other);
+};
+
+class MramWearTracker {
+ public:
+  explicit MramWearTracker(WearOptions options = {});
+
+  /// Programs `desired` over the resident array state (auto-registering
+  /// the array on first touch; the geometry must then never change).
+  /// `achieved` (same length) receives what the cells actually hold
+  /// afterwards — equal to `desired` except for verify failures and
+  /// worn-out words. `bits_per_word` bounds the pinned state and the
+  /// per-pulse energy.
+  WearProgramStats program(const std::string& array,
+                           std::span<const u8> desired,
+                           std::span<u8> achieved, i32 bits_per_word,
+                           WearPath path);
+
+  /// Single-word write (the scrub-repair path). Returns the achieved
+  /// cell value. The array must already be registered.
+  u8 write_word(const std::string& array, i64 word, u8 desired,
+                i32 bits_per_word, WearPath path);
+
+  /// External disturbance (fault injection, retention drift over an
+  /// outage): the cells now hold `values`; no pulses, no wear. Worn-out
+  /// words stay pinned. The array must already be registered.
+  void absorb_disturbance(const std::string& array,
+                          std::span<const u8> values);
+
+  /// True when the word is worn out (writes refused, value pinned).
+  bool word_broken(const std::string& array, i64 word) const;
+
+  WearTotals totals() const;
+  const WearOptions& options() const { return options_; }
+
+ private:
+  struct ArrayState {
+    i32 bits = 8;
+    u64 salt = 0;                  ///< per-array hash-stream salt
+    std::vector<u8> resident;      ///< what the physical cells hold
+    std::vector<u8> formed;        ///< 0 = virgin cell, never programmed
+    std::vector<u64> writes;       ///< pulses since the last bank remap
+    std::vector<u8> broken;        ///< 1 = worn out, value pinned
+    std::vector<i64> bank_lives;   ///< spare banks consumed, per bank
+  };
+
+  ArrayState& registered(const std::string& array,
+                         std::span<const u8> desired, i32 bits_per_word);
+  u8 write_locked(ArrayState& state, i64 word, u8 desired, WearPath path,
+                  WearProgramStats& stats);
+  void maybe_remap(ArrayState& state, i64 word, WearProgramStats& stats);
+  void break_word(ArrayState& state, i64 word);
+  /// Uniform [0,1) draw for pulse `ordinal` of `word` — a pure hash, so
+  /// outcomes are independent of call interleaving.
+  f64 pulse_draw(const ArrayState& state, i64 word, u64 ordinal) const;
+  void account(const WearProgramStats& stats, WearPath path);
+
+  mutable std::mutex mutex_;
+  WearOptions options_;
+  /// Ordered map: totals() iteration order (and thus any serialized
+  /// view) is deterministic.
+  std::map<std::string, ArrayState> arrays_;
+  std::array<i64, kWearPaths> words_written_by_path_{};
+  i64 words_skipped_ = 0;
+  i64 pulses_ = 0;
+  i64 retries_ = 0;
+  std::vector<i64> attempts_histogram_;
+  i64 verify_failures_ = 0;
+  i64 stuck_writes_ = 0;
+  i64 banks_remapped_ = 0;
+  f64 energy_pj_ = 0.0;
+};
+
+}  // namespace msh

@@ -183,7 +183,12 @@ void ContinualLearner::run_round() {
     best_accuracy_.store(acc, std::memory_order_relaxed);
     last_good_ = snapshot_params(trainer_model_.learnable_params());
     last_published_ = image;
-    const bool ok = engine_.swap_model(image, options_.swap);
+    // Lane publishes carry their own wear attribution: on a worn medium
+    // the ledger must show whether deploys or the publish cadence ate
+    // the endurance budget.
+    SwapOptions swap = options_.swap;
+    swap.wear_path = WearPath::kPublish;
+    const bool ok = engine_.swap_model(image, swap);
     if (ok) publishes_.fetch_add(1, std::memory_order_relaxed);
     engine_.metrics().record_training_publish(ok);
   } else if (acc < best - options_.rollback_margin) {

@@ -28,14 +28,32 @@ ServingEngineOptions resolve_intra_op(ServingEngineOptions options) {
   return options;
 }
 
+/// One physical-medium model per worker (empty without wear tracking).
+/// Per-worker seeds decorrelate pulse outcomes so the fleet does not
+/// wear out in lockstep.
+std::vector<std::shared_ptr<MramWearTracker>> make_wear_trackers(
+    const ServingEngineOptions& options) {
+  std::vector<std::shared_ptr<MramWearTracker>> trackers;
+  if (!options.wear.enabled) return trackers;
+  trackers.reserve(static_cast<size_t>(options.workers));
+  for (i64 w = 0; w < options.workers; ++w) {
+    WearOptions wear = options.wear;
+    wear.seed =
+        options.wear.seed + static_cast<u64>(w) * 0x9e3779b97f4a7c15ull;
+    trackers.push_back(std::make_shared<MramWearTracker>(wear));
+  }
+  return trackers;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
                              ServingEngineOptions options)
     : options_(resolve_intra_op(std::move(options))),
       model_(model),
+      wear_trackers_(make_wear_trackers(options_)),
       replicas_(make_executor_replicas(model, calibration, options_.workers,
-                                       options_.executor)),
+                                       options_.executor, wear_trackers_)),
       queue_(queue_options(options_)),
       admission_(options_.admission, monotonic_now_us()) {
   MSH_REQUIRE(options_.idle_poll_us > 0);
@@ -55,6 +73,7 @@ ServingEngine::ServingEngine(RepNetModel& model, const Dataset& calibration,
            options_.batcher.max_wait_us, " us, retry budget ",
            options_.max_retries, ", ecc ",
            ecc_mode_name(options_.executor.ecc));
+  refresh_wear_metrics();  // initial deployment already cost pulses
   if (options_.autostart) start();
 }
 
@@ -212,14 +231,38 @@ void ServingEngine::heal(i64 index, const std::string& why) {
   WorkerState& state = *states_[static_cast<size_t>(index)];
   state.healthy.store(false, std::memory_order_release);
   log_warn("worker ", index, " quarantined: ", why, "; redeploying replica");
-  // clone() rebuilds the replica from its deployment source — the shared
-  // golden model, or the swapped-in image — read-only on the model, so
-  // the other workers keep serving while this one re-programs its
-  // arrays.
-  replicas_[static_cast<size_t>(index)] =
-      replicas_[static_cast<size_t>(index)]->clone();
+  // Rebuild the replica from its deployment source — the shared golden
+  // model, or the swapped-in image — read-only on the model, so the
+  // other workers keep serving while this one re-programs its arrays.
+  // With wear tracking the rewrite goes through this worker's medium:
+  // delta-programmed (undisturbed words cost nothing), kHeal-attributed.
+  auto& replica = replicas_[static_cast<size_t>(index)];
+  replica = replica->clone_with_wear(replica->wear_tracker(), WearPath::kHeal);
   state.batches_since_scrub = 0;
   metrics_.record_heal();
+  if (replica->wear_tracker() != nullptr) {
+    // Physical read-back gate before re-entering service: a worn-out
+    // medium may simply no longer hold the image. Failure means degraded
+    // mode — this worker leaves rotation permanently while the rest of
+    // the fleet keeps serving. It never serves from corrupt arrays.
+    const DeploymentImage* reference = replica->source_image().get();
+    DeploymentImage own;
+    if (reference == nullptr) {
+      own = replica->export_image();
+      reference = &own;
+    }
+    const std::string verify_error = replica->verify_against(*reference);
+    refresh_wear_metrics();
+    if (!verify_error.empty()) {
+      state.degraded = true;
+      metrics_.record_worker_degraded();
+      log_error("worker ", index,
+                " degraded: healed replica failed physical verify (",
+                verify_error,
+                "); MRAM medium is worn out, worker leaves service");
+      return;  // healthy stays false
+    }
+  }
   state.healthy.store(
       state.breaker == BreakerState::kClosed || !options_.breaker.enabled,
       std::memory_order_release);
@@ -281,8 +324,13 @@ bool ServingEngine::swap_model(std::shared_ptr<const DeploymentImage> image,
     // on this thread — no worker is disturbed yet.
     std::unique_ptr<PimRepNetExecutor> candidate;
     try {
-      candidate = PimRepNetExecutor::deploy_from_image(
-          model_, options_.executor, input_amax_, image);
+      PimExecutorOptions exec = options_.executor;
+      if (!wear_trackers_.empty()) {
+        exec.wear = wear_trackers_[static_cast<size_t>(w)];
+        exec.wear_path = swap.wear_path;
+      }
+      candidate = PimRepNetExecutor::deploy_from_image(model_, exec,
+                                                       input_amax_, image);
     } catch (const std::exception& e) {
       failure =
           "worker " + std::to_string(w) + " deploy failed: " + e.what();
@@ -317,20 +365,29 @@ bool ServingEngine::swap_model(std::shared_ptr<const DeploymentImage> image,
 
   if (swapped == workers()) {
     metrics_.record_swap(true, swapped, 0);
+    refresh_wear_metrics();
     log_info("model swap complete: ", swapped, " worker(s) promoted");
     return true;
   }
 
   i64 rollbacks = 0;
   for (i64 w = 0; w < swapped; ++w) {
+    auto& previous = stash[static_cast<size_t>(w)];
+    // Rolling back is a physical act too: the candidate's codes occupy
+    // the arrays, so the stashed replica re-programs its own codes over
+    // them (delta-programmed — only the words the candidate actually
+    // changed take pulses).
+    if (previous != nullptr && previous->wear_tracker() != nullptr)
+      previous->reprogram_nvm(swap.wear_path);
     std::unique_ptr<PimRepNetExecutor> discarded;
-    if (hand_replica_to_worker(w, std::move(stash[static_cast<size_t>(w)]),
-                               &discarded, swap.worker_timeout_us))
+    if (hand_replica_to_worker(w, std::move(previous), &discarded,
+                               swap.worker_timeout_us))
       ++rollbacks;
   }
   log_error("model swap aborted: ", failure, "; rolled back ", rollbacks,
             " of ", swapped, " promoted worker(s)");
   metrics_.record_swap(false, swapped, rollbacks);
+  refresh_wear_metrics();
   return false;
 }
 
@@ -425,14 +482,22 @@ ServingEngine::RestartReport ServingEngine::restart(
       log_warn("restart: worker ", w, " warm verify failed (", verify_error,
                "); cold redeploy");
       try {
-        replica = options.image
-                      ? PimRepNetExecutor::deploy_from_image(
-                            model_, options_.executor, input_amax_,
-                            options.image)
-                      : replica->clone();
+        if (options.image) {
+          PimExecutorOptions exec = options_.executor;
+          if (!wear_trackers_.empty()) {
+            exec.wear = wear_trackers_[static_cast<size_t>(w)];
+            exec.wear_path = WearPath::kRecovery;
+          }
+          replica = PimRepNetExecutor::deploy_from_image(
+              model_, exec, input_amax_, options.image);
+        } else {
+          replica = replica->clone_with_wear(replica->wear_tracker(),
+                                             WearPath::kRecovery);
+        }
       } catch (const std::exception& e) {
         report.error = "worker " + std::to_string(w) +
                        " cold redeploy failed: " + e.what();
+        refresh_wear_metrics();
         return report;
       }
       verify_error = replica->verify_against(*reference);
@@ -440,11 +505,13 @@ ServingEngine::RestartReport ServingEngine::restart(
         report.error = "worker " + std::to_string(w) +
                        " failed verify even after cold redeploy: " +
                        verify_error;
+        refresh_wear_metrics();
         return report;
       }
       ++report.workers_cold;
     }
   }
+  refresh_wear_metrics();
   // All replicas verified: reset per-worker state (threads are joined,
   // so plain writes are safe), re-arm the queue, relight the pool.
   for (auto& state : states_) {
@@ -452,7 +519,8 @@ ServingEngine::RestartReport ServingEngine::restart(
     state->consecutive_failures = 0;
     state->breaker = BreakerState::kClosed;
     state->open_until_us = 0.0;
-    state->healthy.store(true, std::memory_order_release);
+    // Degraded mode survives power cycles: the medium is still worn.
+    state->healthy.store(!state->degraded, std::memory_order_release);
   }
   queue_.reopen();
   powered_off_.store(false, std::memory_order_release);
@@ -558,6 +626,7 @@ void ServingEngine::scrub_and_heal(i64 index) {
   }
   metrics_.record_scrub(totals.corrected, totals.detected_uncorrectable,
                         totals.silent);
+  if (totals.corrected > 0) refresh_wear_metrics();  // repairs took pulses
   if (totals.corrected > 0)
     log_info("worker ", index, ": scrub corrected ", totals.corrected,
              " single-bit error(s)");
@@ -746,11 +815,19 @@ void ServingEngine::worker_loop(i64 index) {
                          [this](detail::PendingRequest& request, f64 now) {
                            return shed_or_expire(request, now);
                          });
+  WorkerState& state = *states_[static_cast<size_t>(index)];
   while (true) {
     // Power loss: stop dead — no draining, the backlog dies with the
     // power (power_fail resolves it as kPowerLoss).
     if (powered_off_.load(std::memory_order_acquire)) break;
     service_swap(index);
+    if (state.degraded) {
+      // Worn-out medium: permanently out of dequeue. Still parks here
+      // (not exits) so shutdown drains cleanly through the others.
+      if (queue_.closed()) break;
+      std::this_thread::sleep_for(microseconds_ceil(options_.idle_poll_us));
+      continue;
+    }
     if (!breaker_admits(index)) {
       // Open breaker: stay out of dequeue, let the others take the load.
       std::this_thread::sleep_for(microseconds_ceil(options_.idle_poll_us));
@@ -767,13 +844,20 @@ void ServingEngine::worker_loop(i64 index) {
   service_swap(index);  // don't strand a replica parked by a late swap
   // Finalize the breaker: open only gates traffic, the replica behind it
   // was already healed, and there is no traffic left — the engine ends
-  // fully in service.
-  WorkerState& state = *states_[static_cast<size_t>(index)];
+  // fully in service. A degraded worker stays out: its arrays are gone.
+  if (state.degraded) return;
   if (state.breaker != BreakerState::kClosed) {
     state.breaker = BreakerState::kClosed;
     state.healthy.store(true, std::memory_order_release);
     metrics_.record_breaker_close();
   }
+}
+
+void ServingEngine::refresh_wear_metrics() {
+  if (wear_trackers_.empty()) return;
+  WearTotals totals;
+  for (const auto& tracker : wear_trackers_) totals += tracker->totals();
+  metrics_.update_wear(totals);
 }
 
 void ServingEngine::shutdown() {

@@ -85,6 +85,9 @@ struct SwapOptions {
   /// programming — the verify step must catch it and roll back.
   f64 deploy_fault_ber = 0.0;
   u64 deploy_fault_seed = 1;
+  /// Wear attribution for this roll's programming pulses (the continual
+  /// lane publishes with kPublish; operator swaps keep kSwap).
+  WearPath wear_path = WearPath::kSwap;
 };
 
 struct ServingEngineOptions {
@@ -127,6 +130,16 @@ struct ServingEngineOptions {
   /// with self_heal, uncorrectable or silent corruption triggers a
   /// redeploy.
   i64 scrub_every_batches = 0;
+  /// MRAM endurance management. With `wear.enabled`, each worker gets a
+  /// persistent MramWearTracker modeling its accelerator's physical
+  /// medium: every programming path (deploy, heal, swap, publish, scrub
+  /// repair, recovery) writes through it — delta programming, bounded
+  /// write-verify-retry, bank remapping onto spares — and a healed
+  /// replica must pass physical verify before re-entering service. A
+  /// worker whose medium can no longer hold the image goes *degraded*:
+  /// permanently out of rotation, the remaining workers keep serving
+  /// (never silent corruption). See metrics "wear" section.
+  WearOptions wear = {};
 };
 
 /// Chaos-engineering faults a test/bench can aim at a worker. Applied on
@@ -288,6 +301,18 @@ class ServingEngine {
   /// breaker not open).
   i64 healthy_workers() const;
 
+  /// Worker `i`'s physical-medium model (null without wear tracking).
+  const MramWearTracker* wear_tracker(i64 i) const {
+    if (i < 0 || i >= static_cast<i64>(wear_trackers_.size()))
+      return nullptr;
+    return wear_trackers_[static_cast<size_t>(i)].get();
+  }
+
+  /// Re-aggregates every worker tracker into the metrics "wear" section.
+  /// The engine calls it after each programming event; benches may call
+  /// it before snapshotting. No-op without wear tracking.
+  void refresh_wear_metrics();
+
  private:
   struct PendingFault {
     WorkerFault fault = WorkerFault::kCrashNextBatch;
@@ -313,6 +338,11 @@ class ServingEngine {
     BreakerState breaker = BreakerState::kClosed;
     i64 consecutive_failures = 0;
     f64 open_until_us = 0.0;
+    /// Degraded mode (owner thread only): the worker's MRAM medium can
+    /// no longer hold the served image (heal verify failed after wear-
+    /// out). The worker leaves dequeue permanently; `healthy` stays
+    /// false. Never serves a corrupt result.
+    bool degraded = false;
     std::atomic<bool> healthy{true};
   };
 
@@ -346,6 +376,9 @@ class ServingEngine {
 
   ServingEngineOptions options_;
   RepNetModel& model_;
+  /// One physical-medium model per worker (empty without wear tracking).
+  /// Declared before replicas_: the replicas are deployed through them.
+  std::vector<std::shared_ptr<MramWearTracker>> wear_trackers_;
   std::vector<std::unique_ptr<PimRepNetExecutor>> replicas_;
   RequestQueue queue_;
   AdmissionGate admission_;

@@ -235,6 +235,18 @@ void ServingMetrics::record_training_slice(f64 busy_us, f64 idle_us) {
   lane_.idle_us += idle_us;
 }
 
+void ServingMetrics::update_wear(const WearTotals& totals) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  wear_.active = true;
+  wear_.totals = totals;
+}
+
+void ServingMetrics::record_worker_degraded() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  wear_.active = true;
+  wear_.workers_degraded += 1;
+}
+
 MetricsSnapshot ServingMetrics::snapshot() const {
   const std::lock_guard<std::mutex> guard(mutex_);
   MetricsSnapshot s;
@@ -275,6 +287,7 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   s.queue_depth_max = queue_depth_max_;
   s.training_lane = lane_;
   s.recovery = recovery_;
+  s.wear = wear_;
   return s;
 }
 
@@ -402,7 +415,39 @@ std::string ServingMetrics::to_json(const MetricsSnapshot& s) {
     if (i) os << ',';
     os << lane.accuracy_trajectory[i];
   }
-  os << "]}}";
+  os << "]},\"wear\":" << wear_to_json(s.wear) << '}';
+  return os.str();
+}
+
+std::string ServingMetrics::wear_to_json(const WearCounters& wear) {
+  const WearTotals& t = wear.totals;
+  std::ostringstream os;
+  os << "{\"active\":" << (wear.active ? "true" : "false")
+     << ",\"words_tracked\":" << t.words_tracked
+     << ",\"words_written_by_path\":{";
+  for (i64 p = 0; p < kWearPaths; ++p) {
+    if (p) os << ',';
+    os << '"' << to_string(static_cast<WearPath>(p))
+       << "\":" << t.words_written_by_path[static_cast<size_t>(p)];
+  }
+  os << "},\"words_written\":" << t.words_written_total()
+     << ",\"words_skipped\":" << t.words_skipped
+     << ",\"delta_savings_ratio\":" << t.delta_savings_ratio()
+     << ",\"pulses\":" << t.pulses << ",\"retries\":" << t.retries
+     << ",\"attempts_histogram\":[";
+  for (size_t i = 0; i < t.attempts_histogram.size(); ++i) {
+    if (i) os << ',';
+    os << t.attempts_histogram[i];
+  }
+  os << "],\"verify_failures\":" << t.verify_failures
+     << ",\"stuck_writes\":" << t.stuck_writes
+     << ",\"broken_words\":" << t.broken_words
+     << ",\"banks_remapped\":" << t.banks_remapped
+     << ",\"banks_degraded\":" << t.banks_degraded
+     << ",\"max_word_writes\":" << t.max_word_writes
+     << ",\"max_wear_fraction\":" << t.max_wear_fraction
+     << ",\"energy_pj\":" << t.energy_pj
+     << ",\"workers_degraded\":" << wear.workers_degraded << '}';
   return os.str();
 }
 

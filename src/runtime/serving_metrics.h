@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "device/wear.h"
 #include "runtime/request.h"
 
 namespace msh {
@@ -110,6 +111,16 @@ struct TrainingLaneCounters {
   }
 };
 
+/// MRAM endurance health (see device/wear.h): fleet-aggregated tracker
+/// totals — words written per programming path, retry histogram, delta
+/// savings, remap/degrade counts — plus workers retired to degraded
+/// mode after their medium wore out.
+struct WearCounters {
+  bool active = false;  ///< wear tracking enabled on the engine
+  WearTotals totals;    ///< summed over every worker's tracker
+  i64 workers_degraded = 0;
+};
+
 /// One coherent view of the counters, taken under the lock.
 struct MetricsSnapshot {
   i64 completed_requests = 0;
@@ -148,6 +159,7 @@ struct MetricsSnapshot {
   i64 queue_depth_max = 0;
   TrainingLaneCounters training_lane;
   RecoveryCounters recovery;
+  WearCounters wear;
 };
 
 class ServingMetrics {
@@ -204,11 +216,23 @@ class ServingMetrics {
   /// One lane duty-cycle slice: wall time trained vs. slept.
   void record_training_slice(f64 busy_us, f64 idle_us);
 
+  // MRAM endurance (wear section).
+  /// Replaces the aggregated tracker totals (the engine re-sums its
+  /// per-worker trackers after every programming event).
+  void update_wear(const WearTotals& totals);
+  /// One worker permanently retired: its worn medium failed heal verify.
+  void record_worker_degraded();
+
   MetricsSnapshot snapshot() const;
 
   /// Serializes a snapshot to JSON (schema documented in DESIGN.md).
   static std::string to_json(const MetricsSnapshot& snapshot);
   std::string to_json() const { return to_json(snapshot()); }
+
+  /// The "wear" section alone, as a standalone JSON object — benches
+  /// serialize it to assert same-seed byte-identical wear state and to
+  /// upload lifetime artifacts.
+  static std::string wear_to_json(const WearCounters& wear);
 
  private:
   mutable std::mutex mutex_;
@@ -243,6 +267,7 @@ class ServingMetrics {
   i64 queue_depth_max_ = 0;
   TrainingLaneCounters lane_;
   RecoveryCounters recovery_;
+  WearCounters wear_;
 };
 
 }  // namespace msh

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "device/faults.h"
 #include "device/mtj.h"
 
 namespace msh {
@@ -111,6 +114,44 @@ TEST(Mtj, DirectionalWriteErrorRatesResolve) {
   params.write_error_rate_p_to_ap = 0.2;
   EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kAntiParallel), 0.2);
   EXPECT_DOUBLE_EQ(params.write_error_rate_to(MtjState::kParallel), 0.01);
+}
+
+TEST(MtjFaultModel, FromDeviceInheritsSymmetricRateViaSentinel) {
+  // Negative directional rates are the inherit sentinel: from_device must
+  // resolve both directions to the symmetric write_error_rate.
+  MtjParams params;
+  params.write_error_rate = 0.03;
+  const MtjFaultModel inherited = MtjFaultModel::from_device(params);
+  EXPECT_DOUBLE_EQ(inherited.flip_p_to_ap, 0.03);
+  EXPECT_DOUBLE_EQ(inherited.flip_ap_to_p, 0.03);
+  // An explicit directional rate overrides only its own direction; the
+  // other still falls back through the sentinel.
+  params.write_error_rate_p_to_ap = 0.2;
+  const MtjFaultModel directional = MtjFaultModel::from_device(params);
+  EXPECT_DOUBLE_EQ(directional.flip_p_to_ap, 0.2);
+  EXPECT_DOUBLE_EQ(directional.flip_ap_to_p, 0.03);
+  // The device's retention constant rides along.
+  EXPECT_DOUBLE_EQ(directional.retention_tau_s, params.retention_tau_s);
+}
+
+TEST(MtjFaultModel, RetentionFlipProbabilityEdges) {
+  MtjFaultModel model;
+  // Freshly programmed (and even slightly negative elapsed, the guard):
+  // no drift at all.
+  model.retention_elapsed_s = 0.0;
+  EXPECT_DOUBLE_EQ(model.retention_flip_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(model.flip_probability(true), 0.0);
+  // One tau: exactly 1 - e^-1.
+  model.retention_elapsed_s = model.retention_tau_s;
+  EXPECT_NEAR(model.retention_flip_probability(), 1.0 - std::exp(-1.0),
+              1e-12);
+  // Geological time: saturates at 1 without overflowing or leaving [0,1]
+  // (every stored AP bit has relaxed to ground).
+  model.retention_elapsed_s = 1e30;
+  EXPECT_DOUBLE_EQ(model.retention_flip_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(model.flip_probability(true), 1.0);
+  // A stored 0 is already the ground state: drift never flips it.
+  EXPECT_DOUBLE_EQ(model.flip_probability(false), 0.0);
 }
 
 TEST(Mtj, AsymmetricWritesFailOnlyInTheHardDirection) {

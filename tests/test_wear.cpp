@@ -1,0 +1,531 @@
+// MRAM endurance management: the wear tracker's delta programming,
+// write-verify-retry, wear-out, and wear-leveling physics, plus the
+// deploy/heal/scrub/swap integration — worn media must surface as
+// verify failures and degraded workers, never as silent corruption.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "deploy/pim_executor.h"
+#include "device/wear.h"
+#include "repnet/trainer.h"
+#include "runtime/serving_engine.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+WearOptions ideal_options() {
+  WearOptions options;
+  options.enabled = true;
+  options.endurance_writes = 1'000'000ull;
+  options.device.write_error_rate = 0.0;
+  options.seed = 7;
+  return options;
+}
+
+std::vector<u8> ramp(size_t n) {
+  std::vector<u8> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<u8>(i * 37 + 5);
+  return v;
+}
+
+TEST(WearTracker, VirginProgramWritesEveryWord) {
+  MramWearTracker tracker(ideal_options());
+  const std::vector<u8> desired = ramp(64);
+  std::vector<u8> achieved(desired.size(), 0xAA);
+  const WearProgramStats stats = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kDeploy);
+  // First-touch cells are unformed: even a word whose desired value
+  // happens to be 0 must take a real programming pulse.
+  EXPECT_EQ(stats.words_written, 64);
+  EXPECT_EQ(stats.words_skipped, 0);
+  EXPECT_EQ(stats.pulses, 64);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_GT(stats.energy_pj, 0.0);
+  EXPECT_EQ(achieved, desired);
+
+  const WearTotals totals = tracker.totals();
+  EXPECT_EQ(totals.words_tracked, 64);
+  EXPECT_EQ(totals.words_written_by_path[
+                static_cast<size_t>(WearPath::kDeploy)],
+            64);
+  EXPECT_EQ(totals.words_written_total(), 64);
+  EXPECT_EQ(totals.max_word_writes, 1u);
+  EXPECT_DOUBLE_EQ(totals.delta_savings_ratio(), 0.0);
+}
+
+TEST(WearTracker, IdenticalReprogramIsFree) {
+  MramWearTracker tracker(ideal_options());
+  const std::vector<u8> desired = ramp(64);
+  std::vector<u8> achieved(desired.size(), 0);
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+  // Read-before-write: redeploying the identical image costs nothing.
+  const WearProgramStats redo = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kHeal);
+  EXPECT_EQ(redo.words_written, 0);
+  EXPECT_EQ(redo.words_skipped, 64);
+  EXPECT_EQ(redo.pulses, 0);
+  EXPECT_DOUBLE_EQ(redo.energy_pj, 0.0);
+
+  const WearTotals totals = tracker.totals();
+  EXPECT_EQ(totals.words_written_by_path[
+                static_cast<size_t>(WearPath::kHeal)],
+            0);
+  EXPECT_DOUBLE_EQ(totals.delta_savings_ratio(), 0.5);
+}
+
+TEST(WearTracker, DeltaProgramsOnlyChangedWords) {
+  MramWearTracker tracker(ideal_options());
+  std::vector<u8> desired = ramp(64);
+  std::vector<u8> achieved(desired.size(), 0);
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+  desired[3] ^= 0xFF;
+  desired[17] ^= 0x01;
+  desired[60] ^= 0x10;
+  const WearProgramStats delta = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kSwap);
+  EXPECT_EQ(delta.words_written, 3);
+  EXPECT_EQ(delta.words_skipped, 61);
+  EXPECT_EQ(delta.pulses, 3);
+  EXPECT_EQ(achieved, desired);
+}
+
+TEST(WearTracker, NaiveFullRewriteBaselineBurnsEveryWord) {
+  WearOptions options = ideal_options();
+  options.read_before_write = false;
+  MramWearTracker tracker(options);
+  const std::vector<u8> desired = ramp(64);
+  std::vector<u8> achieved(desired.size(), 0);
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+  // A naive controller pulses every word on every pass, identical or not.
+  const WearProgramStats redo = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kSwap);
+  EXPECT_EQ(redo.words_written, 64);
+  EXPECT_EQ(redo.words_skipped, 0);
+  const WearTotals totals = tracker.totals();
+  EXPECT_EQ(totals.max_word_writes, 2u);
+  EXPECT_DOUBLE_EQ(totals.delta_savings_ratio(), 0.0);
+}
+
+TEST(WearTracker, WriteVerifyRetryCountsPulsesAndEnergy) {
+  WearOptions options = ideal_options();
+  options.device.write_error_rate = 0.4;
+  options.write_retry_budget = 6;
+  MramWearTracker tracker(options);
+  // 1-bit words, all switching 0 -> 1: every pulse fails with p = 0.4.
+  const std::vector<u8> desired(256, 1);
+  std::vector<u8> achieved(desired.size(), 0);
+  const WearProgramStats stats = tracker.program(
+      "a/i", desired, achieved, 1, WearPath::kDeploy);
+  EXPECT_EQ(stats.words_written, 256);
+  EXPECT_GT(stats.retries, 0);
+  EXPECT_EQ(stats.pulses, 256 + stats.retries);
+  EXPECT_EQ(achieved, desired);  // the retry budget absorbed every error
+
+  const WearTotals totals = tracker.totals();
+  EXPECT_EQ(totals.verify_failures, 0);
+  // attempts_histogram[i] = words that completed in i+1 pulses; it must
+  // tile the written words and reproduce the pulse total.
+  i64 hist_words = 0;
+  i64 hist_pulses = 0;
+  for (size_t i = 0; i < totals.attempts_histogram.size(); ++i) {
+    hist_words += totals.attempts_histogram[i];
+    hist_pulses += totals.attempts_histogram[i] * static_cast<i64>(i + 1);
+  }
+  EXPECT_EQ(hist_words, 256);
+  EXPECT_EQ(hist_pulses, totals.pulses);
+  EXPECT_GT(totals.attempts_histogram[0], 0);  // most land first pulse
+  EXPECT_LT(totals.attempts_histogram[0], 256);  // ...but not all
+  // Every pulse costs bits x per-bit write energy, retries included.
+  const f64 pulse_pj = options.device.write_energy_per_bit.as_pj();
+  EXPECT_NEAR(totals.energy_pj, static_cast<f64>(totals.pulses) * pulse_pj,
+              1e-9);
+}
+
+TEST(WearTracker, ExhaustedRetryBudgetIsAVerifyFailureNotCorruption) {
+  WearOptions options = ideal_options();
+  options.device.write_error_rate = 1.0 - 1e-12;  // pulses ~never land
+  options.write_retry_budget = 2;
+  MramWearTracker tracker(options);
+  const std::vector<u8> desired(8, 1);
+  std::vector<u8> achieved(desired.size(), 0xFF);
+  const WearProgramStats stats = tracker.program(
+      "a/i", desired, achieved, 1, WearPath::kDeploy);
+  EXPECT_EQ(stats.verify_failures, 8);
+  EXPECT_EQ(stats.pulses, 8 * 3);  // 1 attempt + 2 retries per word
+  // The caller sees exactly what the cells hold (still unswitched), so a
+  // verify-then-promote gate catches the failure; nothing is silent.
+  for (const u8 a : achieved) EXPECT_EQ(a, 0);
+}
+
+TEST(WearTracker, EnduranceCrossingBreaksAndPinsTheWord) {
+  WearOptions options = ideal_options();
+  options.endurance_writes = 3;
+  options.spare_banks = 0;
+  MramWearTracker tracker(options);
+  std::vector<u8> desired{0x11};
+  std::vector<u8> achieved{0};
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+  desired[0] = 0x22;
+  tracker.program("a/w", desired, achieved, 8, WearPath::kSwap);
+  EXPECT_EQ(achieved[0], 0x22);
+  EXPECT_FALSE(tracker.word_broken("a/w", 0));
+
+  // The third pulse crosses endurance: the word breaks mid-programming
+  // and pins to a deterministic junk state — not the in-flight value.
+  desired[0] = 0x33;
+  const WearProgramStats crossing = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kSwap);
+  EXPECT_TRUE(tracker.word_broken("a/w", 0));
+  EXPECT_EQ(crossing.stuck_writes, 1);
+  EXPECT_NE(achieved[0], 0x33);
+  const u8 pinned = achieved[0];
+
+  // Later writes are refused outright; the pinned value stands.
+  desired[0] = 0x44;
+  const WearProgramStats refused = tracker.program(
+      "a/w", desired, achieved, 8, WearPath::kSwap);
+  EXPECT_EQ(refused.stuck_writes, 1);
+  EXPECT_EQ(refused.pulses, 0);
+  EXPECT_EQ(achieved[0], pinned);
+
+  const WearTotals totals = tracker.totals();
+  EXPECT_EQ(totals.broken_words, 1);
+  EXPECT_EQ(totals.banks_degraded, 1);
+  EXPECT_EQ(totals.stuck_writes, 2);
+  EXPECT_DOUBLE_EQ(totals.max_wear_fraction, 1.0);
+}
+
+// Toggle word 0 of a single-bank array until it wears out; returns the
+// number of successful (verified) value changes before the break.
+i64 toggle_lifetime(MramWearTracker& tracker) {
+  std::vector<u8> desired(4, 0x00);
+  std::vector<u8> achieved(4, 0);
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+  i64 lifetime = 0;
+  for (i64 i = 0; i < 1000; ++i) {
+    desired[0] = (i % 2 == 0) ? 0x5A : 0xA5;
+    tracker.program("a/w", desired, achieved, 8, WearPath::kPublish);
+    if (achieved[0] != desired[0]) break;
+    ++lifetime;
+  }
+  return lifetime;
+}
+
+TEST(WearTracker, LevelingRemapsHotBanksAndExtendsLifetime) {
+  WearOptions worn = ideal_options();
+  worn.endurance_writes = 8;
+  worn.words_per_bank = 4;
+  worn.remap_budget_fraction = 0.75;
+  worn.spare_banks = 0;
+  MramWearTracker no_spares(worn);
+  const i64 base_lifetime = toggle_lifetime(no_spares);
+  EXPECT_GT(base_lifetime, 0);
+  EXPECT_LT(base_lifetime, static_cast<i64>(worn.endurance_writes));
+
+  worn.spare_banks = 2;
+  MramWearTracker leveled(worn);
+  const i64 leveled_lifetime = toggle_lifetime(leveled);
+  // Each remap moves the hot bank onto a fresh spare (counters reset at
+  // one copy pulse per word), so the hot word outlives raw endurance.
+  EXPECT_GT(leveled_lifetime, base_lifetime);
+  const WearTotals totals = leveled.totals();
+  EXPECT_EQ(totals.banks_remapped, 2);
+  EXPECT_EQ(no_spares.totals().banks_remapped, 0);
+}
+
+TEST(WearTracker, DisturbanceCostsNoWearAndRepairIsDelta) {
+  MramWearTracker tracker(ideal_options());
+  const std::vector<u8> golden = ramp(32);
+  std::vector<u8> achieved(golden.size(), 0);
+  tracker.program("a/w", golden, achieved, 8, WearPath::kDeploy);
+  const i64 pulses_before = tracker.totals().pulses;
+
+  // External corruption (fault injection, retention drift) moves cells
+  // without write pulses; the tracker absorbs the new resident state.
+  std::vector<u8> disturbed = golden;
+  disturbed[5] ^= 0x04;
+  disturbed[20] ^= 0x80;
+  tracker.absorb_disturbance("a/w", disturbed);
+  EXPECT_EQ(tracker.totals().pulses, pulses_before);
+
+  // Repairing back to golden touches exactly the disturbed words.
+  const WearProgramStats repair = tracker.program(
+      "a/w", golden, achieved, 8, WearPath::kScrub);
+  EXPECT_EQ(repair.words_written, 2);
+  EXPECT_EQ(repair.words_skipped, 30);
+  EXPECT_EQ(achieved, golden);
+}
+
+TEST(WearTracker, SameSeedIsByteIdenticalAcrossArrayInterleavings) {
+  WearOptions options = ideal_options();
+  options.device.write_error_rate = 0.3;
+  const std::vector<u8> a_codes = ramp(48);
+  std::vector<u8> b_codes(32, 1);
+
+  // Pulse outcomes hash (seed, array, word, pulse ordinal), so the order
+  // in which arrays are programmed must not change a single outcome.
+  std::vector<u8> a1(a_codes.size(), 0), b1(b_codes.size(), 0);
+  MramWearTracker ab(options);
+  ab.program("a/w", a_codes, a1, 8, WearPath::kDeploy);
+  ab.program("b/i", b_codes, b1, 1, WearPath::kDeploy);
+
+  std::vector<u8> a2(a_codes.size(), 0), b2(b_codes.size(), 0);
+  MramWearTracker ba(options);
+  ba.program("b/i", b_codes, b2, 1, WearPath::kDeploy);
+  ba.program("a/w", a_codes, a2, 8, WearPath::kDeploy);
+
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  const WearTotals t1 = ab.totals();
+  const WearTotals t2 = ba.totals();
+  EXPECT_EQ(t1.pulses, t2.pulses);
+  EXPECT_EQ(t1.retries, t2.retries);
+  EXPECT_EQ(t1.attempts_histogram, t2.attempts_histogram);
+  EXPECT_DOUBLE_EQ(t1.energy_pj, t2.energy_pj);
+}
+
+// --- Executor + engine integration -----------------------------------
+
+class WearDeployTest : public ::testing::Test {
+ protected:
+  static BackboneConfig tiny_backbone() {
+    BackboneConfig cfg;
+    cfg.stem_channels = 8;
+    cfg.stage_channels = {8, 16};
+    cfg.blocks_per_stage = {1, 1};
+    cfg.stage_strides = {1, 2};
+    return cfg;
+  }
+
+  static SyntheticSpec tiny_task() {
+    SyntheticSpec spec;
+    spec.name = "wear-task";
+    spec.classes = 4;
+    spec.train_per_class = 16;
+    spec.test_per_class = 8;
+    spec.image_size = 12;
+    spec.noise = 0.2f;
+    spec.seed = 5;
+    return spec;
+  }
+
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(17);
+    data_ = make_synthetic_dataset(tiny_task());
+    model_ = std::make_unique<RepNetModel>(
+        tiny_backbone(),
+        RepNetConfig{.bottleneck_divisor = 8, .min_bottleneck = 8}, 4,
+        *rng_);
+    BackboneClassifier head(model_->backbone(), 4, *rng_);
+    pretrain_backbone(head, data_,
+                      TrainOptions{.epochs = 4, .batch = 16, .lr = 0.05f},
+                      *rng_);
+    ContinualOptions options;
+    options.finetune = {.epochs = 4, .batch = 16, .lr = 0.04f};
+    options.sparse = true;
+    options.nm = kSparse1of4;
+    learn_task(*model_, data_, options, *rng_);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  TrainTestSplit data_;
+  std::unique_ptr<RepNetModel> model_;
+};
+
+TEST_F(WearDeployTest, DeployAttributesEveryMramWordOnceAndStaysExact) {
+  auto tracker = std::make_shared<MramWearTracker>(ideal_options());
+  PimExecutorOptions options;
+  options.wear = tracker;
+  PimRepNetExecutor executor(*model_, data_.train, options);
+
+  const WearTotals totals = tracker->totals();
+  EXPECT_GT(totals.words_tracked, 0);
+  // Virgin medium: the initial deployment programs every MRAM word
+  // exactly once, all attributed to the deploy path.
+  EXPECT_EQ(totals.words_written_by_path[
+                static_cast<size_t>(WearPath::kDeploy)],
+            totals.words_tracked);
+  EXPECT_EQ(totals.words_written_total(), totals.words_tracked);
+  EXPECT_EQ(totals.max_word_writes, 1u);
+  EXPECT_EQ(totals.broken_words, 0);
+
+  // Healthy-medium programming is transparent: bit-identical to an
+  // executor with no endurance modeling at all.
+  PimRepNetExecutor ideal(*model_, data_.train, PimExecutorOptions{});
+  const Tensor probe = data_.test.batch_images(0, 2);
+  EXPECT_EQ(max_abs_diff(executor.forward(probe), ideal.forward(probe)),
+            0.0f);
+}
+
+TEST_F(WearDeployTest, HealRedeployOfUnchangedImageIsDelta) {
+  auto tracker = std::make_shared<MramWearTracker>(ideal_options());
+  PimExecutorOptions options;
+  options.wear = tracker;
+  PimRepNetExecutor executor(*model_, data_.train, options);
+  // A heal rebuilds the executor but reprograms the same golden codes
+  // into the same banks: read-before-write collapses it to zero pulses.
+  auto healed = executor.clone_with_wear(tracker, WearPath::kHeal);
+  const WearTotals totals = tracker->totals();
+  EXPECT_EQ(totals.words_written_by_path[
+                static_cast<size_t>(WearPath::kHeal)],
+            0);
+  EXPECT_EQ(totals.words_skipped, totals.words_tracked);
+  EXPECT_EQ(totals.max_word_writes, 1u);
+}
+
+TEST_F(WearDeployTest, ScrubRepairRewritesOnlyCorruptedWords) {
+  auto tracker = std::make_shared<MramWearTracker>(ideal_options());
+  PimExecutorOptions options;
+  options.ecc = EccMode::kSecDed;
+  options.wear = tracker;
+  PimRepNetExecutor executor(*model_, data_.train, options);
+  const WearTotals before = tracker->totals();
+
+  // Sprinkle a handful of MTJ bit flips across the MRAM arrays (the
+  // injection also syncs the tracker's resident view).
+  Rng rng(11);
+  const FaultStats faults =
+      executor.inject_nvm_faults(MtjFaultModel::symmetric(2e-4), rng);
+  ASSERT_GT(faults.bits_flipped, 0);
+  ASSERT_LT(faults.bits_flipped, before.words_tracked / 20);
+
+  i64 repaired = 0;
+  for (const auto& report : executor.scrub(true)) {
+    repaired += report.weights.corrected + report.indices.corrected +
+                report.weights.detected_uncorrectable +
+                report.indices.detected_uncorrectable;
+    EXPECT_EQ(report.weights.silent, 0);
+    EXPECT_EQ(report.indices.silent, 0);
+  }
+  ASSERT_GT(repaired, 0);
+
+  // Satellite contract: repair-from-golden programs word by word — the
+  // scrub touches only the cells that actually held wrong values, never
+  // the whole span (each flipped bit lives in exactly one cell).
+  const WearTotals after = tracker->totals();
+  const i64 scrub_writes = after.words_written_by_path[
+      static_cast<size_t>(WearPath::kScrub)];
+  EXPECT_GE(scrub_writes, 1);
+  EXPECT_LE(scrub_writes, faults.bits_flipped);
+  EXPECT_LT(scrub_writes, before.words_tracked / 20);
+  EXPECT_EQ(after.words_written_by_path[
+                static_cast<size_t>(WearPath::kDeploy)],
+            before.words_written_by_path[
+                static_cast<size_t>(WearPath::kDeploy)]);
+
+  // The medium is clean again: a second scrub finds nothing.
+  for (const auto& report : executor.scrub(true)) {
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.weights.silent, 0);
+    EXPECT_EQ(report.indices.silent, 0);
+  }
+}
+
+DeploymentImage perturb_layer(const DeploymentImage& base,
+                              const std::string& layer) {
+  DeploymentImage out = base;
+  const QuantizedNmMatrix& m = base.get(layer);
+  std::vector<i8> values(m.raw_values().begin(), m.raw_values().end());
+  std::vector<u8> indices(m.raw_indices().begin(), m.raw_indices().end());
+  std::vector<u8> valid(m.raw_valid().begin(), m.raw_valid().end());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (valid[i])
+      values[i] = static_cast<i8>(values[i] == 127 ? 126 : values[i] + 1);
+  }
+  out.add(layer, QuantizedNmMatrix::from_raw(
+                     m.config(), m.dense_rows(), m.cols(), m.scale(),
+                     std::move(values), std::move(indices),
+                     std::move(valid)));
+  return out;
+}
+
+TEST_F(WearDeployTest, WornMediumDegradesWorkerInsteadOfCorrupting) {
+  ServingEngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.batcher = {.max_batch_rows = 1, .max_wait_us = 0.0};
+  options.wear.enabled = true;
+  options.wear.endurance_writes = 6;  // accelerated aging
+  options.wear.spare_banks = 0;
+  options.wear.device.write_error_rate = 0.0;
+  options.wear.seed = 3;
+  ServingEngine engine(*model_, data_.train, options);
+
+  const Tensor probe = data_.test.batch_images(0, 1);
+  ASSERT_EQ(engine.submit(probe).get().status, RequestStatus::kOk);
+
+  // Churn the stem weights back and forth: every swap rewrites that
+  // layer's words until the pulse budget runs out and a swap fails its
+  // deploy-verify gate (the engine rolls back, never serves the junk).
+  auto image_a = std::make_shared<DeploymentImage>(
+      engine.replica(0).export_image());
+  auto image_b = std::make_shared<DeploymentImage>(
+      perturb_layer(*image_a, "stem.0"));
+  SwapOptions swap;
+  swap.worker_timeout_us = 120e6;  // sanitizer headroom
+  i64 survived = 0;
+  for (i64 i = 0; i < 20; ++i) {
+    if (!engine.swap_model(i % 2 == 0 ? image_b : image_a, swap)) break;
+    ++survived;
+  }
+  ASSERT_GE(survived, 2);
+  ASSERT_LT(survived, 20);  // the medium did wear out
+  EXPECT_GT(engine.metrics().snapshot().wear.totals.broken_words, 0);
+  EXPECT_EQ(engine.healthy_workers(), 1);  // rollback kept it serving
+
+  // A heal on the worn medium cannot pass physical verify: the worker
+  // must leave the rotation permanently rather than serve junk cells.
+  engine.inject_worker_fault(0, WorkerFault::kCrashNextBatch);
+  ResponseFuture doomed = engine.submit(probe);
+  // Quarantine drops healthy_workers first; degraded is recorded only
+  // once the heal's physical verify fails, so poll the latter.
+  const f64 deadline = monotonic_now_us() + 30e6;
+  while (engine.metrics().snapshot().wear.workers_degraded == 0 &&
+         monotonic_now_us() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(engine.healthy_workers(), 0);
+
+  const MetricsSnapshot snapshot = engine.metrics().snapshot();
+  EXPECT_TRUE(snapshot.wear.active);
+  EXPECT_EQ(snapshot.wear.workers_degraded, 1);
+  EXPECT_GT(snapshot.wear.totals.stuck_writes, 0);
+
+  engine.shutdown();
+  // The doomed request was never served by the degraded worker: it
+  // resolves as a failure/rejection, not as silently wrong logits.
+  EXPECT_NE(doomed.get().status, RequestStatus::kOk);
+}
+
+TEST(WearMetrics, JsonRoundTripCarriesWearSection) {
+  MramWearTracker tracker(ideal_options());
+  const std::vector<u8> desired = ramp(16);
+  std::vector<u8> achieved(desired.size(), 0);
+  tracker.program("a/w", desired, achieved, 8, WearPath::kDeploy);
+
+  ServingMetrics metrics;
+  metrics.update_wear(tracker.totals());
+  metrics.record_worker_degraded();
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"wear\""), std::string::npos);
+  EXPECT_NE(json.find("\"words_tracked\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"deploy\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"workers_degraded\":1"), std::string::npos);
+
+  // Same tracker state, fresh serialization: byte-identical (the bench's
+  // same-seed reproducibility gate leans on this).
+  ServingMetrics again;
+  again.update_wear(tracker.totals());
+  again.record_worker_degraded();
+  EXPECT_EQ(ServingMetrics::wear_to_json(metrics.snapshot().wear),
+            ServingMetrics::wear_to_json(again.snapshot().wear));
+}
+
+}  // namespace
+}  // namespace msh

@@ -403,6 +403,58 @@ void print_training_lane(const JsonValue& root) {
   }
 }
 
+void print_wear(const JsonValue& root) {
+  if (!root.has("wear")) return;  // pre-endurance metrics file
+  const JsonValue& wear = root.at("wear");
+  if (!wear.at("active").boolean) return;  // wear tracking was off
+  AsciiTable table({"counter", "value"});
+  table.add_row(
+      {"words tracked", std::to_string(wear.count("words_tracked"))});
+  const JsonValue& by_path = wear.at("words_written_by_path");
+  for (const char* path :
+       {"deploy", "swap", "heal", "scrub", "publish", "recovery"}) {
+    if (!by_path.has(path)) continue;
+    table.add_row({std::string("words written: ") + path,
+                   std::to_string(by_path.count(path))});
+  }
+  table.add_row(
+      {"words written (total)", std::to_string(wear.count("words_written"))});
+  table.add_row({"words skipped (delta)",
+                 std::to_string(wear.count("words_skipped"))});
+  table.add_row({"delta savings ratio",
+                 AsciiTable::num(wear.num("delta_savings_ratio"), 3)});
+  table.add_row({"pulses", std::to_string(wear.count("pulses"))});
+  table.add_row({"retries", std::to_string(wear.count("retries"))});
+  table.add_row(
+      {"verify failures", std::to_string(wear.count("verify_failures"))});
+  table.add_row(
+      {"stuck writes", std::to_string(wear.count("stuck_writes"))});
+  table.add_row(
+      {"broken words", std::to_string(wear.count("broken_words"))});
+  table.add_row(
+      {"banks remapped", std::to_string(wear.count("banks_remapped"))});
+  table.add_row(
+      {"banks degraded", std::to_string(wear.count("banks_degraded"))});
+  table.add_row(
+      {"max word writes", std::to_string(wear.count("max_word_writes"))});
+  table.add_row({"max wear fraction",
+                 AsciiTable::num(wear.num("max_wear_fraction"), 4)});
+  table.add_row({"write energy (pJ)", AsciiTable::num(wear.num("energy_pj"), 1)});
+  table.add_row(
+      {"workers degraded", std::to_string(wear.count("workers_degraded"))});
+  std::printf("mram endurance (wear)\n%s\n", table.render().c_str());
+  const JsonValue& attempts = wear.at("attempts_histogram");
+  if (!attempts.array.empty()) {
+    std::printf("  write attempts: ");
+    for (size_t i = 0; i < attempts.array.size(); ++i) {
+      if (i) std::printf(", ");
+      std::printf("%zu pulse%s x %lld", i + 1, i == 0 ? "" : "s",
+                  static_cast<long long>(attempts.array[i].number));
+    }
+    std::printf("\n\n");
+  }
+}
+
 int view(const std::string& text) {
   // The benches print the JSON embedded in a report; tolerate that by
   // starting at the first '{'.
@@ -418,6 +470,7 @@ int view(const std::string& text) {
   print_resilience(root);
   print_recovery(root);
   print_training_lane(root);
+  print_wear(root);
   print_histogram("overall", root.at("latency_us").at("total"));
   const JsonValue& classes = root.at("classes");
   for (const char* name : {"interactive", "batch", "best_effort"}) {
