@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/flat_csc.h"
+
 namespace msh {
 
 HybridCore::HybridCore(Options options)
@@ -170,12 +172,42 @@ void HybridCore::absorb_row(Deployment& dep, std::span<const i8> activations,
   bus_.transfer(dep.cols * 32);
 }
 
+std::vector<i32> HybridCore::raw_matmul(const Deployment& dep,
+                                        std::span<const i8> activations,
+                                        i64 batch) {
+  // Rebuilt from the live cells every dispatch, so fault injection,
+  // scrub repairs and wear-limited programming are picked up exactly as
+  // the modeled walk would see them (see kernels/flat_csc.h).
+  arena_.reset();
+  FlatCsc flat;
+  if (dep.is_sram) {
+    std::vector<const SramPeTile*> tiles;
+    tiles.reserve(dep.sram_pes.size());
+    for (const auto& pe : dep.sram_pes) tiles.push_back(&pe->tile());
+    flat = build_flat_csc_sram(tiles, dep.cols, dep.dense_rows, arena_);
+  } else {
+    std::vector<const MramPeTile*> tiles;
+    tiles.reserve(dep.mram_pes.size());
+    for (const auto& pe : dep.mram_pes) tiles.push_back(&pe->tile());
+    flat = build_flat_csc_mram(tiles, dep.cols, dep.dense_rows, arena_);
+  }
+  std::vector<i32> out(static_cast<size_t>(batch * dep.cols));
+  raw_csc_matmul(flat, activations, batch, out, arena_, intra_pool_);
+  // Cycle metrics are modeled-only: the raw backend reports zero.
+  last_makespan_ = 0;
+  last_utilization_ = 0.0;
+  return out;
+}
+
 std::vector<i32> HybridCore::matvec(i64 handle,
                                     std::span<const i8> activations) {
   MSH_REQUIRE(handle >= 0 &&
               handle < static_cast<i64>(deployments_.size()));
   Deployment& dep = deployments_[static_cast<size_t>(handle)];
   MSH_REQUIRE(static_cast<i64>(activations.size()) == dep.dense_rows);
+  if (options_.backend == KernelBackend::kRaw) {
+    return raw_matmul(dep, activations, 1);
+  }
 
   RowCompute row = compute_row(dep, activations);
   absorb_row(dep, activations, row);
@@ -192,6 +224,9 @@ std::vector<i32> HybridCore::matmul(i64 handle,
   Deployment& dep = deployments_[static_cast<size_t>(handle)];
   MSH_REQUIRE(static_cast<i64>(activations.size()) ==
               batch * dep.dense_rows);
+  if (options_.backend == KernelBackend::kRaw) {
+    return raw_matmul(dep, activations, batch);
+  }
 
   ThreadPool* pool = intra_pool_;
   if (pool == nullptr || pool->size() <= 1 || batch <= 1) {

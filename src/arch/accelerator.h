@@ -13,6 +13,8 @@
 #include "arch/scheduler.h"
 #include "arch/topology.h"
 #include "common/thread_pool.h"
+#include "kernels/arena.h"
+#include "kernels/backend.h"
 #include "mapping/csc_mapper.h"
 #include "pim/mram_pe.h"
 #include "pim/sram_pe.h"
@@ -27,6 +29,12 @@ struct HybridCoreOptions {
   i64 bus_width_bits = 256;
   SramMappingOptions sram_map = {};
   MramMappingOptions mram_map = {};
+  /// Compute backend for matvec/matmul (DESIGN §5i): kModeled walks the
+  /// functional PE datapaths with full event/cycle accounting; kRaw runs
+  /// the SIMD flat-CSC kernels over the same live tile cells —
+  /// bit-identical outputs, but PE/bus/buffer events stay untouched and
+  /// last_makespan()/last_utilization() report zero.
+  KernelBackend backend = KernelBackend::kModeled;
 };
 
 class HybridCore {
@@ -130,7 +138,14 @@ class HybridCore {
   void absorb_row(Deployment& dep, std::span<const i8> activations,
                   const RowCompute& row);
 
+  /// Raw-backend dispatch: flattens the deployment's live tile cells
+  /// into CSC form in the arena and runs the SIMD matmul, sharding
+  /// columns over the intra-op pool. No accounting.
+  std::vector<i32> raw_matmul(const Deployment& dep,
+                              std::span<const i8> activations, i64 batch);
+
   Options options_;
+  KernelArena arena_;  ///< raw-backend scratch, reset per dispatch
   Bus bus_;
   ActivationBuffer buffer_;
   std::vector<Deployment> deployments_;

@@ -53,10 +53,18 @@ std::string wear_key_parity(const std::string& name) { return name + "/p"; }
 
 }  // namespace
 
+// The executor-level backend knob wins over whatever the caller left in
+// the nested core options — one switch flips the whole replica.
+static HybridCoreOptions core_options(const PimExecutorOptions& options) {
+  HybridCoreOptions core = options.core;
+  core.backend = options.backend;
+  return core;
+}
+
 PimRepNetExecutor::PimRepNetExecutor(RepNetModel& model,
                                      const Dataset& calibration,
                                      PimExecutorOptions options)
-    : model_(model), options_(options), core_(options.core) {
+    : model_(model), options_(options), core_(core_options(options)) {
   if (options_.intra_op_threads > 1) {
     intra_pool_ = std::make_unique<ThreadPool>(options_.intra_op_threads);
     core_.set_intra_op_pool(intra_pool_.get());
@@ -71,7 +79,7 @@ PimRepNetExecutor::PimRepNetExecutor(
     std::shared_ptr<const DeploymentImage> image)
     : model_(model),
       options_(options),
-      core_(options.core),
+      core_(core_options(options)),
       input_amax_(amax),
       source_image_(std::move(image)) {
   if (options_.intra_op_threads > 1) {

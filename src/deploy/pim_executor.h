@@ -57,6 +57,14 @@ struct PimExecutorOptions {
   std::shared_ptr<MramWearTracker> wear;
   /// Metrics attribution for this deployment's programming pulses.
   WearPath wear_path = WearPath::kDeploy;
+  /// Compute backend (DESIGN §5i). kModeled (the default) walks the
+  /// functional PE datapaths with full cycle/event accounting; kRaw runs
+  /// the SIMD host kernels over the same live cells — bit-identical
+  /// forwards, exported images and verify probes, but modeled metrics
+  /// (PE events, bus/buffer traffic, makespan) report zero. Overrides
+  /// core.backend; clones and image deployments inherit it, so heal,
+  /// swap and recovery rebuilds stay on the chosen backend.
+  KernelBackend backend = KernelBackend::kModeled;
 };
 
 class PimRepNetExecutor {

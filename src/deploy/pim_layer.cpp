@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "kernels/quant_kernels.h"
+
 namespace msh {
 
 bool satisfies_nm(const Tensor& matrix, NmConfig cfg) {
@@ -112,30 +114,18 @@ Tensor PimMatmulLayer::matmul(const Tensor& x, const Tensor* bias) {
   const bool add_bias = bias != nullptr && !bias->empty();
   ThreadPool* pool = core_.intra_op_pool();
 
-  // Quantize activations into the padded INT8 layout, row-sharded: each
-  // row's codes are written by exactly one lane.
-  std::vector<i8> codes(static_cast<size_t>(batch * padded_k_), 0);
-  parallel_for(pool, batch, [&](i64 begin, i64 end) {
-    for (i64 b = begin; b < end; ++b) {
-      for (i64 i = 0; i < k_; ++i) {
-        codes[static_cast<size_t>(b * padded_k_ + i)] =
-            static_cast<i8>(act_params_.quantize(x[b * k_ + i]));
-      }
-    }
-  });
+  // The float<->INT8 boundary is shared kernel code (kernels/
+  // quant_kernels.h) so both compute backends quantize and dequantize
+  // identically — backend bit-exactness holds end to end.
+  std::vector<i8> codes(static_cast<size_t>(batch * padded_k_));
+  quantize_activations(x.data(), batch, k_, padded_k_, act_params_,
+                       codes.data(), pool);
 
   const std::vector<i32> raw = core_.matmul(handle_, codes, batch);
   Tensor y(Shape{batch, out_});
   const f32 scale = act_params_.scale * weight_scale_;
-  parallel_for(pool, batch, [&](i64 begin, i64 end) {
-    for (i64 b = begin; b < end; ++b) {
-      for (i64 j = 0; j < out_; ++j) {
-        const i64 i = b * out_ + j;
-        const f32 v = scale * static_cast<f32>(raw[static_cast<size_t>(i)]);
-        y[i] = add_bias ? v + (*bias)[j] : v;
-      }
-    }
-  });
+  dequantize_outputs(raw.data(), batch, out_, scale,
+                     add_bias ? bias->data() : nullptr, y.data(), pool);
   return y;
 }
 

@@ -1,4 +1,4 @@
-#include "pim/adder_tree.h"
+#include "kernels/adder_tree.h"
 
 #include <vector>
 

@@ -1,0 +1,52 @@
+#include "kernels/arena.h"
+
+namespace msh {
+
+std::byte* KernelArena::bump(size_t bytes, size_t align) {
+  if (!chunks_.empty()) {
+    Chunk& chunk = chunks_.back();
+    const size_t aligned = (chunk.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= chunk.size) {
+      chunk.used = aligned + bytes;
+      return chunk.data.get() + aligned;
+    }
+  }
+  // Geometric growth keeps the chunk count logarithmic within one
+  // dispatch; reset() collapses the list back to a single slab.
+  size_t size = chunks_.empty() ? 4096 : chunks_.back().size * 2;
+  if (size < bytes + align) size = bytes + align;
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  const size_t base =
+      reinterpret_cast<size_t>(chunk.data.get()) & (align - 1);
+  const size_t offset = base == 0 ? 0 : align - base;
+  chunk.used = offset + bytes;
+  std::byte* p = chunk.data.get() + offset;
+  chunks_.push_back(std::move(chunk));
+  return p;
+}
+
+void KernelArena::reset() {
+  size_t used = 0;
+  for (const Chunk& chunk : chunks_) used += chunk.used;
+  if (used > high_water_) high_water_ = used;
+  if (chunks_.size() == 1 && chunks_.front().size >= high_water_) {
+    chunks_.front().used = 0;
+    return;
+  }
+  chunks_.clear();
+  if (high_water_ == 0) return;
+  Chunk slab;
+  slab.size = high_water_ + alignof(std::max_align_t);
+  slab.data = std::make_unique<std::byte[]>(slab.size);
+  chunks_.push_back(std::move(slab));
+}
+
+size_t KernelArena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+}  // namespace msh

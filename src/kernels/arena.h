@@ -1,0 +1,52 @@
+// Bump arena for per-dispatch kernel scratch. The raw backend allocates
+// its flattened weight matrix and widened activation blocks here instead
+// of the heap: one reset() per dispatch, zero frees, and steady state
+// reuses a single slab sized at the high-water mark — no allocator
+// traffic on the serving fast path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace msh {
+
+class KernelArena {
+ public:
+  /// Uninitialized storage for `count` trivially-destructible Ts, valid
+  /// until the next reset(). Alignment follows the type.
+  template <typename T>
+  std::span<T> alloc(i64 count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    MSH_REQUIRE(count >= 0);
+    if (count == 0) return {};
+    std::byte* p =
+        bump(static_cast<size_t>(count) * sizeof(T), alignof(T));
+    return {reinterpret_cast<T*>(p), static_cast<size_t>(count)};
+  }
+
+  /// Invalidates every outstanding span. Coalesces the chunk list into
+  /// one slab at the high-water mark, so a steady-state dispatch loop
+  /// stops allocating after the first iteration.
+  void reset();
+
+  /// Total bytes currently reserved from the heap.
+  size_t bytes_reserved() const;
+
+ private:
+  std::byte* bump(size_t bytes, size_t align);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  size_t high_water_ = 0;  ///< peak sum of used bytes across resets
+};
+
+}  // namespace msh

@@ -1,0 +1,62 @@
+// Raw backend kernel (DESIGN §5i): the live PE cells of one deployment
+// flattened into a CSC-style (column -> (dense_row, weight)) form, then
+// a SIMD-vectorized INT8 quantized matmul over it.
+//
+// The flat form is rebuilt from the PE-resident tiles on every dispatch.
+// That is deliberate: faults, ECC scrub repairs and wear-limited
+// programming all mutate the tile cells in place (through
+// HybridCore::nvm_codes or mutable_tile), and rebuilding means the raw
+// backend always computes on exactly the cells the modeled walk would
+// read — bit-exactness composes with the whole robustness machinery by
+// construction, with no cache-invalidation protocol. The rebuild is a
+// linear sweep over the slots, a few percent of the matmul cost at
+// serving batch sizes.
+//
+// Bit-exactness argument: the modeled datapaths compute, per logical
+// output column, the exact integer sum of weight x activation (64-bit
+// intermediate), truncated to i32 once at the end. Two's-complement
+// truncation of an exact sum equals wrap-around 32-bit accumulation in
+// any summation order, so the flat kernel's per-column wrap-32 dot
+// product is bit-identical regardless of SIMD width or entry order.
+#pragma once
+
+#include <span>
+
+#include "common/thread_pool.h"
+#include "kernels/arena.h"
+#include "pim/pe_tile.h"  // header-only tile formats
+
+namespace msh {
+
+/// One deployment's weights in flat compressed-column form. Spans are
+/// arena-backed: valid until the owning arena's next reset().
+struct FlatCsc {
+  i64 cols = 0;
+  i64 dense_rows = 0;
+  std::span<i64> col_ptr;      ///< [cols + 1] entry ranges per column
+  std::span<i32> entry_row;    ///< dense activation row per entry
+  std::span<i8> entry_weight;  ///< INT8 weight per entry
+};
+
+/// Flattens SRAM tiles. Mirrors the modeled addressing exactly:
+/// dense_row = (segment_offset + local_row / N) * M + stored_index, and
+/// a slot whose (possibly fault-flipped) index is >= M never matches an
+/// index phase, so it is dropped here too.
+FlatCsc build_flat_csc_sram(std::span<const SramPeTile* const> tiles,
+                            i64 cols, i64 dense_rows, KernelArena& arena);
+
+/// Flattens MRAM tiles: dense_row = ((packed_base + e) / N) * M + index
+/// per valid entry of every used physical row.
+FlatCsc build_flat_csc_mram(std::span<const MramPeTile* const> tiles,
+                            i64 cols, i64 dense_rows, KernelArena& arena);
+
+/// out[b * cols + c] = wrap-32 sum over column c's entries of
+/// weight * acts[b * dense_rows + entry_row], for every batch row b.
+/// Batch rows are blocked and widened to i16 in the arena; columns are
+/// sharded over `pool` (nullptr runs inline). Deterministic: each output
+/// element is written by exactly one lane.
+void raw_csc_matmul(const FlatCsc& w, std::span<const i8> acts, i64 batch,
+                    std::span<i32> out, KernelArena& arena,
+                    ThreadPool* pool);
+
+}  // namespace msh

@@ -1,4 +1,4 @@
-#include "pim/index_unit.h"
+#include "kernels/index_unit.h"
 
 namespace msh {
 

@@ -1,0 +1,181 @@
+#include "kernels/modeled.h"
+
+#include <algorithm>
+#include <map>
+
+#include "kernels/adder_tree.h"
+#include "kernels/index_unit.h"
+#include "kernels/shift_acc.h"
+
+namespace msh {
+
+TileMatvec modeled_sram_matvec(const SramPeTile& tile,
+                               std::span<const i8> activations,
+                               PeEventCounts& events) {
+  MSH_REQUIRE(!tile.empty());
+  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile.activation_len);
+
+  // The datapath blocks are stateless between matvecs; call-local
+  // instances keep this kernel pure and race-free under sharing.
+  AdderTree tree(128);
+  ComparatorColumn comparators(128);
+
+  const i64 rows = tile.rows;
+  const i64 groups = tile.groups;
+  const i64 seg_rows = tile.segment_rows;
+  const i64 segs = tile.segments_per_group();
+  const i32 m = tile.cfg.m;
+  const i32 n = tile.cfg.n;
+  const i32 input_bits = 8;
+
+  // One shift accumulator per segment (subtree tap).
+  std::vector<ShiftAccumulator> seg_acc(
+      static_cast<size_t>(tile.total_segments()),
+      ShiftAccumulator(input_bits));
+
+  IndexGenerator generator(m);
+  std::vector<i32> partials(static_cast<size_t>(seg_rows));
+
+  for (i32 phase = 0; phase < m; ++phase) {
+    const i32 gen_index = generator.current();
+    // Step 2: all groups' comparators evaluate this phase's index once.
+    std::vector<std::vector<u8>> match(static_cast<size_t>(groups));
+    for (i64 g = 0; g < groups; ++g) {
+      match[static_cast<size_t>(g)] = comparators.compare(
+          std::span<const u8>(tile.indices)
+              .subspan(static_cast<size_t>(g * rows),
+                       static_cast<size_t>(rows)),
+          std::span<const u8>(tile.valid)
+              .subspan(static_cast<size_t>(g * rows),
+                       static_cast<size_t>(rows)),
+          gen_index);
+      events.sram_index_compares += 1;
+    }
+
+    for (i32 bit = 0; bit < input_bits; ++bit) {
+      // Step 1: one array cycle — every row's compute cells AND the
+      // shared input bit with the stored weight bits.
+      events.sram_array_cycles += 1;
+      events.sram_decoder_cycles += 1;
+      events.cycles += 1;
+
+      for (i64 g = 0; g < groups; ++g) {
+        bool group_active = false;
+        for (i64 s = 0; s < segs; ++s) {
+          const i64 seg_idx = tile.segment_index(g, s);
+          if (tile.output_id[static_cast<size_t>(seg_idx)] < 0) continue;
+          group_active = true;
+          const i64 offset =
+              tile.segment_offset[static_cast<size_t>(seg_idx)];
+          std::fill(partials.begin(), partials.end(), 0);
+          for (i64 r = 0; r < seg_rows; ++r) {
+            const i64 row = s * seg_rows + r;
+            if (!match[static_cast<size_t>(g)][static_cast<size_t>(row)])
+              continue;
+            // Dense activation this slot addresses at this phase.
+            const i64 dense_row = (offset + r / n) * m + gen_index;
+            MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
+            const i8 act = activations[static_cast<size_t>(dense_row)];
+            const bool act_bit = (static_cast<u8>(act) >> bit) & 1;
+            if (!act_bit) continue;
+            // The 8T cells AND the input bit with all 8 weight bits: the
+            // row contributes its full signed weight to this bit plane.
+            partials[static_cast<size_t>(r)] =
+                tile.weights[static_cast<size_t>(g * rows + row)];
+            events.buffer_bits_read += 1;
+          }
+          // Step 3: subtree reduction + shift accumulate.
+          const i32 seg_sum = tree.reduce(partials);
+          seg_acc[static_cast<size_t>(seg_idx)].accumulate(seg_sum, bit);
+          events.sram_shift_acc_ops += 1;
+        }
+        // The physical tree fires once per group per cycle; taps are free.
+        if (group_active) events.sram_adder_tree_ops += 1;
+      }
+    }
+    generator.step();
+  }
+  // Adder-tree pipeline drain.
+  events.cycles += tree.depth();
+
+  // Row-wise accumulator: merge segments sharing a logical output column.
+  std::map<i32, i64> merged;
+  for (i64 seg_idx = 0; seg_idx < tile.total_segments(); ++seg_idx) {
+    const i32 id = tile.output_id[static_cast<size_t>(seg_idx)];
+    if (id < 0) continue;
+    const i64 value = seg_acc[static_cast<size_t>(seg_idx)].value();
+    auto [it, inserted] = merged.emplace(id, value);
+    if (!inserted) {
+      it->second += value;
+      events.sram_row_acc_ops += 1;
+    }
+  }
+
+  TileMatvec out;
+  for (const auto& [id, value] : merged) {
+    out.output_ids.push_back(id);
+    out.values.push_back(value);
+    events.buffer_bits_written += 32;  // accumulator write-back
+  }
+  return out;
+}
+
+TileMatvec modeled_mram_matvec(const MramPeTile& tile,
+                               std::span<const i8> activations,
+                               PeEventCounts& events,
+                               MramPipelineStats* pipeline) {
+  MSH_REQUIRE(!tile.empty());
+  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile.activation_len);
+
+  // The adder tree is stateless between matvecs; a call-local instance
+  // keeps this kernel pure and race-free under sharing.
+  AdderTree tree(64);
+
+  const i32 m = tile.cfg.m;
+  const i32 n = tile.cfg.n;
+  std::map<i32, i64> acc;
+  std::vector<i32> products;
+  products.reserve(static_cast<size_t>(tile.pairs_per_row));
+
+  for (const auto& row : tile.rows) {
+    if (row.output_id < 0) continue;
+    // S1: sense the row (weights + indices).
+    events.mram_row_reads += 1;
+    products.clear();
+    for (size_t e = 0; e < row.entries.size(); ++e) {
+      const auto& entry = row.entries[e];
+      if (!entry.valid) continue;
+      // S2: MUX selects the addressed activation from the buffer.
+      const i64 packed_row = row.packed_base + static_cast<i64>(e);
+      const i64 dense_row =
+          (packed_row / n) * m + static_cast<i64>(entry.index);
+      MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
+      events.buffer_bits_read += 8;
+      // S3: parallel shift-and-accumulate forms the 8b x 8b product.
+      products.push_back(static_cast<i32>(entry.weight) *
+                         static_cast<i32>(
+                             activations[static_cast<size_t>(dense_row)]));
+    }
+    events.mram_shift_acc_ops += 1;
+    const i32 row_sum = tree.reduce(products);
+    events.mram_adder_tree_ops += 1;
+    acc[row.output_id] += row_sum;
+  }
+
+  MramPipelineStats stats;
+  i64 used_rows = 0;
+  for (const auto& row : tile.rows) used_rows += (row.output_id >= 0);
+  stats.rows = used_rows;
+  events.cycles += stats.total_cycles();
+  if (pipeline != nullptr) *pipeline = stats;
+
+  TileMatvec out;
+  for (const auto& [id, value] : acc) {
+    out.output_ids.push_back(id);
+    out.values.push_back(value);
+    events.buffer_bits_written += 32;
+  }
+  return out;
+}
+
+}  // namespace msh

@@ -1,0 +1,54 @@
+// Modeled backend kernels: the side-effect-free functional walks of both
+// PE datapaths, lifted out of the PE classes so the PEs are thin wrappers
+// that attach event accounting to state (load/program/absorb). One call
+// computes one tile's sparse matvec and the exact event deltas the
+// hardware walk would produce; callers own where the events land.
+//
+// These kernels are the arithmetic source of truth: the raw backend
+// (flat_csc.h) is verified bit-identical against them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pim/events.h"   // header-only event counter format
+#include "pim/pe_tile.h"  // header-only tile formats
+
+namespace msh {
+
+/// Result of one tile matvec: accumulator value per logical output
+/// column present in the tile, in ascending output_id order.
+struct TileMatvec {
+  std::vector<i32> output_ids;
+  std::vector<i64> values;
+};
+
+/// Cycle-accounting snapshot of the MRAM PE's 3-stage pipeline.
+struct MramPipelineStats {
+  i64 rows = 0;
+  i64 fill_cycles = 2;
+  i64 total_cycles() const { return rows == 0 ? 0 : rows + fill_cycles; }
+  /// Steady-state MACs per cycle.
+  f64 throughput(i64 pairs_per_row) const {
+    return total_cycles() == 0 ? 0.0
+                               : static_cast<f64>(rows * pairs_per_row) /
+                                     static_cast<f64>(total_cycles());
+  }
+};
+
+/// Bit-serial SRAM PE matvec (paper §3.1, Fig 3): M index phases x 8
+/// input bit planes through comparator / adder-tree / shift-accumulator
+/// datapath models. Pure: all accounting lands in `events`.
+TileMatvec modeled_sram_matvec(const SramPeTile& tile,
+                               std::span<const i8> activations,
+                               PeEventCounts& events);
+
+/// Near-memory MRAM PE matvec (paper §3.2, Fig 5): one physical row per
+/// cycle through the 3-stage sense/mux/accumulate pipeline. Pure: all
+/// accounting lands in `events` (and `*pipeline` when given).
+TileMatvec modeled_mram_matvec(const MramPeTile& tile,
+                               std::span<const i8> activations,
+                               PeEventCounts& events,
+                               MramPipelineStats* pipeline = nullptr);
+
+}  // namespace msh

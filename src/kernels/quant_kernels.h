@@ -1,0 +1,28 @@
+// Activation quantize / output dequantize, shared by BOTH backends: the
+// float<->INT8 boundary must be a single implementation so backend
+// choice can never move a value across a rounding edge. Kept scalar on
+// purpose — vectorizing the float path would expose it to FMA
+// contraction differences between compilers, and it is a small fraction
+// of a forward next to the matmul itself.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "quant/quant.h"
+
+namespace msh {
+
+/// Quantizes a [batch x k] float activation block into the padded INT8
+/// layout [batch x padded_k] the PE arrays consume (pad tail zeroed).
+/// Row-sharded over `pool`: each row's codes are written by exactly one
+/// lane, so the parallel result is bit-identical to the sequential loop.
+void quantize_activations(const f32* x, i64 batch, i64 k, i64 padded_k,
+                          const QuantParams& params, i8* codes,
+                          ThreadPool* pool);
+
+/// Dequantizes raw INT32 accumulators [batch x out] into floats with an
+/// optional fused bias (`bias` null skips it). Same sharding contract.
+void dequantize_outputs(const i32* raw, i64 batch, i64 out, f32 scale,
+                        const f32* bias, f32* y, ThreadPool* pool);
+
+}  // namespace msh

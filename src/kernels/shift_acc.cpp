@@ -1,4 +1,4 @@
-#include "pim/shift_acc.h"
+#include "kernels/shift_acc.h"
 
 namespace msh {
 

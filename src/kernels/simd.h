@@ -1,0 +1,80 @@
+// Portable SIMD primitives for the raw kernel backend. Dispatch is
+// compile-time: AVX2 when the build enables it, else SSE2 (baseline on
+// x86-64), else NEON, else scalar. Every variant computes the identical
+// wrap-around 32-bit integer result, so backend bit-exactness never
+// depends on which one the compiler picked.
+//
+// The one primitive the raw matmul needs is a widening multiply-
+// accumulate: acc[j] += w * x[j] with INT8-ranged operands. |w| <= 128
+// and |x[j]| <= 128, so every product fits in 15 bits — a 16-bit lane
+// multiply is exact, and the i32 accumulation wraps identically to the
+// modeled path's truncate-at-the-end i64 sum (two's complement).
+#pragma once
+
+#include "common/types.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+#include <emmintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace msh::simd {
+
+#if defined(__AVX2__)
+inline constexpr const char* kIsa = "avx2";
+#elif defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+inline constexpr const char* kIsa = "sse2";
+#elif defined(__ARM_NEON)
+inline constexpr const char* kIsa = "neon";
+#else
+inline constexpr const char* kIsa = "scalar";
+#endif
+
+/// acc[j] += w * x[j] for j in [0, n), 32-bit wrap-around semantics.
+/// Requires |w| <= 128 and |x[j]| <= 128 (INT8-ranged).
+inline void multiply_accumulate(i32* acc, i32 w, const i16* x, i64 n) {
+  i64 j = 0;
+#if defined(__AVX2__)
+  const __m256i wv = _mm256_set1_epi32(w);
+  for (; j + 8 <= n; j += 8) {
+    const __m128i x16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + j));
+    const __m256i x32 = _mm256_cvtepi16_epi32(x16);
+    const __m256i prod = _mm256_mullo_epi32(x32, wv);
+    __m256i* a = reinterpret_cast<__m256i*>(acc + j);
+    _mm256_storeu_si256(a, _mm256_add_epi32(_mm256_loadu_si256(a), prod));
+  }
+#elif defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
+  for (; j + 8 <= n; j += 8) {
+    const __m128i xv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + j));
+    // Products fit 15 bits, so the 16-bit lane multiply is exact; widen
+    // to i32 by interleaving with the sign and accumulate.
+    const __m128i prod = _mm_mullo_epi16(xv, wv);
+    const __m128i sign = _mm_srai_epi16(prod, 15);
+    const __m128i lo = _mm_unpacklo_epi16(prod, sign);
+    const __m128i hi = _mm_unpackhi_epi16(prod, sign);
+    __m128i* a0 = reinterpret_cast<__m128i*>(acc + j);
+    __m128i* a1 = reinterpret_cast<__m128i*>(acc + j + 4);
+    _mm_storeu_si128(a0, _mm_add_epi32(_mm_loadu_si128(a0), lo));
+    _mm_storeu_si128(a1, _mm_add_epi32(_mm_loadu_si128(a1), hi));
+  }
+#elif defined(__ARM_NEON)
+  for (; j + 4 <= n; j += 4) {
+    const int16x4_t xv = vld1_s16(x + j);
+    int32x4_t a = vld1q_s32(acc + j);
+    a = vmlal_n_s16(a, xv, static_cast<i16>(w));
+    vst1q_s32(acc + j, a);
+  }
+#endif
+  for (; j < n; ++j) {
+    acc[j] = static_cast<i32>(static_cast<u32>(acc[j]) +
+                              static_cast<u32>(w * x[j]));
+  }
+}
+
+}  // namespace msh::simd

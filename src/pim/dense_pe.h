@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "pim/adder_tree.h"
+#include "kernels/adder_tree.h"
 #include "pim/events.h"
 
 namespace msh {

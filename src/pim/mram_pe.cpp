@@ -1,7 +1,5 @@
 #include "pim/mram_pe.h"
 
-#include <map>
-
 namespace msh {
 
 namespace {
@@ -55,57 +53,7 @@ MramPeOutput MramSparsePe::matvec_compute(std::span<const i8> activations,
                                           PeEventCounts& events,
                                           MramPipelineStats* pipeline) const {
   MSH_REQUIRE(loaded());
-  MSH_REQUIRE(static_cast<i64>(activations.size()) >= tile_.activation_len);
-
-  // The adder tree is stateless between matvecs; a lane-local instance
-  // keeps this function const and race-free under sharing.
-  AdderTree tree(64);
-
-  const i32 m = tile_.cfg.m;
-  const i32 n = tile_.cfg.n;
-  std::map<i32, i64> acc;
-  std::vector<i32> products;
-  products.reserve(static_cast<size_t>(tile_.pairs_per_row));
-
-  for (const auto& row : tile_.rows) {
-    if (row.output_id < 0) continue;
-    // S1: sense the row (weights + indices).
-    events.mram_row_reads += 1;
-    products.clear();
-    for (size_t e = 0; e < row.entries.size(); ++e) {
-      const auto& entry = row.entries[e];
-      if (!entry.valid) continue;
-      // S2: MUX selects the addressed activation from the buffer.
-      const i64 packed_row = row.packed_base + static_cast<i64>(e);
-      const i64 dense_row =
-          (packed_row / n) * m + static_cast<i64>(entry.index);
-      MSH_ENSURE(dense_row < static_cast<i64>(activations.size()));
-      events.buffer_bits_read += 8;
-      // S3: parallel shift-and-accumulate forms the 8b x 8b product.
-      products.push_back(static_cast<i32>(entry.weight) *
-                         static_cast<i32>(
-                             activations[static_cast<size_t>(dense_row)]));
-    }
-    events.mram_shift_acc_ops += 1;
-    const i32 row_sum = tree.reduce(products);
-    events.mram_adder_tree_ops += 1;
-    acc[row.output_id] += row_sum;
-  }
-
-  MramPipelineStats stats;
-  i64 used_rows = 0;
-  for (const auto& row : tile_.rows) used_rows += (row.output_id >= 0);
-  stats.rows = used_rows;
-  events.cycles += stats.total_cycles();
-  if (pipeline != nullptr) *pipeline = stats;
-
-  MramPeOutput out;
-  for (const auto& [id, value] : acc) {
-    out.output_ids.push_back(id);
-    out.values.push_back(value);
-    events.buffer_bits_written += 32;
-  }
-  return out;
+  return modeled_mram_matvec(tile_, activations, events, pipeline);
 }
 
 }  // namespace msh

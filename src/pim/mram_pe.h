@@ -19,29 +19,13 @@
 
 #include <span>
 
-#include "pim/adder_tree.h"
+#include "kernels/modeled.h"
 #include "pim/events.h"
 #include "pim/pe_tile.h"
 
 namespace msh {
 
-struct MramPeOutput {
-  std::vector<i32> output_ids;
-  std::vector<i64> values;
-};
-
-/// Cycle-accounting snapshot of the 3-stage pipeline for a matvec.
-struct MramPipelineStats {
-  i64 rows = 0;
-  i64 fill_cycles = 2;
-  i64 total_cycles() const { return rows == 0 ? 0 : rows + fill_cycles; }
-  /// Steady-state MACs per cycle.
-  f64 throughput(i64 pairs_per_row) const {
-    return total_cycles() == 0 ? 0.0
-                               : static_cast<f64>(rows * pairs_per_row) /
-                                     static_cast<f64>(total_cycles());
-  }
-};
+using MramPeOutput = TileMatvec;
 
 class MramSparsePe {
  public:

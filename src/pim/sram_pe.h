@@ -18,20 +18,15 @@
 
 #include <span>
 
-#include "pim/adder_tree.h"
+#include "kernels/modeled.h"
 #include "pim/events.h"
-#include "pim/index_unit.h"
 #include "pim/pe_tile.h"
-#include "pim/shift_acc.h"
 
 namespace msh {
 
 /// Result of one SRAM PE matvec: accumulator value per logical output
 /// column present in the tile.
-struct SramPeOutput {
-  std::vector<i32> output_ids;
-  std::vector<i64> values;
-};
+using SramPeOutput = TileMatvec;
 
 class SramSparsePe {
  public:

@@ -36,6 +36,16 @@ Tensor concat_request_images(
   return batch;
 }
 
+void assemble_batch_images(MicroBatch& batch) {
+  MSH_REQUIRE(!batch.requests.empty());
+  if (batch.requests.size() == 1) {
+    MSH_REQUIRE(batch.requests.front().images.shape().rank() == 4);
+    batch.images = std::move(batch.requests.front().images);
+    return;
+  }
+  batch.images = concat_request_images(batch.requests);
+}
+
 std::optional<MicroBatch> DynamicBatcher::next(f64 idle_timeout_us) {
   auto first = queue_.pop(idle_timeout_us);
   if (!first) return std::nullopt;
@@ -59,7 +69,7 @@ std::optional<MicroBatch> DynamicBatcher::next(f64 idle_timeout_us) {
     batch.requests.push_back(std::move(*follower));
   }
 
-  batch.images = concat_request_images(batch.requests);
+  assemble_batch_images(batch);
   batch.formed_us = monotonic_now_us();
   return batch;
 }

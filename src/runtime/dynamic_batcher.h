@@ -61,4 +61,13 @@ class DynamicBatcher {
 Tensor concat_request_images(
     const std::vector<detail::PendingRequest>& requests);
 
+/// Fills `batch.images` from `batch.requests`. A single-request batch —
+/// the common case under low load, and every request once batch size 1
+/// is configured — adopts the request's tensor by move (zero-copy all
+/// the way to executor dispatch); multi-request batches need one gather
+/// copy for dense [sum(rows), C, H, W] storage. After a move the
+/// request's own tensor is empty; the engine's retry path hands it back
+/// before the request re-enters the queue.
+void assemble_batch_images(MicroBatch& batch);
+
 }  // namespace msh

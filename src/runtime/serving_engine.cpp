@@ -695,7 +695,7 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
       batch.requests = std::move(live);
       batch.rows = 0;
       for (const auto& request : batch.requests) batch.rows += request.rows;
-      batch.images = concat_request_images(batch.requests);
+      assemble_batch_images(batch);
     } else {
       batch.requests = std::move(live);
     }
@@ -733,6 +733,12 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
   }
 
   if (!ok) {
+    // A zero-copy single-request batch adopted the request's tensor
+    // (assemble_batch_images); hand it back so a retry re-enters the
+    // queue with its payload intact.
+    if (batch.requests.size() == 1 && batch.requests.front().images.empty()) {
+      batch.requests.front().images = std::move(batch.images);
+    }
     if (options_.self_heal) heal(index, error);
     breaker_failure(index);
     // Retry in-flight requests at the head of the queue (they already
@@ -785,9 +791,16 @@ void ServingEngine::serve_batch(i64 index, MicroBatch& batch) {
     response.queue_us = batch.formed_us - request.submit_us;
     response.total_us = done_us - request.submit_us;
     response.status = RequestStatus::kOk;
-    response.logits = Tensor(Shape{request.rows, classes});
-    std::memcpy(response.logits.data(), logits.data() + row * classes,
-                sizeof(f32) * static_cast<size_t>(request.rows * classes));
+    if (batch.requests.size() == 1) {
+      // Single-request batch: the whole logits tensor is this request's
+      // answer — move it instead of copying (zero-copy out, matching the
+      // zero-copy in).
+      response.logits = std::move(logits);
+    } else {
+      response.logits = Tensor(Shape{request.rows, classes});
+      std::memcpy(response.logits.data(), logits.data() + row * classes,
+                  sizeof(f32) * static_cast<size_t>(request.rows * classes));
+    }
     metrics_.record_completed(request.priority, request.rows,
                               response.queue_us, response.total_us);
     row += request.rows;

@@ -1,0 +1,318 @@
+// Two-tier executor differential suite (DESIGN §5i): the raw SIMD
+// backend must be bit-identical to the modeled backend on every forward
+// — across shapes, sparsity patterns, PE kinds, protection modes and
+// thread counts — and must export byte-identical DeploymentImages, while
+// reporting zero modeled metrics. Also covers composition with fault
+// injection, ECC scrub, clone/heal plumbing and the zero-copy batch
+// assembly the raw path serves through.
+#include <gtest/gtest.h>
+
+#include "deploy/pim_executor.h"
+#include "kernels/simd.h"
+#include "runtime/dynamic_batcher.h"
+#include "sparse/nm_mask.h"
+#include "workloads/task_suite.h"
+
+namespace msh {
+namespace {
+
+Tensor sparse_weight(i64 out, i64 k, NmConfig cfg, u64 seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(Shape{out, k}, rng);
+  NmMask mask = select_nm_mask(w, cfg, GroupAxis::kCols);
+  apply_mask(w, mask);
+  return w;
+}
+
+void expect_tensors_bit_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (i64 i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "diverged at flat index " << i;
+  }
+}
+
+/// One differential case: the same weights on a modeled core and a raw
+/// core, the same activations through both layers, bit-equal outputs.
+void expect_backends_match(const Tensor& w, NmConfig cfg, PeKind kind,
+                           i64 threads, i64 batch, u64 seed) {
+  const i64 k = w.shape()[1];
+  HybridCore modeled_core;
+  HybridCoreOptions raw_options;
+  raw_options.backend = KernelBackend::kRaw;
+  HybridCore raw_core(raw_options);
+  ThreadPool pool(threads);
+  if (threads > 1) {
+    modeled_core.set_intra_op_pool(&pool);
+    raw_core.set_intra_op_pool(&pool);
+  }
+  PimMatmulLayer modeled_layer(modeled_core, w, cfg, kind, 0.05f);
+  PimMatmulLayer raw_layer(raw_core, w, cfg, kind, 0.05f);
+
+  // Forward must not touch modeled metrics on the raw backend; deploy
+  // accounting (load/program events) is state, not compute, and stays.
+  const PeEventCounts deploy_events = raw_core.pe_events();
+
+  Rng rng(seed);
+  const Tensor x = Tensor::randn(Shape{batch, k}, rng, 0.0f, 1.0f);
+  const Tensor y_modeled = modeled_layer.matmul(x);
+  const Tensor y_raw = raw_layer.matmul(x);
+  expect_tensors_bit_equal(y_modeled, y_raw);
+  EXPECT_GT(modeled_core.last_makespan(), 0);
+
+  EXPECT_EQ(raw_core.last_makespan(), 0);
+  EXPECT_EQ(raw_core.last_utilization(), 0.0);
+  EXPECT_EQ(raw_core.shared_accumulator_ops(), 0);
+  const PeEventCounts after = raw_core.pe_events();
+  EXPECT_EQ(after.cycles, deploy_events.cycles);
+  EXPECT_EQ(after.buffer_bits_read, deploy_events.buffer_bits_read);
+  EXPECT_EQ(after.sram_array_cycles, deploy_events.sram_array_cycles);
+  EXPECT_EQ(after.mram_row_reads, deploy_events.mram_row_reads);
+}
+
+TEST(KernelBackends, RandomizedShapesSparsitiesThreads) {
+  const NmConfig cfgs[] = {kSparse1of4, kSparse1of8, NmConfig{2, 4}};
+  Rng rng(2024);
+  for (i64 i = 0; i < 18; ++i) {
+    const NmConfig cfg = cfgs[i % 3];
+    const i64 out = rng.uniform_int(3, 24);
+    const i64 k = cfg.m * rng.uniform_int(4, 20);
+    const PeKind kind = (i % 2 == 0) ? PeKind::kSram : PeKind::kMram;
+    const i64 threads = (i % 4 == 3) ? 3 : 1;
+    const i64 batch = rng.uniform_int(1, 13);
+    SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                 std::to_string(cfg.n) + ":" + std::to_string(cfg.m) +
+                 " [" + std::to_string(out) + "x" + std::to_string(k) +
+                 "] " + (kind == PeKind::kSram ? "sram" : "mram") +
+                 " threads=" + std::to_string(threads) +
+                 " batch=" + std::to_string(batch));
+    const Tensor w = sparse_weight(out, k, cfg, 500 + i);
+    expect_backends_match(w, cfg, kind, threads, batch, 9000 + i);
+  }
+}
+
+TEST(KernelBackends, DenseFallbackMatches) {
+  // Unpruned weights fall back to dense M:M packing; the raw flattening
+  // must follow the same path.
+  Rng rng(31);
+  const Tensor w = Tensor::randn(Shape{7, 36}, rng);  // 36 pads to 1:4
+  expect_backends_match(w, kSparse1of4, PeKind::kSram, 1, 5, 77);
+  expect_backends_match(w, kSparse1of4, PeKind::kMram, 3, 5, 78);
+}
+
+TEST(KernelBackends, MatvecPathMatches) {
+  const Tensor w = sparse_weight(9, 64, kSparse1of4, 41);
+  HybridCore modeled_core;
+  HybridCoreOptions raw_options;
+  raw_options.backend = KernelBackend::kRaw;
+  HybridCore raw_core(raw_options);
+  PimMatmulLayer modeled_layer(modeled_core, w, kSparse1of4, PeKind::kSram,
+                               0.05f);
+  PimMatmulLayer raw_layer(raw_core, w, kSparse1of4, PeKind::kSram, 0.05f);
+  Rng rng(43);
+  const Tensor x = Tensor::randn(Shape{1, 64}, rng, 0.0f, 1.0f);
+  expect_tensors_bit_equal(modeled_layer.matmul(x), raw_layer.matmul(x));
+}
+
+TEST(KernelArenaTest, ReusesOneSlabAfterReset) {
+  KernelArena arena;
+  for (int round = 0; round < 3; ++round) {
+    arena.reset();
+    auto a = arena.alloc<i32>(1000);
+    auto b = arena.alloc<i8>(3333);
+    a[999] = 7;
+    b[3332] = 1;
+    EXPECT_EQ(a.size(), 1000u);
+  }
+  const size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  (void)arena.alloc<i32>(1000);
+  (void)arena.alloc<i8>(3333);
+  // Steady state: no new slabs once the high-water mark is learned.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(SimdTest, MultiplyAccumulateMatchesScalarWithWrap) {
+  Rng rng(7);
+  std::vector<i16> x(203);
+  for (i16& v : x) v = static_cast<i16>(rng.uniform_int(-128, 127));
+  std::vector<i32> acc(x.size()), ref(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    // Seed accumulators near INT32_MAX so the vector path's wrap
+    // behavior is exercised, not just the happy range.
+    acc[i] = ref[i] = 0x7ffffff0 + static_cast<i32>(i % 7);
+  }
+  const i32 w = -128;
+  simd::multiply_accumulate(acc.data(), w, x.data(),
+                            static_cast<i64>(x.size()));
+  for (size_t i = 0; i < x.size(); ++i) {
+    ref[i] = static_cast<i32>(static_cast<u32>(ref[i]) +
+                              static_cast<u32>(w * x[i]));
+    ASSERT_EQ(acc[i], ref[i]) << "lane " << i << " on " << simd::kIsa;
+  }
+}
+
+// ----- executor-level differential: full model, protection, images ----
+
+class BackendExecutorTest : public ::testing::Test {
+ protected:
+  static BackboneConfig tiny_backbone() {
+    BackboneConfig cfg;
+    cfg.stem_channels = 8;
+    cfg.stage_channels = {8};
+    cfg.blocks_per_stage = {1};
+    cfg.stage_strides = {1};
+    return cfg;
+  }
+
+  static SyntheticSpec tiny_task() {
+    SyntheticSpec spec;
+    spec.name = "backend-task";
+    spec.classes = 3;
+    spec.train_per_class = 8;
+    spec.test_per_class = 4;
+    spec.image_size = 10;
+    spec.noise = 0.2f;
+    spec.seed = 7;
+    return spec;
+  }
+
+  static PimExecutorOptions options_for(KernelBackend backend, EccMode ecc,
+                                        i64 threads = 1) {
+    PimExecutorOptions options;
+    options.backend = backend;
+    options.ecc = ecc;
+    options.intra_op_threads = threads;
+    options.calibration_batch = 8;
+    options.calibration_batches = 1;
+    return options;
+  }
+
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(17);
+    data_ = make_synthetic_dataset(tiny_task());
+    model_ = std::make_unique<RepNetModel>(
+        tiny_backbone(),
+        RepNetConfig{.bottleneck_divisor = 8, .min_bottleneck = 8}, 3,
+        *rng_);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  TrainTestSplit data_;
+  std::unique_ptr<RepNetModel> model_;
+};
+
+TEST_F(BackendExecutorTest, ForwardAndImageBitExactPerProtectionMode) {
+  const Tensor images = data_.test.batch_images(0, 4);
+  for (const EccMode ecc :
+       {EccMode::kNone, EccMode::kParity, EccMode::kSecDed}) {
+    SCOPED_TRACE("ecc mode " + std::to_string(static_cast<int>(ecc)));
+    PimRepNetExecutor modeled(*model_, data_.train,
+                              options_for(KernelBackend::kModeled, ecc));
+    PimRepNetExecutor raw(*model_, data_.train,
+                          options_for(KernelBackend::kRaw, ecc));
+    expect_tensors_bit_equal(modeled.forward(images), raw.forward(images));
+    // Published images are part of the bit-exactness contract.
+    EXPECT_EQ(modeled.export_image().serialize(),
+              raw.export_image().serialize());
+  }
+}
+
+TEST_F(BackendExecutorTest, IntraOpShardingMatchesOnRaw) {
+  const Tensor images = data_.test.batch_images(0, 6);
+  PimRepNetExecutor modeled(
+      *model_, data_.train,
+      options_for(KernelBackend::kModeled, EccMode::kNone));
+  PimRepNetExecutor raw_seq(
+      *model_, data_.train, options_for(KernelBackend::kRaw, EccMode::kNone));
+  PimRepNetExecutor raw_par(
+      *model_, data_.train,
+      options_for(KernelBackend::kRaw, EccMode::kNone, /*threads=*/3));
+  const Tensor y = modeled.forward(images);
+  expect_tensors_bit_equal(y, raw_seq.forward(images));
+  expect_tensors_bit_equal(y, raw_par.forward(images));
+}
+
+TEST_F(BackendExecutorTest, FaultInjectionAndScrubCompose) {
+  // The raw backend reads the live cells every dispatch, so identical
+  // fault injections must corrupt both backends identically, and a
+  // repairing scrub must restore both identically.
+  const Tensor images = data_.test.batch_images(0, 4);
+  PimRepNetExecutor modeled(
+      *model_, data_.train,
+      options_for(KernelBackend::kModeled, EccMode::kSecDed));
+  PimRepNetExecutor raw(*model_, data_.train,
+                        options_for(KernelBackend::kRaw, EccMode::kSecDed));
+
+  const MtjFaultModel faults = MtjFaultModel::symmetric(2e-3);
+  Rng modeled_rng(99), raw_rng(99);
+  modeled.inject_nvm_faults(faults, modeled_rng);
+  raw.inject_nvm_faults(faults, raw_rng);
+  expect_tensors_bit_equal(modeled.forward(images), raw.forward(images));
+
+  modeled.scrub(/*repair_detected_from_golden=*/true);
+  raw.scrub(/*repair_detected_from_golden=*/true);
+  expect_tensors_bit_equal(modeled.forward(images), raw.forward(images));
+}
+
+TEST_F(BackendExecutorTest, RawReplicaPassesVerifyGateAndClones) {
+  const Tensor images = data_.test.batch_images(0, 4);
+  PimRepNetExecutor modeled(
+      *model_, data_.train,
+      options_for(KernelBackend::kModeled, EccMode::kSecDed));
+  PimRepNetExecutor raw(*model_, data_.train,
+                        options_for(KernelBackend::kRaw, EccMode::kSecDed));
+  // The physical read-back probe runs through the raw matvec path and
+  // must match the modeled executor's exported image bit-exactly.
+  EXPECT_EQ(raw.verify_against(modeled.export_image()), "");
+  // Clones (the heal/swap/recovery rebuild path) inherit the backend and
+  // stay bit-identical.
+  const auto clone = raw.clone();
+  expect_tensors_bit_equal(raw.forward(images), clone->forward(images));
+  EXPECT_EQ(clone->core().last_makespan(), 0);
+}
+
+// ----- zero-copy batch assembly --------------------------------------
+
+detail::PendingRequest make_request(u64 id, i64 rows) {
+  detail::PendingRequest request;
+  request.id = id;
+  request.rows = rows;
+  Rng rng(id);
+  request.images = Tensor::randn(Shape{rows, 1, 4, 4}, rng);
+  return request;
+}
+
+TEST(AssembleBatchImages, SingleRequestMovesWithoutCopy) {
+  MicroBatch batch;
+  batch.requests.push_back(make_request(1, 3));
+  batch.rows = 3;
+  const f32* payload = batch.requests.front().images.data();
+  const f32 first = payload[0];
+  assemble_batch_images(batch);
+  // Zero-copy: the batch adopted the request's buffer, no reallocation.
+  EXPECT_EQ(batch.images.data(), payload);
+  EXPECT_EQ(batch.images[0], first);
+  EXPECT_TRUE(batch.requests.front().images.empty());
+}
+
+TEST(AssembleBatchImages, MultiRequestGathersContiguously) {
+  MicroBatch batch;
+  batch.requests.push_back(make_request(1, 2));
+  batch.requests.push_back(make_request(2, 3));
+  batch.rows = 5;
+  const Tensor copy0 = batch.requests[0].images;
+  const Tensor copy1 = batch.requests[1].images;
+  assemble_batch_images(batch);
+  ASSERT_EQ(batch.images.shape(), Shape({5, 1, 4, 4}));
+  for (i64 i = 0; i < copy0.numel(); ++i) {
+    ASSERT_EQ(batch.images[i], copy0[i]);
+  }
+  for (i64 i = 0; i < copy1.numel(); ++i) {
+    ASSERT_EQ(batch.images[copy0.numel() + i], copy1[i]);
+  }
+  // Multi-request batches keep the originals (needed for retries).
+  EXPECT_FALSE(batch.requests[0].images.empty());
+}
+
+}  // namespace
+}  // namespace msh

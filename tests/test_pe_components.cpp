@@ -2,9 +2,9 @@
 
 #include <numeric>
 
-#include "pim/adder_tree.h"
-#include "pim/index_unit.h"
-#include "pim/shift_acc.h"
+#include "kernels/adder_tree.h"
+#include "kernels/index_unit.h"
+#include "kernels/shift_acc.h"
 
 namespace msh {
 namespace {

@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "kernels/adder_tree.h"
 #include "mapping/csc_mapper.h"
 #include "pim/sram_pe.h"
 
